@@ -1,0 +1,549 @@
+(** Benchmark harness — regenerates every table and figure of the paper's
+    evaluation (§VI):
+
+    - [table1]  — the paper's Table I: columns S, L, T, P, C, M, D per
+      assignment, measured over a deterministic sample of each submission
+      space (use [--full] to sweep entire spaces, [--sample N] to resize);
+      [--explain] breaks the discrepancies down by cause (§VI-B).
+    - [micro]   — Bechamel micro-benchmarks of the pattern-matching time
+      per assignment (column M's headline: milliseconds per submission).
+    - [compare] — the §VI-C comparison against the CLARA-like and
+      Sketch-like baselines: input-size sensitivity, repair-depth blowup,
+      and the Fig. 8 reference-matching failure.
+
+    Running with no arguments executes all three with default sizes. *)
+
+open Jfeed_kb
+open Jfeed_core
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let feedback_positive (r : Grader.result) =
+  List.for_all (fun c -> c.Feedback.verdict = Feedback.Correct) r.Grader.comments
+
+(* ------------------------------------------------------------------ *)
+(* Table I                                                             *)
+
+type row = {
+  id : string;
+  s : int;
+  l : float;
+  t : float;
+  p : int;
+  c : int;
+  m : float;
+  d : int;
+  sampled : int;
+  causes : (string * int) list;
+}
+
+let table1_row ~sample ~seed (b : Bundles.t) =
+  let spec = b.Bundles.gen in
+  let total = Jfeed_gen.Spec.size spec in
+  let indices = Jfeed_gen.Spec.sample_indices spec ~n:sample ~seed in
+  let reference =
+    Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference spec)
+  in
+  let expected = Jfeed_ftest.Runner.expected_outputs b.suite reference in
+  let lines = ref 0 and t_total = ref 0.0 and m_total = ref 0.0 in
+  let d = ref 0 in
+  let causes = Hashtbl.create 8 in
+  let n = List.length indices in
+  List.iter
+    (fun idx ->
+      let digits = Jfeed_gen.Spec.decode spec idx in
+      let src = spec.Jfeed_gen.Spec.render digits in
+      lines :=
+        !lines
+        + List.length
+            (List.filter
+               (fun l -> String.trim l <> "")
+               (String.split_on_char '\n' src));
+      let prog = Jfeed_java.Parser.parse_program src in
+      let fpass, t_time =
+        time (fun () -> Jfeed_ftest.Runner.passes b.suite ~expected prog)
+      in
+      let result, m_time = time (fun () -> Grader.grade b.grading prog) in
+      t_total := !t_total +. t_time;
+      m_total := !m_total +. m_time;
+      if fpass <> feedback_positive result then begin
+        incr d;
+        let cause =
+          match Jfeed_gen.Spec.deviations spec digits with
+          | [] -> "all-good-combination"
+          | [ (tag, label, _) ] -> tag ^ "=" ^ label
+          | _ -> "combination"
+        in
+        Hashtbl.replace causes cause
+          (1 + Option.value ~default:0 (Hashtbl.find_opt causes cause))
+      end)
+    indices;
+  {
+    id = b.Bundles.grading.Grader.a_id;
+    s = total;
+    l = float_of_int !lines /. float_of_int n;
+    t = !t_total /. float_of_int n;
+    p = List.length (Bundles.patterns b);
+    c = List.length (Bundles.constraints b);
+    m = !m_total /. float_of_int n;
+    d = !d;
+    sampled = n;
+    causes =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []);
+  }
+
+let print_table1 ~explain rows =
+  Printf.printf
+    "\nTable I — experimental results (measured over deterministic samples)\n";
+  Printf.printf "%-20s %10s %6s %9s %3s %3s %9s %6s/%-6s %9s\n" "Assignment"
+    "S" "L" "T" "P" "C" "M" "D" "sample" "D-est";
+  List.iter
+    (fun r ->
+      let rate = float_of_int r.d /. float_of_int r.sampled in
+      Printf.printf "%-20s %10d %6.2f %8.4fs %3d %3d %8.5fs %6d/%-6d %9.0f\n"
+        r.id r.s r.l r.t r.p r.c r.m r.d r.sampled
+        (rate *. float_of_int r.s);
+      if explain && r.causes <> [] then
+        List.iter
+          (fun (cause, count) -> Printf.printf "    D cause: %-40s %6d\n" cause count)
+          r.causes)
+    rows;
+  let avg f =
+    List.fold_left (fun a r -> a +. f r) 0.0 rows
+    /. float_of_int (List.length rows)
+  in
+  Printf.printf "%-20s %10.0f %6.2f %8.4fs %3.0f %3.0f %8.5fs\n" "average"
+    (avg (fun r -> float_of_int r.s))
+    (avg (fun r -> r.l))
+    (avg (fun r -> r.t))
+    (avg (fun r -> float_of_int r.p))
+    (avg (fun r -> float_of_int r.c))
+    (avg (fun r -> r.m));
+  Printf.printf
+    "(S exact; L/T/M/D measured on the sample; D-est extrapolates the \
+     discrepancy rate to the full space.)\n"
+
+let table1 ~sample ~seed ~full ~explain () =
+  let rows =
+    List.map
+      (fun b ->
+        let sample =
+          if full then Jfeed_gen.Spec.size b.Bundles.gen else sample
+        in
+        table1_row ~sample ~seed b)
+      Bundles.all
+  in
+  print_table1 ~explain rows
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    List.map
+      (fun (b : Bundles.t) ->
+        let spec = b.Bundles.gen in
+        (* A deterministic mid-space submission, pre-parsed: the staged
+           benchmark measures pure matching (EPDG + Algorithms 1 and 2). *)
+        let idx = Jfeed_gen.Spec.size spec / 2 in
+        let prog =
+          Jfeed_java.Parser.parse_program
+            (Jfeed_gen.Spec.source_of_index spec idx)
+        in
+        Test.make
+          ~name:b.Bundles.grading.Grader.a_id
+          (Staged.stage (fun () -> ignore (Grader.grade b.Bundles.grading prog))))
+      Bundles.all
+  in
+  let test = Test.make_grouped ~name:"match" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf
+    "\nPattern-matching micro-benchmarks (Bechamel, per submission)\n";
+  let entries =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+  in
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] ->
+          Printf.printf "  %-36s %12.0f ns  (%.4f ms)\n" name ns (ns /. 1e6)
+      | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+    (List.sort compare entries)
+
+(* ------------------------------------------------------------------ *)
+(* §VI-C comparison                                                    *)
+
+let fig8_reference =
+  {|
+void assignment1(int[] a) {
+    int o = 0;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        i++;
+    }
+    i = 0;
+    int e = 1;
+    while (i < a.length) {
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+|}
+
+let fig8_submission =
+  {|
+void assignment1(int[] a) {
+    int o = 0, e = 1;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+|}
+
+let compare_fig8 () =
+  let parse = Jfeed_java.Parser.parse_program in
+  let args =
+    [ Jfeed_interp.Value.Varr
+        [| Jfeed_interp.Value.Vint 3; Vint 4; Vint 5; Vint 6 |] ]
+  in
+  let tr src =
+    fst
+      (Jfeed_baselines.Clara_like.trace_of (parse src) ~entry:"assignment1"
+         ~args)
+  in
+  let equivalent =
+    Jfeed_baselines.Clara_like.equivalent (tr fig8_reference)
+      (tr fig8_submission)
+  in
+  let ours =
+    feedback_positive
+      (Grader.grade Bundles.assignment1.Bundles.grading (parse fig8_submission))
+  in
+  Printf.printf "\n[compare] Fig. 8 — correct submission vs reordered reference\n";
+  Printf.printf
+    "  CLARA-like trace match: %b   (paper: fails — traces compared as a whole)\n"
+    equivalent;
+  Printf.printf "  our feedback positive:  %b   (order-independent patterns)\n"
+    ours
+
+let compare_input_size () =
+  (* Our matching is static: its cost does not depend on the test inputs.
+     CLARA must execute both programs and compare whole variable traces,
+     whose length grows with the input (the paper's k = 100,000 timeout
+     anecdote).  assignment1 with growing arrays makes the trace length
+     linear in the input size. *)
+  let b = Bundles.assignment1 in
+  let parse = Jfeed_java.Parser.parse_program in
+  let reference = parse (Jfeed_gen.Spec.reference b.Bundles.gen) in
+  let submission = parse fig8_submission in
+  Printf.printf
+    "\n[compare] input-size sensitivity on assignment1 (seconds)\n";
+  Printf.printf "  %-12s %14s %20s\n" "array size" "ours(match)"
+    "clara(trace+compare)";
+  List.iter
+    (fun size ->
+      let args =
+        [ Jfeed_interp.Value.Varr
+            (Array.init size (fun i -> Jfeed_interp.Value.Vint (i mod 7))) ]
+      in
+      let config =
+        { Jfeed_interp.Interp.files = []; max_steps = 200_000_000 }
+      in
+      let _, ours =
+        time (fun () -> Grader.grade b.Bundles.grading submission)
+      in
+      let _, clara =
+        time (fun () ->
+            let t_ref, _ =
+              Jfeed_baselines.Clara_like.trace_of ~config reference
+                ~entry:"assignment1" ~args
+            in
+            let t_sub, _ =
+              Jfeed_baselines.Clara_like.trace_of ~config submission
+                ~entry:"assignment1" ~args
+            in
+            ignore (Jfeed_baselines.Clara_like.equivalent t_ref t_sub))
+      in
+      Printf.printf "  %-12d %14.6f %20.6f\n" size ours clara)
+    [ 10; 1_000; 20_000 ]
+
+let compare_repairs () =
+  (* AutoGrader/Sketch-style repair: the search blows up with the number
+     of seeded errors; ours stays flat (the paper: "degrades considerably
+     after four or more repairs"). *)
+  let b = Bundles.assignment1 in
+  let spec = b.Bundles.gen in
+  let reference =
+    Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference spec)
+  in
+  let expected = Jfeed_ftest.Runner.expected_outputs b.suite reference in
+  (* Choice points fixable by the sketch rules: odd-init, even-init,
+     loop-start, loop-bound, odd-guard parity, even-guard parity. *)
+  let error_choices = [ 0; 1; 2; 3; 4 ] in
+  Printf.printf
+    "\n[compare] repair-count scalability on assignment1 (seconds)\n";
+  Printf.printf "  %-8s %12s %12s %14s %8s\n" "errors" "ours" "sketch"
+    "candidates" "found";
+  List.iteri
+    (fun i _ ->
+      let n_errors = i + 1 in
+      let digits = Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0 in
+      List.iteri (fun j c -> if j < n_errors then digits.(c) <- 1) error_choices;
+      let prog =
+        Jfeed_java.Parser.parse_program (spec.Jfeed_gen.Spec.render digits)
+      in
+      let _, ours = time (fun () -> Grader.grade b.Bundles.grading prog) in
+      let result, sketch_time =
+        time (fun () ->
+            Jfeed_baselines.Sketch_like.repair ~suite:b.suite ~expected
+              ~max_depth:n_errors prog)
+      in
+      let explored, found =
+        match result with
+        | Some r -> (r.Jfeed_baselines.Sketch_like.explored, true)
+        | None -> (0, false)
+      in
+      Printf.printf "  %-8d %12.6f %12.6f %14d %8b\n" n_errors ours sketch_time
+        explored found)
+    error_choices
+
+let compare_reference_count () =
+  (* Quantify "multiple reference solutions are usually required … a
+     reference solution per any possible variation": cluster the *correct*
+     subspace of assignment1 by CLARA trace equivalence and count how many
+     references CLARA would need, vs. our single knowledge base. *)
+  let b = Bundles.assignment1 in
+  let spec = b.Bundles.gen in
+  (* Enumerate the all-good subspace directly (it is a tiny fraction of
+     S): the cartesian product of each choice's Good options. *)
+  let good_options =
+    Array.map
+      (fun (c : Jfeed_gen.Spec.choice) ->
+        List.filter
+          (fun i -> c.Jfeed_gen.Spec.quality.(i) = Jfeed_gen.Spec.Good)
+          (List.init (Array.length c.Jfeed_gen.Spec.labels) Fun.id))
+      spec.Jfeed_gen.Spec.choices
+  in
+  let correct = ref [] in
+  let n_choices = Array.length good_options in
+  let digits = Array.make n_choices 0 in
+  let rec enum i =
+    if List.length !correct >= 40 then ()
+    else if i = n_choices then
+      correct := Jfeed_gen.Spec.encode spec digits :: !correct
+    else
+      List.iter
+        (fun o ->
+          digits.(i) <- o;
+          enum (i + 1))
+        good_options.(i)
+  in
+  enum 0;
+  let correct = List.rev !correct in
+  let args =
+    [ Jfeed_interp.Value.Varr
+        [| Jfeed_interp.Value.Vint 3; Vint 4; Vint 5; Vint 6 |] ]
+  in
+  let traces =
+    List.map
+      (fun idx ->
+        fst
+          (Jfeed_baselines.Clara_like.trace_of
+             (Jfeed_java.Parser.parse_program
+                (Jfeed_gen.Spec.source_of_index spec idx))
+             ~entry:"assignment1" ~args))
+      correct
+  in
+  let clusters = Jfeed_baselines.Clara_like.cluster traces in
+  let ours_all_accepted =
+    List.for_all
+      (fun idx ->
+        feedback_positive
+          (Grader.grade b.Bundles.grading
+             (Jfeed_java.Parser.parse_program
+                (Jfeed_gen.Spec.source_of_index spec idx))))
+      correct
+  in
+  Printf.printf
+    "\n[compare] references needed per correct variation (assignment1)\n";
+  Printf.printf
+    "  %d sampled correct variants → CLARA-like clusters (references \
+     needed): %d\n"
+    (List.length correct) (List.length clusters);
+  Printf.printf
+    "  our knowledge bases needed: 1 (all %d variants graded positive: %b)\n"
+    (List.length correct) ours_all_accepted
+
+let compare () =
+  compare_fig8 ();
+  compare_input_size ();
+  compare_repairs ();
+  compare_reference_count ()
+
+(* ------------------------------------------------------------------ *)
+(* Matching scalability in the submission size (§IV: the subgraph       *)
+(* matching problem is NP-hard in general — O(n^m) worst case — but the *)
+(* type-filtered search space and edge pruning keep real submissions    *)
+(* flat).                                                               *)
+
+let scaling () =
+  (* Grow a submission by duplicating extra (pattern-irrelevant) loops
+     around the correct Assignment 1 core and watch the matching time. *)
+  (* Decoy loops that match none of Assignment 1's patterns (no parity
+     guards, no cumulative +=/*=, no prints) — they only grow the search
+     space Φ. *)
+  let pad k =
+    String.concat "\n"
+      (List.init k (fun j ->
+           Printf.sprintf
+             "    int t%d = %d;\n\
+             \    while (t%d > 1) {\n\
+             \        t%d = t%d / 2;\n\
+             \    }" j (7 + j) j j j))
+  in
+  let submission k =
+    Printf.sprintf
+      {|
+void assignment1(int[] a) {
+    int o = 0, e = 1;
+    for (int i = 0; i < a.length; i++) {
+        if (i %% 2 == 1)
+            o += a[i];
+        if (i %% 2 == 0)
+            e *= a[i];
+    }
+%s
+    System.out.println(o);
+    System.out.println(e);
+}
+|}
+      (pad k)
+  in
+  let b = Bundles.assignment1 in
+  Printf.printf
+    "\n[scaling] matching time vs. submission size (assignment1 + k decoy \
+     loops)\n";
+  Printf.printf "  %-8s %10s %12s %12s\n" "k" "EPDG nodes" "match (s)"
+    "Λ preserved";
+  List.iter
+    (fun k ->
+      let prog = Jfeed_java.Parser.parse_program (submission k) in
+      let nodes =
+        List.fold_left
+          (fun acc (_, g) ->
+            acc + Jfeed_graph.Digraph.node_count g.Jfeed_pdg.Epdg.graph)
+          0
+          (Jfeed_pdg.Epdg.of_program prog)
+      in
+      let result, t = time (fun () -> Grader.grade b.Bundles.grading prog) in
+      Printf.printf "  %-8d %10d %12.6f %12b\n" k nodes t
+        (feedback_positive result))
+    [ 0; 4; 16; 64; 128 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: the §VII future-work extensions                           *)
+
+(* Grade a sample of each assignment under four configurations and count
+   discrepancies: the extensions should remove exactly the
+   pattern-variability false negatives (negative feedback on functionally
+   correct submissions) without masking real errors. *)
+let ablation ~sample ~seed () =
+  Printf.printf
+    "\nAblation — §VII extensions (discrepancies per %d-sample)\n" sample;
+  Printf.printf "%-20s %10s %12s %10s %8s\n" "Assignment" "baseline"
+    "+normalize" "+variants" "+both";
+  let configs =
+    [ (false, false); (true, false); (false, true); (true, true) ]
+  in
+  List.iter
+    (fun (b : Bundles.t) ->
+      let spec = b.Bundles.gen in
+      let indices = Jfeed_gen.Spec.sample_indices spec ~n:sample ~seed in
+      let reference =
+        Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference spec)
+      in
+      let expected = Jfeed_ftest.Runner.expected_outputs b.suite reference in
+      let programs =
+        List.map
+          (fun idx ->
+            let prog =
+              Jfeed_java.Parser.parse_program
+                (Jfeed_gen.Spec.source_of_index spec idx)
+            in
+            (prog, Jfeed_ftest.Runner.passes b.suite ~expected prog))
+          indices
+      in
+      let count (normalize, use_variants) =
+        List.length
+          (List.filter
+             (fun (prog, fpass) ->
+               fpass
+               <> feedback_positive
+                    (Grader.grade ~normalize ~use_variants b.grading prog))
+             programs)
+      in
+      match List.map count configs with
+      | [ base; norm; var; both ] ->
+          Printf.printf "%-20s %10d %12d %10d %8d\n"
+            b.Bundles.grading.Grader.a_id base norm var both
+      | _ -> assert false)
+    Bundles.all;
+  Printf.printf
+    "(Each extension may only reduce discrepancies — it widens what the\n\
+    \ knowledge base accepts without masking functional errors.)\n"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let opt name default =
+    let rec go = function
+      | a :: b :: _ when a = name -> int_of_string b
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let sample = opt "--sample" 150 in
+  let seed = opt "--seed" 42 in
+  match args with
+  | _ :: "table1" :: _ ->
+      table1 ~sample ~seed ~full:(has "--full") ~explain:(has "--explain") ()
+  | _ :: "micro" :: _ -> micro ()
+  | _ :: "compare" :: _ -> compare ()
+  | _ :: "ablation" :: _ -> ablation ~sample ~seed ()
+  | _ :: "scaling" :: _ -> scaling ()
+  | _ ->
+      table1 ~sample ~seed ~full:false ~explain:true ();
+      micro ();
+      compare ();
+      ablation ~sample:100 ~seed ();
+      scaling ()

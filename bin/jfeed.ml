@@ -1,0 +1,254 @@
+(** jfeed — personalized feedback for introductory Java assignments.
+
+    Subcommands:
+    - [list]      — the twelve assignments and their knowledge-base sizes
+    - [feedback]  — grade a submission file against an assignment
+    - [graph]     — print the extended program dependence graph of a file
+    - [generate]  — render synthetic submissions from an assignment space
+    - [test]      — run an assignment's functional tests on a file *)
+
+open Cmdliner
+open Jfeed_kb
+open Jfeed_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let bundle_conv =
+  let parse id =
+    match Bundles.find id with
+    | Some b -> Ok b
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown assignment %S; try: %s" id
+               (String.concat ", "
+                  (List.map
+                     (fun (b : Bundles.t) -> b.grading.Grader.a_id)
+                     Bundles.all))))
+  in
+  let print fmt (b : Bundles.t) =
+    Format.pp_print_string fmt b.grading.Grader.a_id
+  in
+  Arg.conv (parse, print)
+
+let assignment_pos =
+  Arg.(
+    required
+    & pos 0 (some bundle_conv) None
+    & info [] ~docv:"ASSIGNMENT" ~doc:"Assignment id (see $(b,jfeed list)).")
+
+let file_pos n =
+  Arg.(
+    required
+    & pos n (some file) None
+    & info [] ~docv:"FILE" ~doc:"Java submission file.")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-20s %10s %3s %3s  %s\n" "assignment" "S" "P" "C" "title";
+    List.iter
+      (fun (b : Bundles.t) ->
+        Printf.printf "%-20s %10d %3d %3d  %s\n" b.grading.Grader.a_id
+          (Jfeed_gen.Spec.size b.gen)
+          (List.length (Bundles.patterns b))
+          (List.length (Bundles.constraints b))
+          b.grading.Grader.a_title)
+      Bundles.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the twelve assignments")
+    Term.(const run $ const ())
+
+let feedback_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit machine-readable JSON.")
+  in
+  let normalize =
+    Arg.(
+      value & flag
+      & info [ "normalize" ]
+          ~doc:"Apply else-polarity normalization first (§VII extension).")
+  in
+  let variants =
+    Arg.(
+      value & flag
+      & info [ "with-variants" ]
+          ~doc:"Consult the pattern hierarchy (§VII extension).")
+  in
+  let inline =
+    Arg.(
+      value & flag
+      & info [ "inline-helpers" ]
+          ~doc:"Inline student-invented helper methods (§VII extension).")
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"ID"
+          ~doc:"Enforce an algorithmic strategy (see jfeed strategies).")
+  in
+  let run b json normalize variants inline strategy path =
+    let grading =
+      match strategy with
+      | None -> b.Bundles.grading
+      | Some id -> (
+          match Strategies.find id with
+          | Some s -> Strategies.apply s b.Bundles.grading
+          | None ->
+              Printf.eprintf "unknown strategy %S; see jfeed strategies\n" id;
+              exit 1)
+    in
+    match
+      Grader.grade_source ~normalize ~use_variants:variants
+        ~inline_helpers:inline grading (read_file path)
+    with
+    | Error msg ->
+        prerr_endline msg;
+        1
+    | Ok result ->
+        if json then print_endline (Feedback.to_json result.Grader.comments)
+        else begin
+          List.iter
+            (fun c -> print_endline (Feedback.render c))
+            result.Grader.comments;
+          Printf.printf "\nscore Λ = %.1f / %d    method pairing: %s\n"
+            result.Grader.score
+            (List.length result.Grader.comments)
+            (String.concat ", "
+               (List.map
+                  (fun (q, h) ->
+                    Printf.sprintf "%s → %s" q
+                      (Option.value ~default:"(none)" h))
+                  result.Grader.pairing))
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "feedback" ~doc:"Grade a submission and print the feedback")
+    Term.(
+      const run $ assignment_pos $ json $ normalize $ variants $ inline
+      $ strategy $ file_pos 1)
+
+let strategies_cmd =
+  let run () =
+    Printf.printf "%-36s %-20s %s\n" "strategy" "assignment" "title";
+    List.iter
+      (fun (s : Strategies.t) ->
+        Printf.printf "%-36s %-20s %s\n" s.Strategies.s_id
+          s.Strategies.applies_to s.Strategies.s_title)
+      Strategies.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "strategies"
+       ~doc:"List the predefined algorithmic strategies (§VI-C)")
+    Term.(const run $ const ())
+
+let graph_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run dot path =
+    match Jfeed_pdg.Epdg.of_source (read_file path) with
+    | graphs ->
+        List.iter
+          (fun (_, g) ->
+            print_string
+              (if dot then Jfeed_pdg.Epdg.to_dot g
+               else Jfeed_pdg.Epdg.to_string g))
+          graphs;
+        0
+    | exception Jfeed_java.Parser.Parse_error (msg, line, col) ->
+        Printf.eprintf "parse error at %d:%d: %s\n" line col msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:"Print the extended program dependence graph of a submission")
+    Term.(const run $ dot $ file_pos 0)
+
+let generate_cmd =
+  let index =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ] ~docv:"N" ~doc:"Render submission number N.")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "sample" ] ~docv:"N" ~doc:"Render N sampled submissions.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Sampling seed.")
+  in
+  let run b index sample seed =
+    let spec = b.Bundles.gen in
+    let total = Jfeed_gen.Spec.size spec in
+    (match index with
+    | Some i when i < 0 || i >= total ->
+        Printf.eprintf "index %d out of range: %s has %d submissions (0-%d)\n"
+          i spec.Jfeed_gen.Spec.id total (total - 1);
+        exit 1
+    | _ -> ());
+    let indices =
+      match index with
+      | Some i -> [ i ]
+      | None -> Jfeed_gen.Spec.sample_indices spec ~n:sample ~seed
+    in
+    List.iter
+      (fun i ->
+        Printf.printf "// %s submission %d of %d\n%s\n"
+          spec.Jfeed_gen.Spec.id i
+          (Jfeed_gen.Spec.size spec)
+          (Jfeed_gen.Spec.source_of_index spec i))
+      indices;
+    0
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Render synthetic submissions from an assignment's search space")
+    Term.(const run $ assignment_pos $ index $ sample $ seed)
+
+let test_cmd =
+  let run b path =
+    let suite = b.Bundles.suite in
+    let reference =
+      Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+    in
+    let expected = Jfeed_ftest.Runner.expected_outputs suite reference in
+    match Jfeed_java.Parser.parse_program (read_file path) with
+    | exception Jfeed_java.Parser.Parse_error (msg, line, col) ->
+        Printf.eprintf "parse error at %d:%d: %s\n" line col msg;
+        1
+    | prog -> (
+        match Jfeed_ftest.Runner.run suite ~expected prog with
+        | Jfeed_ftest.Runner.Pass ->
+            print_endline "all functional tests passed";
+            0
+        | Jfeed_ftest.Runner.Fail { case; reason } ->
+            Printf.printf "FAILED on %s: %s\n" case reason;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "test" ~doc:"Run the assignment's functional tests on a file")
+    Term.(const run $ assignment_pos $ file_pos 1)
+
+let () =
+  let doc = "PDG-pattern personalized feedback for intro Java assignments" in
+  let info = Cmd.info "jfeed" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
+            strategies_cmd;
+          ]))

@@ -1,0 +1,79 @@
+(** A guided tour of the matching machinery on Assignment 1 (paper §III–V):
+    the patterns p_o, p_a and p_p, their embeddings with variable
+    mappings γ, correctness marks, and the three constraint types.
+
+    Run with: [dune exec examples/assignment1.exe] *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let submission =
+  {|
+void assignment1(int[] a) {
+  int odd = 1;
+  int even = 1;
+  for (int i = 0; i <= a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+    if (i % 2 == 0)
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}
+|}
+
+let mark = function Matcher.Exact -> "correct" | Matcher.Approx -> "INCORRECT"
+
+let () =
+  Printf.printf "Submission under assessment:\n%s\n" submission;
+  let g =
+    match Jfeed_pdg.Epdg.of_source submission with
+    | [ (_, g) ] -> g
+    | _ -> assert false
+  in
+  (* ---------------------------------------------------------------- *)
+  Printf.printf "== Embeddings of the paper's patterns ==\n\n";
+  List.iter
+    (fun (p : Pattern.t) ->
+      Printf.printf "pattern %s (%s):\n" p.Pattern.id p.Pattern.description;
+      let ms = Matcher.embeddings p g in
+      if ms = [] then print_endline "  (no embedding)\n"
+      else
+        List.iteri
+          (fun k (m : Matcher.embedding) ->
+            Printf.printf "  embedding %d:\n" k;
+            List.iter
+              (fun (u, (v, mk)) ->
+                Printf.printf "    u%d -> v%d %-28s [%s]\n" u v
+                  (Printf.sprintf "%S" (Jfeed_pdg.Epdg.node_text g v))
+                  (mark mk))
+              m.Matcher.iota;
+            Printf.printf "    γ = {%s}\n"
+              (String.concat "; "
+                 (List.map
+                    (fun (x, y) -> Printf.sprintf "%s → %s" x y)
+                    m.Matcher.gamma)))
+          ms;
+      print_newline ())
+    [
+      Patterns.p_odd_access;
+      Patterns.p_even_access;
+      Patterns.p_cond_accum_add;
+      Patterns.p_cond_accum_mul;
+      Patterns.p_print_var;
+    ];
+  (* ---------------------------------------------------------------- *)
+  Printf.printf "== Full grading (patterns + constraints) ==\n\n";
+  match Grader.grade_source Bundles.assignment1.Bundles.grading submission with
+  | Error msg -> print_endline msg
+  | Ok result ->
+      List.iter
+        (fun c -> print_endline (Feedback.render c))
+        result.Grader.comments;
+      Printf.printf
+        "\nscore Λ = %.1f / %d — the submission is recognized but flagged:\n\
+        \ - odd should start at 0 (it starts at 1),\n\
+        \ - the loop bound i <= a.length goes out of bounds.\n"
+        result.Grader.score
+        (List.length result.Grader.comments)

@@ -1,0 +1,102 @@
+(** The paper's Fig. 8 and §VI-C: why reference-solution techniques need
+    one reference per variation while the pattern approach does not.
+
+    A CLARA-style baseline compares whole variable traces against a
+    reference solution; the functionally equivalent one-loop submission
+    interleaves the same values differently, so it matches no cluster.
+    The pattern knowledge base grades both top marks.
+
+    Run with: [dune exec examples/clara_gap.exe] *)
+
+open Jfeed_baselines
+open Jfeed_kb
+open Jfeed_core
+
+let reference_two_loops =
+  {|
+void assignment1(int[] a) {
+    int o = 0;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        i++;
+    }
+    i = 0;
+    int e = 1;
+    while (i < a.length) {
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+|}
+
+let submission_one_loop =
+  {|
+void assignment1(int[] a) {
+    int o = 0, e = 1;
+    int i = 0;
+    while (i < a.length) {
+        if (i % 2 == 1)
+            o += a[i];
+        if (i % 2 == 0)
+            e *= a[i];
+        i++;
+    }
+    System.out.print(e);
+    System.out.print(o);
+}
+|}
+
+let () =
+  let parse = Jfeed_java.Parser.parse_program in
+  let args =
+    [ Jfeed_interp.Value.Varr
+        [| Jfeed_interp.Value.Vint 3; Vint 4; Vint 5; Vint 6 |] ]
+  in
+  Printf.printf "Fig. 8a (reference, two loops):\n%s\n" reference_two_loops;
+  Printf.printf "Fig. 8b (correct submission, one loop):\n%s\n"
+    submission_one_loop;
+  (* Both print the same output. *)
+  let run src =
+    (Jfeed_interp.Interp.run_source src ~entry:"assignment1" ~args)
+      .Jfeed_interp.Interp.stdout
+  in
+  Printf.printf "outputs: reference %S, submission %S — identical: %b\n\n"
+    (run reference_two_loops)
+    (run submission_one_loop)
+    (run reference_two_loops = run submission_one_loop);
+  (* CLARA-like whole-trace comparison. *)
+  let tr src = fst (Clara_like.trace_of (parse src) ~entry:"assignment1" ~args) in
+  let t_ref = tr reference_two_loops and t_sub = tr submission_one_loop in
+  Printf.printf "CLARA-like: traces equivalent?      %b  (needs one reference \
+                 per variation)\n"
+    (Clara_like.equivalent t_ref t_sub);
+  (match Clara_like.match_against ~reference:t_ref t_sub with
+  | Clara_like.Match -> print_endline "CLARA-like verdict: match"
+  | Clara_like.Repairs n ->
+      Printf.printf
+        "CLARA-like verdict: %d spurious 'repairs' on a correct submission\n" n
+  | Clara_like.No_match ->
+      print_endline "CLARA-like verdict: no reference matches");
+  (* Pattern-based grading. *)
+  let result =
+    Grader.grade Bundles.assignment1.Bundles.grading (parse submission_one_loop)
+  in
+  Printf.printf
+    "\npattern-based: score Λ = %.1f / %d — the one-loop form is graded \
+     perfectly\n(order-independent patterns; no reference enumeration).\n"
+    result.Grader.score
+    (List.length result.Grader.comments);
+  (* And the reference's own two-loop shape also grades perfectly: *)
+  let r2 =
+    Grader.grade Bundles.assignment1.Bundles.grading (parse reference_two_loops)
+  in
+  Printf.printf
+    "pattern-based on the two-loop form: Λ = %.1f / %d — same knowledge \
+     base covers both.\n"
+    r2.Grader.score
+    (List.length r2.Grader.comments)

@@ -1,0 +1,91 @@
+(** Algorithm 2 in action: multiple expected methods, renamed helpers and
+    student-invented helpers (the §VII inlining extension).
+
+    Run with: [dune exec examples/multimethod.exe] *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let show (r : Grader.result) =
+  Printf.printf "pairing: %s\nscore:   Λ = %.1f / %d\n"
+    (String.concat ", "
+       (List.map
+          (fun (q, h) ->
+            Printf.sprintf "%s → %s" q (Option.value ~default:"(none)" h))
+          r.Grader.pairing))
+    r.Grader.score
+    (List.length r.Grader.comments);
+  List.iter
+    (fun c ->
+      if c.Feedback.verdict <> Feedback.Correct then
+        print_endline (Feedback.render c))
+    r.Grader.comments
+
+let b = Option.get (Bundles.find "esc-LAB-3-P1-V1")
+
+(* The assignment expects two methods: the driver lab3p1 and a factorial
+   helper.  This student renamed the helper and swapped the method
+   order — the combination search pairs them by the feedback score Λ,
+   not by name. *)
+let renamed =
+  {|
+void lab3p1(int k) {
+    int n = 0;
+    while (myFactorial(n + 1) <= k) {
+        n++;
+    }
+    System.out.println(n);
+}
+
+int myFactorial(int x) {
+    int f = 1;
+    for (int i = 1; i <= x; i++) {
+        f *= i;
+    }
+    return f;
+}
+|}
+
+(* This student additionally extracted the loop body of the helper into a
+   third method of her own — unknown to the instructor.  The published
+   system sees three methods where two are expected; with helper inlining
+   the extra method is folded back. *)
+let extracted =
+  {|
+int step(int acc, int i) { return acc * i; }
+
+int factorial(int x) {
+    int f = 1;
+    for (int i = 1; i <= x; i++) {
+        f = step(f, i);
+    }
+    return f;
+}
+
+void lab3p1(int k) {
+    int n = 0;
+    while (factorial(n + 1) <= k) {
+        n++;
+    }
+    System.out.println(n);
+}
+|}
+
+let () =
+  banner "Renamed helper, reordered methods";
+  print_endline renamed;
+  (match Grader.grade_source b.Bundles.grading renamed with
+  | Ok r -> show r
+  | Error e -> print_endline e);
+  banner "Student-extracted helper — published system (three methods)";
+  print_endline extracted;
+  (match Grader.grade_source b.Bundles.grading extracted with
+  | Ok r -> show r
+  | Error e -> print_endline e);
+  banner "Same submission with helper inlining (§VII extension)";
+  match Grader.grade_source ~inline_helpers:true b.Bundles.grading extracted with
+  | Ok r -> show r
+  | Error e -> print_endline e

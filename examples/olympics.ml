@@ -1,0 +1,57 @@
+(** The paper's Fig. 7: a submission to rit-all-g-medals that is
+    *functionally correct* — it prints the right gold-medal count — while
+    being *semantically incorrect*: it reads record fields at duplicated
+    cursor positions, which happens to advance the file cursor
+    consistently.  Functional testing accepts it; the pattern-based
+    feedback pinpoints the misread fields.
+
+    Run with: [dune exec examples/olympics.exe] *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let () =
+  let b = Option.get (Bundles.find "rit-all-g-medals") in
+  (* Build a Fig. 7-style submission from the assignment's own error
+     space: the last name is read under the *same* position condition as
+     the first name (i %% 5 == 1), so that single condition advances the
+     file cursor twice.  Token consumption still happens in record order,
+     so every value lands in the right variable and the gold-medal counts
+     come out right — functionally correct, semantically wrong. *)
+  let spec = b.Bundles.gen in
+  let digits =
+    Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0
+  in
+  (* choice "ln-residue", option "1" (duplicated with fn's position). *)
+  Array.iteri
+    (fun i c ->
+      if c.Jfeed_gen.Spec.tag = "ln-residue" then digits.(i) <- 2)
+    spec.Jfeed_gen.Spec.choices;
+  let fig7 = spec.Jfeed_gen.Spec.render digits in
+  Printf.printf "Fig. 7-style submission:\n%s\n" fig7;
+  let reference =
+    Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+  in
+  let expected = Jfeed_ftest.Runner.expected_outputs b.Bundles.suite reference in
+  let prog = Jfeed_java.Parser.parse_program fig7 in
+  (match Jfeed_ftest.Runner.run b.Bundles.suite ~expected prog with
+  | Jfeed_ftest.Runner.Pass ->
+      print_endline
+        "functional testing: PASS — every gold-medal count is correct!"
+  | Jfeed_ftest.Runner.Fail { case; reason } ->
+      Printf.printf "functional testing: FAIL on %s (%s)\n" case reason);
+  print_endline "";
+  print_endline "pattern-based feedback:";
+  let result = Grader.grade b.Bundles.grading prog in
+  List.iter
+    (fun c ->
+      if c.Feedback.verdict <> Feedback.Correct then
+        print_endline (Feedback.render c))
+    result.Grader.comments;
+  Printf.printf
+    "\nscore Λ = %.1f / %d — the duplicated cursor positions are detected \
+     even though the output is right\n\
+     (the paper found 1,872 such functionally-correct-but-semantically-wrong \
+     submissions in this assignment).\n"
+    result.Grader.score
+    (List.length result.Grader.comments)

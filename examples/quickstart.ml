@@ -1,0 +1,89 @@
+(** Quickstart: the paper's running example end to end.
+
+    1. Build the extended program dependence graph of the Fig. 2a
+       submission (the paper's Fig. 3) and print it.
+    2. Grade all three Fig. 2 submissions against the Assignment 1
+       knowledge base and show the personalized feedback.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let fig2a =
+  {|
+void assignment1(int[] a) {
+  int even = 0;
+  int odd = 0;
+  for (int i = 0; i <= a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+    if (i % 2 == 1)
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}
+|}
+
+let fig2b =
+  {|
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  int i = 0;
+  while (i < a.length) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+    i++;
+  }
+  System.out.print(o + "\n");
+  System.out.print(e + "\n");
+}
+|}
+
+let fig2c =
+  {|
+void assignment1(int[] a) {
+  int x = 0, y = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 1)
+      x *= a[i];
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      y += a[i];
+  System.out.print(x + "\n");
+  System.out.print(y + "\n");
+}
+|}
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let grade_and_print name src =
+  banner (Printf.sprintf "Feedback for %s" name)
+  ;
+  match Grader.grade_source Bundles.assignment1.Bundles.grading src with
+  | Error msg -> Printf.printf "parse error: %s\n" msg
+  | Ok result ->
+      List.iter
+        (fun c -> print_endline (Feedback.render c))
+        result.Grader.comments;
+      Printf.printf "score Λ = %.1f / %d\n" result.Grader.score
+        (List.length result.Grader.comments)
+
+let () =
+  banner "Extended program dependence graph of Fig. 2a (the paper's Fig. 3)";
+  List.iter
+    (fun (_, g) -> print_string (Jfeed_pdg.Epdg.to_string g))
+    (Jfeed_pdg.Epdg.of_source fig2a);
+  print_newline ();
+  print_string "Graphviz version:\n";
+  List.iter
+    (fun (_, g) -> print_string (Jfeed_pdg.Epdg.to_dot g))
+    (Jfeed_pdg.Epdg.of_source fig2a);
+  grade_and_print "Fig. 2a (incorrect: wrong even init, <=, parity, prints)"
+    fig2a;
+  grade_and_print "Fig. 2b (correct)" fig2b;
+  grade_and_print "Fig. 2c (incorrect: swapped accumulations)" fig2c

@@ -1,0 +1,135 @@
+(** A simplified reimplementation of CLARA's matching core (Gulwani,
+    Radicek, Zuleger [15]) for the paper's §VI-C comparison.
+
+    CLARA represents a submission by its *variable traces* on given
+    inputs, clusters correct submissions by trace equivalence, and repairs
+    an incorrect submission against the reference whose traces it matches.
+    Traces are compared *as a whole*, which is exactly what the paper's
+    Fig. 8 criticizes: a functionally equivalent submission that computes
+    the same values in a different interleaving (e.g. two separate loops
+    instead of one) has different traces and matches no reference.
+
+    This module reproduces that behaviour: per-variable value sequences
+    extracted from an interpreter trace, trace equivalence as the
+    existence of a value-sequence bijection, and a repair count for
+    same-shape traces. *)
+
+open Jfeed_java
+open Jfeed_interp
+
+type var_trace = { values : string list }
+(** The sequence of (rendered) values a variable takes, with consecutive
+    duplicates collapsed — CLARA records values at assignment points; our
+    interpreter snapshots after every statement, so collapsing recovers
+    the assignment sequence. *)
+
+type trace = (string * var_trace) list  (** per variable, name-keyed *)
+
+let collapse values =
+  let rec go = function
+    | a :: (b :: _ as rest) -> if a = b then go rest else a :: go rest
+    | short -> short
+  in
+  go values
+
+(** Extract the per-variable traces of one run. *)
+let trace_of ?config (prog : Ast.program) ~entry ~args : trace * Interp.outcome =
+  let outcome, snapshots = Interp.run_traced ?config prog ~entry ~args in
+  let vars = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun snap ->
+      List.iter
+        (fun (x, v) ->
+          if not (Hashtbl.mem vars x) then begin
+            Hashtbl.add vars x [];
+            order := x :: !order
+          end;
+          Hashtbl.replace vars x (v :: Hashtbl.find vars x))
+        snap)
+    snapshots;
+  let trace =
+    List.rev_map
+      (fun x -> (x, { values = collapse (List.rev (Hashtbl.find vars x)) }))
+      !order
+  in
+  (trace, outcome)
+
+(* Whole-trace comparison enumerates variable bijections, which is
+   factorial in the variable count; traces beyond this many variables are
+   treated as not comparable (CLARA itself falls back to timeouts here —
+   the paper's k = 100,000 anecdote). *)
+let max_bijection_vars = 8
+
+(* All bijections between two name lists (small). *)
+let rec bijections xs ys =
+  match xs with
+  | [] -> if ys = [] then [ [] ] else []
+  | x :: rest ->
+      List.concat_map
+        (fun y ->
+          let ys' = List.filter (fun y' -> y' <> y) ys in
+          List.map (fun tail -> (x, y) :: tail) (bijections rest ys'))
+        ys
+
+(** Whole-trace equivalence: a bijection between the variables under which
+    every value sequence is identical.  This is the clustering relation. *)
+let equivalent (a : trace) (b : trace) =
+  List.length a = List.length b
+  && List.length a <= max_bijection_vars
+  && List.exists
+       (fun bij ->
+         List.for_all
+           (fun (x, tx) ->
+             match List.assoc_opt (List.assoc x bij) b with
+             | Some ty -> tx.values = ty.values
+             | None -> false)
+           a)
+       (bijections (List.map fst a) (List.map fst b))
+
+(** Cluster traces by {!equivalent}; returns representative indices. *)
+let cluster traces =
+  let reps = ref [] in
+  List.iteri
+    (fun i t ->
+      if not (List.exists (fun (_, rt) -> equivalent rt t) !reps) then
+        reps := (i, t) :: !reps)
+    traces;
+  List.rev_map fst !reps
+
+type verdict =
+  | Match  (** same traces: the submission is (held) correct *)
+  | Repairs of int  (** same shape; this many value-sequence positions differ *)
+  | No_match  (** different shape: CLARA cannot grade it with this reference *)
+
+(** Compare a submission against one reference, CLARA-style.  The repair
+    count is the minimum, over variable bijections, of differing sequence
+    positions (sequences padded to the longer length). *)
+let match_against ~(reference : trace) (submission : trace) =
+  if
+    List.length reference <> List.length submission
+    || List.length reference > max_bijection_vars
+  then No_match
+  else
+    let cost bij =
+      List.fold_left
+        (fun acc (x, tx) ->
+          match List.assoc_opt (List.assoc x bij) submission with
+          | None -> acc + List.length tx.values
+          | Some ty ->
+              let rec diff a b =
+                match (a, b) with
+                | [], [] -> 0
+                | [], rest | rest, [] -> List.length rest
+                | va :: ra, vb :: rb -> (if va = vb then 0 else 1) + diff ra rb
+              in
+              acc + diff tx.values ty.values)
+        0 reference
+    in
+    let costs =
+      List.map cost (bijections (List.map fst reference) (List.map fst submission))
+    in
+    match List.sort compare costs with
+    | [] -> No_match
+    | 0 :: _ -> Match
+    | c :: _ -> Repairs c

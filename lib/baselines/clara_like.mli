@@ -1,0 +1,39 @@
+(** A simplified reimplementation of CLARA's matching core (Gulwani,
+    Radicek, Zuleger [15]) for the paper's §VI-C comparison.
+
+    CLARA represents a submission by its *variable traces* on given
+    inputs, clusters correct submissions by trace equivalence, and
+    repairs an incorrect submission against the reference whose traces it
+    matches.  Traces are compared *as a whole* — the behaviour the
+    paper's Fig. 8 criticizes. *)
+
+type var_trace = { values : string list }
+(** The value sequence of one variable, consecutive duplicates
+    collapsed. *)
+
+type trace = (string * var_trace) list  (** per variable, name-keyed *)
+
+val trace_of :
+  ?config:Jfeed_interp.Interp.config ->
+  Jfeed_java.Ast.program ->
+  entry:string ->
+  args:Jfeed_interp.Value.t list ->
+  trace * Jfeed_interp.Interp.outcome
+
+val equivalent : trace -> trace -> bool
+(** Whole-trace equivalence: a bijection between the variables under
+    which every value sequence is identical — the clustering relation. *)
+
+val cluster : trace list -> int list
+(** Cluster traces by {!equivalent}; returns representative indices (one
+    per cluster — "references needed"). *)
+
+type verdict =
+  | Match  (** same traces: the submission is (held) correct *)
+  | Repairs of int
+      (** same shape; this many value-sequence positions differ *)
+  | No_match  (** different shape: CLARA cannot grade it with this reference *)
+
+val match_against : reference:trace -> trace -> verdict
+(** The repair count is the minimum, over variable bijections, of
+    differing sequence positions. *)

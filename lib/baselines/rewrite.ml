@@ -1,0 +1,120 @@
+(** Single-site AST rewriting for the Sketch-like baseline: enumerate
+    every program obtained by applying a rewrite function at exactly one
+    expression site. *)
+
+open Jfeed_java.Ast
+
+(* Apply [f] to the [target]-th site (counting via [counter]) of an
+   expression tree; all other subexpressions are rebuilt unchanged. *)
+let rec rewrite_expr f counter target e =
+  let at_site = !counter = target in
+  incr counter;
+  match if at_site then f e else None with
+  | Some e' -> e'
+  | None -> (
+      let r = rewrite_expr f counter target in
+      match e with
+      | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+      | Null_lit | Var _ ->
+          e
+      | Field (o, fld) -> Field (r o, fld)
+      | Index (a, i) ->
+          let a = r a in
+          Index (a, r i)
+      | Call (recv, name, args) ->
+          Call (Option.map r recv, name, List.map r args)
+      | New (t, args) -> New (t, List.map r args)
+      | New_array (t, dims) -> New_array (t, List.map r dims)
+      | Array_lit elts -> Array_lit (List.map r elts)
+      | Unary (op, a) -> Unary (op, r a)
+      | Incdec (k, a) -> Incdec (k, r a)
+      | Binary (op, a, b) ->
+          let a = r a in
+          Binary (op, a, r b)
+      | Assign (op, a, b) ->
+          let a = r a in
+          Assign (op, a, r b)
+      | Ternary (c, t, e2) ->
+          let c = r c in
+          let t = r t in
+          Ternary (c, t, r e2)
+      | Cast (t, a) -> Cast (t, r a))
+
+let rec rewrite_stmt f counter target s =
+  let re = rewrite_expr f counter target in
+  let rs = rewrite_stmt f counter target in
+  match s with
+  | Sempty | Sbreak | Scontinue -> s
+  | Sexpr e -> Sexpr (re e)
+  | Sdecl decls ->
+      Sdecl
+        (List.map
+           (fun d -> { d with d_init = Option.map re d.d_init })
+           decls)
+  | Sif (c, t, e) ->
+      let c = re c in
+      let t = rs t in
+      Sif (c, t, Option.map rs e)
+  | Swhile (c, b) ->
+      let c = re c in
+      Swhile (c, rs b)
+  | Sdo (b, c) ->
+      let b = rs b in
+      Sdo (b, re c)
+  | Sfor (init, cond, upd, b) ->
+      let init =
+        match init with
+        | None -> None
+        | Some (For_decl decls) ->
+            Some
+              (For_decl
+                 (List.map
+                    (fun d -> { d with d_init = Option.map re d.d_init })
+                    decls))
+        | Some (For_exprs es) -> Some (For_exprs (List.map re es))
+      in
+      let cond = Option.map re cond in
+      let upd = List.map re upd in
+      Sfor (init, cond, upd, rs b)
+  | Sswitch (scr, cases) ->
+      let scr = re scr in
+      Sswitch
+        ( scr,
+          List.map
+            (fun k ->
+              {
+                case_label = Option.map re k.case_label;
+                case_body = List.map rs k.case_body;
+              })
+            cases )
+  | Sreturn e -> Sreturn (Option.map re e)
+  | Sblock body -> Sblock (List.map rs body)
+
+let rewrite_program f target (p : program) =
+  let counter = ref 0 in
+  let methods =
+    List.map
+      (fun m -> { m with m_body = List.map (rewrite_stmt f counter target) m.m_body })
+      p.methods
+  in
+  ({ methods }, !counter)
+
+(** All programs obtained by applying [f] at exactly one applicable
+    expression site. *)
+let single_site_rewrites f (p : program) =
+  (* First pass only counts the sites. *)
+  let _, total = rewrite_program (fun _ -> None) 0 p in
+  let results = ref [] in
+  for site = 0 to total - 1 do
+    let changed = ref false in
+    let f' e =
+      match f e with
+      | Some e' when e' <> e ->
+          changed := true;
+          Some e'
+      | _ -> None
+    in
+    let p', _ = rewrite_program f' site p in
+    if !changed then results := p' :: !results
+  done;
+  List.rev !results

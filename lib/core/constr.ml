@@ -1,0 +1,150 @@
+(** Constraints correlating patterns (paper Definitions 8–10).
+
+    Constraints are checked against the *stored embeddings* of the
+    patterns they reference (Algorithm 2, step 2.2): a constraint holds
+    when some combination of embeddings satisfies it. *)
+
+open Jfeed_exprmatch
+module G = Jfeed_graph.Digraph
+module Epdg = Jfeed_pdg.Epdg
+
+type kind =
+  | Equality of { pi : string; ui : int; pj : string; uj : int }
+      (** ι_i(u_i) = ι_j(u_j) — two pattern nodes hit the same graph node. *)
+  | Edge_exists of {
+      pi : string;
+      ui : int;
+      pj : string;
+      uj : int;
+      edge : Epdg.edge_type;
+    }  (** (ι_i(u_i), ι_j(u_j), t_e) ∈ E. *)
+  | Containment of {
+      main : string;
+      u : int;
+      template : Template.t;
+      support : string list;
+    }
+      (** the node matching [u] of [main] also matches [template] under the
+          union of the main and supporting embeddings' variable mappings. *)
+
+type t = {
+  c_id : string;
+  description : string;
+  kind : kind;
+  fb_ok : string;
+  fb_fail : string;
+}
+
+let equality ~id ~desc ?(ok = "") ?(fail = "") (pi, ui) (pj, uj) =
+  {
+    c_id = id;
+    description = desc;
+    kind = Equality { pi; ui; pj; uj };
+    fb_ok = ok;
+    fb_fail = fail;
+  }
+
+let edge ~id ~desc ?(ok = "") ?(fail = "") (pi, ui) (pj, uj) edge =
+  {
+    c_id = id;
+    description = desc;
+    kind = Edge_exists { pi; ui; pj; uj; edge };
+    fb_ok = ok;
+    fb_fail = fail;
+  }
+
+let containment ~id ~desc ?(ok = "") ?(fail = "") (main, u) template support =
+  {
+    c_id = id;
+    description = desc;
+    kind = Containment { main; u; template; support };
+    fb_ok = ok;
+    fb_fail = fail;
+  }
+
+let referenced_patterns c =
+  match c.kind with
+  | Equality { pi; pj; _ } | Edge_exists { pi; pj; _ } -> [ pi; pj ]
+  | Containment { main; support; _ } -> main :: support
+
+(* Cartesian product of embedding choices for the supporting patterns. *)
+let rec product = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      List.concat_map
+        (fun c -> List.map (fun tail -> c :: tail) (product rest))
+        choices
+
+(** [check c epdg lookup] — [lookup p] returns the stored embeddings of
+    pattern [p] in [epdg] (Algorithm 2's m̄). *)
+let check c (epdg : Epdg.t) (lookup : string -> Matcher.embedding list) =
+  match c.kind with
+  | Equality { pi; ui; pj; uj } ->
+      List.exists
+        (fun mi ->
+          match Matcher.image mi ui with
+          | None -> false
+          | Some gi ->
+              List.exists
+                (fun mj -> Matcher.image mj uj = Some gi)
+                (lookup pj))
+        (lookup pi)
+  | Edge_exists { pi; ui; pj; uj; edge } ->
+      List.exists
+        (fun mi ->
+          match Matcher.image mi ui with
+          | None -> false
+          | Some gi ->
+              List.exists
+                (fun mj ->
+                  match Matcher.image mj uj with
+                  | None -> false
+                  | Some gj -> G.mem_edge epdg.Epdg.graph gi gj edge)
+                (lookup pj))
+        (lookup pi)
+  | Containment { main; u; template; support } ->
+      let support_choices = List.map lookup support in
+      List.exists
+        (fun (m : Matcher.embedding) ->
+          match Matcher.image m u with
+          | None -> false
+          | Some gv ->
+              let content = Epdg.node_text epdg gv in
+              List.exists
+                (fun supports ->
+                  let gamma =
+                    m.Matcher.gamma
+                    @ List.concat_map
+                        (fun (s : Matcher.embedding) -> s.Matcher.gamma)
+                        supports
+                  in
+                  Template.matches template ~gamma content)
+                (product support_choices))
+        (lookup main)
+
+(** Constraint feedback (Algorithm 2, step 2.2): [Not_expected] when any
+    referenced pattern was not found as expected, otherwise
+    [Correct]/[Incorrect] by whether the constraint holds. *)
+let to_comment c ~in_method epdg lookup ~pattern_ok =
+  let refs = referenced_patterns c in
+  if not (List.for_all pattern_ok refs) then
+    {
+      Feedback.about = `Constraint c.c_id;
+      in_method;
+      verdict = Feedback.Not_expected;
+      messages = [ c.description ];
+    }
+  else if check c epdg lookup then
+    {
+      Feedback.about = `Constraint c.c_id;
+      in_method;
+      verdict = Feedback.Correct;
+      messages = [ (if c.fb_ok = "" then c.description else c.fb_ok) ];
+    }
+  else
+    {
+      Feedback.about = `Constraint c.c_id;
+      in_method;
+      verdict = Feedback.Incorrect;
+      messages = [ (if c.fb_fail = "" then c.description else c.fb_fail) ];
+    }

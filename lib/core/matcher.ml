@@ -1,0 +1,188 @@
+(** Pattern matching over extended program dependence graphs — the paper's
+    Algorithm 1, with two deliberate deviations recorded in DESIGN.md §4:
+
+    - when a candidate graph node is considered for a pattern node, pattern
+      edges are verified in *both* directions against already-matched
+      nodes (the pseudocode only checks outgoing edges of the new node,
+      which would leave incoming pattern edges unchecked);
+    - variable combinations are all *injective* mappings from the pattern
+      node's unbound variables X into the submission expression's unbound
+      variables Y, rather than requiring |X| = |Y| bijections — the strict
+      rule rejects the paper's own worked example (u5 of p_o matching
+      ["odd += a[i]"], where [odd] remains unmapped). *)
+
+open Jfeed_exprmatch
+module G = Jfeed_graph.Digraph
+module Epdg = Jfeed_pdg.Epdg
+
+type node_mark = Exact  (** r matched: correct *) | Approx  (** r̂ matched: incorrect *)
+
+type embedding = {
+  iota : (int * (G.node * node_mark)) list;
+      (** pattern node index → (graph node, correctness mark), sorted by
+          pattern node index *)
+  gamma : (string * string) list;  (** pattern variable → submission variable *)
+}
+
+let image m u = List.assoc_opt u m.iota |> Option.map fst
+
+let is_fully_correct m = List.for_all (fun (_, (_, mk)) -> mk = Exact) m.iota
+
+(** Graph nodes used by the embedding, sorted — two embeddings with the
+    same footprint are the same *occurrence* of the pattern. *)
+let footprint m = List.sort compare (List.map (fun (_, (v, _)) -> v) m.iota)
+
+let max_embeddings = 20_000
+(* Backstop against pathological patterns; far above anything the
+   knowledge base produces. *)
+
+(* All injective mappings of xs into ys, as association lists. *)
+let rec injections xs ys =
+  match xs with
+  | [] -> [ [] ]
+  | x :: rest ->
+      List.concat_map
+        (fun y ->
+          let ys' = List.filter (fun y' -> y' <> y) ys in
+          List.map (fun tail -> (x, y) :: tail) (injections rest ys'))
+        ys
+
+(** All embeddings of pattern [p] in EPDG [epdg] (Definition 7 plus
+    correctness marks).  Deduplicated: at most one embedding per
+    (ι, γ) pair. *)
+let embeddings (p : Pattern.t) (epdg : Epdg.t) =
+  let g = epdg.Epdg.graph in
+  let n = Array.length p.Pattern.nodes in
+  (* Search space Φ: graph nodes compatible with each pattern node's type. *)
+  let phi =
+    Array.map
+      (fun (pn : Pattern.pnode) ->
+        G.filter_nodes g ~f:(fun _ info ->
+            match pn.Pattern.pn_type with
+            | None -> true
+            | Some t -> t = info.Epdg.n_type))
+      p.Pattern.nodes
+  in
+  let iota = Array.make n (-1) in
+  let marks = Array.make n Exact in
+  let used = Hashtbl.create 16 in
+  let results = ref [] in
+  let count = ref 0 in
+  let snapshot gamma =
+    let pairs =
+      List.init n (fun u -> (u, (iota.(u), marks.(u))))
+    in
+    { iota = pairs; gamma = List.rev gamma }
+  in
+  (* Pick the next pattern node: prefer nodes adjacent to already-matched
+     ones (their edge checks prune immediately), tie-break on the smaller
+     candidate set. *)
+  let pick_next () =
+    let adjacency u =
+      List.length
+        (List.filter
+           (fun (s, d, _) ->
+             (s = u && iota.(d) >= 0) || (d = u && iota.(s) >= 0))
+           p.Pattern.edges)
+    in
+    let best = ref (-1) and best_key = ref (min_int, min_int) in
+    for u = 0 to n - 1 do
+      if iota.(u) < 0 then begin
+        let key = (adjacency u, -List.length phi.(u)) in
+        if !best < 0 || key > !best_key then begin
+          best := u;
+          best_key := key
+        end
+      end
+    done;
+    !best
+  in
+  let edges_consistent u v =
+    List.for_all
+      (fun (s, d, et) ->
+        if s = u && iota.(d) >= 0 then G.mem_edge g v iota.(d) et
+        else if d = u && iota.(s) >= 0 then G.mem_edge g iota.(s) v et
+        else true)
+      p.Pattern.edges
+  in
+  let rec search matched gamma =
+    if !count < max_embeddings then
+      if matched = n then begin
+        incr count;
+        results := snapshot gamma :: !results
+      end
+      else begin
+        let u = pick_next () in
+        let pn = p.Pattern.nodes.(u) in
+        List.iter
+          (fun v ->
+            if (not (Hashtbl.mem used v)) && edges_consistent u v then begin
+              iota.(u) <- v;
+              Hashtbl.add used v ();
+              let c = Epdg.node_text epdg v in
+              let dom = List.map fst gamma in
+              let ran = List.map snd gamma in
+              let xs =
+                List.filter
+                  (fun x -> not (List.mem x dom))
+                  (Template.vars pn.Pattern.exact)
+              in
+              let ys =
+                List.filter
+                  (fun y -> not (List.mem y ran))
+                  (Jfeed_java.Ast.vars_of_expr (Epdg.node_expr epdg v))
+              in
+              List.iter
+                (fun z ->
+                  let gamma' = List.rev_append z gamma in
+                  let assoc = List.rev gamma' in
+                  if Template.matches pn.Pattern.exact ~gamma:assoc c then begin
+                    marks.(u) <- Exact;
+                    search (matched + 1) gamma'
+                  end
+                  else
+                    match pn.Pattern.approx with
+                    | Some a when Template.matches a ~gamma:assoc c ->
+                        marks.(u) <- Approx;
+                        search (matched + 1) gamma'
+                    | _ -> ())
+                (injections xs ys);
+              Hashtbl.remove used v;
+              iota.(u) <- -1
+            end)
+          phi.(u)
+      end
+  in
+  search 0 [];
+  (* Deduplicate: distinct variable-injection orders can reach the same
+     (ι, γ). *)
+  let tbl = Hashtbl.create 16 in
+  List.filter
+    (fun m ->
+      let key = (m.iota, List.sort compare m.gamma) in
+      if Hashtbl.mem tbl key then false
+      else begin
+        Hashtbl.add tbl key ();
+        true
+      end)
+    (List.rev !results)
+
+(** Group embeddings into occurrences (by footprint), keeping the best
+    embedding of each occurrence — the one with the most correct nodes.
+    This is what occurrence counting (t̄ in Algorithm 2) is based on. *)
+let occurrences ms =
+  let score m =
+    List.length (List.filter (fun (_, (_, mk)) -> mk = Exact) m.iota)
+  in
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun m ->
+      let fp = footprint m in
+      match Hashtbl.find_opt tbl fp with
+      | None ->
+          Hashtbl.add tbl fp m;
+          order := fp :: !order
+      | Some best -> if score m > score best then Hashtbl.replace tbl fp m)
+    ms;
+  List.rev_map (Hashtbl.find tbl) !order

@@ -1,0 +1,41 @@
+(** Pattern matching over extended program dependence graphs — the paper's
+    Algorithm 1, with two deliberate deviations recorded in DESIGN.md §4:
+    pattern edges are verified in both directions when a node is added to
+    a partial embedding, and variable combinations are all injective
+    mappings of the pattern node's unbound variables into the submission
+    expression's unbound variables (the paper's strict |X| = |Y| rule
+    rejects its own worked example). *)
+
+type node_mark =
+  | Exact  (** the exact template r matched: the node is correct *)
+  | Approx  (** only the approximate template r̂ matched: incorrect *)
+
+type embedding = {
+  iota : (int * (Jfeed_graph.Digraph.node * node_mark)) list;
+      (** pattern node index → (graph node, correctness mark), sorted by
+          pattern node index *)
+  gamma : (string * string) list;
+      (** pattern variable → submission variable *)
+}
+
+val image : embedding -> int -> Jfeed_graph.Digraph.node option
+(** ι(u) — the graph node a pattern node is mapped to. *)
+
+val is_fully_correct : embedding -> bool
+(** Every node matched its exact template. *)
+
+val footprint : embedding -> Jfeed_graph.Digraph.node list
+(** Graph nodes used by the embedding, sorted — two embeddings with the
+    same footprint are the same {e occurrence} of the pattern. *)
+
+val max_embeddings : int
+(** Backstop on the number of embeddings explored per pattern. *)
+
+val embeddings : Pattern.t -> Jfeed_pdg.Epdg.t -> embedding list
+(** All embeddings of a pattern in an EPDG (Definition 7 plus correctness
+    marks), deduplicated by (ι, γ). *)
+
+val occurrences : embedding list -> embedding list
+(** Group embeddings into occurrences (by footprint), keeping the best
+    embedding of each — the one with the most correct nodes.  Occurrence
+    counting (t̄ in Algorithm 2) is based on this. *)

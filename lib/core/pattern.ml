@@ -1,0 +1,79 @@
+(** Patterns (paper Definitions 4 and 5).
+
+    A pattern is a small graph whose nodes carry incomplete Java
+    expressions — an exact template [r] (the correct form) and an optional
+    approximate template [r̂] (a loosened form that recognizes the snippet
+    while flagging it incorrect) — plus natural-language feedback
+    templates.  Feedback templates use the same [%x%] placeholders as
+    expression templates and are instantiated with the variable mapping γ
+    of the embedding. *)
+
+open Jfeed_exprmatch
+
+type pnode = {
+  pn_type : Jfeed_pdg.Epdg.node_type option;
+      (** [None] is the paper's [Untyped]: matches any node type. *)
+  exact : Template.t;  (** r — matches ⇒ node is correct *)
+  approx : Template.t option;  (** r̂ — matches ⇒ node present but incorrect *)
+  fb_correct : string option;  (** f_c *)
+  fb_incorrect : string option;  (** f_i *)
+}
+
+type t = {
+  id : string;  (** e.g. ["p_odd_access"] *)
+  description : string;
+  nodes : pnode array;
+  edges : (int * int * Jfeed_pdg.Epdg.edge_type) list;
+  fb_present : string;  (** f_p *)
+  fb_missing : string;  (** f_m *)
+}
+
+let node ?typ ?approx ?ok ?bad exact =
+  {
+    pn_type = typ;
+    exact;
+    approx;
+    fb_correct = ok;
+    fb_incorrect = bad;
+  }
+
+(** All pattern variables: the union of the exact templates' variables, in
+    first-occurrence order. *)
+let vars t =
+  Array.fold_left
+    (fun acc pn ->
+      List.fold_left
+        (fun acc x -> if List.mem x acc then acc else acc @ [ x ])
+        acc (Template.vars pn.exact))
+    [] t.nodes
+
+(** Structural sanity checks: edge endpoints in range, no self edges, and
+    each node's approximate variables a subset of its exact variables
+    (Definition 4 requires Y ⊆ X).  Returns the list of problems found. *)
+let validate t =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let n = Array.length t.nodes in
+  if n = 0 then add "pattern %s has no nodes" t.id;
+  List.iter
+    (fun (s, d, _) ->
+      if s < 0 || s >= n || d < 0 || d >= n then
+        add "pattern %s: edge (%d, %d) out of range" t.id s d;
+      if s = d then add "pattern %s: self edge on node %d" t.id s)
+    t.edges;
+  Array.iteri
+    (fun i pn ->
+      match pn.approx with
+      | None -> ()
+      | Some a ->
+          let xs = Template.vars pn.exact in
+          List.iter
+            (fun y ->
+              if not (List.mem y xs) then
+                add
+                  "pattern %s node %d: approximate variable %s not in exact \
+                   template"
+                  t.id i y)
+            (Template.vars a))
+    t.nodes;
+  List.rev !problems

@@ -1,0 +1,49 @@
+(** Patterns (paper Definitions 4 and 5).
+
+    A pattern is a small graph whose nodes carry incomplete Java
+    expressions — an exact template [r] (the correct form) and an optional
+    approximate template [r̂] (a loosened form that recognizes the snippet
+    while flagging it incorrect) — plus natural-language feedback
+    templates.  Feedback templates use the same [%x%] placeholders as
+    expression templates and are instantiated with the variable mapping γ
+    of the embedding. *)
+
+type pnode = {
+  pn_type : Jfeed_pdg.Epdg.node_type option;
+      (** [None] is the paper's [Untyped]: matches any node type. *)
+  exact : Jfeed_exprmatch.Template.t;  (** r — matches ⇒ node is correct *)
+  approx : Jfeed_exprmatch.Template.t option;
+      (** r̂ — matches ⇒ node present but incorrect *)
+  fb_correct : string option;  (** f_c *)
+  fb_incorrect : string option;  (** f_i *)
+}
+
+type t = {
+  id : string;  (** e.g. ["p_odd_access"] *)
+  description : string;
+  nodes : pnode array;
+  edges : (int * int * Jfeed_pdg.Epdg.edge_type) list;
+      (** pattern-node-index pairs *)
+  fb_present : string;  (** f_p — delivered when the pattern is found *)
+  fb_missing : string;  (** f_m — delivered when it is not *)
+}
+
+val node :
+  ?typ:Jfeed_pdg.Epdg.node_type ->
+  ?approx:Jfeed_exprmatch.Template.t ->
+  ?ok:string ->
+  ?bad:string ->
+  Jfeed_exprmatch.Template.t ->
+  pnode
+(** [node exact] builds a pattern node; [?typ] defaults to Untyped,
+    [?ok]/[?bad] are the per-node feedback templates f_c / f_i. *)
+
+val vars : t -> string list
+(** All pattern variables: the union of the exact templates' variables,
+    in first-occurrence order. *)
+
+val validate : t -> string list
+(** Structural sanity checks: edge endpoints in range, no self edges, and
+    each node's approximate variables a subset of its exact variables
+    (Definition 4 requires Y ⊆ X).  Returns the problems found (empty =
+    well-formed). *)

@@ -1,0 +1,49 @@
+(** Incomplete Java expressions (paper Definition 4 and Definition 6).
+
+    A template is matched against the *canonical rendering* of a submission
+    expression (see {!Jfeed_java.Pretty.expr}).  Following the paper, the
+    matching engine is regular expressions: a template is a regex in which
+    [%x%] placeholders stand for pattern variables; before matching, each
+    placeholder is replaced by the (regex-quoted) submission variable the
+    mapping γ assigns to it.  The match is anchored: the template must
+    cover the whole canonical rendering — "incompleteness" is expressed
+    inside the template with regex wildcards.
+
+    Two construction modes:
+    - {!exact_of} treats everything outside placeholders as literal Java
+      text (metacharacters are quoted), e.g. [exact_of "%x% = 0"];
+    - {!regex_of} keeps the text as a raw regex, e.g.
+      [regex_of "%x% (<|<=) %s%\\.length"]. *)
+
+type t
+
+val vars : t -> string list
+(** Placeholder variables, in first-occurrence order, without duplicates. *)
+
+val source : t -> string
+(** The template text as written (with placeholders). *)
+
+val exact_of : string -> t
+(** Literal Java text with [%x%] placeholders.  Raises [Invalid_argument]
+    on an unterminated placeholder. *)
+
+val regex_of : string -> t
+(** Raw regex with [%x%] placeholders.  Raises [Invalid_argument] on an
+    unterminated placeholder or a regex syntax error (checked eagerly with
+    all placeholders replaced by a dummy identifier). *)
+
+val contains_of : string -> t
+(** [contains_of s] matches any rendering that contains the literal text
+    [s] (with placeholders substituted) at token boundaries. *)
+
+val matches : t -> gamma:(string * string) list -> string -> bool
+(** [matches t ~gamma c] — does the template, with every placeholder [%x%]
+    replaced by [List.assoc x gamma], match the canonical rendering [c]?
+    Placeholders without a binding in [gamma] are replaced by a wildcard
+    that matches any single identifier (this is what lets feedback still be
+    computed when a variable was never bound).  Compiled regexes are
+    memoized. *)
+
+val instantiate : string -> gamma:(string * string) list -> string
+(** Substitute placeholders in a *feedback text* (no regex interpretation):
+    unbound placeholders are kept as the bare variable name. *)

@@ -1,0 +1,76 @@
+(** Synthetic test data for the functional suites.
+
+    The RIT assignments read a whitespace-separated file of Summer
+    Olympics medal records — five tokens per record: first name, last
+    name, medal type (1 gold / 2 silver / 3 bronze), year, and a record
+    separator token [";"].  The generator is a small deterministic LCG so
+    every run of the harness sees the same data. *)
+
+let first_names =
+  [| "Usain"; "Michael"; "Simone"; "Katie"; "Carl"; "Allyson"; "Mark"; "Nadia" |]
+
+let last_names =
+  [| "Bolt"; "Phelps"; "Biles"; "Ledecky"; "Lewis"; "Felix"; "Spitz"; "Comaneci" |]
+
+let years = [| 2000; 2004; 2008; 2012; 2016 |]
+
+type record = {
+  first : string;
+  last : string;
+  medal : int;  (** 1 gold, 2 silver, 3 bronze *)
+  year : int;
+}
+
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+
+let olympics_records ~n ~seed =
+  let next = lcg seed in
+  List.init n (fun _ ->
+      {
+        first = first_names.(next (Array.length first_names));
+        last = last_names.(next (Array.length last_names));
+        medal = 1 + next 3;
+        year = years.(next (Array.length years));
+      })
+
+let olympics_file records =
+  String.concat ""
+    (List.map
+       (fun r ->
+         Printf.sprintf "%s %s %d %d ;\n" r.first r.last r.medal r.year)
+       records)
+
+(** A hand-crafted dataset with the adversarial properties the RIT
+    functional tests need: every test athlete has medals; the same first
+    name appears with different last names (and vice versa), so matching
+    on one name only — or against a *stale* field from the previous
+    record — produces a different count; every test year has gold medals
+    and a different number of silver/bronze ones. *)
+let olympics_curated =
+  [
+    { first = "Usain"; last = "Bolt"; medal = 1; year = 2008 };
+    { first = "Michael"; last = "Phelps"; medal = 1; year = 2008 };
+    { first = "Usain"; last = "Bolt"; medal = 1; year = 2012 };
+    { first = "Simone"; last = "Biles"; medal = 1; year = 2016 };
+    { first = "Usain"; last = "Phelps"; medal = 2; year = 2016 };
+    { first = "Michael"; last = "Phelps"; medal = 1; year = 2012 };
+    { first = "Katie"; last = "Ledecky"; medal = 1; year = 2016 };
+    { first = "Usain"; last = "Bolt"; medal = 2; year = 2016 };
+    { first = "Simone"; last = "Biles"; medal = 2; year = 2016 };
+    { first = "Carl"; last = "Phelps"; medal = 3; year = 2000 };
+    { first = "Katie"; last = "Biles"; medal = 3; year = 2012 };
+    { first = "Michael"; last = "Spitz"; medal = 2; year = 2004 };
+  ]
+
+(** Oracle helpers used by unit tests to validate the reference
+    solutions. *)
+let gold_medals_in_year records year =
+  List.length (List.filter (fun r -> r.medal = 1 && r.year = year) records)
+
+let medals_by_athlete records first last =
+  List.length
+    (List.filter (fun r -> r.first = first && r.last = last) records)

@@ -1,0 +1,66 @@
+(** Functional testing of submissions (the paper's column T / discrepancy
+    baseline).
+
+    A suite is a set of input cases for an assignment's entry method.
+    Expected outputs are produced by running the *reference solution*
+    through the same interpreter; a submission passes when its stdout
+    matches the expected output exactly on every case.  The comparison is
+    deliberately order-sensitive — that is what makes print-order variants
+    show up as discrepancies in the paper (§VI-B, Assignment 1). *)
+
+open Jfeed_java
+open Jfeed_interp
+
+type case = {
+  label : string;
+  args : Value.t list;
+  files : (string * string) list;
+}
+
+type suite = { entry : string; cases : case list; max_steps : int }
+
+type verdict =
+  | Pass
+  | Fail of { case : string; reason : string }
+
+let run_case suite prog (c : case) =
+  Interp.run
+    ~config:{ Interp.files = c.files; max_steps = suite.max_steps }
+    prog ~entry:suite.entry ~args:c.args
+
+(** Outputs of the reference solution, one per case.  Raises
+    [Invalid_argument] if the reference itself fails — a harness bug, not
+    a grading outcome. *)
+let expected_outputs suite (reference : Ast.program) =
+  List.map
+    (fun c ->
+      let out = run_case suite reference c in
+      match out.Interp.error with
+      | None -> out.Interp.stdout
+      | Some e ->
+          invalid_arg
+            (Printf.sprintf "reference solution failed on %s: %s" c.label e))
+    suite.cases
+
+let run suite ~expected (prog : Ast.program) =
+  let rec go cases expects =
+    match (cases, expects) with
+    | [], [] -> Pass
+    | c :: cs, want :: ws -> (
+        let out = run_case suite prog c in
+        match out.Interp.error with
+        | Some e -> Fail { case = c.label; reason = "error: " ^ e }
+        | None ->
+            if out.Interp.stdout = want then go cs ws
+            else
+              Fail
+                {
+                  case = c.label;
+                  reason =
+                    Printf.sprintf "expected %S, got %S" want out.Interp.stdout;
+                })
+    | _ -> invalid_arg "Runner.run: expected-output count mismatch"
+  in
+  go suite.cases expected
+
+let passes suite ~expected prog = run suite ~expected prog = Pass

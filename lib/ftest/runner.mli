@@ -1,0 +1,32 @@
+(** Functional testing of submissions (the paper's column T / the
+    discrepancy baseline of column D).
+
+    A suite is a set of input cases for an assignment's entry method.
+    Expected outputs are produced by running the *reference solution*
+    through the same interpreter; a submission passes when its stdout
+    matches the expected output exactly on every case.  The comparison is
+    deliberately order-sensitive — that is what makes print-order variants
+    show up as discrepancies in the paper (§VI-B, Assignment 1). *)
+
+type case = {
+  label : string;
+  args : Jfeed_interp.Value.t list;
+  files : (string * string) list;  (** virtual file system for the case *)
+}
+
+type suite = { entry : string; cases : case list; max_steps : int }
+
+type verdict = Pass | Fail of { case : string; reason : string }
+
+val run_case :
+  suite -> Jfeed_java.Ast.program -> case -> Jfeed_interp.Interp.outcome
+
+val expected_outputs : suite -> Jfeed_java.Ast.program -> string list
+(** Outputs of the reference solution, one per case.  Raises
+    [Invalid_argument] if the reference itself fails — a harness bug, not
+    a grading outcome. *)
+
+val run : suite -> expected:string list -> Jfeed_java.Ast.program -> verdict
+(** Stops at the first failing case. *)
+
+val passes : suite -> expected:string list -> Jfeed_java.Ast.program -> bool

@@ -1,0 +1,137 @@
+(** Assignment 1 (paper §III): add odd positions, multiply even positions
+    of an input array, print both.  S = 2^10 · 5^4 = 640,000.
+
+    Discrepancy-inducing options mirror §VI-B:
+    - output order swapped (functional fails, patterns are order-independent);
+    - two-loop structure with the odd loop starting at [i = 1]
+      (functionally fine, the odd-access pattern wants 0);
+    - even positions accessed by stepping the index by two with no guard
+      (functionally fine, the even-guard pattern is missing);
+    - bounding the loop with a hoisted [n = a.length] (functionally fine,
+      outside the bound template — the paper's "pattern variability"). *)
+
+open Spec
+
+let names = [| ("odd", "even", "i"); ("o", "e", "i"); ("x", "y", "j");
+               ("sumOdd", "prodEven", "k"); ("s", "p", "n") |]
+
+let choices =
+  [|
+    choice "odd-init" [ ("0", Good); ("1", Bad) ];
+    choice "even-init" [ ("1", Good); ("0", Bad) ];
+    choice "loop-start" [ ("0", Good); ("1", Bad) ];
+    choice "loop-bound" [ ("<", Good); ("<=", Bad) ];
+    choice "odd-guard" [ ("% 2 == 1", Good); ("% 2 == 0", Bad) ];
+    choice "even-guard" [ ("% 2 == 0", Good); ("% 2 == 1", Bad) ];
+    choice "odd-accum-style" [ ("+=", Good); ("long-form", Good) ];
+    choice "even-accum-op" [ ("*=", Good); ("+=", Bad) ];
+    choice "index-update" [ ("i++", Good); ("i--", Bad) ];
+    choice "loop-form" [ ("for", Good); ("while", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (o, _, _) -> (o, Good)) names));
+    choice "output"
+      [
+        ("println-both", Good);
+        ("only-odd", Bad);
+        ("odd-twice", Bad);
+        ("swapped-order", Disc_pos_feedback);
+        ("print-newline", Good);
+      ];
+    choice "structure"
+      [
+        ("single-loop", Good);
+        ("two-loops", Good);
+        ("two-loops-odd-init-1", Disc_neg_feedback);
+        ("even-step-2", Disc_neg_feedback);
+        ("ifs-swapped", Good);
+      ];
+    choice "decls"
+      [
+        ("separate", Good);
+        ("combined", Good);
+        ("decl-then-assign", Good);
+        ("even-first", Good);
+        ("hoisted-length", Disc_neg_feedback);
+      ];
+  |]
+
+let render d =
+  let o, e, i = names.(d.(10)) in
+  let odd_init = [| "0"; "1" |].(d.(0)) in
+  let even_init = [| "1"; "0" |].(d.(1)) in
+  let start = [| "0"; "1" |].(d.(2)) in
+  let bound_op = [| "<"; "<=" |].(d.(3)) in
+  let odd_guard = Printf.sprintf "%s %s" i [| "% 2 == 1"; "% 2 == 0" |].(d.(4)) in
+  let even_guard = Printf.sprintf "%s %s" i [| "% 2 == 0"; "% 2 == 1" |].(d.(5)) in
+  let odd_accum =
+    if d.(6) = 0 then Printf.sprintf "%s += a[%s];" o i
+    else Printf.sprintf "%s = %s + a[%s];" o o i
+  in
+  let even_accum =
+    if d.(7) = 0 then Printf.sprintf "%s *= a[%s];" e i
+    else Printf.sprintf "%s += a[%s];" e i
+  in
+  let update = if d.(8) = 0 then i ^ "++" else i ^ "--" in
+  let bound_rhs = if d.(13) = 4 then "n" else "a.length" in
+  let cond lo = Printf.sprintf "%s %s %s" lo bound_op bound_rhs in
+  (* One loop with the given init expression and body lines. *)
+  let loop ?(init = start) ?(upd = update) body =
+    if d.(9) = 0 then
+      Printf.sprintf "    for (int %s = %s; %s; %s) {\n%s\n    }" i init
+        (cond i) upd
+        (String.concat "\n" (List.map (fun l -> "    " ^ l) body))
+    else
+      Printf.sprintf
+        "    int %s = %s;\n    while (%s) {\n%s\n        %s;\n    }" i init
+        (cond i)
+        (String.concat "\n" (List.map (fun l -> "    " ^ l) body))
+        upd
+  in
+  let if_odd = [ Printf.sprintf "    if (%s)" odd_guard; "        " ^ odd_accum ] in
+  let if_even = [ Printf.sprintf "    if (%s)" even_guard; "        " ^ even_accum ] in
+  let decls =
+    match d.(13) with
+    | 0 -> Printf.sprintf "    int %s = %s;\n    int %s = %s;" o odd_init e even_init
+    | 1 -> Printf.sprintf "    int %s = %s, %s = %s;" o odd_init e even_init
+    | 2 ->
+        Printf.sprintf "    int %s;\n    %s = %s;\n    int %s;\n    %s = %s;" o
+          o odd_init e e even_init
+    | 3 -> Printf.sprintf "    int %s = %s;\n    int %s = %s;" e even_init o odd_init
+    | _ ->
+        Printf.sprintf "    int %s = %s;\n    int %s = %s;\n    int n = a.length;"
+          o odd_init e even_init
+  in
+  let body =
+    match d.(12) with
+    | 0 -> loop (if_odd @ if_even)
+    | 1 -> loop if_odd ^ "\n" ^ loop if_even
+    | 2 -> loop ~init:"1" if_odd ^ "\n" ^ loop if_even
+    | 3 ->
+        loop if_odd ^ "\n"
+        ^ Printf.sprintf "    for (int %s = %s; %s; %s += 2) {\n        %s\n    }"
+            i start (cond i) i even_accum
+    | _ -> loop (if_even @ if_odd)
+  in
+  let println v = Printf.sprintf "    System.out.println(%s);" v in
+  let output =
+    match d.(11) with
+    | 0 -> println o ^ "\n" ^ println e
+    | 1 -> println o
+    | 2 -> println o ^ "\n" ^ println o
+    | 3 -> println e ^ "\n" ^ println o
+    | _ ->
+        Printf.sprintf
+          "    System.out.print(%s + \"\\n\");\n    System.out.print(%s + \"\\n\");"
+          o e
+  in
+  Printf.sprintf "void assignment1(int[] a) {\n%s\n%s\n%s\n}\n" decls body output
+
+let spec =
+  {
+    id = "assignment1";
+    title = "Add odd positions and multiply even positions of an array";
+    entry = "assignment1";
+    expected_methods = [ "assignment1" ];
+    choices;
+    render;
+  }

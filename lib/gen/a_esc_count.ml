@@ -1,0 +1,197 @@
+(** Counting assignments:
+    - esc-LAB-3-P3-V2 — count the factorial numbers in [n, m];
+      S = 2^16 · 9 = 589,824;
+    - esc-LAB-3-P4-V2 — count the Fibonacci numbers in [n, m];
+      S = 2^20 · 9 = 9,437,184.
+
+    Both reuse the helper renderers of {!A_esc_search} and reproduce the
+    paper's §VI-B discrepancies: the P3-V2 counting loop started at 0
+    (double-counts 1 = 0! = 1!, failing the tests while the patterns stay
+    silent — Disc_pos), and the P4-V2 counting loop started at 0
+    (functionally harmless for n ≥ 2 but flagged by the start-at-1
+    constraint — Disc_neg, the paper's 248 submissions). *)
+
+open Spec
+
+let counting_names = [| ("count", "i", "n", "m"); ("c", "j", "lo", "hi");
+                        ("total", "t", "from", "upto") |]
+
+(* The driver: count values of helper(i) that fall inside [n, m]. *)
+let render_counting ~entry ~helper ~names d_count_init d_i_init d_outer_op
+    d_guard_op d_incr_style d_i_incr d_print_style d_print_value d_guard_flip
+    d_structure =
+  let count, i, n, m = names in
+  let count_init = [| "0"; "1" |].(d_count_init) in
+  let i_init = [| "1"; "0" |].(d_i_init) in
+  let outer_op = [| "<="; "<" |].(d_outer_op) in
+  let guard =
+    if d_guard_flip = 0 then
+      Printf.sprintf "%s(%s) %s %s" helper i [| ">="; ">" |].(d_guard_op) n
+    else
+      Printf.sprintf "%s %s %s(%s)" n [| "<="; "<" |].(d_guard_op) helper i
+  in
+  let bump =
+    if d_incr_style = 0 then Printf.sprintf "%s += 1;" count
+    else Printf.sprintf "%s++;" count
+  in
+  let i_step = if d_i_incr = 0 then i ^ "++" else i ^ " += 2" in
+  let printed = if d_print_value = 0 then count else count ^ " + 1" in
+  let print =
+    if d_print_style = 0 then
+      Printf.sprintf "    System.out.println(%s);" printed
+    else Printf.sprintf "    System.out.print(%s + \"\\n\");" printed
+  in
+  let body =
+    match d_structure with
+    | 3 ->
+        (* Bounded-for over the raw range from zero (the paper's
+           double-counting structure for factorials). *)
+        Printf.sprintf
+          "    for (int %s = 0; %s <= %s; %s++) {\n\
+          \        if (%s(%s) >= %s && %s(%s) <= %s)\n\
+          \            %s\n\
+          \    }" i i m i helper i n helper i m bump
+    | 1 ->
+        (* for-form of the reference loop. *)
+        Printf.sprintf
+          "    for (int %s = %s; %s(%s) %s %s; %s) {\n\
+          \        if (%s)\n\
+          \            %s\n\
+          \    }" i i_init helper i outer_op m i_step guard bump
+    | 2 ->
+        (* Break-style: correct but outside the counter-loop pattern. *)
+        Printf.sprintf
+          "    int %s = %s;\n\
+          \    while (true) {\n\
+          \        if (%s(%s) > %s)\n\
+          \            break;\n\
+          \        if (%s)\n\
+          \            %s\n\
+          \        %s;\n\
+          \    }" i i_init helper i m guard bump i_step
+    | _ ->
+        Printf.sprintf
+          "    int %s = %s;\n\
+          \    while (%s(%s) %s %s) {\n\
+          \        if (%s)\n\
+          \            %s\n\
+          \        %s;\n\
+          \    }" i i_init helper i outer_op m guard bump i_step
+  in
+  Printf.sprintf "void %s(int %s, int %s) {\n    int %s = %s;\n%s\n%s\n}" entry
+    n m count count_init body print
+
+(* ------------------------------------------------------------------ *)
+(* esc-LAB-3-P3-V2: factorial numbers in [n, m]                        *)
+
+let p3v2_choices =
+  [|
+    choice "f-init" [ ("1", Good); ("0", Bad) ];
+    choice "f-start" [ ("1", Good); ("0", Bad) ];
+    choice "f-bound" [ ("<=", Good); ("<", Bad) ];
+    choice "f-incr" [ ("i++", Good); ("i--", Bad) ];
+    choice "f-accum-style" [ ("*=", Good); ("long-form", Good) ];
+    choice "f-loop-form" [ ("for", Good); ("while", Good) ];
+    choice "count-init" [ ("0", Good); ("1", Bad) ];
+    choice "i-init" [ ("1", Good); ("0", Disc_pos_feedback) ];
+    choice "outer-op" [ ("<=", Good); ("<", Bad) ];
+    choice "guard-op" [ (">=", Good); (">", Bad) ];
+    choice "count-incr" [ ("+= 1", Good); ("++", Good) ];
+    choice "i-incr" [ ("i++", Good); ("i += 2", Bad) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "print-value" [ ("count", Good); ("count + 1", Bad) ];
+    choice "helper-name" [ ("factorial", Good); ("fact", Good) ];
+    choice "guard-flip" [ ("normal", Good); ("flipped", Disc_neg_feedback) ];
+    choice "names"
+      (Array.to_list
+         (Array.map (fun (c, _, _, _) -> (c, Good)) counting_names));
+    choice "structure"
+      [ ("while", Good); ("bounded-for", Disc_pos_feedback);
+        ("break-style", Disc_neg_feedback) ];
+  |]
+
+let p3v2_render d =
+  let names = counting_names.(d.(16)) in
+  let helper = [| "factorial"; "fact" |].(d.(14)) in
+  let helper_src =
+    A_esc_search.render_factorial ~helper ~f:"f" ~i:"w" ~fp:"x" d.(0) d.(1)
+      d.(2) d.(3) d.(4) d.(5) 0
+  in
+  let main_src =
+    render_counting ~entry:"lab3p3v2" ~helper ~names d.(6) d.(7) d.(8) d.(9)
+      d.(10) d.(11) d.(12) d.(13) d.(15)
+      [| 0; 3; 2 |].(d.(17))
+  in
+  helper_src ^ "\n\n" ^ main_src ^ "\n"
+
+let p3v2 =
+  {
+    id = "esc-LAB-3-P3-V2";
+    title = "Count the factorial numbers in [n, m]";
+    entry = "lab3p3v2";
+    expected_methods = [ "lab3p3v2"; "factorial" ];
+    choices = p3v2_choices;
+    render = p3v2_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* esc-LAB-3-P4-V2: Fibonacci numbers in [n, m]                        *)
+
+(* With counting ranges of n >= 2 (matching the paper's functionally
+   correct 248 discrepancies), seed/shift variations of the helper change
+   the Fibonacci *indexing* but not the set of values >= 2, so the
+   functional tests cannot observe them — only the patterns flag them. *)
+let p4v2_choices =
+  [|
+    choice "a-init" [ ("1", Good); ("0", Disc_neg_feedback) ];
+    choice "b-init" [ ("1", Good); ("2", Disc_neg_feedback) ];
+    choice "fi-init" [ ("1", Good); ("0", Disc_neg_feedback) ];
+    choice "fi-bound" [ ("<", Good); ("<=", Disc_neg_feedback) ];
+    choice "fi-incr" [ ("i++", Good); ("i--", Bad) ];
+    choice "step-order" [ ("sum-first", Good); ("shift-first", Disc_neg_feedback) ];
+    choice "return" [ ("a", Good); ("b", Disc_neg_feedback) ];
+    choice "seeds-decl" [ ("separate", Good); ("combined", Good) ];
+    choice "temp-name" [ ("c", Good); ("next", Good) ];
+    choice "fib-param" [ ("n", Good); ("x", Good) ];
+    choice "count-init" [ ("0", Good); ("1", Bad) ];
+    choice "i-init" [ ("1", Good); ("0", Disc_neg_feedback) ];
+    choice "outer-op" [ ("<=", Good); ("<", Bad) ];
+    choice "guard-op" [ (">=", Good); (">", Bad) ];
+    choice "count-incr" [ ("+= 1", Good); ("++", Good) ];
+    choice "i-incr" [ ("i++", Good); ("i += 2", Bad) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "print-value" [ ("count", Good); ("count + 1", Bad) ];
+    choice "helper-name" [ ("fib", Good); ("fibonacci", Good) ];
+    choice "guard-flip" [ ("normal", Good); ("flipped", Disc_neg_feedback) ];
+    choice "names"
+      (Array.to_list
+         (Array.map (fun (c, _, _, _) -> (c, Good)) counting_names));
+    choice "structure"
+      [ ("while", Good); ("for-form", Good); ("break-style", Disc_neg_feedback) ];
+  |]
+
+let p4v2_render d =
+  let names = counting_names.(d.(20)) in
+  let helper = [| "fib"; "fibonacci" |].(d.(18)) in
+  let fp = [| "n"; "x" |].(d.(9)) in
+  let temp = [| "c"; "next" |].(d.(8)) in
+  let helper_src =
+    A_esc_search.render_fib ~helper ~a:"a" ~b:"b" ~i:"w" ~fp ~temp d.(0) d.(1)
+      d.(2) d.(3) d.(4) d.(5) d.(6) d.(7) 0
+  in
+  let main_src =
+    render_counting ~entry:"lab3p4v2" ~helper ~names d.(10) d.(11) d.(12)
+      d.(13) d.(14) d.(15) d.(16) d.(17) d.(19)
+      [| 0; 1; 2 |].(d.(21))
+  in
+  helper_src ^ "\n\n" ^ main_src ^ "\n"
+
+let p4v2 =
+  {
+    id = "esc-LAB-3-P4-V2";
+    title = "Count the Fibonacci numbers in [n, m]";
+    entry = "lab3p4v2";
+    expected_methods = [ "lab3p4v2"; "fib" ];
+    choices = p4v2_choices;
+    render = p4v2_render;
+  }

@@ -1,0 +1,255 @@
+(** Digit-manipulation assignments:
+    - esc-LAB-3-P2-V2 — special numbers (sum of cubes of digits equals the
+      number); S = 2^4 · 3^2 = 144;
+    - esc-LAB-3-P3-V1 — difference of a positive number and its reverse;
+      S = 2^7 · 3^4 = 10,368;
+    - esc-LAB-3-P4-V1 — palindrome check; S = 2^9 · 3^3 = 13,824.
+
+    Discrepancy options follow §VI-B: the [⌊log10 k⌋ + 1] digit-count
+    structure (the paper's one P3-V1/P4-V1 discrepancy cause), cube via
+    [Math.pow], [Math.abs] instead of an if-negate, a flipped loop
+    condition ([0 < n]), the digit extraction inlined into the reverse
+    accumulation, and an inverted-polarity comparison with [else] (the
+    paper's unsupported-else limitation).  The palindrome message swap is
+    a genuine pattern blind spot (positive feedback, failing tests). *)
+
+open Spec
+
+(* Shared fragments ------------------------------------------------- *)
+
+(* The digit-peeling loop over [n]: extract/accumulate/shrink under a
+   condition; [accum] receives the digit expression. *)
+let peel_loop ~structure ~cond_spelling ~n ~d ~extract_inline ~shrink accum =
+  let cond =
+    match cond_spelling with
+    | 0 -> Printf.sprintf "%s > 0" n
+    | 1 -> Printf.sprintf "%s != 0" n
+    | _ -> Printf.sprintf "0 < %s" n
+  in
+  let extract, digit =
+    if extract_inline then ("", Printf.sprintf "%s %% 10" n)
+    else (Printf.sprintf "        int %s = %s %% 10;\n" d n, d)
+  in
+  let body = extract ^ "        " ^ accum digit ^ "\n" in
+  match structure with
+  | 1 ->
+      (* for-loop with the shrink as the update *)
+      Printf.sprintf "    for (; %s; %s) {\n%s    }" cond (shrink n) body
+  | 2 ->
+      (* log10 digit-count structure: functionally correct, outside the
+         knowledge base. *)
+      Printf.sprintf
+        "    int len = (int) Math.log10(%s) + 1;\n\
+        \    int w = 0;\n\
+        \    while (w < len) {\n%s        %s;\n        w++;\n    }" n body
+        (shrink n)
+  | _ -> Printf.sprintf "    while (%s) {\n%s        %s;\n    }" cond body (shrink n)
+
+(* ------------------------------------------------------------------ *)
+(* esc-LAB-3-P2-V2: special numbers                                    *)
+
+let p2v2_names = [| ("sum", "n", "d", "k"); ("s", "m", "t", "num");
+                    ("total", "c", "digit", "x") |]
+
+let p2v2_choices =
+  [|
+    choice "sum-init" [ ("0", Good); ("1", Bad) ];
+    choice "digit-extract" [ ("% 10", Good); ("% 2", Bad) ];
+    choice "shrink" [ ("/ 10", Good); ("- 10", Bad) ];
+    choice "compare" [ ("sum == k", Good); ("sum == n", Bad) ];
+    choice "cube-style"
+      [ ("product", Good); ("math-pow", Disc_neg_feedback); ("square", Bad) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (s, _, _, _) -> (s, Good)) p2v2_names));
+  |]
+
+let p2v2_render dg =
+  let sum, n, d, k = p2v2_names.(dg.(5)) in
+  let extract_mod = [| "10"; "2" |].(dg.(1)) in
+  let shrink_op = [| "/ 10"; "- 10" |].(dg.(2)) in
+  let compare_rhs = [| k; n |].(dg.(3)) in
+  let cube v =
+    match dg.(4) with
+    | 0 -> Printf.sprintf "%s * %s * %s" v v v
+    | 1 -> Printf.sprintf "(int) Math.pow(%s, 3)" v
+    | _ -> Printf.sprintf "%s * %s" v v
+  in
+  let sum_init = [| "0"; "1" |].(dg.(0)) in
+  Printf.sprintf
+    "void lab3p2v2(int %s) {\n\
+    \    int %s = %s;\n\
+    \    int %s = %s;\n\
+    \    while (%s > 0) {\n\
+    \        int %s = %s %% %s;\n\
+    \        %s += %s;\n\
+    \        %s = %s %s;\n\
+    \    }\n\
+    \    if (%s == %s)\n\
+    \        System.out.println(\"Special\");\n\
+    \    else\n\
+    \        System.out.println(\"Not special\");\n\
+     }\n"
+    k sum sum_init n k n d n extract_mod sum (cube d) n n shrink_op sum
+    compare_rhs
+
+let p2v2 =
+  {
+    id = "esc-LAB-3-P2-V2";
+    title = "Is the number equal to the sum of the cubes of its digits?";
+    entry = "lab3p2v2";
+    expected_methods = [ "lab3p2v2" ];
+    choices = p2v2_choices;
+    render = p2v2_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* esc-LAB-3-P3-V1: difference with the reverse                        *)
+
+let p3v1_names = [| ("rev", "n", "d", "k", "diff"); ("r", "m", "t", "num", "delta");
+                    ("back", "c", "digit", "x", "gap") |]
+
+let p3v1_choices =
+  [|
+    choice "rev-init" [ ("0", Good); ("1", Bad) ];
+    choice "rev-step" [ ("digit", Good); ("whole-n", Bad) ];
+    choice "shrink" [ ("/ 10", Good); ("- 10", Bad) ];
+    choice "copy-style" [ ("copy", Good); ("destroy-param", Bad) ];
+    choice "diff-order" [ ("k - rev", Good); ("rev - k", Good) ];
+    choice "printed" [ ("diff", Good); ("rev", Bad) ];
+    choice "decl-style" [ ("separate", Good); ("combined", Good) ];
+    choice "abs-style"
+      [ ("if-negate", Good); ("math-abs", Disc_neg_feedback); ("none", Bad) ];
+    choice "cond-spelling"
+      [ ("n > 0", Good); ("n != 0", Good); ("0 < n", Disc_neg_feedback) ];
+    choice "structure"
+      [ ("while", Good); ("for", Good); ("log10", Disc_neg_feedback) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (r, _, _, _, _) -> (r, Good)) p3v1_names));
+  |]
+
+let p3v1_render dg =
+  let rev, n, d, k, diff = p3v1_names.(dg.(10)) in
+  let loop_var = if dg.(3) = 0 then n else k in
+  let step digit =
+    let rhs = if dg.(1) = 0 then digit else loop_var in
+    Printf.sprintf "%s = %s * 10 + %s;" rev rev rhs
+  in
+  let shrink v =
+    Printf.sprintf "%s = %s %s" v v (if dg.(2) = 0 then "/ 10" else "- 10")
+  in
+  let loop =
+    peel_loop ~structure:dg.(9) ~cond_spelling:dg.(8) ~n:loop_var ~d
+      ~extract_inline:false ~shrink step
+  in
+  let decls =
+    let init = [| "0"; "1" |].(dg.(0)) in
+    let copy =
+      if dg.(3) = 0 then Printf.sprintf "    int %s = %s;\n" n k else ""
+    in
+    if dg.(6) = 0 then Printf.sprintf "    int %s = %s;\n%s" rev init copy
+    else if dg.(3) = 0 then
+      Printf.sprintf "    int %s = %s, %s = %s;\n" rev init n k
+    else Printf.sprintf "    int %s = %s;\n" rev init
+  in
+  let diff_expr =
+    if dg.(4) = 0 then Printf.sprintf "%s - %s" k rev
+    else Printf.sprintf "%s - %s" rev k
+  in
+  let abs_block =
+    match dg.(7) with
+    | 0 ->
+        Printf.sprintf
+          "    int %s = %s;\n    if (%s < 0)\n        %s = -%s;\n" diff
+          diff_expr diff diff diff
+    | 1 -> Printf.sprintf "    int %s = Math.abs(%s);\n" diff diff_expr
+    | _ -> Printf.sprintf "    int %s = %s;\n" diff diff_expr
+  in
+  let printed = if dg.(5) = 0 then diff else rev in
+  Printf.sprintf "void lab3p3v1(int %s) {\n%s%s\n%s    System.out.println(%s);\n}\n"
+    k decls loop abs_block printed
+
+let p3v1 =
+  {
+    id = "esc-LAB-3-P3-V1";
+    title = "Difference of a positive number and its reverse";
+    entry = "lab3p3v1";
+    expected_methods = [ "lab3p3v1" ];
+    choices = p3v1_choices;
+    render = p3v1_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* esc-LAB-3-P4-V1: palindrome                                         *)
+
+let p4v1_names = [| ("rev", "n", "d", "k"); ("r", "m", "t", "num");
+                    ("back", "c", "digit", "x") |]
+
+let p4v1_choices =
+  [|
+    choice "rev-init" [ ("0", Good); ("1", Bad) ];
+    choice "rev-step" [ ("digit", Good); ("whole-n", Bad) ];
+    choice "shrink" [ ("/ 10", Good); ("- 10", Bad) ];
+    choice "copy-style" [ ("copy", Good); ("destroy-param", Bad) ];
+    choice "compare" [ ("rev == k", Good); ("rev == n", Bad) ];
+    choice "messages" [ ("normal", Good); ("swapped", Disc_pos_feedback) ];
+    choice "decl-style" [ ("separate", Good); ("combined", Good) ];
+    choice "extract-style" [ ("named-digit", Good); ("inline", Disc_neg_feedback) ];
+    choice "polarity" [ ("equals", Good); ("not-equals-else", Disc_neg_feedback) ];
+    choice "cond-spelling"
+      [ ("n > 0", Good); ("n != 0", Good); ("0 < n", Disc_neg_feedback) ];
+    choice "structure"
+      [ ("while", Good); ("for", Good); ("log10", Disc_neg_feedback) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (r, _, _, _) -> (r, Good)) p4v1_names));
+  |]
+
+let p4v1_render dg =
+  let rev, n, d, k = p4v1_names.(dg.(11)) in
+  let loop_var = if dg.(3) = 0 then n else k in
+  let step digit =
+    let rhs = if dg.(1) = 0 then digit else loop_var in
+    Printf.sprintf "%s = %s * 10 + %s;" rev rev rhs
+  in
+  let shrink v =
+    Printf.sprintf "%s = %s %s" v v (if dg.(2) = 0 then "/ 10" else "- 10")
+  in
+  let loop =
+    peel_loop ~structure:dg.(10) ~cond_spelling:dg.(9) ~n:loop_var ~d
+      ~extract_inline:(dg.(7) = 1) ~shrink step
+  in
+  let decls =
+    let init = [| "0"; "1" |].(dg.(0)) in
+    let copy =
+      if dg.(3) = 0 then Printf.sprintf "    int %s = %s;\n" n k else ""
+    in
+    if dg.(6) = 0 then Printf.sprintf "    int %s = %s;\n%s" rev init copy
+    else if dg.(3) = 0 then
+      Printf.sprintf "    int %s = %s, %s = %s;\n" rev init n k
+    else Printf.sprintf "    int %s = %s;\n" rev init
+  in
+  let compare_rhs = if dg.(4) = 0 then k else n in
+  let yes, no =
+    if dg.(5) = 0 then ("\"Palindrome\"", "\"Not palindrome\"")
+    else ("\"Not palindrome\"", "\"Palindrome\"")
+  in
+  let branch =
+    if dg.(8) = 0 then
+      Printf.sprintf
+        "    if (%s == %s)\n        System.out.println(%s);\n    else\n\
+        \        System.out.println(%s);" rev compare_rhs yes no
+    else
+      Printf.sprintf
+        "    if (%s != %s)\n        System.out.println(%s);\n    else\n\
+        \        System.out.println(%s);" rev compare_rhs no yes
+  in
+  Printf.sprintf "void lab3p4v1(int %s) {\n%s%s\n%s\n}\n" k decls loop branch
+
+let p4v1 =
+  {
+    id = "esc-LAB-3-P4-V1";
+    title = "Is the number a palindrome?";
+    entry = "lab3p4v1";
+    expected_methods = [ "lab3p4v1" ];
+    choices = p4v1_choices;
+    render = p4v1_render;
+  }

@@ -1,0 +1,266 @@
+(** esc-LAB-3-P1-V1 and esc-LAB-3-P2-V1: print the number n such that
+    f(n) ≤ k < f(n+1) for f = factorial / Fibonacci.  Both submissions
+    contain two methods (a helper and the driver), which exercises
+    Algorithm 2's combination matching.
+
+    S(P1-V1) = 2^14 · 27 = 442,368; S(P2-V1) = 2^18 · 27 = 7,077,888.
+
+    Discrepancy options follow §VI-B: the driver counter initialized to 1
+    (functionally identical for k ≥ 1), the search condition written
+    flipped ([k >= f(n + 1)]), a do-while driver, and a helper written in
+    an unexpected but correct style (downward factorial, recursive
+    Fibonacci) — all land outside the patterns while passing tests. *)
+
+open Spec
+
+(* ------------------------------------------------------------------ *)
+(* P1-V1: factorial                                                    *)
+
+let p1_names = [| ("n", "f", "i", "k"); ("count", "result", "j", "num");
+                  ("a", "p", "t", "m") |]
+
+let p1_choices =
+  [|
+    choice "f-init" [ ("1", Good); ("0", Bad) ];
+    choice "f-start" [ ("1", Good); ("0", Bad) ];
+    choice "f-bound" [ ("<=", Good); ("<", Bad) ];
+    choice "f-incr" [ ("i++", Good); ("i--", Bad) ];
+    choice "f-accum-style" [ ("*=", Good); ("long-form", Good) ];
+    choice "f-loop-form" [ ("for", Good); ("while", Good) ];
+    choice "helper-name" [ ("factorial", Good); ("fact", Good) ];
+    choice "n-init" [ ("0", Good); ("1", Disc_neg_feedback) ];
+    choice "cond-arg" [ ("n + 1", Good); ("n", Bad) ];
+    choice "cond-op" [ ("<=", Good); ("<", Bad) ];
+    choice "cond-flip" [ ("normal", Good); ("flipped", Disc_neg_feedback) ];
+    choice "n-incr" [ ("n++", Good); ("n += 2", Bad) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "print-value" [ ("n", Good); ("n + 1", Bad) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (n, _, _, _) -> (n, Good)) p1_names));
+    choice "search-structure"
+      [ ("while", Good); ("for-empty", Good); ("do-while", Disc_neg_feedback) ];
+    choice "helper-structure"
+      [ ("upward", Good); ("guarded", Good); ("downward", Disc_neg_feedback) ];
+  |]
+
+(* Names are (driver counter, helper accumulator, helper index, driver
+   parameter). *)
+let render_factorial ~helper ~f ~i ~fp d_init d_start d_bound d_incr d_accum
+    d_form d_helper_structure =
+  let init = [| "1"; "0" |].(d_init) in
+  let start = [| "1"; "0" |].(d_start) in
+  let bound = [| "<="; "<" |].(d_bound) in
+  let incr = if d_incr = 0 then i ^ "++" else i ^ "--" in
+  let accum =
+    if d_accum = 0 then Printf.sprintf "%s *= %s;" f i
+    else Printf.sprintf "%s = %s * %s;" f f i
+  in
+  if d_helper_structure = 2 then
+    (* Downward: correct but outside the knowledge base's patterns. *)
+    Printf.sprintf
+      "int %s(int %s) {\n\
+      \    int %s = 1;\n\
+      \    int %s = %s;\n\
+      \    while (%s >= 1) {\n\
+      \        %s *= %s;\n\
+      \        %s--;\n\
+      \    }\n\
+      \    return %s;\n\
+       }" helper fp f i fp i f i i f
+  else begin
+    (* An initial early-out guard is a correct variant the patterns still
+       accept (the loop shape is unchanged). *)
+    let guard =
+      if d_helper_structure = 1 then
+        Printf.sprintf "    if (%s <= 1)\n        return 1;\n" fp
+      else ""
+    in
+    let loop =
+      if d_form = 0 then
+        Printf.sprintf
+          "    for (int %s = %s; %s %s %s; %s) {\n        %s\n    }" i start
+          i bound fp incr accum
+      else
+        Printf.sprintf
+          "    int %s = %s;\n    while (%s %s %s) {\n        %s\n        \
+           %s;\n    }" i start i bound fp accum incr
+    in
+    Printf.sprintf "int %s(int %s) {\n%s    int %s = %s;\n%s\n    return %s;\n}"
+      helper fp guard f init loop f
+  end
+
+let render_search ?incr_text ~entry ~helper ~n ~k d_n_init d_cond_arg
+    d_cond_op d_cond_flip d_n_incr d_print_style d_print_value d_structure =
+  let n_init = [| "0"; "1" |].(d_n_init) in
+  let arg = if d_cond_arg = 0 then n ^ " + 1" else n in
+  let op = [| "<="; "<" |].(d_cond_op) in
+  let cond =
+    if d_cond_flip = 0 then Printf.sprintf "%s(%s) %s %s" helper arg op k
+    else
+      Printf.sprintf "%s %s %s(%s)" k (if op = "<=" then ">=" else ">") helper
+        arg
+  in
+  let incr =
+    match incr_text with
+    | Some t -> t
+    | None -> if d_n_incr = 0 then n ^ "++" else n ^ " += 2"
+  in
+  let printed = if d_print_value = 0 then n else n ^ " + 1" in
+  let print =
+    if d_print_style = 0 then
+      Printf.sprintf "    System.out.println(%s);" printed
+    else Printf.sprintf "    System.out.print(%s + \"\\n\");" printed
+  in
+  let body =
+    match d_structure with
+    | 0 ->
+        Printf.sprintf
+          "    int %s = %s;\n    while (%s) {\n        %s;\n    }" n n_init
+          cond incr
+    | 1 ->
+        Printf.sprintf "    int %s = %s;\n    for (; %s; %s) {\n    }" n
+          n_init cond incr
+    | _ ->
+        Printf.sprintf
+          "    int %s = %s;\n    do {\n        %s;\n    } while (%s);" n
+          n_init incr cond
+  in
+  Printf.sprintf "void %s(int %s) {\n%s\n%s\n}" entry k body print
+
+let p1_render d =
+  let n, f, i, k = p1_names.(d.(14)) in
+  let helper = [| "factorial"; "fact" |].(d.(6)) in
+  let fp = "x" in
+  let helper_src =
+    render_factorial ~helper ~f ~i ~fp d.(0) d.(1) d.(2) d.(3) d.(4) d.(5)
+      d.(16)
+  in
+  let main_src =
+    render_search ~entry:"lab3p1" ~helper ~n ~k d.(7) d.(8) d.(9) d.(10)
+      d.(11) d.(12) d.(13) d.(15)
+  in
+  helper_src ^ "\n\n" ^ main_src ^ "\n"
+
+let p1v1 =
+  {
+    id = "esc-LAB-3-P1-V1";
+    title = "Print n such that n! <= k < (n+1)!";
+    entry = "lab3p1";
+    expected_methods = [ "lab3p1"; "factorial" ];
+    choices = p1_choices;
+    render = p1_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* P2-V1: Fibonacci                                                    *)
+
+let p2_names = [| ("n", "a", "b", "i", "k"); ("count", "prev", "cur", "j", "num");
+                  ("res", "p", "q", "t", "m") |]
+
+let p2_choices =
+  [|
+    choice "a-init" [ ("1", Good); ("0", Bad) ];
+    choice "b-init" [ ("1", Good); ("2", Bad) ];
+    choice "fi-init" [ ("1", Good); ("0", Bad) ];
+    choice "fi-bound" [ ("<", Good); ("<=", Bad) ];
+    choice "fi-incr" [ ("i++", Good); ("i--", Bad) ];
+    choice "step-order" [ ("sum-first", Good); ("shift-first", Bad) ];
+    choice "return" [ ("a", Good); ("b", Bad) ];
+    choice "fib-name" [ ("fib", Good); ("fibonacci", Good) ];
+    choice "n-init" [ ("0", Good); ("1", Disc_neg_feedback) ];
+    choice "cond-arg" [ ("n + 1", Good); ("n", Bad) ];
+    choice "cond-op" [ ("<=", Good); ("<", Bad) ];
+    choice "cond-flip" [ ("normal", Good); ("flipped", Disc_neg_feedback) ];
+    choice "n-incr" [ ("n++", Good); ("n = n + 1", Good) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "print-value" [ ("n", Good); ("n + 1", Bad) ];
+    choice "seeds-decl" [ ("separate", Good); ("combined", Good) ];
+    choice "temp-name" [ ("c", Good); ("next", Good) ];
+    choice "fib-param" [ ("n", Good); ("x", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (n, _, _, _, _) -> (n, Good)) p2_names));
+    choice "search-structure"
+      [ ("while", Good); ("for-empty", Good); ("do-while", Disc_neg_feedback) ];
+    choice "fib-structure"
+      [ ("iter-while", Good); ("iter-for", Good); ("recursive", Disc_neg_feedback) ];
+  |]
+
+let render_fib ~helper ~a ~b ~i ~fp ~temp d_a d_b d_i d_bound d_incr d_order
+    d_return d_seeds d_structure =
+  let a_init = [| "1"; "0" |].(d_a) in
+  let b_init = [| "1"; "2" |].(d_b) in
+  let i_init = [| "1"; "0" |].(d_i) in
+  let bound = [| "<"; "<=" |].(d_bound) in
+  let incr = if d_incr = 0 then i ^ "++" else i ^ "--" in
+  let returned = if d_return = 0 then a else b in
+  let seeds =
+    if d_seeds = 0 then
+      Printf.sprintf "    int %s = %s;\n    int %s = %s;" a a_init b b_init
+    else Printf.sprintf "    int %s = %s, %s = %s;" a a_init b b_init
+  in
+  let step indent =
+    if d_order = 0 then
+      Printf.sprintf
+        "%sint %s = %s + %s;\n%s%s = %s;\n%s%s = %s;" indent temp a b indent a
+        b indent b temp
+    else
+      Printf.sprintf "%s%s = %s;\n%s%s = %s;\n%s%s = %s + %s;" indent a b
+        indent b temp indent temp a b
+  in
+  let pre_temp =
+    if d_order = 0 then "" else Printf.sprintf "    int %s = 0;\n" temp
+  in
+  match d_structure with
+  | 2 ->
+      (* Recursive: correct but outside the iterative patterns. *)
+      Printf.sprintf
+        "int %s(int %s) {\n\
+        \    if (%s <= 2)\n\
+        \        return 1;\n\
+        \    return %s(%s - 1) + %s(%s - 2);\n\
+         }" helper fp fp helper fp helper fp
+  | 1 ->
+      Printf.sprintf
+        "int %s(int %s) {\n%s\n%s    for (int %s = %s; %s %s %s; %s) {\n%s\n\
+        \    }\n\
+        \    return %s;\n\
+         }" helper fp seeds pre_temp i i_init i bound fp incr (step "        ")
+        returned
+  | _ ->
+      Printf.sprintf
+        "int %s(int %s) {\n%s\n%s    int %s = %s;\n    while (%s %s %s) {\n%s\n\
+        \        %s;\n\
+        \    }\n\
+        \    return %s;\n\
+         }" helper fp seeds pre_temp i i_init i bound fp (step "        ")
+        incr returned
+
+let p2_render d =
+  let n, a, b, i, k = p2_names.(d.(18)) in
+  let helper = [| "fib"; "fibonacci" |].(d.(7)) in
+  let temp = [| "c"; "next" |].(d.(16)) in
+  let fp = [| "n"; "x" |].(d.(17)) in
+  (* The helper parameter must not collide with its locals. *)
+  let fp = if fp = a || fp = b || fp = i then "x2" else fp in
+  let helper_src =
+    render_fib ~helper ~a ~b ~i ~fp ~temp d.(0) d.(1) d.(2) d.(3) d.(4) d.(5)
+      d.(6) d.(15) d.(20)
+  in
+  let incr_text =
+    if d.(12) = 0 then n ^ "++" else Printf.sprintf "%s = %s + 1" n n
+  in
+  let main_src =
+    render_search ~incr_text ~entry:"lab3p2" ~helper ~n ~k d.(8) d.(9) d.(10)
+      d.(11) 0 d.(13) d.(14) d.(19)
+  in
+  helper_src ^ "\n\n" ^ main_src ^ "\n"
+
+let p2v1 =
+  {
+    id = "esc-LAB-3-P2-V1";
+    title = "Print n such that fib(n) <= k < fib(n+1)";
+    entry = "lab3p2";
+    expected_methods = [ "lab3p2"; "fib" ];
+    choices = p2_choices;
+    render = p2_render;
+  }

@@ -1,0 +1,131 @@
+(** mitx-derivatives and mitx-polynomials (MIT intro course, adapted).
+    S(derivatives) = 2^6 · 3^2 = 576; S(polynomials) = 2^8 · 3 = 768. *)
+
+open Spec
+
+(* ------------------------------------------------------------------ *)
+(* mitx-derivatives: print the derivative coefficients p[i] * i         *)
+
+let deriv_names = [| ("p", "i"); ("poly", "j"); ("coefs", "n") |]
+
+let deriv_choices =
+  [|
+    choice "start" [ ("1", Good); ("0", Bad) ];
+    choice "bound" [ ("<", Good); ("<=", Bad) ];
+    choice "term" [ ("p[i] * i", Good); ("p[i] * (i - 1)", Bad) ];
+    choice "incr" [ ("i++", Good); ("i--", Bad) ];
+    choice "loop-form" [ ("for", Good); ("while", Good) ];
+    choice "temp-name" [ ("t", Good); ("d", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (p, _) -> (p, Good)) deriv_names));
+    choice "print-style"
+      [ ("temp-then-print", Good); ("direct-print", Disc_neg_feedback);
+        ("labeled-print", Bad) ];
+  |]
+
+let deriv_render d =
+  let p, i = deriv_names.(d.(6)) in
+  let t = [| "t"; "d" |].(d.(5)) in
+  let start = [| "1"; "0" |].(d.(0)) in
+  let bound = [| "<"; "<=" |].(d.(1)) in
+  let term =
+    if d.(2) = 0 then Printf.sprintf "%s[%s] * %s" p i i
+    else Printf.sprintf "%s[%s] * (%s - 1)" p i i
+  in
+  let incr = if d.(3) = 0 then i ^ "++" else i ^ "--" in
+  let body =
+    match d.(7) with
+    | 0 ->
+        Printf.sprintf "        int %s = %s;\n        System.out.println(%s);"
+          t term t
+    | 1 -> Printf.sprintf "        System.out.println(%s);" term
+    | _ ->
+        Printf.sprintf
+          "        int %s = %s;\n        System.out.println(\"d: \" + %s);" t
+          term t
+  in
+  let loop =
+    if d.(4) = 0 then
+      Printf.sprintf "    for (int %s = %s; %s %s %s.length; %s) {\n%s\n    }"
+        i start i bound p incr body
+    else
+      Printf.sprintf
+        "    int %s = %s;\n    while (%s %s %s.length) {\n%s\n        %s;\n    }"
+        i start i bound p body incr
+  in
+  Printf.sprintf "void derivatives(int[] %s) {\n%s\n}\n" p loop
+
+let derivatives =
+  {
+    id = "mitx-derivatives";
+    title = "Print the derivative coefficients of a polynomial";
+    entry = "derivatives";
+    expected_methods = [ "derivatives" ];
+    choices = deriv_choices;
+    render = deriv_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* mitx-polynomials: evaluate a polynomial at a point                   *)
+
+let poly_names =
+  [| ("p", "x", "r", "pw", "i"); ("poly", "at", "res", "power", "j");
+     ("coefs", "v", "value", "pot", "n") |]
+
+let poly_choices =
+  [|
+    choice "r-init" [ ("0", Good); ("1", Bad) ];
+    choice "pw-init" [ ("1", Good); ("0", Bad) ];
+    choice "start" [ ("0", Good); ("1", Bad) ];
+    choice "bound" [ ("<", Good); ("<=", Bad) ];
+    choice "term" [ ("p[i] * pw", Good); ("p[i]", Bad) ];
+    choice "pw-step" [ ("pw *= x", Good); ("pw += x", Bad) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "accum-style" [ ("+=", Good); ("long-form", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (p, _, _, _, _) -> (p, Good)) poly_names));
+  |]
+
+let poly_render d =
+  let p, x, r, pw, i = poly_names.(d.(8)) in
+  let r_init = [| "0"; "1" |].(d.(0)) in
+  let pw_init = [| "1"; "0" |].(d.(1)) in
+  let start = [| "0"; "1" |].(d.(2)) in
+  let bound = [| "<"; "<=" |].(d.(3)) in
+  let term =
+    if d.(4) = 0 then Printf.sprintf "%s[%s] * %s" p i pw
+    else Printf.sprintf "%s[%s]" p i
+  in
+  let accum =
+    if d.(7) = 0 then Printf.sprintf "%s += %s;" r term
+    else Printf.sprintf "%s = %s + %s;" r r term
+  in
+  let step =
+    if d.(5) = 0 then Printf.sprintf "%s *= %s;" pw x
+    else Printf.sprintf "%s += %s;" pw x
+  in
+  let print =
+    if d.(6) = 0 then Printf.sprintf "    System.out.println(%s);" r
+    else Printf.sprintf "    System.out.print(%s + \"\\n\");" r
+  in
+  Printf.sprintf
+    "void polynomials(int[] %s, int %s) {\n\
+    \    int %s = %s;\n\
+    \    int %s = %s;\n\
+    \    for (int %s = %s; %s %s %s.length; %s++) {\n\
+    \        %s\n\
+    \        %s\n\
+    \    }\n\
+     %s\n\
+     }\n"
+    p x r r_init pw pw_init i start i bound p i accum step print
+
+let polynomials =
+  {
+    id = "mitx-polynomials";
+    title = "Evaluate a polynomial at a point";
+    entry = "polynomials";
+    expected_methods = [ "polynomials" ];
+    choices = poly_choices;
+    render = poly_render;
+  }

@@ -1,0 +1,235 @@
+(** rit-all-g-medals and rit-medals-by-ath: count medals in a
+    whitespace-separated file of Summer-Olympics records (five tokens per
+    record: first name, last name, medal type, year, separator), read with
+    [java.util.Scanner] and residue conditions [i % 5 == r].
+
+    S(all-g-medals) = 2^8 · 3^7 = 559,872;
+    S(medals-by-ath) = 2^10 · 3^6 = 746,496.
+
+    The per-field residue choices are where the paper's Fig. 7 class of
+    discrepancies lives: single wrong residues scramble the token cursor
+    and fail the tests (and the residue-pinning constraints), but specific
+    *combinations* of duplicated residues advance the cursor consistently
+    and are functionally correct while semantically wrong — they surface
+    as discrepancies during the full-space/sampled sweeps rather than in
+    one-flip form. *)
+
+open Spec
+
+(* names: fn ln p y e i medals s *)
+let gold_names =
+  [| ("fn", "ln", "p", "y", "e", "i", "medals", "s");
+     ("first", "last", "med", "yr", "sep", "idx", "golds", "sc") |]
+
+let gold_choices =
+  [|
+    choice "i-init" [ ("1", Good); ("0", Bad) ];
+    choice "medals-init" [ ("0", Good); ("1", Bad) ];
+    choice "count-style" [ ("+= 1", Good); ("++", Good) ];
+    choice "loop-form" [ ("while", Good); ("for", Good) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (f, _, _, _, _, _, _, _) -> (f, Good)) gold_names));
+    choice "cond-order" [ ("residue-first", Good); ("residue-last", Good) ];
+    choice "i-update" [ ("once", Good); ("twice", Bad) ];
+    choice "fn-residue" [ ("1", Good); ("2", Disc_neg_feedback); ("4", Bad) ];
+    choice "ln-residue" [ ("2", Good); ("3", Disc_neg_feedback); ("1", Disc_neg_feedback) ];
+    choice "p-residue" [ ("3", Good); ("4", Disc_neg_feedback); ("1", Bad) ];
+    choice "y-residue" [ ("4", Good); ("0", Bad); ("3", Disc_neg_feedback) ];
+    choice "e-residue" [ ("0", Good); ("1", Bad); ("3", Bad) ];
+    choice "guard-residue" [ ("4", Good); ("3", Bad); ("0", Disc_neg_feedback) ];
+    choice "medal-code" [ ("1", Good); ("2", Bad); ("3", Bad) ];
+  |]
+
+let residue choices d idx = [| choices.(0); choices.(1); choices.(2) |].(d.(idx))
+
+let render_scan ~entry ~params ~decls ~guard ~names ~medals_init d_i_init
+    d_count_style d_loop_form d_print_style d_i_update d_residues =
+  let _, _, _, _, _, i, medals, s = names in
+  let fn, ln, p, y, e, _, _, _ = names in
+  let r_fn, r_ln, r_p, r_y, r_e = d_residues in
+  let i_init = [| "1"; "0" |].(d_i_init) in
+  let bump =
+    if d_count_style = 0 then Printf.sprintf "%s += 1;" medals
+    else Printf.sprintf "%s++;" medals
+  in
+  let reads =
+    String.concat "\n"
+      [
+        Printf.sprintf "        if (%s %% 5 == %s)\n            %s = %s.next();" i r_fn fn s;
+        Printf.sprintf "        if (%s %% 5 == %s)\n            %s = %s.next();" i r_ln ln s;
+        Printf.sprintf "        if (%s %% 5 == %s)\n            %s = %s.nextInt();" i r_p p s;
+        Printf.sprintf "        if (%s %% 5 == %s)\n            %s = %s.nextInt();" i r_y y s;
+        Printf.sprintf "        if (%s %% 5 == %s)\n            %s = %s.next();" i r_e e s;
+      ]
+  in
+  let count_block =
+    Printf.sprintf "        if (%s)\n            %s" guard bump
+  in
+  let i_step =
+    if d_i_update = 0 then Printf.sprintf "        %s++;" i
+    else Printf.sprintf "        %s++;\n        %s++;" i i
+  in
+  let loop =
+    if d_loop_form = 0 then
+      Printf.sprintf
+        "    while (%s.hasNext()) {\n%s\n%s\n%s\n    }" s reads count_block
+        i_step
+    else
+      Printf.sprintf
+        "    for (; %s.hasNext(); ) {\n%s\n%s\n%s\n    }" s reads count_block
+        i_step
+  in
+  let print =
+    if d_print_style = 0 then
+      Printf.sprintf "    System.out.println(%s);" medals
+    else Printf.sprintf "    System.out.print(%s + \"\\n\");" medals
+  in
+  Printf.sprintf
+    "void %s(%s) {\n\
+    \    int %s = %s, %s = %s;\n\
+     %s\
+    \    Scanner %s = new Scanner(new File(\"summer_olympics.txt\"));\n\
+     %s\n\
+    \    %s.close();\n\
+     %s\n\
+     }\n"
+    entry params i i_init medals medals_init decls s loop s print
+
+let gold_render d =
+  let names = gold_names.(d.(5)) in
+  let fn, ln, p, y, e, i, _, _ = names in
+  let medals_init = [| "0"; "1" |].(d.(1)) in
+  let decls =
+    Printf.sprintf "    String %s = \"\", %s = \"\", %s = \"\";\n    int %s = 0, %s = 0;\n"
+      fn ln e p y
+  in
+  (* medals-init is folded into the declaration line via a rewrite below. *)
+  let guard_parts =
+    [
+      Printf.sprintf "%s %% 5 == %s" i (residue [| "4"; "3"; "0" |] d 13);
+      Printf.sprintf "%s == year" y;
+      Printf.sprintf "%s == %s" p (residue [| "1"; "2"; "3" |] d 14);
+    ]
+  in
+  let guard =
+    match d.(6) with
+    | 0 -> String.concat " && " guard_parts
+    | _ -> (
+        match guard_parts with
+        | [ a; b; c ] -> String.concat " && " [ b; c; a ]
+        | _ -> assert false)
+  in
+  let src =
+    render_scan ~entry:"countGoldMedals" ~params:"int year" ~decls ~guard
+      ~names ~medals_init d.(0) d.(2) d.(3) d.(4) d.(7)
+      ( residue [| "1"; "2"; "4" |] d 8,
+        residue [| "2"; "3"; "1" |] d 9,
+        residue [| "3"; "4"; "1" |] d 10,
+        residue [| "4"; "0"; "3" |] d 11,
+        residue [| "0"; "1"; "3" |] d 12 )
+  in
+  src
+
+let all_g_medals =
+  {
+    id = "rit-all-g-medals";
+    title = "Count the gold medals awarded in a given year";
+    entry = "countGoldMedals";
+    expected_methods = [ "countGoldMedals" ];
+    choices = gold_choices;
+    render = gold_render;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* rit-medals-by-ath                                                   *)
+
+(* The athlete assignment's method parameters are [first]/[last], so its
+   name sets must avoid them. *)
+let ath_names =
+  [| ("fn", "ln", "p", "y", "e", "i", "medals", "s");
+     ("f", "l", "med", "yr", "sep", "idx", "cnt", "sc") |]
+
+let ath_choices =
+  [|
+    choice "i-init" [ ("1", Good); ("0", Bad) ];
+    choice "medals-init" [ ("0", Good); ("1", Bad) ];
+    choice "count-style" [ ("+= 1", Good); ("++", Good) ];
+    choice "loop-form" [ ("while", Good); ("for", Good) ];
+    choice "print-style" [ ("println", Good); ("print-newline", Good) ];
+    choice "names"
+      (Array.to_list (Array.map (fun (f, _, _, _, _, _, _, _) -> (f, Good)) ath_names));
+    choice "equals-order" [ ("field-first", Good); ("param-first", Good) ];
+    choice "i-update" [ ("once", Good); ("twice", Bad) ];
+    choice "compare-style" [ ("equals", Good); ("==", Bad) ];
+    choice "guard-shape" [ ("conjunction", Good); ("nested-ifs", Disc_neg_feedback) ];
+    choice "fn-residue" [ ("1", Good); ("2", Disc_neg_feedback); ("4", Bad) ];
+    choice "ln-residue" [ ("2", Good); ("3", Disc_neg_feedback); ("1", Disc_neg_feedback) ];
+    choice "p-residue" [ ("3", Good); ("4", Disc_neg_feedback); ("1", Bad) ];
+    choice "y-residue"
+      [ ("4", Good); ("0", Disc_neg_feedback); ("3", Disc_neg_feedback) ];
+    choice "e-residue" [ ("0", Good); ("1", Bad); ("3", Bad) ];
+    choice "guard-residue" [ ("0", Good); ("1", Bad); ("2", Good) ];
+  |]
+
+let ath_render d =
+  let names = ath_names.(d.(5)) in
+  let fn, ln, p, y, e, i, medals, _ = names in
+  ignore medals;
+  let medals_init = [| "0"; "1" |].(d.(1)) in
+  let decls =
+    Printf.sprintf "    String %s = \"\", %s = \"\", %s = \"\";\n    int %s = 0, %s = 0;\n"
+      fn ln e p y
+  in
+  let name_test var param =
+    match (d.(8), d.(6)) with
+    | 0, 0 -> Printf.sprintf "%s.equals(%s)" var param
+    | 0, _ -> Printf.sprintf "%s.equals(%s)" param var
+    | _, _ -> Printf.sprintf "%s == %s" var param
+  in
+  let residue_test =
+    Printf.sprintf "%s %% 5 == %s" i (residue [| "0"; "1"; "2" |] d 15)
+  in
+  let guard, nested =
+    if d.(9) = 0 then
+      ( String.concat " && "
+          [ residue_test; name_test fn "first"; name_test ln "last" ],
+        false )
+    else (residue_test, true)
+  in
+  let src =
+    render_scan ~entry:"countMedals" ~params:"String first, String last"
+      ~decls ~guard ~names ~medals_init d.(0) d.(2) d.(3) d.(4) d.(7)
+      ( residue [| "1"; "2"; "4" |] d 10,
+        residue [| "2"; "3"; "1" |] d 11,
+        residue [| "3"; "4"; "1" |] d 12,
+        residue [| "4"; "0"; "3" |] d 13,
+        residue [| "0"; "1"; "3" |] d 14 )
+  in
+  let src =
+    if nested then
+      (* Rewrite the count block into nested ifs. *)
+      let bump =
+        if d.(2) = 0 then Printf.sprintf "%s += 1;" medals
+        else Printf.sprintf "%s++;" medals
+      in
+      let flat = Printf.sprintf "        if (%s)\n            %s" residue_test bump in
+      let nested_block =
+        Printf.sprintf
+          "        if (%s)\n            if (%s)\n                if (%s)\n                    %s"
+          residue_test (name_test fn "first") (name_test ln "last") bump
+      in
+      Str_util.replace_first ~pattern:flat ~by:nested_block src
+    else src
+  in
+  src
+
+let medals_by_ath =
+  {
+    id = "rit-medals-by-ath";
+    title = "Count the medals awarded to a given athlete";
+    entry = "countMedals";
+    expected_methods = [ "countMedals" ];
+    choices = ath_choices;
+    render = ath_render;
+  }

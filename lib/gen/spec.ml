@@ -1,0 +1,127 @@
+(** Synthetic submission spaces (paper §VI-A).
+
+    Following Singh et al.'s hypothesis that student errors are
+    predictable, each assignment is a reference solution plus a set of
+    *choice points*; every choice point offers the correct fragment and a
+    number of alternative fragments (common student errors, benign
+    stylistic variations, or deliberately discrepancy-inducing variants
+    from the paper's §VI-B discussion).  The search space of submissions
+    is the cartesian product of the choices — its size is the paper's
+    column S — and a submission is addressed by a single index in
+    [0, size) through mixed-radix decoding, which makes the space
+    enumerable and uniformly samplable without materializing it. *)
+
+(** What an option does to the two assessment channels, *assuming every
+    other choice point is at a [Good] option*:
+    - [Good]: functional tests pass and the pattern feedback is positive —
+      includes benign stylistic variants the knowledge base accepts;
+    - [Bad]: a detected error — functional tests fail and the feedback is
+      negative (both channels agree);
+    - [Disc_neg_feedback]: functionally correct but the patterns flag it —
+      the paper's "i = 1 when accessing odd positions", log10 digit
+      counting, duplicated-residue file reads (Fig. 7);
+    - [Disc_pos_feedback]: functionally failing but the patterns accept
+      it — the paper's print-order submissions. *)
+type quality = Good | Bad | Disc_neg_feedback | Disc_pos_feedback
+
+type choice = {
+  tag : string;  (** e.g. "odd-init" *)
+  labels : string array;  (** one label per option, for reporting *)
+  quality : quality array;
+}
+
+type t = {
+  id : string;  (** assignment id as in Table I *)
+  title : string;
+  entry : string;  (** entry method for functional testing *)
+  expected_methods : string list;  (** Q of Algorithm 2 *)
+  choices : choice array;
+  render : int array -> string;  (** choice vector → Java source *)
+}
+
+let choice tag options =
+  {
+    tag;
+    labels = Array.of_list (List.map fst options);
+    quality = Array.of_list (List.map snd options);
+  }
+
+let size spec =
+  Array.fold_left (fun acc c -> acc * Array.length c.labels) 1 spec.choices
+
+(** Mixed-radix decoding: index → one option per choice point. *)
+let decode spec index =
+  if index < 0 || index >= size spec then
+    invalid_arg
+      (Printf.sprintf "Spec.decode: index %d out of range for %s" index spec.id);
+  let n = Array.length spec.choices in
+  let digits = Array.make n 0 in
+  let rest = ref index in
+  for i = n - 1 downto 0 do
+    let arity = Array.length spec.choices.(i).labels in
+    digits.(i) <- !rest mod arity;
+    rest := !rest / arity
+  done;
+  digits
+
+let encode spec digits =
+  Array.to_list digits
+  |> List.mapi (fun i d -> (i, d))
+  |> List.fold_left
+       (fun acc (i, d) -> (acc * Array.length spec.choices.(i).labels) + d)
+       0
+
+let source_of_index spec index = spec.render (decode spec index)
+
+(** Every choice point at a [Good] option. *)
+let all_good spec digits =
+  Array.for_all2 (fun c d -> c.quality.(d) = Good) spec.choices digits
+
+let chosen spec digits =
+  Array.to_list
+    (Array.map2
+       (fun c d -> (c.tag, c.labels.(d), c.quality.(d)))
+       spec.choices digits)
+
+(** Non-[Good] options selected by this vector, for discrepancy
+    explanation. *)
+let deviations spec digits =
+  List.filter (fun (_, _, q) -> q <> Good) (chosen spec digits)
+
+(** The canonical reference solution: option 0 of every choice point. *)
+let reference spec = spec.render (Array.make (Array.length spec.choices) 0)
+
+(* Deterministic LCG sampling so benchmark runs are reproducible. *)
+let sample_indices spec ~n ~seed =
+  let total = size spec in
+  if n >= total then List.init total Fun.id
+  else begin
+    let state = ref (((seed * 2654435761) + 1) land max_int) in
+    let next () =
+      state := ((!state * 0x5DEECE66D) + 0xB) land max_int;
+      abs !state
+    in
+    List.init n (fun _ -> next () mod total)
+  end
+
+(** Validation used by the test-suite: option 0 of every choice must be
+    [Good], arities must match, labels distinct within a choice. *)
+let validate spec =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  Array.iter
+    (fun c ->
+      if Array.length c.labels = 0 then add "%s: choice %s empty" spec.id c.tag;
+      if Array.length c.labels <> Array.length c.quality then
+        add "%s: choice %s label/quality arity mismatch" spec.id c.tag;
+      if Array.length c.quality > 0 && c.quality.(0) <> Good then
+        add "%s: choice %s option 0 must be Good" spec.id c.tag;
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun l ->
+          if Hashtbl.mem seen l then
+            add "%s: choice %s duplicate label %s" spec.id c.tag l
+          else Hashtbl.add seen l ())
+        c.labels)
+    spec.choices;
+  List.rev !problems

@@ -1,0 +1,16 @@
+(** Tiny string helpers for the renderers. *)
+
+(** Replace the first occurrence of [pattern] (a literal substring) with
+    [by]; returns the input unchanged when [pattern] does not occur. *)
+let replace_first ~pattern ~by s =
+  let plen = String.length pattern in
+  let slen = String.length s in
+  let rec find i =
+    if i + plen > slen then None
+    else if String.sub s i plen = pattern then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+      String.sub s 0 i ^ by ^ String.sub s (i + plen) (slen - i - plen)

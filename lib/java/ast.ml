@@ -1,0 +1,272 @@
+(** Abstract syntax for the Java subset used in introductory programming
+    assignments.
+
+    The subset covers everything the paper's twelve assignments (and the
+    submission generator) need: methods with primitive/array/class types,
+    the usual statement forms, and the full expression grammar including
+    arrays, field access, method calls and object creation
+    ([new Scanner(new File("..."))]). *)
+
+type typ =
+  | Tprim of string  (** [int], [long], [double], [boolean], [char], [void] *)
+  | Tclass of string  (** [String], [Scanner], [File], ... *)
+  | Tarray of typ
+
+type unop = Neg | Not | Bit_not | Uplus
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | And
+  | Or
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shl
+  | Shr
+  | Ushr
+
+type assign_op = Set | Add_eq | Sub_eq | Mul_eq | Div_eq | Mod_eq
+
+type incdec = Pre_incr | Pre_decr | Post_incr | Post_decr
+
+type expr =
+  | Int_lit of int
+  | Double_lit of float
+  | Bool_lit of bool
+  | Char_lit of char
+  | Str_lit of string
+  | Null_lit
+  | Var of string
+  | Field of expr * string  (** [a.length], [System.out] *)
+  | Index of expr * expr  (** [a[i]] *)
+  | Call of expr option * string * expr list
+      (** [f(x)] has no receiver; [s.nextInt()] has receiver [Var "s"];
+          [System.out.println(x)] has receiver [Field (Var "System", "out")]. *)
+  | New of typ * expr list  (** [new Scanner(...)] *)
+  | New_array of typ * expr list  (** [new int[n]]; element type + dims *)
+  | Array_lit of expr list  (** [{1, 2, 3}] in declarations *)
+  | Unary of unop * expr
+  | Incdec of incdec * expr
+  | Binary of binop * expr * expr
+  | Assign of assign_op * expr * expr
+  | Ternary of expr * expr * expr
+  | Cast of typ * expr
+
+type var_decl = { d_type : typ; d_name : string; d_init : expr option }
+
+type for_init = For_decl of var_decl list | For_exprs of expr list
+
+type switch_case = { case_label : expr option; case_body : stmt list }
+(** [case_label = None] is [default:]. *)
+
+and stmt =
+  | Sdecl of var_decl list
+  | Sexpr of expr
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of for_init option * expr option * expr list * stmt
+  | Sswitch of expr * switch_case list
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+  | Sempty
+
+type param = { p_type : typ; p_name : string }
+
+type meth = {
+  m_ret : typ;
+  m_name : string;
+  m_params : param list;
+  m_body : stmt list;
+}
+
+type program = { methods : meth list }
+
+(** [is_class_name id] — heuristic used throughout: capitalized identifiers
+    denote class names ([System], [Math], [Scanner], ...) rather than
+    program variables, which introductory courses write in lower camel
+    case. *)
+let is_class_name id = String.length id > 0 && id.[0] >= 'A' && id.[0] <= 'Z'
+
+(** Free program variables of an expression, in first-occurrence order.
+    Field selectors, method names and class names are not variables
+    (Design decision 5 in DESIGN.md). *)
+let vars_of_expr expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add x =
+    if (not (is_class_name x)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  let rec go = function
+    | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+    | Null_lit ->
+        ()
+    | Var x -> add x
+    | Field (e, _) -> go e
+    | Index (e1, e2) ->
+        go e1;
+        go e2
+    | Call (recv, _, args) ->
+        Option.iter go recv;
+        List.iter go args
+    | New (_, args) -> List.iter go args
+    | New_array (_, dims) -> List.iter go dims
+    | Array_lit elts -> List.iter go elts
+    | Unary (_, e) | Incdec (_, e) | Cast (_, e) -> go e
+    | Binary (_, e1, e2) | Assign (_, e1, e2) ->
+        go e1;
+        go e2
+    | Ternary (c, t, f) ->
+        go c;
+        go t;
+        go f
+  in
+  go expr;
+  List.rev !acc
+
+(** Variables assigned (written) by an expression: assignment left-hand
+    sides and increment/decrement targets.  For array stores [a[i] = e] the
+    assigned variable is [a]. *)
+let assigned_vars expr =
+  let acc = ref [] in
+  let add x = if not (List.mem x !acc) then acc := x :: !acc in
+  let rec base = function
+    | Var x -> add x
+    | Index (e, _) | Field (e, _) -> base e
+    | _ -> ()
+  in
+  let rec go = function
+    | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+    | Null_lit | Var _ ->
+        ()
+    | Field (e, _) -> go e
+    | Index (e1, e2) ->
+        go e1;
+        go e2
+    | Call (recv, _, args) ->
+        Option.iter go recv;
+        List.iter go args
+    | New (_, args) -> List.iter go args
+    | New_array (_, dims) -> List.iter go dims
+    | Array_lit elts -> List.iter go elts
+    | Unary (_, e) | Cast (_, e) -> go e
+    | Incdec (_, e) ->
+        base e;
+        go e
+    | Assign (_, lhs, rhs) ->
+        base lhs;
+        go lhs;
+        go rhs
+    | Binary (_, e1, e2) ->
+        go e1;
+        go e2
+    | Ternary (c, t, f) ->
+        go c;
+        go t;
+        go f
+  in
+  go expr;
+  List.rev !acc
+
+(** Variables read by an expression.  The target of a compound assignment
+    ([x += e]) and of increment/decrement is both read and written; the
+    target of a plain assignment [x = e] is written only, but its index
+    expressions ([a[i] = e] reads [i] and [a] — the array object must
+    exist) are read. *)
+let read_vars expr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add x =
+    if (not (is_class_name x)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  let rec go = function
+    | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+    | Null_lit ->
+        ()
+    | Var x -> add x
+    | Field (e, _) -> go e
+    | Index (e1, e2) ->
+        go e1;
+        go e2
+    | Call (recv, _, args) ->
+        Option.iter go recv;
+        List.iter go args
+    | New (_, args) -> List.iter go args
+    | New_array (_, dims) -> List.iter go dims
+    | Array_lit elts -> List.iter go elts
+    | Unary (_, e) | Cast (_, e) -> go e
+    | Incdec (_, e) -> go e
+    | Assign (op, lhs, rhs) ->
+        (match (op, lhs) with
+        | Set, Var _ -> ()
+        | Set, _ -> go lhs
+        | _, _ -> go lhs);
+        go rhs
+    | Binary (_, e1, e2) ->
+        go e1;
+        go e2
+    | Ternary (c, t, f) ->
+        go c;
+        go t;
+        go f
+  in
+  go expr;
+  List.rev !acc
+
+let string_of_binop = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "=="
+  | Ne -> "!="
+  | And -> "&&"
+  | Or -> "||"
+  | Bit_and -> "&"
+  | Bit_or -> "|"
+  | Bit_xor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Ushr -> ">>>"
+
+let string_of_assign_op = function
+  | Set -> "="
+  | Add_eq -> "+="
+  | Sub_eq -> "-="
+  | Mul_eq -> "*="
+  | Div_eq -> "/="
+  | Mod_eq -> "%="
+
+let string_of_unop = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Bit_not -> "~"
+  | Uplus -> "+"
+
+let rec string_of_typ = function
+  | Tprim s -> s
+  | Tclass s -> s
+  | Tarray t -> string_of_typ t ^ "[]"

@@ -1,0 +1,284 @@
+(** Method inlining (the paper's §VII future work: "we will also deal
+    with multiple, non-expected methods by the instructor by combining
+    function inlining and approximate subgraph matching").
+
+    When a student extracts part of the expected computation into her own
+    helper method, the knowledge base's patterns no longer see the whole
+    shape in one dependence graph.  [inline_into] substitutes calls to
+    *simple* helpers — a single [return e] body — by their argument-
+    substituted expression, and [inline_voids] splices the statements of
+    void helpers called as statements into the caller.
+
+    Only zero-risk cases are inlined:
+    - expression helpers: one [return e] statement, parameters used
+      directly (arguments are substituted syntactically, so arguments
+      must be pure: variables or literals);
+    - statement helpers: a [void] body with no [return] whose parameters
+      are bound as fresh declarations before the spliced body;
+    - no recursion (direct or via the inlining itself). *)
+
+open Ast
+
+(* Side-effect-free arguments may be substituted (and hence possibly
+   re-evaluated) safely; anything that writes, calls or allocates may
+   not. *)
+let rec is_pure_arg = function
+  | Var _ | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+  | Null_lit ->
+      true
+  | Index (a, i) -> is_pure_arg a && is_pure_arg i
+  | Field (o, _) -> is_pure_arg o
+  | Unary (_, a) | Cast (_, a) -> is_pure_arg a
+  | Binary (_, a, b) -> is_pure_arg a && is_pure_arg b
+  | Ternary (c, t, f) -> is_pure_arg c && is_pure_arg t && is_pure_arg f
+  | Call _ | New _ | New_array _ | Array_lit _ | Incdec _ | Assign _ -> false
+
+(* Substitute variables by expressions in an expression. *)
+let rec subst_expr env (e : expr) : expr =
+  match e with
+  | Var x -> ( match List.assoc_opt x env with Some e' -> e' | None -> e)
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+    ->
+      e
+  | Field (o, f) -> Field (subst_expr env o, f)
+  | Index (a, i) -> Index (subst_expr env a, subst_expr env i)
+  | Call (recv, name, args) ->
+      Call (Option.map (subst_expr env) recv, name, List.map (subst_expr env) args)
+  | New (t, args) -> New (t, List.map (subst_expr env) args)
+  | New_array (t, dims) -> New_array (t, List.map (subst_expr env) dims)
+  | Array_lit elts -> Array_lit (List.map (subst_expr env) elts)
+  | Unary (op, a) -> Unary (op, subst_expr env a)
+  | Incdec (k, a) -> Incdec (k, subst_expr env a)
+  | Binary (op, a, b) -> Binary (op, subst_expr env a, subst_expr env b)
+  | Assign (op, a, b) -> Assign (op, subst_expr env a, subst_expr env b)
+  | Ternary (c, t, f) ->
+      Ternary (subst_expr env c, subst_expr env t, subst_expr env f)
+  | Cast (t, a) -> Cast (t, subst_expr env a)
+
+(* An expression helper: exactly [return e]. *)
+let expression_helper (m : meth) =
+  match m.m_body with
+  | [ Sreturn (Some e) ] -> Some e
+  | _ -> None
+
+(* A statement helper: void, no return anywhere. *)
+let rec stmt_has_return = function
+  | Sreturn _ -> true
+  | Sblock body -> List.exists stmt_has_return body
+  | Sif (_, t, e) ->
+      stmt_has_return t || Option.fold ~none:false ~some:stmt_has_return e
+  | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) -> stmt_has_return b
+  | Sswitch (_, cases) ->
+      List.exists (fun k -> List.exists stmt_has_return k.case_body) cases
+  | Sempty | Sexpr _ | Sdecl _ | Sbreak | Scontinue -> false
+
+let statement_helper (m : meth) =
+  if m.m_ret = Tprim "void" && not (List.exists stmt_has_return m.m_body) then
+    Some m.m_body
+  else None
+
+let rec calls_method name (e : expr) =
+  match e with
+  | Call (None, n, args) ->
+      n = name || List.exists (calls_method name) args
+  | Call (Some r, _, args) ->
+      calls_method name r || List.exists (calls_method name) args
+  | Field (o, _) -> calls_method name o
+  | Index (a, i) -> calls_method name a || calls_method name i
+  | New (_, args) | New_array (_, args) | Array_lit args ->
+      List.exists (calls_method name) args
+  | Unary (_, a) | Incdec (_, a) | Cast (_, a) -> calls_method name a
+  | Binary (_, a, b) | Assign (_, a, b) ->
+      calls_method name a || calls_method name b
+  | Ternary (c, t, f) ->
+      calls_method name c || calls_method name t || calls_method name f
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+  | Var _ ->
+      false
+
+let rec stmt_calls_method name = function
+  | Sexpr e -> calls_method name e
+  | Sdecl ds ->
+      List.exists
+        (fun d -> Option.fold ~none:false ~some:(calls_method name) d.d_init)
+        ds
+  | Sif (c, t, e) ->
+      calls_method name c || stmt_calls_method name t
+      || Option.fold ~none:false ~some:(stmt_calls_method name) e
+  | Swhile (c, b) | Sdo (b, c) ->
+      calls_method name c || stmt_calls_method name b
+  | Sfor (init, cond, upd, b) ->
+      (match init with
+      | Some (For_decl ds) ->
+          List.exists
+            (fun d ->
+              Option.fold ~none:false ~some:(calls_method name) d.d_init)
+            ds
+      | Some (For_exprs es) -> List.exists (calls_method name) es
+      | None -> false)
+      || Option.fold ~none:false ~some:(calls_method name) cond
+      || List.exists (calls_method name) upd
+      || stmt_calls_method name b
+  | Sswitch (scr, cases) ->
+      calls_method name scr
+      || List.exists
+           (fun k -> List.exists (stmt_calls_method name) k.case_body)
+           cases
+  | Sreturn (Some e) -> calls_method name e
+  | Sblock body -> List.exists (stmt_calls_method name) body
+  | Sempty | Sbreak | Scontinue | Sreturn None -> false
+
+(* Rewrite calls to [name] in an expression by the substituted body. *)
+let rec inline_expr ~name ~params ~body (e : expr) : expr =
+  let r = inline_expr ~name ~params ~body in
+  match e with
+  | Call (None, n, args) when n = name && List.length args = List.length params
+    ->
+      let args = List.map r args in
+      if List.for_all is_pure_arg args then
+        subst_expr (List.combine params args) body
+      else Call (None, n, args)
+  | Call (recv, n, args) -> Call (Option.map r recv, n, List.map r args)
+  | Field (o, f) -> Field (r o, f)
+  | Index (a, i) -> Index (r a, r i)
+  | New (t, args) -> New (t, List.map r args)
+  | New_array (t, dims) -> New_array (t, List.map r dims)
+  | Array_lit elts -> Array_lit (List.map r elts)
+  | Unary (op, a) -> Unary (op, r a)
+  | Incdec (k, a) -> Incdec (k, r a)
+  | Binary (op, a, b) -> Binary (op, r a, r b)
+  | Assign (op, a, b) -> Assign (op, r a, r b)
+  | Ternary (c, t, f) -> Ternary (r c, r t, r f)
+  | Cast (t, a) -> Cast (t, r a)
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+  | Var _ ->
+      e
+
+let rec inline_expr_stmt ~name ~params ~body (s : stmt) : stmt =
+  let re = inline_expr ~name ~params ~body in
+  let rs = inline_expr_stmt ~name ~params ~body in
+  match s with
+  | Sexpr e -> Sexpr (re e)
+  | Sdecl ds ->
+      Sdecl (List.map (fun d -> { d with d_init = Option.map re d.d_init }) ds)
+  | Sif (c, t, e) -> Sif (re c, rs t, Option.map rs e)
+  | Swhile (c, b) -> Swhile (re c, rs b)
+  | Sdo (b, c) -> Sdo (rs b, re c)
+  | Sfor (init, cond, upd, b) ->
+      let init =
+        match init with
+        | Some (For_decl ds) ->
+            Some
+              (For_decl
+                 (List.map
+                    (fun d -> { d with d_init = Option.map re d.d_init })
+                    ds))
+        | Some (For_exprs es) -> Some (For_exprs (List.map re es))
+        | None -> None
+      in
+      Sfor (init, Option.map re cond, List.map re upd, rs b)
+  | Sswitch (scr, cases) ->
+      Sswitch
+        ( re scr,
+          List.map (fun k -> { k with case_body = List.map rs k.case_body }) cases )
+  | Sreturn e -> Sreturn (Option.map re e)
+  | Sblock body -> Sblock (List.map rs body)
+  | Sempty | Sbreak | Scontinue -> s
+
+(* Splice statement-helper calls appearing as statements. *)
+let rec inline_void_stmt ~name ~params ~body (s : stmt) : stmt list =
+  let rs s = inline_void_stmt ~name ~params ~body s in
+  let block s = match rs s with [ one ] -> one | many -> Sblock many in
+  match s with
+  | Sexpr (Call (None, n, args))
+    when n = name
+         && List.length args = List.length params
+         && List.for_all is_pure_arg args ->
+      (* Bind the parameters as fresh declarations, then the body. *)
+      let binds =
+        List.map2
+          (fun (p : param) a ->
+            Sdecl [ { d_type = p.p_type; d_name = p.p_name; d_init = Some a } ])
+          params args
+      in
+      [ Sblock (binds @ body) ]
+  | Sblock b -> [ Sblock (List.concat_map rs b) ]
+  | Sif (c, t, e) -> [ Sif (c, block t, Option.map block e) ]
+  | Swhile (c, b) -> [ Swhile (c, block b) ]
+  | Sdo (b, c) -> [ Sdo (block b, c) ]
+  | Sfor (init, cond, upd, b) -> [ Sfor (init, cond, upd, block b) ]
+  | Sswitch (scr, cases) ->
+      [
+        Sswitch
+          ( scr,
+            List.map
+              (fun k -> { k with case_body = List.concat_map rs k.case_body })
+              cases );
+      ]
+  | Sempty | Sexpr _ | Sdecl _ | Sbreak | Scontinue | Sreturn _ -> [ s ]
+
+(** Inline the given helper into every other method of the program and
+    drop it.  No-op (returns [None]) when the helper is not a simple
+    expression/statement helper or is recursive. *)
+let inline_helper (prog : program) (helper_name : string) : program option =
+  match
+    List.find_opt (fun m -> m.m_name = helper_name) prog.methods
+  with
+  | None -> None
+  | Some helper ->
+      if List.exists (stmt_calls_method helper_name) helper.m_body then None
+      else
+        let params = List.map (fun p -> p.p_name) helper.m_params in
+        let rewrite (m : meth) =
+          if m.m_name = helper_name then m
+          else
+            match expression_helper helper with
+            | Some body ->
+                {
+                  m with
+                  m_body =
+                    List.map
+                      (inline_expr_stmt ~name:helper_name ~params ~body)
+                      m.m_body;
+                }
+            | None -> (
+                match statement_helper helper with
+                | Some body ->
+                    {
+                      m with
+                      m_body =
+                        List.concat_map
+                          (inline_void_stmt ~name:helper_name
+                             ~params:helper.m_params ~body)
+                          m.m_body;
+                    }
+                | None -> m)
+        in
+        if expression_helper helper = None && statement_helper helper = None
+        then None
+        else
+          let methods = List.map rewrite prog.methods in
+          (* Drop the helper only if no residual calls remain. *)
+          if
+            List.exists
+              (fun m ->
+                m.m_name <> helper_name
+                && List.exists (stmt_calls_method helper_name) m.m_body)
+              methods
+          then Some { methods }
+          else
+            Some
+              {
+                methods =
+                  List.filter (fun m -> m.m_name <> helper_name) methods;
+              }
+
+(** Inline every helper that is not among the expected method names —
+    the grader's preprocessing for submissions with extra student-invented
+    helpers. *)
+let inline_unexpected ~expected (prog : program) : program =
+  List.fold_left
+    (fun acc (m : meth) ->
+      if List.mem m.m_name expected then acc
+      else match inline_helper acc m.m_name with Some p -> p | None -> acc)
+    prog prog.methods

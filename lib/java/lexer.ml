@@ -1,0 +1,241 @@
+(** Hand-written lexer for the Java subset. *)
+
+type token =
+  | Ident of string
+  | Keyword of string
+  | Int_literal of int
+  | Double_literal of float
+  | String_literal of string
+  | Char_literal of char
+  | Punct of string
+  | Eof
+
+type located = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+let keywords =
+  [
+    "abstract"; "boolean"; "break"; "byte"; "case"; "catch"; "char"; "class";
+    "const"; "continue"; "default"; "do"; "double"; "else"; "extends";
+    "final"; "finally"; "float"; "for"; "if"; "implements"; "import";
+    "instanceof"; "int"; "interface"; "long"; "native"; "new"; "package";
+    "private"; "protected"; "public"; "return"; "short"; "static"; "switch";
+    "synchronized"; "this"; "throw"; "throws"; "try"; "void"; "volatile";
+    "while"; "true"; "false"; "null";
+  ]
+
+let is_keyword s = List.mem s keywords
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(* Longest punctuators first so that e.g. ">>>=" is not read as ">" ">" ">=" *)
+let puncts =
+  [
+    ">>>="; ">>>"; "<<="; ">>="; "..."; "=="; "!="; "<="; ">="; "&&"; "||";
+    "++"; "--"; "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "<<"; ">>";
+    "->"; "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "."; "="; "<"; ">"; "+";
+    "-"; "*"; "/"; "%"; "!"; "~"; "&"; "|"; "^"; "?"; ":"; "@";
+  ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Lex_error (msg, st.line, st.col))
+
+let rec skip_trivia st =
+  match (peek st, peek2 st) with
+  | Some (' ' | '\t' | '\r' | '\n'), _ ->
+      advance st;
+      skip_trivia st
+  | Some '/', Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/', Some '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> error st "unterminated block comment"
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_escape st =
+  advance st;
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some 'b' -> advance st; '\b'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> error st (Printf.sprintf "unsupported escape '\\%c'" c)
+  | None -> error st "unterminated escape"
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | Some '"' ->
+        advance st;
+        String_literal (Buffer.contents buf)
+    | Some '\\' ->
+        Buffer.add_char buf (lex_escape st);
+        go ()
+    | Some '\n' | None -> error st "unterminated string literal"
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_char st =
+  advance st;
+  let c =
+    match peek st with
+    | Some '\\' -> lex_escape st
+    | Some c ->
+        advance st;
+        c
+    | None -> error st "unterminated character literal"
+  in
+  match peek st with
+  | Some '\'' ->
+      advance st;
+      Char_literal c
+  | _ -> error st "unterminated character literal"
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_double =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c ->
+        advance st;
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> false
+  in
+  let has_exp =
+    match peek st with
+    | Some ('e' | 'E') ->
+        advance st;
+        (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+        while (match peek st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> false
+  in
+  (* Trailing type suffixes are accepted and ignored. *)
+  let suffix_double =
+    match peek st with
+    | Some ('d' | 'D' | 'f' | 'F') ->
+        advance st;
+        true
+    | Some ('l' | 'L') ->
+        advance st;
+        false
+    | _ -> false
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  let text =
+    match text.[String.length text - 1] with
+    | 'd' | 'D' | 'f' | 'F' | 'l' | 'L' ->
+        String.sub text 0 (String.length text - 1)
+    | _ -> text
+  in
+  if is_double || has_exp || suffix_double then
+    Double_literal (float_of_string text)
+  else Int_literal (int_of_string text)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if is_keyword text then Keyword text else Ident text
+
+let matches_at st p =
+  let n = String.length p in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = p
+
+let lex_punct st =
+  match List.find_opt (matches_at st) puncts with
+  | Some p ->
+      String.iter (fun _ -> advance st) p;
+      Punct p
+  | None -> error st (Printf.sprintf "unexpected character %C" st.src.[st.pos])
+
+let next_token st =
+  skip_trivia st;
+  let line = st.line and col = st.col in
+  let tok =
+    match peek st with
+    | None -> Eof
+    | Some '"' -> lex_string st
+    | Some '\'' -> lex_char st
+    | Some c when is_digit c -> lex_number st
+    | Some c when is_ident_start c -> lex_ident st
+    | Some _ -> lex_punct st
+  in
+  { tok; line; col }
+
+(** Tokenize a whole source string; the resulting list always ends with
+    [Eof].  Raises {!Lex_error} on malformed input. *)
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.tok = Eof then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []
+
+let string_of_token = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Keyword s -> Printf.sprintf "keyword %S" s
+  | Int_literal n -> Printf.sprintf "integer %d" n
+  | Double_literal f -> Printf.sprintf "double %g" f
+  | String_literal s -> Printf.sprintf "string %S" s
+  | Char_literal c -> Printf.sprintf "char %C" c
+  | Punct s -> Printf.sprintf "%S" s
+  | Eof -> "end of input"

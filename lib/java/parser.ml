@@ -1,0 +1,601 @@
+(** Recursive-descent parser for the Java subset.
+
+    Accepts either a bare sequence of method declarations (the form student
+    submissions take in the paper) or methods wrapped in one or more
+    [class X { ... }] declarations.  Access modifiers are accepted and
+    ignored. *)
+
+open Ast
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+type state = { toks : Lexer.located array; mutable cursor : int }
+
+let current st = st.toks.(st.cursor)
+let peek_tok st = (current st).tok
+
+let peek_tok_at st n =
+  let i = min (st.cursor + n) (Array.length st.toks - 1) in
+  st.toks.(i).tok
+
+let advance st =
+  if st.cursor < Array.length st.toks - 1 then st.cursor <- st.cursor + 1
+
+let fail st msg =
+  let loc : Lexer.located = current st in
+  raise (Parse_error (msg, loc.line, loc.col))
+
+let expect_punct st p =
+  match peek_tok st with
+  | Lexer.Punct q when q = p -> advance st
+  | t ->
+      fail st
+        (Printf.sprintf "expected %S but found %s" p (Lexer.string_of_token t))
+
+let expect_keyword st k =
+  match peek_tok st with
+  | Lexer.Keyword q when q = k -> advance st
+  | t ->
+      fail st
+        (Printf.sprintf "expected %S but found %s" k (Lexer.string_of_token t))
+
+let expect_ident st =
+  match peek_tok st with
+  | Lexer.Ident name ->
+      advance st;
+      name
+  | t ->
+      fail st
+        (Printf.sprintf "expected an identifier but found %s"
+           (Lexer.string_of_token t))
+
+let eat_punct st p =
+  match peek_tok st with
+  | Lexer.Punct q when q = p ->
+      advance st;
+      true
+  | _ -> false
+
+let eat_keyword st k =
+  match peek_tok st with
+  | Lexer.Keyword q when q = k ->
+      advance st;
+      true
+  | _ -> false
+
+let primitive_types =
+  [ "int"; "long"; "short"; "byte"; "double"; "float"; "boolean"; "char"; "void" ]
+
+let rec skip_modifiers st =
+  match peek_tok st with
+  | Lexer.Keyword
+      ("public" | "private" | "protected" | "static" | "final" | "abstract"
+      | "synchronized" | "native" | "volatile") ->
+      advance st;
+      skip_modifiers st
+  | Lexer.Punct "@" ->
+      advance st;
+      ignore (expect_ident st);
+      skip_modifiers st
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                              *)
+
+let rec parse_array_suffix st t =
+  if peek_tok st = Lexer.Punct "[" && peek_tok_at st 1 = Lexer.Punct "]" then begin
+    advance st;
+    advance st;
+    parse_array_suffix st (Tarray t)
+  end
+  else t
+
+let parse_base_type st =
+  match peek_tok st with
+  | Lexer.Keyword k when List.mem k primitive_types ->
+      advance st;
+      Tprim k
+  | Lexer.Ident name ->
+      advance st;
+      if name = "String" then Tclass "String" else Tclass name
+  | t ->
+      fail st
+        (Printf.sprintf "expected a type but found %s" (Lexer.string_of_token t))
+
+let parse_type st = parse_array_suffix st (parse_base_type st)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+
+let binop_of_punct = function
+  | "+" -> Some Add
+  | "-" -> Some Sub
+  | "*" -> Some Mul
+  | "/" -> Some Div
+  | "%" -> Some Mod
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | "==" -> Some Eq
+  | "!=" -> Some Ne
+  | "&&" -> Some And
+  | "||" -> Some Or
+  | "&" -> Some Bit_and
+  | "|" -> Some Bit_or
+  | "^" -> Some Bit_xor
+  | "<<" -> Some Shl
+  | ">>" -> Some Shr
+  | ">>>" -> Some Ushr
+  | _ -> None
+
+let precedence = function
+  | Or -> 1
+  | And -> 2
+  | Bit_or -> 3
+  | Bit_xor -> 4
+  | Bit_and -> 5
+  | Eq | Ne -> 6
+  | Lt | Le | Gt | Ge -> 7
+  | Shl | Shr | Ushr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+
+let assign_op_of_punct = function
+  | "=" -> Some Set
+  | "+=" -> Some Add_eq
+  | "-=" -> Some Sub_eq
+  | "*=" -> Some Mul_eq
+  | "/=" -> Some Div_eq
+  | "%=" -> Some Mod_eq
+  | _ -> None
+
+let rec parse_expr st = parse_assignment st
+
+and parse_assignment st =
+  let lhs = parse_ternary st in
+  match peek_tok st with
+  | Lexer.Punct p -> (
+      match assign_op_of_punct p with
+      | Some op ->
+          advance st;
+          let rhs = parse_assignment st in
+          Assign (op, lhs, rhs)
+      | None -> lhs)
+  | _ -> lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 1 in
+  if eat_punct st "?" then begin
+    let t = parse_assignment st in
+    expect_punct st ":";
+    let f = parse_assignment st in
+    Ternary (cond, t, f)
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = parse_unary st in
+  let rec loop lhs =
+    match peek_tok st with
+    | Lexer.Punct p -> (
+        match binop_of_punct p with
+        | Some op when precedence op >= min_prec ->
+            advance st;
+            let rhs = parse_binary st (precedence op + 1) in
+            loop (Binary (op, lhs, rhs))
+        | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary st =
+  match peek_tok st with
+  | Lexer.Punct "-" ->
+      advance st;
+      Unary (Neg, parse_unary st)
+  | Lexer.Punct "+" ->
+      advance st;
+      Unary (Uplus, parse_unary st)
+  | Lexer.Punct "!" ->
+      advance st;
+      Unary (Not, parse_unary st)
+  | Lexer.Punct "~" ->
+      advance st;
+      Unary (Bit_not, parse_unary st)
+  | Lexer.Punct "++" ->
+      advance st;
+      Incdec (Pre_incr, parse_unary st)
+  | Lexer.Punct "--" ->
+      advance st;
+      Incdec (Pre_decr, parse_unary st)
+  | Lexer.Punct "("
+    when match peek_tok_at st 1 with
+         | Lexer.Keyword k ->
+             List.mem k primitive_types && peek_tok_at st 2 = Lexer.Punct ")"
+         | _ -> false -> (
+      advance st;
+      match peek_tok st with
+      | Lexer.Keyword k ->
+          advance st;
+          expect_punct st ")";
+          Cast (Tprim k, parse_unary st)
+      | _ -> assert false)
+  | Lexer.Keyword "new" -> parse_new st
+  | _ -> parse_postfix st
+
+and parse_new st =
+  expect_keyword st "new";
+  let base = parse_base_type st in
+  if peek_tok st = Lexer.Punct "[" then begin
+    let dims = ref [] in
+    while eat_punct st "[" do
+      if eat_punct st "]" then () (* trailing [] as in new int[][] — rare *)
+      else begin
+        dims := parse_expr st :: !dims;
+        expect_punct st "]"
+      end
+    done;
+    if peek_tok st = Lexer.Punct "{" then
+      (* new int[] {1, 2} — the literal carries the elements *)
+      parse_array_literal st
+    else New_array (base, List.rev !dims)
+  end
+  else begin
+    expect_punct st "(";
+    let args = parse_args st in
+    New (base, args)
+  end
+
+and parse_array_literal st =
+  expect_punct st "{";
+  let elts = ref [] in
+  if not (eat_punct st "}") then begin
+    let rec go () =
+      elts := parse_expr st :: !elts;
+      if eat_punct st "," then if peek_tok st = Lexer.Punct "}" then () else go ()
+    in
+    go ();
+    expect_punct st "}"
+  end;
+  Array_lit (List.rev !elts)
+
+and parse_args st =
+  let args = ref [] in
+  if not (eat_punct st ")") then begin
+    let rec go () =
+      args := parse_expr st :: !args;
+      if eat_punct st "," then go ()
+    in
+    go ();
+    expect_punct st ")"
+  end;
+  List.rev !args
+
+and parse_postfix st =
+  let e = parse_primary st in
+  let rec loop e =
+    match peek_tok st with
+    | Lexer.Punct "." -> (
+        advance st;
+        let name = expect_ident st in
+        if eat_punct st "(" then loop (Call (Some e, name, parse_args st))
+        else loop (Field (e, name)))
+    | Lexer.Punct "[" ->
+        advance st;
+        let idx = parse_expr st in
+        expect_punct st "]";
+        loop (Index (e, idx))
+    | Lexer.Punct "++" ->
+        advance st;
+        loop (Incdec (Post_incr, e))
+    | Lexer.Punct "--" ->
+        advance st;
+        loop (Incdec (Post_decr, e))
+    | _ -> e
+  in
+  loop e
+
+and parse_primary st =
+  match peek_tok st with
+  | Lexer.Int_literal n ->
+      advance st;
+      Int_lit n
+  | Lexer.Double_literal f ->
+      advance st;
+      Double_lit f
+  | Lexer.String_literal s ->
+      advance st;
+      Str_lit s
+  | Lexer.Char_literal c ->
+      advance st;
+      Char_lit c
+  | Lexer.Keyword "true" ->
+      advance st;
+      Bool_lit true
+  | Lexer.Keyword "false" ->
+      advance st;
+      Bool_lit false
+  | Lexer.Keyword "null" ->
+      advance st;
+      Null_lit
+  | Lexer.Ident name ->
+      advance st;
+      if eat_punct st "(" then Call (None, name, parse_args st) else Var name
+  | Lexer.Punct "(" ->
+      advance st;
+      let e = parse_expr st in
+      expect_punct st ")";
+      e
+  | Lexer.Punct "{" -> parse_array_literal st
+  | t ->
+      fail st
+        (Printf.sprintf "expected an expression but found %s"
+           (Lexer.string_of_token t))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* A statement starting with an identifier is a local declaration when the
+   identifier is a class name followed by another identifier ([Scanner s])
+   or by array brackets ([String[] parts]). *)
+let starts_declaration st =
+  match peek_tok st with
+  | Lexer.Keyword k when List.mem k primitive_types && k <> "void" -> true
+  | Lexer.Ident name when Ast.is_class_name name -> (
+      match peek_tok_at st 1 with
+      | Lexer.Ident _ -> true
+      | Lexer.Punct "[" -> peek_tok_at st 2 = Lexer.Punct "]"
+      | _ -> false)
+  | _ -> false
+
+let rec parse_declarators st base =
+  let name = expect_ident st in
+  let t = parse_array_suffix st base in
+  let init = if eat_punct st "=" then Some (parse_expr st) else None in
+  let d = { d_type = t; d_name = name; d_init = init } in
+  if eat_punct st "," then d :: parse_declarators st base else [ d ]
+
+let parse_decl_list st =
+  let base = parse_type st in
+  parse_declarators st base
+
+let rec parse_stmt st =
+  match peek_tok st with
+  | Lexer.Punct ";" ->
+      advance st;
+      Sempty
+  | Lexer.Punct "{" ->
+      advance st;
+      let body = parse_stmts_until st "}" in
+      Sblock body
+  | Lexer.Keyword "if" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      let then_ = parse_stmt st in
+      let else_ = if eat_keyword st "else" then Some (parse_stmt st) else None in
+      Sif (cond, then_, else_)
+  | Lexer.Keyword "while" ->
+      advance st;
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      Swhile (cond, parse_stmt st)
+  | Lexer.Keyword "do" ->
+      advance st;
+      let body = parse_stmt st in
+      expect_keyword st "while";
+      expect_punct st "(";
+      let cond = parse_expr st in
+      expect_punct st ")";
+      expect_punct st ";";
+      Sdo (body, cond)
+  | Lexer.Keyword "for" -> parse_for st
+  | Lexer.Keyword "switch" -> parse_switch st
+  | Lexer.Keyword "break" ->
+      advance st;
+      expect_punct st ";";
+      Sbreak
+  | Lexer.Keyword "continue" ->
+      advance st;
+      expect_punct st ";";
+      Scontinue
+  | Lexer.Keyword "return" ->
+      advance st;
+      if eat_punct st ";" then Sreturn None
+      else begin
+        let e = parse_expr st in
+        expect_punct st ";";
+        Sreturn (Some e)
+      end
+  | _ when starts_declaration st ->
+      let decls = parse_decl_list st in
+      expect_punct st ";";
+      Sdecl decls
+  | _ ->
+      let e = parse_expr st in
+      expect_punct st ";";
+      Sexpr e
+
+and parse_for st =
+  expect_keyword st "for";
+  expect_punct st "(";
+  let init =
+    if peek_tok st = Lexer.Punct ";" then None
+    else if starts_declaration st then Some (For_decl (parse_decl_list st))
+    else begin
+      let rec exprs () =
+        let e = parse_expr st in
+        if eat_punct st "," then e :: exprs () else [ e ]
+      in
+      Some (For_exprs (exprs ()))
+    end
+  in
+  expect_punct st ";";
+  let cond = if peek_tok st = Lexer.Punct ";" then None else Some (parse_expr st) in
+  expect_punct st ";";
+  let update =
+    if peek_tok st = Lexer.Punct ")" then []
+    else begin
+      let rec exprs () =
+        let e = parse_expr st in
+        if eat_punct st "," then e :: exprs () else [ e ]
+      in
+      exprs ()
+    end
+  in
+  expect_punct st ")";
+  Sfor (init, cond, update, parse_stmt st)
+
+and parse_switch st =
+  expect_keyword st "switch";
+  expect_punct st "(";
+  let scrutinee = parse_expr st in
+  expect_punct st ")";
+  expect_punct st "{";
+  let cases = ref [] in
+  let rec go () =
+    match peek_tok st with
+    | Lexer.Punct "}" -> advance st
+    | Lexer.Keyword "case" ->
+        advance st;
+        let label = parse_expr st in
+        expect_punct st ":";
+        cases := { case_label = Some label; case_body = parse_case_body st } :: !cases;
+        go ()
+    | Lexer.Keyword "default" ->
+        advance st;
+        expect_punct st ":";
+        cases := { case_label = None; case_body = parse_case_body st } :: !cases;
+        go ()
+    | t ->
+        fail st
+          (Printf.sprintf "expected \"case\", \"default\" or \"}\" but found %s"
+             (Lexer.string_of_token t))
+  in
+  go ();
+  Sswitch (scrutinee, List.rev !cases)
+
+and parse_case_body st =
+  let rec go acc =
+    match peek_tok st with
+    | Lexer.Punct "}" | Lexer.Keyword "case" | Lexer.Keyword "default" ->
+        List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmts_until st closer =
+  let rec go acc =
+    if eat_punct st closer then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Methods and programs                                                *)
+
+let parse_param st =
+  let t = parse_type st in
+  let name = expect_ident st in
+  let t = parse_array_suffix st t in
+  { p_type = t; p_name = name }
+
+let parse_params st =
+  expect_punct st "(";
+  let params = ref [] in
+  if not (eat_punct st ")") then begin
+    let rec go () =
+      params := parse_param st :: !params;
+      if eat_punct st "," then go ()
+    in
+    go ();
+    expect_punct st ")"
+  end;
+  List.rev !params
+
+let parse_method st =
+  skip_modifiers st;
+  let ret = parse_type st in
+  let name = expect_ident st in
+  let params = parse_params st in
+  (match peek_tok st with
+  | Lexer.Keyword "throws" ->
+      advance st;
+      ignore (expect_ident st);
+      while eat_punct st "," do
+        ignore (expect_ident st)
+      done
+  | _ -> ());
+  expect_punct st "{";
+  let body = parse_stmts_until st "}" in
+  { m_ret = ret; m_name = name; m_params = params; m_body = body }
+
+let parse_program_tokens st =
+  let methods = ref [] in
+  let rec go () =
+    skip_modifiers st;
+    match peek_tok st with
+    | Lexer.Eof -> ()
+    | Lexer.Keyword "import" ->
+        (* import java.util.Scanner; — skip to the semicolon *)
+        while peek_tok st <> Lexer.Punct ";" && peek_tok st <> Lexer.Eof do
+          advance st
+        done;
+        expect_punct st ";";
+        go ()
+    | Lexer.Keyword "class" ->
+        advance st;
+        ignore (expect_ident st);
+        if eat_keyword st "extends" then ignore (expect_ident st);
+        expect_punct st "{";
+        let rec members () =
+          skip_modifiers st;
+          if eat_punct st "}" then ()
+          else begin
+            methods := parse_method st :: !methods;
+            members ()
+          end
+        in
+        members ();
+        go ()
+    | _ ->
+        methods := parse_method st :: !methods;
+        go ()
+  in
+  go ();
+  { methods = List.rev !methods }
+
+let with_state src f =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  f { toks; cursor = 0 }
+
+(** Parse a complete submission: one or more methods, optionally inside
+    class declarations.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+let parse_program src = with_state src parse_program_tokens
+
+(** Parse a single expression; the whole input must be consumed. *)
+let parse_expression src =
+  with_state src (fun st ->
+      let e = parse_expr st in
+      (match peek_tok st with
+      | Lexer.Eof -> ()
+      | t ->
+          fail st
+            (Printf.sprintf "trailing input after expression: %s"
+               (Lexer.string_of_token t)));
+      e)
+
+(** Parse a single statement (blocks allowed). *)
+let parse_statement src =
+  with_state src (fun st ->
+      let s = parse_stmt st in
+      (match peek_tok st with
+      | Lexer.Eof -> ()
+      | t ->
+          fail st
+            (Printf.sprintf "trailing input after statement: %s"
+               (Lexer.string_of_token t)));
+      s)

@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the Java subset.
+
+    Accepts either a bare sequence of method declarations (the form
+    student submissions take in the paper) or methods wrapped in one or
+    more [class X { ... }] declarations; [import] lines and access
+    modifiers are accepted and ignored. *)
+
+exception Parse_error of string * int * int
+(** message, line, column (1-based) *)
+
+val parse_program : string -> Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_expression : string -> Ast.expr
+(** Parse a single expression; the whole input must be consumed. *)
+
+val parse_statement : string -> Ast.stmt
+(** Parse a single statement (blocks allowed). *)

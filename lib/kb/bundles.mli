@@ -1,0 +1,35 @@
+(** Per-assignment bundles: the generator space (Table I column S), the
+    grading specification (columns P and C), and the functional-test
+    suite (column T) for each of the paper's twelve assignments. *)
+
+type t = {
+  gen : Jfeed_gen.Spec.t;
+  grading : Jfeed_core.Grader.spec;
+  suite : Jfeed_ftest.Runner.suite;
+}
+
+val patterns : t -> (Jfeed_core.Pattern.t * int) list
+(** All (pattern, t̄) usages across the assignment's expected methods —
+    its Table I column P is the length of this list. *)
+
+val constraints : t -> Jfeed_core.Constr.t list
+(** All constraints across the expected methods — column C. *)
+
+val assignment1 : t
+val esc_p1v1 : t
+val esc_p2v1 : t
+val esc_p2v2 : t
+val esc_p3v1 : t
+val esc_p4v1 : t
+val esc_p3v2 : t
+val esc_p4v2 : t
+val mitx_derivatives : t
+val mitx_polynomials : t
+val rit_gold : t
+val rit_ath : t
+
+val all : t list
+(** The twelve assignments, in Table I order. *)
+
+val find : string -> t option
+(** Look up by assignment id (e.g. ["esc-LAB-3-P2-V1"]). *)

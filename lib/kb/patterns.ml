@@ -1,0 +1,750 @@
+(** The knowledge base of reusable patterns (paper §III-B, §VI-A: twenty
+    four unique patterns shared by the twelve assignments).
+
+    Conventions:
+    - templates match the canonical rendering of {!Jfeed_pdg.Epdg} node
+      contents; [%x%]-style placeholders are pattern variables;
+    - each pattern uses its own variable alphabet so containment
+      constraints can merge mappings without collisions (Definition 10);
+    - node 0 of a pattern is its "anchor" (documented per pattern) so
+      constraints can reference nodes by stable indices. *)
+
+open Jfeed_core
+open Jfeed_exprmatch
+module E = Jfeed_pdg.Epdg
+
+let exact = Template.exact_of
+let regex = Template.regex_of
+let contains = Template.contains_of
+let node = Pattern.node
+
+(* Recurring regex fragments. *)
+let incr_of v = Printf.sprintf {|(%%%s%%\+\+|%%%s%% = %%%s%% \+ 1|%%%s%% \+= 1)|} v v v v
+
+(* Any update of [v] — the approximate form of an increment node.  It must
+   stay anchored on [v] as the target: a looser "contains v" form would
+   also match accumulations that merely *read* v (e.g. [f *= i]) and
+   produce spurious pattern occurrences. *)
+let update_of v =
+  Printf.sprintf
+    {|(%%%s%%\+\+|%%%s%%--|%%%s%% [-+*/]= .+|%%%s%% = %%%s%% .+)|} v v v v v
+
+let ident_re = {|[A-Za-z_$][A-Za-z0-9_$]*|}
+
+(* ------------------------------------------------------------------ *)
+(* Parameter declarations                                              *)
+
+(** [p_param_decl] — the method declares the expected input parameter
+    (scalar, string or array).  Node 0: the Decl node. *)
+let p_param_decl =
+  {
+    Pattern.id = "p_param_decl";
+    description = "The input is a method parameter";
+    nodes =
+      [|
+        node ~typ:E.Decl
+          (regex {|(int|long|double|String)(\[\])? %k%|})
+          ~ok:"%k% is the input parameter";
+      |];
+    edges = [];
+    fb_present = "Your method takes the input %k% as a parameter";
+    fb_missing = "Your method must take the input as a parameter";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Array traversal (the paper's p_o and its even twin)                 *)
+
+(* Nodes: 0 array decl (Untyped), 1 index init, 2 index update,
+   3 loop bound, 4 parity guard, 5 array access. *)
+let parity_access ~id ~desc ~parity =
+  {
+    Pattern.id;
+    description = desc;
+    nodes =
+      [|
+        node (regex ({|.*\[\] %s%|})) ~ok:"%s% is the array being traversed";
+        node ~typ:E.Assign (exact "%x% = 0")
+          ~approx:(regex {|%x% = .+|})
+          ~ok:"%x% is initialized to 0" ~bad:"%x% should be initialized to 0";
+        node ~typ:E.Assign
+          (regex (incr_of "x"))
+          ~approx:(regex (update_of "x"))
+          ~ok:"%x% is incremented by 1" ~bad:"%x% should be incremented by 1";
+        node ~typ:E.Cond
+          (regex {|%x% < %s%\.length|})
+          ~approx:(regex {|%x% <= %s%\.length|})
+          ~ok:"%x% does not go beyond %s%.length - 1"
+          ~bad:"%x% is out of bounds going beyond %s%.length - 1";
+        (* Crucial node (the paper gives u4 no incorrect feedback): if the
+           parity guard does not match exactly, the pattern is simply not
+           recognized. *)
+        node ~typ:E.Cond
+          (exact (Printf.sprintf "%%x%% %% 2 == %d" parity))
+          ~ok:
+            (Printf.sprintf
+               "You are using %%x%% %% 2 == %d to control the position parity"
+               parity);
+        node
+          (contains "%s%[%x%]")
+          ~approx:(regex {|.*%s%\[.+\].*|})
+          ~ok:"%x% is used exactly to access %s%"
+          ~bad:"You should access %s% by using %x% exactly";
+      |];
+    edges =
+      [
+        (0, 5, E.Data);
+        (1, 2, E.Data);
+        (1, 3, E.Data);
+        (3, 2, E.Ctrl);
+        (3, 4, E.Ctrl);
+        (4, 5, E.Ctrl);
+      ];
+    fb_present = Printf.sprintf
+        "You are correctly accessing positions with %%x%% %% 2 == %d \
+         sequentially in array %%s%%" parity;
+    fb_missing =
+      Printf.sprintf
+        "You are not accessing the required positions sequentially in an \
+         array; consider a loop and a condition %%x%% %% 2 == %d where \
+         %%x%% is the index" parity;
+  }
+
+(** The paper's p_o (Fig. 4): odd positions accessed sequentially. *)
+let p_odd_access =
+  parity_access ~id:"p_odd_access"
+    ~desc:"Accessing odd positions sequentially in an array" ~parity:1
+
+(** Even twin of p_o. *)
+let p_even_access =
+  parity_access ~id:"p_even_access"
+    ~desc:"Accessing even positions sequentially in an array" ~parity:0
+
+(* ------------------------------------------------------------------ *)
+(* Conditional accumulation (the paper's p_a and its product twin)     *)
+
+(* Nodes: 0 accumulator init, 1 outer condition, 2 inner condition,
+   3 accumulation. *)
+let cond_accum ~id ~desc ~init_value ~op ~op_name ~op_verb =
+  (* [c++] counts as cumulative addition (conditional counting reuses this
+     pattern — e.g. the RIT medal counters and the esc range counters). *)
+  let accum_re =
+    if op = {|\+|} then {|(%c% \+= .+|%c% = %c% \+ .+|%c%\+\+)|}
+    else Printf.sprintf {|(%%c%% %s= .+|%%c%% = %%c%% %s .+)|} op op
+  in
+  {
+    Pattern.id;
+    description = desc;
+    nodes =
+      [|
+        node ~typ:E.Assign
+          (exact (Printf.sprintf "%%c%% = %d" init_value))
+          ~approx:(regex {|%c% = .+|})
+          ~ok:(Printf.sprintf "%%c%% is initialized to %d" init_value)
+          ~bad:(Printf.sprintf "%%c%% should be initialized to %d" init_value);
+        node ~typ:E.Cond (regex {|.+|}) ~ok:"A loop controls the accumulation";
+        node ~typ:E.Cond (regex {|.+|})
+          ~ok:"A condition selects when to accumulate";
+        (* Crucial node: the accumulation operator identifies the
+           pattern. *)
+        node ~typ:E.Assign (regex accum_re)
+          ~ok:(Printf.sprintf "%%c%% is cumulatively %s" op_name);
+      |];
+    edges = [ (0, 3, E.Data); (1, 2, E.Ctrl); (2, 3, E.Ctrl) ];
+    fb_present = Printf.sprintf "%%c%% is conditionally cumulatively %s" op_name;
+    fb_missing =
+      Printf.sprintf
+        "You should cumulatively %s a variable under a condition inside a \
+         loop" op_verb;
+  }
+
+(** The paper's p_a (Fig. 5): conditional cumulative addition. *)
+let p_cond_accum_add =
+  cond_accum ~id:"p_cond_accum_add" ~desc:"Conditional cumulative addition"
+    ~init_value:0 ~op:{|\+|} ~op_name:"added" ~op_verb:"add"
+
+let p_cond_accum_mul =
+  cond_accum ~id:"p_cond_accum_mul"
+    ~desc:"Conditional cumulative multiplication" ~init_value:1 ~op:{|\*|}
+    ~op_name:"multiplied" ~op_verb:"multiply"
+
+(* ------------------------------------------------------------------ *)
+(* Printing (the paper's p_p)                                          *)
+
+(** [p_print_var] — a computed variable is printed to console.
+    Nodes: 0 the computation (Untyped), 1 the print Call; Data edge. *)
+let p_print_var =
+  {
+    Pattern.id = "p_print_var";
+    description = "Assign and print to console";
+    nodes =
+      [|
+        node (contains "%c%") ~ok:"%c% holds the computed result";
+        (* The printed expression must be the bare variable, optionally
+           followed by a newline-style string suffix — printing a modified
+           value (e.g. [println(n + 1)]) must not be accepted. *)
+        node ~typ:E.Call
+          (regex {|System\.out\.print(ln)?\(%c%( \+ "[^"]*")?\)|})
+          ~approx:(regex {|System\.out\.print(ln)?\(.*%c%.*\)|})
+          ~ok:"%c% is printed to console"
+          ~bad:"Print the computed value %c% exactly";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "The computed value %c% is printed to console";
+    fb_missing = "You must print the computed result to console";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counter loops and returns                                           *)
+
+(** [p_counter_loop] — a loop driven by a counter initialized to a
+    constant.  Nodes: 0 init, 1 condition, 2 increment. *)
+let p_counter_loop =
+  {
+    Pattern.id = "p_counter_loop";
+    description = "A loop driven by a counter initialized to a constant";
+    nodes =
+      [|
+        node ~typ:E.Assign
+          (regex {|%i% = [0-9]+|})
+          ~approx:(regex {|%i% = .+|})
+          ~ok:"%i% is initialized to a constant"
+          ~bad:"Initialize the loop counter %i% to a constant";
+        node ~typ:E.Cond (contains "%i%") ~ok:"%i% controls the loop";
+        node ~typ:E.Assign
+          (regex (incr_of "i"))
+          ~approx:(regex (update_of "i"))
+          ~ok:"%i% is incremented by 1" ~bad:"%i% should be incremented by 1";
+      |];
+    edges = [ (0, 1, E.Data); (0, 2, E.Data); (1, 2, E.Ctrl) ];
+    fb_present = "A counter loop over %i% drives the computation";
+    fb_missing = "Use a loop driven by a counter variable";
+  }
+
+(** [p_return_var] — the method returns a computed variable.
+    Nodes: 0 the computation (Untyped), 1 the return. *)
+let p_return_var =
+  {
+    Pattern.id = "p_return_var";
+    description = "Return a computed variable";
+    nodes =
+      [|
+        node (contains "%r%") ~ok:"%r% holds the computed result";
+        node ~typ:E.Return (exact "return %r%")
+          ~approx:(regex {|return .+|})
+          ~ok:"The method returns %r%"
+          ~bad:"The method should return the computed variable %r%";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "The computed value %r% is returned";
+    fb_missing = "Your method must return the computed value";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Helper-based search (esc-LAB-3-P1/P2 drivers)                       *)
+
+(** [p_search_while] — advance a counter while [helper(n + 1) <= k].
+    Nodes: 0 counter init, 1 search condition, 2 counter increment. *)
+let p_search_while =
+  {
+    Pattern.id = "p_search_while";
+    description = "Advance a counter while helper(n + 1) <= k";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%n% = 0")
+          ~approx:(regex {|%n% = .+|})
+          ~ok:"%n% starts at 0" ~bad:"%n% should start at 0";
+        node ~typ:E.Cond
+          (regex (ident_re ^ {|\(%n% \+ 1\) <= %k%|}))
+          ~approx:(regex (ident_re ^ {|\(%n%( \+ 1)?\) <=? %k%|}))
+          ~ok:"The loop advances while helper(%n% + 1) <= %k%"
+          ~bad:"The search condition should compare helper(%n% + 1) <= %k%";
+        node ~typ:E.Assign
+          (regex (incr_of "n"))
+          ~approx:(regex (update_of "n"))
+          ~ok:"%n% advances by 1" ~bad:"%n% should advance by 1";
+      |];
+    edges = [ (0, 1, E.Data); (0, 2, E.Data); (1, 2, E.Ctrl) ];
+    fb_present =
+      "You search for the answer by advancing %n% while helper(%n% + 1) <= %k%";
+    fb_missing =
+      "Advance a counter %n% while helper(%n% + 1) <= %k% to find the answer";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Factorial and Fibonacci helpers                                     *)
+
+(** [p_factorial] — iterative factorial.  Nodes: 0 accumulator init,
+    1 loop bound, 2 multiplication (crucial), 3 counter increment,
+    4 counter init, 5 return. *)
+let p_factorial =
+  {
+    Pattern.id = "p_factorial";
+    description = "Iterative factorial accumulation";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%f% = 1")
+          ~approx:(regex {|%f% = .+|})
+          ~ok:"%f% is initialized to 1" ~bad:"%f% should be initialized to 1";
+        node ~typ:E.Cond
+          (regex {|%i% <= %m%|})
+          ~approx:(regex {|%i% <=? .+|})
+          ~ok:"The loop runs %i% up to %m% inclusive"
+          ~bad:"The loop should run %i% up to %m% inclusive";
+        (* Crucial: the multiplicative step identifies the pattern. *)
+        node ~typ:E.Assign
+          (regex {|(%f% \*= %i%|%f% = %f% \* %i%)|})
+          ~ok:"%f% accumulates the product of %i%";
+        node ~typ:E.Assign
+          (regex (incr_of "i"))
+          ~approx:(regex (update_of "i"))
+          ~ok:"%i% is incremented by 1" ~bad:"%i% should be incremented by 1";
+        node ~typ:E.Assign (exact "%i% = 1")
+          ~approx:(regex {|%i% = .+|})
+          ~ok:"%i% starts at 1" ~bad:"%i% should start at 1";
+        node ~typ:E.Return (exact "return %f%")
+          ~approx:(regex {|return .+|})
+          ~ok:"The factorial %f% is returned"
+          ~bad:"Return the accumulated factorial %f%";
+      |];
+    edges =
+      [
+        (0, 2, E.Data);
+        (4, 1, E.Data);
+        (4, 3, E.Data);
+        (1, 2, E.Ctrl);
+        (1, 3, E.Ctrl);
+        (2, 5, E.Data);
+      ];
+    fb_present = "%f% correctly accumulates the factorial";
+    fb_missing =
+      "Compute the factorial by multiplying %f% by %i% in a loop from 1 to \
+       the parameter";
+  }
+
+(** [p_fib_step] — iterative Fibonacci stepping.  Nodes: 0/1 seeds,
+    2 sum (crucial), 3 shift a (crucial), 4 shift b (crucial), 5 loop. *)
+let p_fib_step =
+  {
+    Pattern.id = "p_fib_step";
+    description = "Iterative Fibonacci stepping";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%a% = 1")
+          ~approx:(regex {|%a% = .+|})
+          ~ok:"The first seed %a% is 1" ~bad:"The first seed %a% should be 1";
+        node ~typ:E.Assign (exact "%b% = 1")
+          ~approx:(regex {|%b% = .+|})
+          ~ok:"The second seed %b% is 1" ~bad:"The second seed %b% should be 1";
+        node ~typ:E.Assign (exact "%t% = %a% + %b%")
+          ~ok:"%t% is the sum of the previous two values";
+        node ~typ:E.Assign (exact "%a% = %b%") ~ok:"%a% shifts to %b%";
+        node ~typ:E.Assign (exact "%b% = %t%") ~ok:"%b% shifts to %t%";
+        node ~typ:E.Cond (regex {|.+|}) ~ok:"A loop drives the stepping";
+      |];
+    edges =
+      [
+        (0, 2, E.Data);
+        (1, 2, E.Data);
+        (1, 3, E.Data);
+        (2, 4, E.Data);
+        (5, 2, E.Ctrl);
+        (5, 3, E.Ctrl);
+        (5, 4, E.Ctrl);
+      ];
+    fb_present = "The Fibonacci values are stepped with %t% = %a% + %b%";
+    fb_missing =
+      "Step the Fibonacci sequence with a temporary: %t% = %a% + %b%; %a% = \
+       %b%; %b% = %t%";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Digit manipulation                                                  *)
+
+(** [p_digit_peel] — extract digits with [% 10] while shrinking with
+    [/ 10].  Nodes: 0 loop condition, 1 digit extraction (crucial),
+    2 shrink (crucial). *)
+let p_digit_peel =
+  {
+    Pattern.id = "p_digit_peel";
+    description = "Peel digits off a number with % 10 and / 10";
+    nodes =
+      [|
+        node ~typ:E.Cond
+          (regex {|(%n% > 0|%n% != 0)|})
+          ~approx:(regex {|%n% >= 0|})
+          ~ok:"The loop runs while %n% has digits left"
+          ~bad:"The loop condition %n% >= 0 never lets %n% reach the end";
+        node ~typ:E.Assign (exact "%d% = %n% % 10")
+          ~ok:"%d% extracts the last digit of %n%";
+        node ~typ:E.Assign
+          (regex {|(%n% = %n% / 10|%n% /= 10)|})
+          ~ok:"%n% drops its last digit";
+      |];
+    edges = [ (0, 1, E.Ctrl); (0, 2, E.Ctrl) ];
+    fb_present = "You peel the digits of %n% with %% 10 and / 10";
+    fb_missing =
+      "Peel the digits off the number: extract with %% 10 and shrink with \
+       / 10 inside a loop";
+  }
+
+(** [p_reverse_accum] — build the digit-reversed number.
+    Nodes: 0 init, 1 accumulation (crucial). *)
+let p_reverse_accum =
+  {
+    Pattern.id = "p_reverse_accum";
+    description = "Accumulate the reverse of a number";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%rv% = 0")
+          ~approx:(regex {|%rv% = .+|})
+          ~ok:"%rv% starts at 0" ~bad:"%rv% should start at 0";
+        node ~typ:E.Assign
+          (regex {|%rv% = %rv% \* 10 \+ .+|})
+          ~ok:"%rv% accumulates the reversed digits";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "%rv% accumulates the reverse of the number";
+    fb_missing = "Build the reverse with %rv% = %rv% * 10 + digit";
+  }
+
+(** [p_cube_sum] — sum the cubes of the digits.
+    Nodes: 0 init, 1 accumulation (crucial). *)
+let p_cube_sum =
+  {
+    Pattern.id = "p_cube_sum";
+    description = "Sum the cubes of the digits";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%cs% = 0")
+          ~approx:(regex {|%cs% = .+|})
+          ~ok:"%cs% starts at 0" ~bad:"%cs% should start at 0";
+        node ~typ:E.Assign
+          (regex
+             {|(%cs% \+= %cd% \* %cd% \* %cd%|%cs% = %cs% \+ %cd% \* %cd% \* %cd%)|})
+          ~ok:"%cs% accumulates the cube of %cd%";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "%cs% sums the cubes of the digits";
+    fb_missing = "Sum the cube of each digit: %cs% += %cd% * %cd% * %cd%";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Compare-and-report                                                  *)
+
+(** [p_compare_print] — an equality test chooses between two console
+    messages.  Nodes: 0 condition, 1/2 the two prints. *)
+let p_compare_print =
+  {
+    Pattern.id = "p_compare_print";
+    description = "Compare two values and print a message either way";
+    nodes =
+      [|
+        node ~typ:E.Cond (exact "%ca% == %cb%")
+          ~ok:"%ca% is compared against %cb%";
+        node ~typ:E.Call
+          (regex {|System\.out\.print(ln)?\(.+\)|})
+          ~ok:"A message is printed when the test holds";
+        node ~typ:E.Call
+          (regex {|System\.out\.print(ln)?\(.+\)|})
+          ~ok:"A message is printed when the test fails";
+      |];
+    edges = [ (0, 1, E.Ctrl); (0, 2, E.Ctrl) ];
+    fb_present = "You compare %ca% with %cb% and report both outcomes";
+    fb_missing =
+      "Compare the computed value against the input and print a message in \
+       both cases";
+  }
+
+(** [p_abs_diff] — the positive difference of two values via an if-negate.
+    Nodes: 0 the difference assignment, 1 sign test, 2 negation. *)
+let p_abs_diff =
+  {
+    Pattern.id = "p_abs_diff";
+    description = "Take the positive difference of two values";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%df% = %kd% - %rd%")
+          ~ok:"%df% is the difference of %kd% and %rd%";
+        node ~typ:E.Cond (exact "%df% < 0") ~ok:"%df% is tested for sign";
+        node ~typ:E.Assign (exact "%df% = -%df%")
+          ~ok:"%df% is negated when negative";
+      |];
+    edges = [ (0, 1, E.Data); (1, 2, E.Ctrl) ];
+    fb_present = "%df% holds the positive difference";
+    fb_missing =
+      "Compute the difference and make it positive: if (%df% < 0) %df% = \
+       -%df%";
+  }
+
+(** [p_copy_param] — the parameter is copied before being consumed.
+    Nodes: 0 the parameter declaration, 1 the copy. *)
+let p_copy_param =
+  {
+    Pattern.id = "p_copy_param";
+    description = "Copy the parameter before destroying it";
+    nodes =
+      [|
+        node ~typ:E.Decl (regex {|(int|long) %ck%|})
+          ~ok:"%ck% is the input parameter";
+        node ~typ:E.Assign (exact "%cn% = %ck%")
+          ~ok:"%ck% is saved into %cn% before the loop consumes it";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "You copy the parameter before consuming it";
+    fb_missing =
+      "Copy the parameter into a working variable — you still need the \
+       original value after the loop";
+  }
+
+(** [p_string_output] — a string literal message printed to console. *)
+let p_string_output =
+  {
+    Pattern.id = "p_string_output";
+    description = "Print a literal message";
+    nodes =
+      [|
+        node ~typ:E.Call
+          (regex {|System\.out\.print(ln)?\("[^"]*"\)|})
+          ~ok:"A literal message is printed";
+      |];
+    edges = [];
+    fb_present = "Literal messages are printed to console";
+    fb_missing = "Print the requested messages to console";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Polynomial evaluation (mitx)                                        *)
+
+(** [p_poly_accum] — evaluate a polynomial by accumulating coefficient
+    times running power.  Nodes: 0 result init, 1 power init, 2 term
+    accumulation (crucial), 3 power step (crucial), 4 loop. *)
+let p_poly_accum =
+  {
+    Pattern.id = "p_poly_accum";
+    description = "Polynomial evaluation with a running power";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%r8% = 0")
+          ~approx:(regex {|%r8% = .+|})
+          ~ok:"The result %r8% starts at 0" ~bad:"Start the result %r8% at 0";
+        node ~typ:E.Assign (exact "%w8% = 1")
+          ~approx:(regex {|%w8% = .+|})
+          ~ok:"The running power %w8% starts at 1"
+          ~bad:"Start the running power %w8% at 1";
+        node ~typ:E.Assign
+          (regex {|(%r8% \+= .+ \* %w8%|%r8% = %r8% \+ .+ \* %w8%)|})
+          ~ok:"%r8% accumulates coefficient times %w8%";
+        node ~typ:E.Assign
+          (regex {|(%w8% \*= .+|%w8% = %w8% \* .+)|})
+          ~ok:"%w8% advances by multiplying";
+        node ~typ:E.Cond (regex {|.+|}) ~ok:"A loop drives the evaluation";
+      |];
+    edges =
+      [
+        (0, 2, E.Data);
+        (1, 2, E.Data);
+        (1, 3, E.Data);
+        (4, 2, E.Ctrl);
+        (4, 3, E.Ctrl);
+      ];
+    fb_present = "You evaluate the polynomial with a running power %w8%";
+    fb_missing =
+      "Evaluate the polynomial by accumulating coefficient * power and \
+       multiplying the power each iteration";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File scanning (rit)                                                 *)
+
+(** [p_scanner_loop] — open a file Scanner, loop on hasNext with a record
+    cursor.  Nodes: 0 Scanner creation (crucial), 1 hasNext condition
+    (crucial), 2 cursor init, 3 cursor increment. *)
+let p_scanner_loop =
+  {
+    Pattern.id = "p_scanner_loop";
+    description = "Scan a file token by token with a record cursor";
+    nodes =
+      [|
+        node ~typ:E.Assign
+          (regex {|%sc% = new Scanner\(new File\(".+"\)\)|})
+          ~ok:"%sc% scans the input file";
+        node ~typ:E.Cond
+          (regex {|%sc%\.hasNext\(\)|})
+          ~ok:"The loop runs while %sc% has tokens";
+        node ~typ:E.Assign (exact "%cu% = 1")
+          ~approx:(regex {|%cu% = .+|})
+          ~ok:"The token cursor %cu% starts at 1"
+          ~bad:"Start the token cursor %cu% at 1";
+        node ~typ:E.Assign
+          (regex (incr_of "cu"))
+          ~approx:(regex (update_of "cu"))
+          ~ok:"The cursor %cu% advances once per token"
+          ~bad:"Advance the cursor %cu% by exactly 1 per token";
+      |];
+    edges = [ (0, 1, E.Data); (2, 3, E.Data); (1, 3, E.Ctrl) ];
+    fb_present = "You scan the file with %sc% and track the position in %cu%";
+    fb_missing =
+      "Scan the file with a Scanner, looping on hasNext() and tracking the \
+       token position in a cursor";
+  }
+
+(* A guarded field read: [if (ru % 5 == r) fv = fs.next…()].  The variable
+   alphabet (ru/fv/fs) is disjoint from the other scanner patterns so
+   containment constraints can merge mappings (Definition 10). *)
+let guarded_read ~id ~desc ~call ~what =
+  {
+    Pattern.id;
+    description = desc;
+    nodes =
+      [|
+        node ~typ:E.Cond
+          (regex {|%ru% % 5 == [0-9]|})
+          ~ok:"A record-position condition selects the field";
+        node ~typ:E.Assign
+          (regex (Printf.sprintf {|%%fv%% = %%fs%%\.%s\(\)|} call))
+          ~ok:(Printf.sprintf "%%fv%% reads the %s field" what);
+      |];
+    edges = [ (0, 1, E.Ctrl) ];
+    fb_present = Printf.sprintf "%%fv%% is read as a %s field at a fixed record position" what;
+    fb_missing =
+      Printf.sprintf
+        "Read each %s field under a position condition %%ru%% %% 5 == r" what;
+  }
+
+(** [p_read_str_field] — a string field read under a record-position
+    guard. *)
+let p_read_str_field =
+  guarded_read ~id:"p_read_str_field" ~desc:"Guarded string field read"
+    ~call:"next" ~what:"string"
+
+(** [p_read_int_field] — an integer field read under a record-position
+    guard. *)
+let p_read_int_field =
+  guarded_read ~id:"p_read_int_field" ~desc:"Guarded integer field read"
+    ~call:"nextInt" ~what:"integer"
+
+(** [p_record_guard] — the counting condition: a record-position test
+    combined with at least one other conjunct. *)
+let p_record_guard =
+  {
+    Pattern.id = "p_record_guard";
+    description = "Count under a record-position condition with extra tests";
+    nodes =
+      [|
+        node ~typ:E.Cond
+          (regex
+             {|((.+ && )*%gu% % 5 == [0-9]( && .+)+|(.+ && )+%gu% % 5 == [0-9]( && .+)*)|})
+          ~ok:"The count happens at a fixed record position with extra tests";
+      |];
+    edges = [];
+    fb_present = "You count at a fixed record position under extra conditions";
+    fb_missing =
+      "Count under a condition that combines the record position with the \
+       field tests";
+  }
+
+(** [p_close_scanner] — the Scanner is closed after the loop. *)
+let p_close_scanner =
+  {
+    Pattern.id = "p_close_scanner";
+    description = "Close the Scanner";
+    nodes =
+      [|
+        node ~typ:E.Assign
+          (regex {|%sc% = new Scanner\(new File\(".+"\)\)|})
+          ~ok:"%sc% scans the input file";
+        node ~typ:E.Call
+          (regex {|%sc%\.close\(\)|})
+          ~ok:"%sc% is closed";
+      |];
+    edges = [ (0, 1, E.Data) ];
+    fb_present = "You close the Scanner when done";
+    fb_missing = "Close your Scanner when you are done reading the file";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Variant patterns (§VII future work: the pattern hierarchy)          *)
+(* These are alternatives that realize the same semantics as a primary
+   pattern.  Node indices are aligned with the primary so the existing
+   constraints keep their meaning; they are only consulted when grading
+   with [~use_variants:true]. *)
+
+(** Variant of {!p_digit_peel}: digits peeled under a digit-count bound
+    computed with [⌊log10 k⌋ + 1] — the paper's own §VI-B discrepancy
+    example.  Node 1 (the extraction) aligns with the primary's. *)
+let p_digit_peel_log10 =
+  {
+    Pattern.id = "p_digit_peel_log10";
+    description = "Peel digits under a log10 digit-count bound";
+    nodes =
+      [|
+        node ~typ:E.Cond
+          (regex {|.+ < .+|})
+          ~ok:"The loop runs once per digit";
+        node ~typ:E.Assign (exact "%d% = %n% % 10")
+          ~ok:"%d% extracts the last digit of %n%";
+        node ~typ:E.Assign
+          (regex {|(%n% = %n% / 10|%n% /= 10)|})
+          ~ok:"%n% drops its last digit";
+      |];
+    edges = [ (0, 1, E.Ctrl); (0, 2, E.Ctrl) ];
+    fb_present =
+      "You peel the digits of %n% under a digit-count bound (a correct \
+       variant)";
+    fb_missing = "Peel the digits off the number inside a loop";
+  }
+
+(** Variant of {!p_search_while}: a do-while driver — the condition is
+    evaluated after the advance, so the init→condition data edge of the
+    primary does not exist.  Node indices align with the primary's. *)
+let p_search_do =
+  {
+    Pattern.id = "p_search_do";
+    description = "Advance a counter in a do-while while helper(n + 1) <= k";
+    nodes =
+      [|
+        node ~typ:E.Assign (exact "%n% = 0")
+          ~approx:(regex {|%n% = .+|})
+          ~ok:"%n% starts at 0" ~bad:"%n% should start at 0";
+        node ~typ:E.Cond
+          (regex (ident_re ^ {|\(%n% \+ 1\) <= %k%|}))
+          ~approx:(regex (ident_re ^ {|\(%n%( \+ 1)?\) <=? %k%|}))
+          ~ok:"The loop advances while helper(%n% + 1) <= %k%"
+          ~bad:"The search condition should compare helper(%n% + 1) <= %k%";
+        node ~typ:E.Assign
+          (regex (incr_of "n"))
+          ~approx:(regex (update_of "n"))
+          ~ok:"%n% advances by 1" ~bad:"%n% should advance by 1";
+      |];
+    edges = [ (0, 2, E.Data); (1, 2, E.Ctrl) ];
+    fb_present =
+      "You search for the answer with a do-while advancing %n% (a correct \
+       variant)";
+    fb_missing =
+      "Advance a counter %n% while helper(%n% + 1) <= %k% to find the answer";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Bad patterns (t = 0)                                                *)
+
+(** [p_double_update] — the same counter is updated twice under the same
+    condition; instructors forbid this in sentinel-controlled loops. *)
+let p_double_update =
+  {
+    Pattern.id = "p_double_update";
+    description = "Counter updated twice in the same loop (bad pattern)";
+    nodes =
+      [|
+        (* Any condition: the two updates need only share a control
+           parent (e.g. the sentinel loop's hasNext). *)
+        node ~typ:E.Cond (regex {|.+|}) ~ok:"";
+        node ~typ:E.Assign (regex (incr_of "x")) ~ok:"";
+        node ~typ:E.Assign (regex (incr_of "x")) ~ok:"";
+      |];
+    edges = [ (0, 1, E.Ctrl); (0, 2, E.Ctrl) ];
+    fb_present = "Good: the loop counter is updated exactly once per iteration";
+    fb_missing =
+      "Do not update the loop counter more than once in the same iteration";
+  }
+
+let ignore_unused = [ ident_re ]

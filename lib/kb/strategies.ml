@@ -1,0 +1,95 @@
+(** Algorithmic-strategy enforcement (paper §VI-C "Structural
+    requirements" and §VII: "we will predefine certain combinations of
+    patterns and constraints to ensure specific algorithmic strategies to
+    solve assignments").
+
+    A strategy is a named set of extra constraints layered on top of an
+    assignment's grading specification.  Sketch cannot express these at
+    all and CLARA can only approximate them by curating reference
+    solutions; here they are first-class: [apply] returns a new spec and
+    grading proceeds unchanged. *)
+
+open Jfeed_core
+open Jfeed_exprmatch
+
+type t = {
+  s_id : string;
+  s_title : string;
+  applies_to : string;  (** assignment id *)
+  extra : (string * Constr.t list) list;  (** expected method → constraints *)
+}
+
+let apply (strategy : t) (spec : Grader.spec) : Grader.spec =
+  {
+    spec with
+    Grader.a_methods =
+      List.map
+        (fun (q : Grader.method_spec) ->
+          match List.assoc_opt q.Grader.q_name strategy.extra with
+          | None -> q
+          | Some cs ->
+              { q with Grader.q_constraints = q.Grader.q_constraints @ cs })
+        spec.Grader.a_methods;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+(** Assignment 1 with a single traversal: both parity accesses must sit
+    under the *same* loop — their bound conditions and index
+    initializations must be the very same graph nodes.  (The paper's
+    example: "only one single loop in our Assignment 1".) *)
+let assignment1_single_loop =
+  {
+    s_id = "assignment1-single-loop";
+    s_title = "Assignment 1 must use one loop for both parities";
+    applies_to = "assignment1";
+    extra =
+      [
+        ( "assignment1",
+          [
+            Constr.equality ~id:"strat_same_bound"
+              ~desc:"Both parity accesses must share the same loop"
+              ~ok:"One loop drives both parity accesses"
+              ~fail:"Use a single loop for both parities"
+              ("p_odd_access", 3) ("p_even_access", 3);
+            Constr.equality ~id:"strat_same_index_init"
+              ~desc:"Both parity accesses must share the same index"
+              ~ok:"One index drives both parity accesses"
+              ~fail:"Use a single index variable for both parities"
+              ("p_odd_access", 1) ("p_even_access", 1);
+          ] );
+      ];
+  }
+
+(** The search assignments must use the canonical one-step-lookahead
+    condition spelled with the helper on the left. *)
+let search_canonical_lookahead ~assignment ~driver =
+  {
+    s_id = assignment ^ "-canonical-lookahead";
+    s_title = "The search loop must test helper(n + 1) <= k literally";
+    applies_to = assignment;
+    extra =
+      [
+        ( driver,
+          [
+            Constr.containment
+              ~id:(assignment ^ "_strat_lookahead")
+              ~desc:"The search condition must be helper(n + 1) <= k"
+              ~ok:"The search condition is in the canonical form"
+              ~fail:"Write the search condition as helper(%n% + 1) <= %k%"
+              ("p_search_while", 1)
+              (Template.regex_of
+                 ({|[A-Za-z_$][A-Za-z0-9_$]*\(%n% \+ 1\) <= %k%|}))
+              [];
+          ] );
+      ];
+  }
+
+let all =
+  [
+    assignment1_single_loop;
+    search_canonical_lookahead ~assignment:"esc-LAB-3-P1-V1" ~driver:"lab3p1";
+    search_canonical_lookahead ~assignment:"esc-LAB-3-P2-V1" ~driver:"lab3p2";
+  ]
+
+let find id = List.find_opt (fun s -> s.s_id = id) all

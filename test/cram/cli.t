@@ -1,0 +1,85 @@
+The CLI lists the twelve assignments with their Table I knowledge-base sizes:
+
+  $ jfeed list
+  assignment                    S   P   C  title
+  assignment1              640000   6   4  Add odd positions and multiply even positions of an array
+  esc-LAB-3-P1-V1          442368   7   5  Print n such that n! <= k < (n+1)!
+  esc-LAB-3-P2-V1         7077888   8  13  Print n such that fib(n) <= k < fib(n+1)
+  esc-LAB-3-P2-V2             144   4   5  Is the number equal to the sum of the cubes of its digits?
+  esc-LAB-3-P3-V1           10368   7   6  Difference of a positive number and its reverse
+  esc-LAB-3-P4-V1           13824   7   6  Is the number a palindrome?
+  esc-LAB-3-P3-V2          589824   8  10  Count the factorial numbers in [n, m]
+  esc-LAB-3-P4-V2         9437184   9  14  Count the Fibonacci numbers in [n, m]
+  mitx-derivatives            576   3   4  Print the derivative coefficients of a polynomial
+  mitx-polynomials            768   4   4  Evaluate a polynomial at a point
+  rit-all-g-medals         559872   9   7  Count the gold medals awarded in a given year
+  rit-medals-by-ath        746496   9   7  Count the medals awarded to a given athlete
+
+Generate the reference submission (index 0) and grade it — everything correct:
+
+  $ jfeed generate assignment1 --index 0 | tail -n +2 > ref.java
+  $ jfeed feedback assignment1 ref.java | tail -2
+  
+  score Λ = 10.0 / 10    method pairing: assignment1 → assignment1
+
+  $ jfeed test assignment1 ref.java
+  all functional tests passed
+
+A buggy submission gets pinpointed feedback:
+
+  $ cat > buggy.java <<'JAVA'
+  > void assignment1(int[] a) {
+  >     int odd = 1;
+  >     int even = 1;
+  >     for (int i = 0; i < a.length; i++) {
+  >         if (i % 2 == 1)
+  >             odd += a[i];
+  >         if (i % 2 == 0)
+  >             even *= a[i];
+  >     }
+  >     System.out.println(odd);
+  >     System.out.println(even);
+  > }
+  > JAVA
+  $ jfeed feedback assignment1 buggy.java | grep -A3 "p_cond_accum_add"
+  [assignment1 | pattern p_cond_accum_add | incorrect]
+    - Conditional cumulative addition — recognized, with problems:
+    - odd should be initialized to 0
+    - A loop controls the accumulation
+
+  $ jfeed test assignment1 buggy.java
+  FAILED on small: expected "10\n15\n", got "11\n15\n"
+  [1]
+
+The dependence graph of a method (the paper's Fig. 3 for this shape):
+
+  $ cat > tiny.java <<'JAVA'
+  > void f(int k) {
+  >     int s = 0;
+  >     while (k > 0) {
+  >         s += k % 10;
+  >         k = k / 10;
+  >     }
+  >     System.out.println(s);
+  > }
+  > JAVA
+  $ jfeed graph tiny.java
+  method f
+    v0: Decl   int k
+    v1: Assign s = 0
+    v2: Cond   k > 0
+    v3: Assign s += k % 10
+    v4: Assign k = k / 10
+    v5: Call   System.out.println(s)
+    v0 -Data-> v2
+    v0 -Data-> v3
+    v0 -Data-> v4
+    v1 -Data-> v3
+    v2 -Ctrl-> v3
+    v2 -Ctrl-> v4
+    v3 -Data-> v5
+
+Unknown assignments are rejected with the available ids:
+
+  $ jfeed feedback nope ref.java 2>&1 | head -1
+  jfeed: ASSIGNMENT argument: unknown assignment "nope"; try: assignment1,

@@ -1,0 +1,54 @@
+The predefined algorithmic strategies (§VI-C structural requirements):
+
+  $ jfeed strategies
+  strategy                             assignment           title
+  assignment1-single-loop              assignment1          Assignment 1 must use one loop for both parities
+  esc-LAB-3-P1-V1-canonical-lookahead  esc-LAB-3-P1-V1      The search loop must test helper(n + 1) <= k literally
+  esc-LAB-3-P2-V1-canonical-lookahead  esc-LAB-3-P2-V1      The search loop must test helper(n + 1) <= k literally
+
+A correct two-loop submission passes plainly but violates the
+single-loop strategy:
+
+  $ cat > two_loops.java <<'JAVA'
+  > void assignment1(int[] a) {
+  >     int o = 0, e = 1;
+  >     for (int i = 0; i < a.length; i++)
+  >         if (i % 2 == 1)
+  >             o += a[i];
+  >     for (int i = 0; i < a.length; i++)
+  >         if (i % 2 == 0)
+  >             e *= a[i];
+  >     System.out.println(o);
+  >     System.out.println(e);
+  > }
+  > JAVA
+  $ jfeed feedback assignment1 two_loops.java | tail -1
+  score Λ = 10.0 / 10    method pairing: assignment1 → assignment1
+  $ jfeed feedback assignment1 --strategy assignment1-single-loop two_loops.java | grep strat
+  [assignment1 | constraint strat_same_bound | incorrect]
+  [assignment1 | constraint strat_same_index_init | incorrect]
+
+JSON output for LMS integration:
+
+  $ jfeed feedback assignment1 --json two_loops.java | head -c 60
+  {"score":10,"max":10,"comments":[{"kind":"pattern","id":"p_p
+
+A student who extracts a helper is rejected by the published system but
+accepted with helper inlining (§VII):
+
+  $ cat > helper.java <<'JAVA'
+  > int term(int c, int w) { return c * w; }
+  > void polynomials(int[] p, int x) {
+  >     int r = 0;
+  >     int pw = 1;
+  >     for (int i = 0; i < p.length; i++) {
+  >         r += term(p[i], pw);
+  >         pw *= x;
+  >     }
+  >     System.out.println(r);
+  > }
+  > JAVA
+  $ jfeed feedback mitx-polynomials helper.java | tail -1
+  score Λ = 5.0 / 8    method pairing: polynomials → polynomials
+  $ jfeed feedback mitx-polynomials --inline-helpers helper.java | tail -1
+  score Λ = 8.0 / 8    method pairing: polynomials → polynomials

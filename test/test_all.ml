@@ -1,0 +1,10 @@
+let () =
+  Alcotest.run "jfeed"
+    [ ("digraph", Test_digraph.suite); ("java", Test_java.suite);
+      ("template", Test_template.suite); ("epdg", Test_epdg.suite);
+      ("matcher", Test_matcher.suite); ("interp", Test_interp.suite); ("grader", Test_grader.suite); ("gen", Test_gen.suite);
+      ("kb", Test_kb.suite); ("baselines", Test_baselines.suite); ("ftest", Test_ftest.suite);
+      ("extensions", Test_extensions.suite);
+      ("properties", Test_properties.suite); ("inline", Test_inline.suite);
+      ("strategies", Test_strategies.suite);
+      ("stmt-roundtrip", Test_stmt_roundtrip.suite) ]

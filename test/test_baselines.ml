@@ -1,0 +1,185 @@
+(** Tests for the §VI-C baselines: CLARA-like trace matching and the
+    Sketch-like repair search. *)
+
+open Jfeed_baselines
+
+let parse = Jfeed_java.Parser.parse_program
+
+let int_array xs =
+  Jfeed_interp.Value.Varr
+    (Array.of_list (List.map (fun n -> Jfeed_interp.Value.Vint n) xs))
+
+let args = [ int_array [ 3; 4; 5; 6 ] ]
+
+let trace src = fst (Clara_like.trace_of (parse src) ~entry:"f" ~args)
+
+let sum_src =
+  {|
+void f(int[] a) {
+  int s = 0;
+  for (int i = 0; i < a.length; i++)
+    s += a[i];
+  System.out.println(s);
+}
+|}
+
+let sum_renamed =
+  {|
+void f(int[] a) {
+  int total = 0;
+  for (int j = 0; j < a.length; j++)
+    total += a[j];
+  System.out.println(total);
+}
+|}
+
+let sum_wrong_init =
+  {|
+void f(int[] a) {
+  int s = 1;
+  for (int i = 0; i < a.length; i++)
+    s += a[i];
+  System.out.println(s);
+}
+|}
+
+let test_clara_renaming_ok () =
+  (* Same computation, renamed variables: the value-sequence bijection
+     finds the match. *)
+  Alcotest.(check bool) "renamed matches" true
+    (Clara_like.equivalent (trace sum_src) (trace sum_renamed))
+
+let test_clara_repairs () =
+  match Clara_like.match_against ~reference:(trace sum_src) (trace sum_wrong_init) with
+  | Clara_like.Repairs n -> Alcotest.(check bool) "few repairs" true (n >= 1)
+  | Clara_like.Match -> Alcotest.fail "should not match exactly"
+  | Clara_like.No_match -> Alcotest.fail "same shape should compare"
+
+let test_clara_reordered_fails () =
+  (* The Fig. 8 failure: a different interleaving (two loops vs one) has
+     different whole traces even though the result is the same. *)
+  let two_pass =
+    {|
+void f(int[] a) {
+  int s = 0;
+  int t = 0;
+  for (int i = 0; i < a.length; i++)
+    s += a[i];
+  for (int i = 0; i < a.length; i++)
+    t += 2 * a[i];
+  System.out.println(s + t);
+}
+|}
+  in
+  let interleaved =
+    {|
+void f(int[] a) {
+  int s = 0;
+  int t = 0;
+  for (int i = 0; i < a.length; i++) {
+    s += a[i];
+    t += 2 * a[i];
+  }
+  System.out.println(s + t);
+}
+|}
+  in
+  Alcotest.(check bool) "whole-trace comparison fails" false
+    (Clara_like.equivalent (trace two_pass) (trace interleaved))
+
+let test_clara_cluster () =
+  let traces = [ trace sum_src; trace sum_renamed; trace sum_wrong_init ] in
+  (* The two correct variants cluster together; the wrong-init one is its
+     own cluster. *)
+  Alcotest.(check int) "two clusters" 2
+    (List.length (Clara_like.cluster traces))
+
+let test_sketch_zero_repairs () =
+  let b = Jfeed_kb.Bundles.assignment1 in
+  let reference =
+    parse (Jfeed_gen.Spec.reference b.Jfeed_kb.Bundles.gen)
+  in
+  let expected =
+    Jfeed_ftest.Runner.expected_outputs b.Jfeed_kb.Bundles.suite reference
+  in
+  match
+    Sketch_like.repair ~suite:b.Jfeed_kb.Bundles.suite ~expected ~max_depth:2
+      reference
+  with
+  | Some r -> Alcotest.(check int) "already correct" 0 r.Sketch_like.repairs
+  | None -> Alcotest.fail "reference must pass"
+
+let test_sketch_finds_seeded_errors () =
+  let b = Jfeed_kb.Bundles.assignment1 in
+  let spec = b.Jfeed_kb.Bundles.gen in
+  let reference = parse (Jfeed_gen.Spec.reference spec) in
+  let expected =
+    Jfeed_ftest.Runner.expected_outputs b.Jfeed_kb.Bundles.suite reference
+  in
+  let digits = Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0 in
+  digits.(0) <- 1;
+  (* odd-init = 1 *)
+  digits.(3) <- 1;
+  (* loop bound <= *)
+  let broken = parse (spec.Jfeed_gen.Spec.render digits) in
+  match
+    Sketch_like.repair ~suite:b.Jfeed_kb.Bundles.suite ~expected ~max_depth:3
+      broken
+  with
+  | Some r ->
+      Alcotest.(check int) "two repairs" 2 r.Sketch_like.repairs;
+      Alcotest.(check bool) "rules named" true
+        (List.mem "const-0-1" r.Sketch_like.applied
+        && List.mem "lt-le" r.Sketch_like.applied)
+  | None -> Alcotest.fail "repairable submission"
+
+let test_sketch_gives_up_beyond_depth () =
+  let b = Jfeed_kb.Bundles.assignment1 in
+  let spec = b.Jfeed_kb.Bundles.gen in
+  let reference = parse (Jfeed_gen.Spec.reference spec) in
+  let expected =
+    Jfeed_ftest.Runner.expected_outputs b.Jfeed_kb.Bundles.suite reference
+  in
+  let digits = Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0 in
+  List.iter (fun c -> digits.(c) <- 1) [ 0; 1; 2 ];
+  let broken = parse (spec.Jfeed_gen.Spec.render digits) in
+  Alcotest.(check bool) "depth 1 insufficient" true
+    (Sketch_like.repair ~suite:b.Jfeed_kb.Bundles.suite ~expected ~max_depth:1
+       broken
+    = None)
+
+let test_rewrite_sites () =
+  let p = parse "void f() { int x = 0; int y = 0; }" in
+  let rewrites =
+    Rewrite.single_site_rewrites
+      (function Jfeed_java.Ast.Int_lit 0 -> Some (Jfeed_java.Ast.Int_lit 1) | _ -> None)
+      p
+  in
+  (* One rewrite per zero literal — single-site application. *)
+  Alcotest.(check int) "two sites" 2 (List.length rewrites);
+  List.iter
+    (fun p' ->
+      let rendered = Jfeed_java.Pretty.program p' in
+      let count_ones =
+        List.length
+          (List.filter (fun c -> c = '1')
+             (List.init (String.length rendered) (String.get rendered)))
+      in
+      Alcotest.(check int) "exactly one site changed" 1 count_ones)
+    rewrites
+
+let suite =
+  [
+    Alcotest.test_case "clara: renaming matched" `Quick test_clara_renaming_ok;
+    Alcotest.test_case "clara: repairs counted" `Quick test_clara_repairs;
+    Alcotest.test_case "clara: reordering fails (Fig. 8)" `Quick
+      test_clara_reordered_fails;
+    Alcotest.test_case "clara: clustering" `Quick test_clara_cluster;
+    Alcotest.test_case "sketch: zero repairs on reference" `Quick
+      test_sketch_zero_repairs;
+    Alcotest.test_case "sketch: finds seeded errors" `Quick
+      test_sketch_finds_seeded_errors;
+    Alcotest.test_case "sketch: bounded depth" `Quick
+      test_sketch_gives_up_beyond_depth;
+    Alcotest.test_case "rewrite: single sites" `Quick test_rewrite_sites;
+  ]

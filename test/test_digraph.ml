@@ -1,0 +1,161 @@
+(** Unit and property tests for the graph substrate. *)
+
+open Jfeed_graph
+
+let build edges n =
+  let g = Digraph.create () in
+  for i = 0 to n - 1 do
+    ignore (Digraph.add_node g i)
+  done;
+  List.iter (fun (s, t, e) -> Digraph.add_edge g s t e) edges;
+  g
+
+let test_empty () =
+  let g = Digraph.create () in
+  Alcotest.(check int) "no nodes" 0 (Digraph.node_count g);
+  Alcotest.(check int) "no edges" 0 (Digraph.edge_count g);
+  Alcotest.(check (list int)) "no node list" [] (Digraph.nodes g)
+
+let test_add_nodes () =
+  let g = Digraph.create () in
+  let a = Digraph.add_node g "a" in
+  let b = Digraph.add_node g "b" in
+  Alcotest.(check int) "ids dense" 1 (b - a);
+  Alcotest.(check string) "label a" "a" (Digraph.label g a);
+  Alcotest.(check string) "label b" "b" (Digraph.label g b);
+  Digraph.set_label g a "a'";
+  Alcotest.(check string) "relabel" "a'" (Digraph.label g a)
+
+let test_edges () =
+  let g = build [ (0, 1, "x"); (0, 1, "y"); (1, 2, "x") ] 3 in
+  Alcotest.(check int) "parallel edges kept" 3 (Digraph.edge_count g);
+  Alcotest.(check bool) "mem labelled" true (Digraph.mem_edge g 0 1 "x");
+  Alcotest.(check bool) "mem labelled 2" true (Digraph.mem_edge g 0 1 "y");
+  Alcotest.(check bool) "not mem" false (Digraph.mem_edge g 1 0 "x");
+  Alcotest.(check bool) "has_edge ignores label" true (Digraph.has_edge g 1 2);
+  Digraph.add_edge g 0 1 "x";
+  Alcotest.(check int) "duplicate labelled edge is no-op" 3
+    (Digraph.edge_count g);
+  Alcotest.(check int) "out degree" 2 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in degree" 2 (Digraph.in_degree g 1)
+
+let test_unknown_node () =
+  let g = build [] 1 in
+  Alcotest.check_raises "bad label" (Invalid_argument "Digraph: unknown node 7")
+    (fun () -> ignore (Digraph.label g 7));
+  Alcotest.check_raises "bad edge" (Invalid_argument "Digraph: unknown node 9")
+    (fun () -> Digraph.add_edge g 0 9 "e")
+
+let test_succ_pred () =
+  let g = build [ (0, 1, "a"); (0, 2, "b"); (2, 1, "c") ] 3 in
+  Alcotest.(check (list (pair int string)))
+    "succ order" [ (1, "a"); (2, "b") ] (Digraph.succ g 0);
+  Alcotest.(check (list (pair int string)))
+    "pred order" [ (0, "a"); (2, "c") ] (Digraph.pred g 1)
+
+let test_reachable () =
+  let g = build [ (0, 1, ()); (1, 2, ()); (3, 0, ()) ] 5 in
+  Alcotest.(check (list int)) "from 0" [ 0; 1; 2 ] (Digraph.reachable g 0);
+  Alcotest.(check (list int)) "from 3" [ 3; 0; 1; 2 ] (Digraph.reachable g 3);
+  Alcotest.(check (list int)) "isolated" [ 4 ] (Digraph.reachable g 4)
+
+let test_topo () =
+  let dag = build [ (0, 1, ()); (1, 2, ()); (0, 2, ()) ] 3 in
+  (match Digraph.topological_sort dag with
+  | Some [ 0; 1; 2 ] -> ()
+  | Some other ->
+      Alcotest.failf "unexpected order: %s"
+        (String.concat "," (List.map string_of_int other))
+  | None -> Alcotest.fail "expected a topological order");
+  let cyclic = build [ (0, 1, ()); (1, 0, ()) ] 2 in
+  Alcotest.(check bool)
+    "cycle detected" true
+    (Digraph.topological_sort cyclic = None)
+
+let test_transpose () =
+  let g = build [ (0, 1, "a"); (1, 2, "b") ] 3 in
+  let t = Digraph.transpose g in
+  Alcotest.(check bool) "reversed" true (Digraph.mem_edge t 1 0 "a");
+  Alcotest.(check bool) "reversed 2" true (Digraph.mem_edge t 2 1 "b");
+  Alcotest.(check int) "same node count" 3 (Digraph.node_count t)
+
+let test_map_dot () =
+  let g = build [ (0, 1, "e") ] 2 in
+  let m = Digraph.map g ~fn:string_of_int ~fe:(fun e -> e ^ "!") in
+  Alcotest.(check string) "mapped node label" "0" (Digraph.label m 0);
+  Alcotest.(check bool) "mapped edge" true (Digraph.mem_edge m 0 1 "e!");
+  let g2 = Digraph.create () in
+  let a = Digraph.add_node g2 "a" in
+  let b = Digraph.add_node g2 "b" in
+  Digraph.add_edge g2 a b "x";
+  let dot =
+    Digraph.to_dot g2
+      ~node_attrs:(fun _ l -> Printf.sprintf "label=\"%s\"" l)
+      ~edge_attrs:(fun e -> Printf.sprintf "label=\"%s\"" e)
+  in
+  let contains ~needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "dot mentions edge" true (contains ~needle:"n0 -> n1" dot)
+
+(* Property tests ---------------------------------------------------- *)
+
+let random_dag_gen =
+  (* Edges only forward: always acyclic. *)
+  QCheck.Gen.(
+    sized (fun size ->
+        let n = 2 + (size mod 12) in
+        let* edges =
+          list_size (int_bound 20)
+            (let* s = int_bound (n - 2) in
+             let* t = int_range (s + 1) (n - 1) in
+             return (s, t))
+        in
+        return (n, edges)))
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~count:200 ~name:"topological sort respects edges"
+    (QCheck.make random_dag_gen) (fun (n, edges) ->
+      let g = build (List.map (fun (s, t) -> (s, t, ())) edges) n in
+      match Digraph.topological_sort g with
+      | None -> false
+      | Some order ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i v -> pos.(v) <- i) order;
+          List.for_all (fun (s, t) -> pos.(s) < pos.(t)) edges)
+
+let prop_transpose_involution =
+  QCheck.Test.make ~count:200 ~name:"transpose is an involution"
+    (QCheck.make random_dag_gen) (fun (n, edges) ->
+      let g = build (List.map (fun (s, t) -> (s, t, ())) edges) n in
+      let tt = Digraph.transpose (Digraph.transpose g) in
+      List.sort compare (Digraph.edges g)
+      = List.sort compare (Digraph.edges tt))
+
+let prop_reachable_closed =
+  QCheck.Test.make ~count:200 ~name:"reachable set is successor-closed"
+    (QCheck.make random_dag_gen) (fun (n, edges) ->
+      let g = build (List.map (fun (s, t) -> (s, t, ())) edges) n in
+      let r = Digraph.reachable g 0 in
+      List.for_all
+        (fun v ->
+          List.for_all (fun (w, _) -> List.mem w r) (Digraph.succ g v))
+        r)
+
+let suite =
+  [
+    Alcotest.test_case "empty graph" `Quick test_empty;
+    Alcotest.test_case "add nodes" `Quick test_add_nodes;
+    Alcotest.test_case "edges" `Quick test_edges;
+    Alcotest.test_case "unknown nodes rejected" `Quick test_unknown_node;
+    Alcotest.test_case "succ/pred order" `Quick test_succ_pred;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "topological sort" `Quick test_topo;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "map and dot" `Quick test_map_dot;
+    QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+    QCheck_alcotest.to_alcotest prop_transpose_involution;
+    QCheck_alcotest.to_alcotest prop_reachable_closed;
+  ]

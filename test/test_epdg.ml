@@ -1,0 +1,261 @@
+(** Tests for extended program dependence graph construction, anchored on
+    the paper's Fig. 2a / Fig. 3 example and the design decisions of
+    DESIGN.md §4 (single-iteration data flow, innermost control edges). *)
+
+open Jfeed_pdg
+module G = Jfeed_graph.Digraph
+
+let graph_of src =
+  match Epdg.of_source src with
+  | [ (_, g) ] -> g
+  | gs -> Alcotest.failf "expected one method, got %d" (List.length gs)
+
+let find g text =
+  match
+    List.find_opt (fun v -> Epdg.node_text g v = text) (G.nodes g.Epdg.graph)
+  with
+  | Some v -> v
+  | None -> Alcotest.failf "no node %S in graph" text
+
+let has_edge g a b e = G.mem_edge g.Epdg.graph (find g a) (find g b) e
+
+let fig2a =
+  {|
+void assignment1(int[] a) {
+  int even = 0;
+  int odd = 0;
+  for (int i = 0; i <= a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+    if (i % 2 == 1)
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}
+|}
+
+let test_fig3_nodes () =
+  let g = graph_of fig2a in
+  Alcotest.(check int) "node count" 12 (G.node_count g.Epdg.graph);
+  Alcotest.(check string) "param decl text" "int[] a"
+    (Epdg.node_text g (find g "int[] a"));
+  Alcotest.(check bool) "decl type" true
+    (Epdg.node_type g (find g "int[] a") = Epdg.Decl);
+  Alcotest.(check bool) "cond type" true
+    (Epdg.node_type g (find g "i <= a.length") = Epdg.Cond);
+  Alcotest.(check bool) "call type" true
+    (Epdg.node_type g (find g "System.out.println(odd)") = Epdg.Call);
+  Alcotest.(check bool) "assign type" true
+    (Epdg.node_type g (find g "odd += a[i]") = Epdg.Assign)
+
+let test_fig3_edges () =
+  let g = graph_of fig2a in
+  (* Data edges of Fig. 3. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (a ^ " -Data-> " ^ b) true (has_edge g a b Epdg.Data))
+    [
+      ("int[] a", "i <= a.length");
+      ("int[] a", "odd += a[i]");
+      ("int[] a", "even *= a[i]");
+      ("even = 0", "even *= a[i]");
+      ("odd = 0", "odd += a[i]");
+      ("i = 0", "i <= a.length");
+      ("i = 0", "i % 2 == 1");
+      ("i = 0", "odd += a[i]");
+      ("i = 0", "i++");
+      ("odd += a[i]", "System.out.println(odd)");
+      ("even *= a[i]", "System.out.println(even)");
+    ];
+  (* Ctrl edges: only from the innermost controlling condition. *)
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) (a ^ " -Ctrl-> " ^ b) true (has_edge g a b Epdg.Ctrl))
+    [
+      ("i <= a.length", "i % 2 == 1");
+      ("i <= a.length", "i++");
+      ("i % 2 == 1", "odd += a[i]");
+    ];
+  (* Excluded edges (the paper's §III-A discussion). *)
+  Alcotest.(check bool) "no zero-iteration bypass odd=0 -> println" false
+    (has_edge g "odd = 0" "System.out.println(odd)" Epdg.Data);
+  Alcotest.(check bool) "no loop-carried i++ -> odd access" false
+    (has_edge g "i++" "odd += a[i]" Epdg.Data);
+  Alcotest.(check bool) "no transitive ctrl loop -> accumulation" false
+    (has_edge g "i <= a.length" "odd += a[i]" Epdg.Ctrl)
+
+let test_while_equals_for () =
+  (* A while-loop formulation produces the same dependence structure. *)
+  let g =
+    graph_of
+      {|
+void f(int[] a) {
+  int s = 0;
+  int i = 0;
+  while (i < a.length) {
+    s += a[i];
+    i++;
+  }
+  System.out.println(s);
+}
+|}
+  in
+  Alcotest.(check bool) "init feeds cond" true
+    (has_edge g "i = 0" "i < a.length" Epdg.Data);
+  Alcotest.(check bool) "cond controls body" true
+    (has_edge g "i < a.length" "s += a[i]" Epdg.Ctrl);
+  Alcotest.(check bool) "cond controls update" true
+    (has_edge g "i < a.length" "i++" Epdg.Ctrl);
+  Alcotest.(check bool) "accumulation reaches print" true
+    (has_edge g "s += a[i]" "System.out.println(s)" Epdg.Data)
+
+let test_if_else_merge () =
+  let g =
+    graph_of
+      {|
+void f(int c) {
+  int x = 0;
+  if (c > 0)
+    x = 1;
+  else
+    x = 2;
+  System.out.println(x);
+}
+|}
+  in
+  Alcotest.(check bool) "then reaches print" true
+    (has_edge g "x = 1" "System.out.println(x)" Epdg.Data);
+  Alcotest.(check bool) "else reaches print" true
+    (has_edge g "x = 2" "System.out.println(x)" Epdg.Data);
+  Alcotest.(check bool) "killed initial def" false
+    (has_edge g "x = 0" "System.out.println(x)" Epdg.Data);
+  Alcotest.(check bool) "cond controls else branch too" true
+    (has_edge g "c > 0" "x = 2" Epdg.Ctrl)
+
+let test_if_no_else_kills () =
+  (* Design decision 1: no bypass edge around an else-less if. *)
+  let g =
+    graph_of
+      {|
+void f(int c) {
+  int x = 0;
+  if (c > 0)
+    x = 1;
+  System.out.println(x);
+}
+|}
+  in
+  Alcotest.(check bool) "body def reaches print" true
+    (has_edge g "x = 1" "System.out.println(x)" Epdg.Data);
+  Alcotest.(check bool) "initial def killed by assumed body" false
+    (has_edge g "x = 0" "System.out.println(x)" Epdg.Data)
+
+let test_do_while () =
+  let g =
+    graph_of
+      {|
+void f(int k) {
+  int n = 0;
+  do {
+    n++;
+  } while (n < k);
+  System.out.println(n);
+}
+|}
+  in
+  Alcotest.(check bool) "cond controls body" true
+    (has_edge g "n < k" "n++" Epdg.Ctrl);
+  (* The condition is evaluated after the body: its data comes from the
+     update, not the init. *)
+  Alcotest.(check bool) "update reaches cond" true
+    (has_edge g "n++" "n < k" Epdg.Data);
+  Alcotest.(check bool) "init does not reach cond" false
+    (has_edge g "n = 0" "n < k" Epdg.Data)
+
+let test_weak_array_update () =
+  (* Array element stores are weak updates: earlier defs survive. *)
+  let g =
+    graph_of
+      {|
+void f(int[] a) {
+  a[0] = 1;
+  a[1] = 2;
+  System.out.println(a[0]);
+}
+|}
+  in
+  Alcotest.(check bool) "first store survives" true
+    (has_edge g "a[0] = 1" "System.out.println(a[0])" Epdg.Data);
+  Alcotest.(check bool) "second store also reaches" true
+    (has_edge g "a[1] = 2" "System.out.println(a[0])" Epdg.Data)
+
+let test_break_return_nodes () =
+  let g =
+    graph_of
+      {|
+int f(int k) {
+  while (true) {
+    if (k > 0)
+      break;
+  }
+  return k;
+}
+|}
+  in
+  Alcotest.(check bool) "break node" true
+    (Epdg.node_type g (find g "break") = Epdg.Break);
+  Alcotest.(check bool) "break controlled by if" true
+    (has_edge g "k > 0" "break" Epdg.Ctrl);
+  Alcotest.(check bool) "return node" true
+    (Epdg.node_type g (find g "return k") = Epdg.Return);
+  Alcotest.(check bool) "param reaches return" true
+    (has_edge g "int k" "return k" Epdg.Data)
+
+let test_decl_without_init () =
+  (* Uninitialized declarations produce no node; the first assignment is
+     the definition. *)
+  let g =
+    graph_of {|
+void f() {
+  int x;
+  x = 3;
+  System.out.println(x);
+}
+|}
+  in
+  Alcotest.(check int) "three nodes" 2 (G.node_count g.Epdg.graph |> fun n -> n - 0)
+  |> ignore;
+  Alcotest.(check bool) "assignment defines" true
+    (has_edge g "x = 3" "System.out.println(x)" Epdg.Data)
+
+let test_multiple_methods () =
+  let gs =
+    Epdg.of_source
+      {|
+int helper(int x) { return x + 1; }
+void main2(int k) { System.out.println(helper(k)); }
+|}
+  in
+  Alcotest.(check (list string))
+    "method names" [ "helper"; "main2" ] (List.map fst gs)
+
+let test_to_dot () =
+  let g = graph_of fig2a in
+  let dot = Epdg.to_dot g in
+  Alcotest.(check bool) "dot output" true (String.length dot > 100)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 3 nodes" `Quick test_fig3_nodes;
+    Alcotest.test_case "Fig. 3 edges" `Quick test_fig3_edges;
+    Alcotest.test_case "while ≡ for" `Quick test_while_equals_for;
+    Alcotest.test_case "if/else merge" `Quick test_if_else_merge;
+    Alcotest.test_case "else-less if kills" `Quick test_if_no_else_kills;
+    Alcotest.test_case "do-while" `Quick test_do_while;
+    Alcotest.test_case "weak array updates" `Quick test_weak_array_update;
+    Alcotest.test_case "break and return" `Quick test_break_return_nodes;
+    Alcotest.test_case "decl without init" `Quick test_decl_without_init;
+    Alcotest.test_case "multiple methods" `Quick test_multiple_methods;
+    Alcotest.test_case "dot export" `Quick test_to_dot;
+  ]

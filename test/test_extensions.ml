@@ -1,0 +1,140 @@
+(** Tests for the §VII future-work extensions: else-polarity
+    normalization and the pattern hierarchy (variants).  Both are off by
+    default — these tests check that turning them on recovers the
+    false-negative discrepancies the paper discusses, without changing
+    verdicts on already-accepted submissions. *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let feedback_positive (r : Grader.result) =
+  List.for_all (fun c -> c.Feedback.verdict = Feedback.Correct) r.Grader.comments
+
+let variant_program (b : Bundles.t) ~tag ~option =
+  let spec = b.Bundles.gen in
+  let digits = Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0 in
+  Array.iteri
+    (fun i c ->
+      if c.Jfeed_gen.Spec.tag = tag then
+        digits.(i) <-
+          (let rec find k =
+             if c.Jfeed_gen.Spec.labels.(k) = option then k else find (k + 1)
+           in
+           find 0))
+    spec.Jfeed_gen.Spec.choices;
+  Jfeed_java.Parser.parse_program (spec.Jfeed_gen.Spec.render digits)
+
+(* -------------------------------------------------------------- *)
+(* Normalization                                                    *)
+
+let test_normalize_rewrite () =
+  let prog =
+    Jfeed_java.Parser.parse_program
+      "void f(int x) { if (x != 0) System.out.println(\"a\"); else \
+       System.out.println(\"b\"); }"
+  in
+  let n = Jfeed_java.Normalize.flip_negated_else prog in
+  let rendered = Jfeed_java.Pretty.program n in
+  Alcotest.(check bool) "condition flipped" true
+    (String.length rendered > 0
+    &&
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+      at 0
+    in
+    contains "x == 0" rendered
+    && (* branches swapped: "b" now under the then-branch *)
+    contains "if (x == 0)" rendered)
+
+let test_normalize_not_else () =
+  (* An else-less negated if is left alone (the rewrite needs both
+     branches). *)
+  let src = "void f(int x) { if (x != 0) x = 1; }" in
+  let prog = Jfeed_java.Parser.parse_program src in
+  Alcotest.(check bool) "unchanged" true
+    (Jfeed_java.Normalize.flip_negated_else prog = prog)
+
+let test_normalize_recovers_polarity_disc () =
+  (* esc-LAB-3-P4-V1's "not-equals-else" option: flagged by the paper's
+     system (Disc_neg), accepted once normalized. *)
+  let b = Option.get (Bundles.find "esc-LAB-3-P4-V1") in
+  let prog = variant_program b ~tag:"polarity" ~option:"not-equals-else" in
+  Alcotest.(check bool) "flagged without normalization" false
+    (feedback_positive (Grader.grade b.Bundles.grading prog));
+  Alcotest.(check bool) "accepted with normalization" true
+    (feedback_positive (Grader.grade ~normalize:true b.Bundles.grading prog))
+
+let test_normalize_neutral_on_reference () =
+  List.iter
+    (fun (b : Bundles.t) ->
+      let reference =
+        Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+      in
+      Alcotest.(check bool)
+        (b.Bundles.grading.Grader.a_id ^ " reference still positive")
+        true
+        (feedback_positive
+           (Grader.grade ~normalize:true ~use_variants:true b.Bundles.grading
+              reference)))
+    Bundles.all
+
+(* -------------------------------------------------------------- *)
+(* Pattern hierarchy (variants)                                     *)
+
+let test_variants_recover_log10 () =
+  (* The paper's own §VI-B discrepancy: the log10 digit-count structure.
+     Off: flagged.  On: the p_digit_peel_log10 variant accepts it. *)
+  List.iter
+    (fun id ->
+      let b = Option.get (Bundles.find id) in
+      let prog = variant_program b ~tag:"structure" ~option:"log10" in
+      Alcotest.(check bool) (id ^ " flagged without variants") false
+        (feedback_positive (Grader.grade b.Bundles.grading prog));
+      Alcotest.(check bool) (id ^ " accepted with variants") true
+        (feedback_positive
+           (Grader.grade ~use_variants:true b.Bundles.grading prog)))
+    [ "esc-LAB-3-P3-V1"; "esc-LAB-3-P4-V1" ]
+
+let test_variants_recover_do_while () =
+  let b = Option.get (Bundles.find "esc-LAB-3-P1-V1") in
+  let prog = variant_program b ~tag:"search-structure" ~option:"do-while" in
+  Alcotest.(check bool) "flagged without variants" false
+    (feedback_positive (Grader.grade b.Bundles.grading prog));
+  Alcotest.(check bool) "accepted with variants" true
+    (feedback_positive (Grader.grade ~use_variants:true b.Bundles.grading prog))
+
+let test_variants_do_not_mask_errors () =
+  (* A genuinely wrong submission must stay flagged even with every
+     extension on. *)
+  let b = Bundles.assignment1 in
+  let prog = variant_program b ~tag:"odd-init" ~option:"1" in
+  Alcotest.(check bool) "still flagged" false
+    (feedback_positive
+       (Grader.grade ~normalize:true ~use_variants:true b.Bundles.grading prog))
+
+let test_variant_patterns_wellformed () =
+  List.iter
+    (fun (p : Pattern.t) ->
+      Alcotest.(check (list string)) p.Pattern.id [] (Pattern.validate p))
+    [ Patterns.p_digit_peel_log10; Patterns.p_search_do ]
+
+let suite =
+  [
+    Alcotest.test_case "normalize: negated else flipped" `Quick
+      test_normalize_rewrite;
+    Alcotest.test_case "normalize: else-less if untouched" `Quick
+      test_normalize_not_else;
+    Alcotest.test_case "normalize: recovers the polarity discrepancy" `Quick
+      test_normalize_recovers_polarity_disc;
+    Alcotest.test_case "extensions neutral on references" `Quick
+      test_normalize_neutral_on_reference;
+    Alcotest.test_case "variants: recover log10 (the paper's case)" `Quick
+      test_variants_recover_log10;
+    Alcotest.test_case "variants: recover do-while driver" `Quick
+      test_variants_recover_do_while;
+    Alcotest.test_case "variants: do not mask real errors" `Quick
+      test_variants_do_not_mask_errors;
+    Alcotest.test_case "variant patterns well-formed" `Quick
+      test_variant_patterns_wellformed;
+  ]

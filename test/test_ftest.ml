@@ -1,0 +1,95 @@
+(** Tests for the functional-test runner and the synthetic data. *)
+
+open Jfeed_ftest
+
+let suite_echo =
+  {
+    Runner.entry = "echo";
+    max_steps = 10_000;
+    cases =
+      [
+        { Runner.label = "one"; args = [ Jfeed_interp.Value.Vint 1 ]; files = [] };
+        { Runner.label = "two"; args = [ Jfeed_interp.Value.Vint 2 ]; files = [] };
+      ];
+  }
+
+let echo_ok =
+  Jfeed_java.Parser.parse_program
+    "void echo(int x) { System.out.println(x); }"
+
+let echo_off =
+  Jfeed_java.Parser.parse_program
+    "void echo(int x) { System.out.println(x + 1); }"
+
+let echo_crash =
+  Jfeed_java.Parser.parse_program
+    "void echo(int x) { if (x == 2) { int y = 1 / 0; } System.out.println(x); }"
+
+let test_expected_outputs () =
+  Alcotest.(check (list string))
+    "per case" [ "1\n"; "2\n" ]
+    (Runner.expected_outputs suite_echo echo_ok)
+
+let test_pass_fail () =
+  let expected = Runner.expected_outputs suite_echo echo_ok in
+  Alcotest.(check bool) "reference passes" true
+    (Runner.passes suite_echo ~expected echo_ok);
+  (match Runner.run suite_echo ~expected echo_off with
+  | Runner.Fail { case = "one"; _ } -> ()
+  | _ -> Alcotest.fail "wrong output must fail on the first case");
+  match Runner.run suite_echo ~expected echo_crash with
+  | Runner.Fail { case = "two"; reason } ->
+      Alcotest.(check bool) "reports the error" true
+        (String.length reason > 0)
+  | _ -> Alcotest.fail "crash on the second case expected"
+
+let test_reference_failure_rejected () =
+  Alcotest.(check bool) "broken reference raises" true
+    (try
+       ignore (Runner.expected_outputs suite_echo echo_crash);
+       false
+     with Invalid_argument _ -> true)
+
+let test_olympics_data () =
+  let records = Data.olympics_records ~n:25 ~seed:3 in
+  Alcotest.(check int) "record count" 25 (List.length records);
+  Alcotest.(check bool) "deterministic" true
+    (Data.olympics_records ~n:25 ~seed:3 = records);
+  let file = Data.olympics_file records in
+  Alcotest.(check int) "five tokens per record, newline separated" 25
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' file)));
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "medal in range" true
+        (r.Data.medal >= 1 && r.Data.medal <= 3))
+    records
+
+let test_curated_properties () =
+  let r = Data.olympics_curated in
+  (* The adversarial properties the RIT tests depend on. *)
+  Alcotest.(check bool) "Usain Bolt has medals" true
+    (Data.medals_by_athlete r "Usain" "Bolt" > 0);
+  Alcotest.(check bool) "same first name, different last names" true
+    (Data.medals_by_athlete r "Usain" "Phelps" > 0);
+  Alcotest.(check bool) "same last name, different first names" true
+    (Data.medals_by_athlete r "Carl" "Phelps" > 0);
+  Alcotest.(check bool) "gold medals in 2008" true
+    (Data.gold_medals_in_year r 2008 > 0);
+  (* First-name-only matching must differ from full-name matching. *)
+  let usain_any =
+    List.length (List.filter (fun x -> x.Data.first = "Usain") r)
+  in
+  Alcotest.(check bool) "first-name matching is wrong" true
+    (usain_any <> Data.medals_by_athlete r "Usain" "Bolt")
+
+let suite =
+  [
+    Alcotest.test_case "expected outputs" `Quick test_expected_outputs;
+    Alcotest.test_case "pass / fail verdicts" `Quick test_pass_fail;
+    Alcotest.test_case "broken reference rejected" `Quick
+      test_reference_failure_rejected;
+    Alcotest.test_case "olympics generator" `Quick test_olympics_data;
+    Alcotest.test_case "curated dataset properties" `Quick
+      test_curated_properties;
+  ]

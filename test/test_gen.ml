@@ -1,0 +1,173 @@
+(** Tests for the synthetic submission generator: exact Table I space
+    sizes, mixed-radix decode/encode, deterministic sampling, and
+    parseability of the generated programs. *)
+
+open Jfeed_gen
+
+let all_specs = List.map (fun b -> b.Jfeed_kb.Bundles.gen) Jfeed_kb.Bundles.all
+
+(* The paper's Table I column S. *)
+let expected_sizes =
+  [
+    ("assignment1", 640_000);
+    ("esc-LAB-3-P1-V1", 442_368);
+    ("esc-LAB-3-P2-V1", 7_077_888);
+    ("esc-LAB-3-P2-V2", 144);
+    ("esc-LAB-3-P3-V1", 10_368);
+    ("esc-LAB-3-P4-V1", 13_824);
+    ("esc-LAB-3-P3-V2", 589_824);
+    ("esc-LAB-3-P4-V2", 9_437_184);
+    ("mitx-derivatives", 576);
+    ("mitx-polynomials", 768);
+    ("rit-all-g-medals", 559_872);
+    ("rit-medals-by-ath", 746_496);
+  ]
+
+let test_sizes_match_table1 () =
+  List.iter
+    (fun spec ->
+      let want = List.assoc spec.Spec.id expected_sizes in
+      Alcotest.(check int) spec.Spec.id want (Spec.size spec))
+    all_specs
+
+let test_average_size () =
+  (* The paper: "1.6M submissions per assignment on average". *)
+  let total = List.fold_left (fun a s -> a + Spec.size s) 0 all_specs in
+  let avg = total / List.length all_specs in
+  Alcotest.(check bool) "about 1.6M" true (avg > 1_500_000 && avg < 1_700_000)
+
+let test_validate () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check (list string)) (spec.Spec.id ^ " valid") []
+        (Spec.validate spec))
+    all_specs
+
+let test_decode_encode_roundtrip () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun idx ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s idx %d" spec.Spec.id idx)
+            idx
+            (Spec.encode spec (Spec.decode spec idx)))
+        (Spec.sample_indices spec ~n:50 ~seed:3))
+    all_specs
+
+let test_decode_bounds () =
+  let spec = List.hd all_specs in
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Spec.decode spec (-1));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "too large rejected" true
+    (try
+       ignore (Spec.decode spec (Spec.size spec));
+       false
+     with Invalid_argument _ -> true)
+
+let test_sampling_deterministic () =
+  List.iter
+    (fun spec ->
+      let a = Spec.sample_indices spec ~n:20 ~seed:7 in
+      let b = Spec.sample_indices spec ~n:20 ~seed:7 in
+      let c = Spec.sample_indices spec ~n:20 ~seed:8 in
+      Alcotest.(check bool) "same seed same sample" true (a = b);
+      Alcotest.(check bool) "in range" true
+        (List.for_all (fun i -> i >= 0 && i < Spec.size spec) a);
+      if Spec.size spec > 1000 then
+        Alcotest.(check bool) "different seed differs" true (a <> c))
+    all_specs
+
+let test_small_space_enumerated () =
+  let p2v2 = List.find (fun s -> s.Spec.id = "esc-LAB-3-P2-V2") all_specs in
+  Alcotest.(check int) "full enumeration when n >= size" 144
+    (List.length (Spec.sample_indices p2v2 ~n:1000 ~seed:1))
+
+let test_reference_is_all_good () =
+  List.iter
+    (fun spec ->
+      let digits = Array.make (Array.length spec.Spec.choices) 0 in
+      Alcotest.(check bool) (spec.Spec.id ^ " reference all-good") true
+        (Spec.all_good spec digits);
+      Alcotest.(check (list (triple string string pass)))
+        (spec.Spec.id ^ " no deviations") []
+        (Spec.deviations spec digits))
+    all_specs
+
+let test_every_sampled_submission_parses () =
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun idx ->
+          let src = Spec.source_of_index spec idx in
+          match Jfeed_java.Parser.parse_program src with
+          | _ -> ()
+          | exception e ->
+              Alcotest.failf "%s idx %d does not parse: %s\n%s" spec.Spec.id
+                idx (Printexc.to_string e) src)
+        (Spec.sample_indices spec ~n:120 ~seed:11))
+    all_specs
+
+let test_distinct_options_distinct_sources () =
+  (* Flipping a choice must change the rendered program (except for
+     structure choices that deliberately override others). *)
+  List.iter
+    (fun spec ->
+      let n = Array.length spec.Spec.choices in
+      let base = Spec.reference spec in
+      let changed = ref 0 and total = ref 0 in
+      for ci = 0 to n - 1 do
+        for oi = 1 to Array.length spec.Spec.choices.(ci).Spec.labels - 1 do
+          incr total;
+          let digits = Array.make n 0 in
+          digits.(ci) <- oi;
+          if spec.Spec.render digits <> base then incr changed
+        done
+      done;
+      Alcotest.(check int)
+        (spec.Spec.id ^ " every flip changes the source")
+        !total !changed)
+    all_specs
+
+(* Property: decode is the left inverse of encode on random digit
+   vectors. *)
+let prop_encode_decode =
+  let spec = List.hd all_specs in
+  let gen =
+    QCheck.Gen.(
+      let n = Array.length spec.Spec.choices in
+      let* digits =
+        flatten_a
+          (Array.init n (fun i ->
+               int_bound
+                 (Array.length spec.Spec.choices.(i).Spec.labels - 1)))
+      in
+      return digits)
+  in
+  QCheck.Test.make ~count:300 ~name:"decode (encode digits) = digits"
+    (QCheck.make gen) (fun digits ->
+      Spec.decode spec (Spec.encode spec digits) = digits)
+
+let suite =
+  [
+    Alcotest.test_case "sizes match Table I column S" `Quick
+      test_sizes_match_table1;
+    Alcotest.test_case "average space is 1.6M" `Quick test_average_size;
+    Alcotest.test_case "spec validation" `Quick test_validate;
+    Alcotest.test_case "decode/encode round trip" `Quick
+      test_decode_encode_roundtrip;
+    Alcotest.test_case "decode bounds" `Quick test_decode_bounds;
+    Alcotest.test_case "deterministic sampling" `Quick
+      test_sampling_deterministic;
+    Alcotest.test_case "small spaces fully enumerated" `Quick
+      test_small_space_enumerated;
+    Alcotest.test_case "reference is all-good" `Quick test_reference_is_all_good;
+    Alcotest.test_case "sampled submissions parse" `Quick
+      test_every_sampled_submission_parses;
+    Alcotest.test_case "flips change the source" `Quick
+      test_distinct_options_distinct_sources;
+    QCheck_alcotest.to_alcotest prop_encode_decode;
+  ]

@@ -1,0 +1,322 @@
+(** Tests for constraints (Definitions 8–10) and Algorithm 2 (submission
+    matching with multiple expected methods and the cost function Λ). *)
+
+open Jfeed_core
+
+let fig2 = Jfeed_kb.Bundles.assignment1.Jfeed_kb.Bundles.grading
+
+let grade src =
+  match Grader.grade_source fig2 src with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "grading failed: %s" msg
+
+let verdict_of (r : Grader.result) about =
+  match
+    List.find_opt (fun c -> c.Feedback.about = about) r.Grader.comments
+  with
+  | Some c -> c.Feedback.verdict
+  | None -> Alcotest.failf "no comment found"
+
+let fig2b =
+  {|
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  int i = 0;
+  while (i < a.length) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+    i++;
+  }
+  System.out.print(o + "\n");
+  System.out.print(e + "\n");
+}
+|}
+
+let fig2c =
+  {|
+void assignment1(int[] a) {
+  int x = 0, y = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 1)
+      x += a[i];
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      y *= a[i];
+  System.out.print(x + "\n");
+  System.out.print(y + "\n");
+}
+|}
+
+let test_fig2b_correct () =
+  let r = grade fig2b in
+  Alcotest.(check (float 0.01))
+    "perfect score" (float_of_int (List.length r.Grader.comments)) r.Grader.score
+
+let test_fig2c_two_loops_correct () =
+  (* The paper's Fig. 2c, with the initialization bugs fixed: two separate
+     loops are matched just as well — patterns are checked independently
+     of statement interleaving. *)
+  let r = grade fig2c in
+  Alcotest.(check (float 0.01))
+    "perfect score" (float_of_int (List.length r.Grader.comments)) r.Grader.score
+
+let test_fig2c_original_bugs () =
+  (* The actual Fig. 2c: x multiplies where it should add, y adds where
+     it should multiply. *)
+  let src =
+    {|
+void assignment1(int[] a) {
+  int x = 0, y = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 1)
+      x *= a[i];
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      y += a[i];
+  System.out.print(x + "\n");
+  System.out.print(y + "\n");
+}
+|}
+  in
+  let r = grade src in
+  Alcotest.(check bool)
+    "not a perfect score" true
+    (r.Grader.score < float_of_int (List.length r.Grader.comments));
+  (* The conditional addition is still recognized (y += under the even
+     guard) but with a wrong initialization, so it is Incorrect; and the
+     containment constraint tying the odd access to the sum fails. *)
+  Alcotest.(check bool)
+    "sum pattern incorrect" true
+    (verdict_of r (`Pattern "p_cond_accum_add") = Feedback.Incorrect);
+  Alcotest.(check bool)
+    "odd-is-sum constraint fails" true
+    (verdict_of r (`Constraint "a1_odd_is_sum") = Feedback.Incorrect)
+
+let test_constraint_verdicts () =
+  (* Printing the same variable twice satisfies the pattern count but
+     breaks the product-print edge constraint. *)
+  let src =
+    {|
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  for (int i = 0; i < a.length; i++) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+  }
+  System.out.println(o);
+  System.out.println(o);
+}
+|}
+  in
+  let r = grade src in
+  Alcotest.(check bool)
+    "print pattern count satisfied" true
+    (verdict_of r (`Pattern "p_print_var") = Feedback.Correct);
+  Alcotest.(check bool)
+    "sum-print constraint holds" true
+    (verdict_of r (`Constraint "a1_print_sum") = Feedback.Correct);
+  Alcotest.(check bool)
+    "product-print constraint fails" true
+    (verdict_of r (`Constraint "a1_print_prod") = Feedback.Incorrect)
+
+let test_constraint_not_expected_propagation () =
+  (* When a referenced pattern is missing, its constraints must be
+     Not_expected, not Incorrect (Algorithm 2, step 2.2). *)
+  let src =
+    {|
+void assignment1(int[] a) {
+  int o = 0;
+  System.out.println(o);
+}
+|}
+  in
+  let r = grade src in
+  Alcotest.(check bool)
+    "odd access missing" true
+    (verdict_of r (`Pattern "p_odd_access") = Feedback.Not_expected);
+  Alcotest.(check bool)
+    "containment constraint not expected" true
+    (verdict_of r (`Constraint "a1_odd_is_sum") = Feedback.Not_expected)
+
+let test_lambda () =
+  Alcotest.(check (float 0.001)) "correct" 1.0 (Feedback.lambda Feedback.Correct);
+  Alcotest.(check (float 0.001)) "incorrect" 0.5 (Feedback.lambda Feedback.Incorrect);
+  Alcotest.(check (float 0.001)) "not expected" 0.0
+    (Feedback.lambda Feedback.Not_expected)
+
+(* ------------------------------------------------------------------ *)
+(* Multiple expected methods (Algorithm 2 combinations)                *)
+
+let p1 = Option.get (Jfeed_kb.Bundles.find "esc-LAB-3-P1-V1")
+
+let p1_reference = Jfeed_gen.Spec.reference p1.Jfeed_kb.Bundles.gen
+
+let test_method_pairing () =
+  let r =
+    match Grader.grade_source p1.Jfeed_kb.Bundles.grading p1_reference with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check
+              (list (pair string (option string))))
+    "pairing"
+    [ ("factorial", Some "factorial"); ("lab3p1", Some "lab3p1") ]
+    (List.sort compare r.Grader.pairing)
+
+(* Replace every occurrence of a literal substring. *)
+let replace_all ~pattern ~by s =
+  let plen = String.length pattern in
+  let buf = Buffer.create (String.length s) in
+  let i = ref 0 in
+  while !i < String.length s do
+    if
+      !i + plen <= String.length s
+      && String.sub s !i plen = pattern
+    then begin
+      Buffer.add_string buf by;
+      i := !i + plen
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let test_method_pairing_renamed () =
+  (* A renamed helper is still paired correctly: Λ picks the combination
+     with the best feedback, not the names. *)
+  let src = replace_all ~pattern:"factorial" ~by:"myHelper" p1_reference in
+  let r =
+    match Grader.grade_source p1.Jfeed_kb.Bundles.grading src with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check (option string))
+    "factorial expected method paired with the renamed helper"
+    (Some "myHelper")
+    (List.assoc "factorial" r.Grader.pairing)
+
+let test_missing_method () =
+  (* Only the driver present: the helper's patterns all come back
+     Not_expected. *)
+  let src =
+    {|
+void lab3p1(int k) {
+  int n = 0;
+  while (factorial(n + 1) <= k) {
+    n++;
+  }
+  System.out.println(n);
+}
+|}
+  in
+  let r =
+    match Grader.grade_source p1.Jfeed_kb.Bundles.grading src with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check (option (option string)))
+    "helper unpaired" (Some None)
+    (List.assoc_opt "factorial" r.Grader.pairing);
+  let helper_comments =
+    List.filter
+      (fun c -> c.Feedback.in_method = "factorial")
+      r.Grader.comments
+  in
+  Alcotest.(check bool) "helper comments present" true
+    (helper_comments <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "all not-expected" true
+        (c.Feedback.verdict = Feedback.Not_expected))
+    helper_comments
+
+let test_enforce_headers () =
+  (* With header enforcement, a renamed helper can no longer be paired. *)
+  let strict =
+    { p1.Jfeed_kb.Bundles.grading with Grader.enforce_headers = true }
+  in
+  let renamed = replace_all ~pattern:"factorial" ~by:"myHelper" p1_reference in
+  let r =
+    match Grader.grade_source strict renamed with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check (option (option string)))
+    "helper unpaired under header enforcement" (Some None)
+    (List.assoc_opt "factorial" r.Grader.pairing);
+  (* The reference (correct names) still pairs fully. *)
+  let r2 =
+    match Grader.grade_source strict p1_reference with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check (option (option string)))
+    "correct names pair" (Some (Some "factorial"))
+    (List.assoc_opt "factorial" r2.Grader.pairing)
+
+let test_parse_error_reported () =
+  match Grader.grade_source fig2 "void assignment1(int[] a) { int = " with
+  | Error msg -> Alcotest.(check bool) "message" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected a parse error"
+
+let test_bad_pattern () =
+  (* p_double_update (t = 0) fires on a double counter update. *)
+  let b = Option.get (Jfeed_kb.Bundles.find "esc-LAB-3-P2-V1") in
+  let src =
+    {|
+int fib(int n) {
+  int a = 1;
+  int b = 1;
+  int i = 1;
+  while (i < n) {
+    int c = a + b;
+    a = b;
+    b = c;
+    i++;
+  }
+  return a;
+}
+void lab3p2(int k) {
+  int n = 0;
+  while (fib(n + 1) <= k) {
+    n++;
+    n++;
+  }
+  System.out.println(n);
+}
+|}
+  in
+  let r =
+    match Grader.grade_source b.Jfeed_kb.Bundles.grading src with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "parse: %s" e
+  in
+  Alcotest.(check bool)
+    "double update flagged" true
+    (verdict_of r (`Pattern "p_double_update") = Feedback.Not_expected)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 2b grades perfectly" `Quick test_fig2b_correct;
+    Alcotest.test_case "two-loop variant grades perfectly" `Quick
+      test_fig2c_two_loops_correct;
+    Alcotest.test_case "Fig. 2c original bugs flagged" `Quick
+      test_fig2c_original_bugs;
+    Alcotest.test_case "constraint verdicts" `Quick test_constraint_verdicts;
+    Alcotest.test_case "constraint Not_expected propagation" `Quick
+      test_constraint_not_expected_propagation;
+    Alcotest.test_case "cost function λ" `Quick test_lambda;
+    Alcotest.test_case "method pairing" `Quick test_method_pairing;
+    Alcotest.test_case "renamed helper paired by Λ" `Quick
+      test_method_pairing_renamed;
+    Alcotest.test_case "missing expected method" `Quick test_missing_method;
+    Alcotest.test_case "header enforcement" `Quick test_enforce_headers;
+    Alcotest.test_case "parse errors reported" `Quick test_parse_error_reported;
+    Alcotest.test_case "bad pattern (t = 0)" `Quick test_bad_pattern;
+  ]

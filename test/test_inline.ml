@@ -1,0 +1,160 @@
+(** Tests for helper-method inlining (§VII future work). *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let parse = Jfeed_java.Parser.parse_program
+
+let feedback_positive (r : Grader.result) =
+  List.for_all (fun c -> c.Feedback.verdict = Feedback.Correct) r.Grader.comments
+
+let test_expression_helper_inlined () =
+  let prog =
+    parse
+      {|
+int cube(int d) { return d * d * d; }
+void f(int k) { System.out.println(cube(k)); }
+|}
+  in
+  let inlined = Jfeed_java.Inline.inline_unexpected ~expected:[ "f" ] prog in
+  Alcotest.(check int) "helper dropped" 1
+    (List.length inlined.Jfeed_java.Ast.methods);
+  let rendered = Jfeed_java.Pretty.program inlined in
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  Alcotest.(check bool) "body substituted" true
+    (contains "k * k * k" rendered)
+
+let test_void_helper_spliced () =
+  let prog =
+    parse
+      {|
+void shout(int x) { System.out.println(x); }
+void f(int k) { shout(k); }
+|}
+  in
+  let inlined = Jfeed_java.Inline.inline_unexpected ~expected:[ "f" ] prog in
+  Alcotest.(check int) "helper dropped" 1
+    (List.length inlined.Jfeed_java.Ast.methods);
+  (* Functional behaviour preserved. *)
+  let run p =
+    (Jfeed_interp.Interp.run p ~entry:"f" ~args:[ Jfeed_interp.Value.Vint 7 ])
+      .Jfeed_interp.Interp.stdout
+  in
+  Alcotest.(check string) "same output" (run prog) (run inlined)
+
+let test_recursive_helper_untouched () =
+  let prog =
+    parse
+      {|
+int f2(int n) { return f2(n - 1); }
+void f(int k) { System.out.println(k); }
+|}
+  in
+  let inlined = Jfeed_java.Inline.inline_unexpected ~expected:[ "f" ] prog in
+  Alcotest.(check int) "recursive helper kept" 2
+    (List.length inlined.Jfeed_java.Ast.methods)
+
+let test_impure_args_not_inlined () =
+  (* Substituting [i++] twice would change semantics: leave the call. *)
+  let prog =
+    parse
+      {|
+int twice(int x) { return x + x; }
+void f(int k) { int i = 0; System.out.println(twice(i++)); }
+|}
+  in
+  let inlined = Jfeed_java.Inline.inline_unexpected ~expected:[ "f" ] prog in
+  Alcotest.(check int) "helper kept (call remains)" 2
+    (List.length inlined.Jfeed_java.Ast.methods)
+
+let test_inlining_semantics_preserved () =
+  (* For every simple-helper rewrite, run both forms on the functional
+     suite and compare stdout. *)
+  let prog =
+    parse
+      {|
+int term(int c, int w) { return c * w; }
+void polynomials(int[] p, int x) {
+    int r = 0;
+    int pw = 1;
+    for (int i = 0; i < p.length; i++) {
+        r += term(p[i], pw);
+        pw *= x;
+    }
+    System.out.println(r);
+}
+|}
+  in
+  let inlined =
+    Jfeed_java.Inline.inline_unexpected ~expected:[ "polynomials" ] prog
+  in
+  let args =
+    [
+      Jfeed_interp.Value.Varr
+        [| Jfeed_interp.Value.Vint 2; Vint 0; Vint 1 |];
+      Jfeed_interp.Value.Vint 3;
+    ]
+  in
+  let run p =
+    (Jfeed_interp.Interp.run p ~entry:"polynomials" ~args)
+      .Jfeed_interp.Interp.stdout
+  in
+  Alcotest.(check string) "same output" (run prog) (run inlined);
+  Alcotest.(check string) "value" "11\n" (run inlined)
+
+let test_grading_with_inlining () =
+  (* A student extracts the polynomial term into a helper: the knowledge
+     base cannot see the accumulation shape — unless inlining is on. *)
+  let src =
+    {|
+int term(int c, int w) { return c * w; }
+void polynomials(int[] p, int x) {
+    int r = 0;
+    int pw = 1;
+    for (int i = 0; i < p.length; i++) {
+        r += term(p[i], pw);
+        pw *= x;
+    }
+    System.out.println(r);
+}
+|}
+  in
+  let b = Option.get (Bundles.find "mitx-polynomials") in
+  let prog = parse src in
+  Alcotest.(check bool) "flagged without inlining" false
+    (feedback_positive (Grader.grade b.Bundles.grading prog));
+  Alcotest.(check bool) "accepted with inlining" true
+    (feedback_positive
+       (Grader.grade ~inline_helpers:true b.Bundles.grading prog))
+
+let test_expected_methods_never_inlined () =
+  (* The factorial helper of esc-LAB-3-P1-V1 is an *expected* method: it
+     must survive even with inlining on. *)
+  let b = Option.get (Bundles.find "esc-LAB-3-P1-V1") in
+  let reference = parse (Jfeed_gen.Spec.reference b.Bundles.gen) in
+  let r = Grader.grade ~inline_helpers:true b.Bundles.grading reference in
+  Alcotest.(check bool) "still positive" true (feedback_positive r);
+  Alcotest.(check (option (option string)))
+    "factorial still paired" (Some (Some "factorial"))
+    (List.assoc_opt "factorial" r.Grader.pairing)
+
+let suite =
+  [
+    Alcotest.test_case "expression helper inlined" `Quick
+      test_expression_helper_inlined;
+    Alcotest.test_case "void helper spliced" `Quick test_void_helper_spliced;
+    Alcotest.test_case "recursive helper untouched" `Quick
+      test_recursive_helper_untouched;
+    Alcotest.test_case "impure arguments not inlined" `Quick
+      test_impure_args_not_inlined;
+    Alcotest.test_case "inlining preserves semantics" `Quick
+      test_inlining_semantics_preserved;
+    Alcotest.test_case "grading recovers extracted helpers" `Quick
+      test_grading_with_inlining;
+    Alcotest.test_case "expected methods never inlined" `Quick
+      test_expected_methods_never_inlined;
+  ]

@@ -1,0 +1,221 @@
+(** Tests for the Java-subset interpreter (the functional-testing
+    substrate): arithmetic with Java int semantics, control flow, arrays,
+    strings, Scanner over virtual files, the step budget, and variable
+    tracing. *)
+
+open Jfeed_interp
+
+let run ?(config = Interp.default_config) ?(entry = "f") ~args src =
+  Interp.run_source ~config src ~entry ~args
+
+let out ?config ?entry ~args src =
+  let o = run ?config ?entry ~args src in
+  match o.Interp.error with
+  | None -> o.Interp.stdout
+  | Some e -> Alcotest.failf "unexpected runtime error: %s" e
+
+let err ?config ?entry ~args src =
+  match (run ?config ?entry ~args src).Interp.error with
+  | Some e -> e
+  | None -> Alcotest.fail "expected a runtime error"
+
+let test_arith () =
+  Alcotest.(check string)
+    "basics" "17\n"
+    (out ~args:[]
+       "void f() { System.out.println(2 + 3 * 5); }");
+  Alcotest.(check string)
+    "division truncates" "-2\n"
+    (out ~args:[] "void f() { System.out.println(-7 / 3); }");
+  Alcotest.(check string)
+    "modulo sign follows dividend" "-1\n"
+    (out ~args:[] "void f() { System.out.println(-7 % 3); }");
+  Alcotest.(check string)
+    "int32 wrap-around" "-2147483648\n"
+    (out ~args:[] "void f() { System.out.println(2147483647 + 1); }");
+  Alcotest.(check string)
+    "factorial overflow wraps like the JVM" "-288522240\n"
+    (out ~args:[]
+       "void f() { int p = 1; for (int i = 1; i <= 17; i++) p *= i; \
+        System.out.println(p); }")
+
+let test_division_by_zero () =
+  Alcotest.(check string) "div" "/ by zero" (err ~args:[] "void f() { int x = 1 / 0; }")
+
+let test_strings () =
+  Alcotest.(check string)
+    "concat" "n = 4\n"
+    (out ~args:[] {|void f() { int n = 4; System.out.println("n = " + n); }|});
+  Alcotest.(check string)
+    "equals" "true false\n"
+    (out ~args:[]
+       {|void f() { String a = "x"; System.out.println(a.equals("x") + " " + a.equals("y")); }|});
+  (* == on strings is reference equality: two distinct computed strings
+     are never ==. *)
+  Alcotest.(check string)
+    "reference equality" "false\n"
+    (out ~args:[]
+       {|void f() { String a = "x" + ""; String b = "x" + ""; System.out.println(a == b); }|})
+
+let test_arrays () =
+  Alcotest.(check string)
+    "new + store + length" "3 7\n"
+    (out ~args:[]
+       {|void f() { int[] a = new int[3]; a[1] = 7; System.out.println(a.length + " " + a[1]); }|});
+  Alcotest.(check string)
+    "array literal" "6\n"
+    (out ~args:[]
+       {|void f() { int[] a = {1, 2, 3}; System.out.println(a[0] + a[1] + a[2]); }|});
+  Alcotest.(check bool)
+    "out of bounds" true
+    (String.length (err ~args:[] "void f() { int[] a = new int[2]; int x = a[5]; }") > 0)
+
+let test_control_flow () =
+  Alcotest.(check string)
+    "break" "0 1 2 \n"
+    (out ~args:[]
+       {|void f() { for (int i = 0; i < 10; i++) { if (i == 3) break; System.out.print(i + " "); } System.out.println(""); }|});
+  Alcotest.(check string)
+    "continue" "1 3 \n"
+    (out ~args:[]
+       {|void f() { for (int i = 0; i < 4; i++) { if (i % 2 == 0) continue; System.out.print(i + " "); } System.out.println(""); }|});
+  Alcotest.(check string)
+    "ternary" "small\n"
+    (out ~args:[]
+       {|void f() { int x = 3; System.out.println(x < 5 ? "small" : "big"); }|});
+  Alcotest.(check string)
+    "switch with fallthrough to break" "two\n"
+    (out ~args:[]
+       {|void f() { int x = 2; switch (x) { case 1: System.out.println("one"); break; case 2: System.out.println("two"); break; default: System.out.println("other"); } }|})
+
+let test_methods () =
+  Alcotest.(check string)
+    "helper call" "120\n"
+    (out ~args:[ Value.Vint 5 ] ~entry:"main2"
+       {|int fact(int n) { int f = 1; for (int i = 1; i <= n; i++) f *= i; return f; }
+         void main2(int k) { System.out.println(fact(k)); }|});
+  Alcotest.(check string)
+    "recursion" "8\n"
+    (out ~args:[ Value.Vint 6 ] ~entry:"main2"
+       {|int fib(int n) { if (n <= 2) return 1; return fib(n - 1) + fib(n - 2); }
+         void main2(int k) { System.out.println(fib(k)); }|})
+
+let test_scanner () =
+  let config =
+    { Interp.files = [ ("data.txt", "alpha 42 beta\n7") ]; max_steps = 10_000 }
+  in
+  Alcotest.(check string)
+    "token stream" "alpha-42-beta-7:done\n"
+    (out ~config ~args:[]
+       {|void f() {
+           Scanner s = new Scanner(new File("data.txt"));
+           String acc = "";
+           String w = s.next();
+           acc = acc + w + "-";
+           int n = s.nextInt();
+           acc = acc + n + "-";
+           acc = acc + s.next() + "-" + s.nextInt();
+           if (!s.hasNext())
+             acc = acc + ":done";
+           s.close();
+           System.out.println(acc);
+         }|});
+  Alcotest.(check string)
+    "missing file" "FileNotFoundException: nope.txt"
+    (err ~args:[]
+       {|void f() { Scanner s = new Scanner(new File("nope.txt")); }|});
+  Alcotest.(check string)
+    "type mismatch" "InputMismatchException: \"alpha\""
+    (err ~config ~args:[]
+       {|void f() { Scanner s = new Scanner(new File("data.txt")); int n = s.nextInt(); }|})
+
+let test_step_limit () =
+  let config = { Interp.files = []; max_steps = 500 } in
+  Alcotest.(check string)
+    "infinite loop cut" "step limit exceeded"
+    (err ~config ~args:[] "void f() { while (true) { int x = 1; } }")
+
+let test_math () =
+  Alcotest.(check string)
+    "pow and cast" "8\n"
+    (out ~args:[] "void f() { System.out.println((int) Math.pow(2, 3)); }");
+  Alcotest.(check string)
+    "abs" "5\n"
+    (out ~args:[] "void f() { System.out.println(Math.abs(-5)); }");
+  Alcotest.(check string)
+    "log10 digit count" "3\n"
+    (out ~args:[]
+       "void f() { System.out.println((int) Math.log10(123) + 1); }")
+
+let test_scoping () =
+  (* For-loop variables are scoped: two loops can redeclare i. *)
+  Alcotest.(check string)
+    "redeclared loop var" "01\n"
+    (out ~args:[]
+       {|void f() {
+           for (int i = 0; i < 1; i++) System.out.print(i);
+           for (int i = 1; i < 2; i++) System.out.print(i);
+           System.out.println("");
+         }|})
+
+let test_incdec_semantics () =
+  Alcotest.(check string)
+    "post vs pre" "1 3\n"
+    (out ~args:[]
+       {|void f() { int i = 1; int a = i++; int b = ++i; System.out.println(a + " " + b); }|})
+
+let test_trace () =
+  let prog =
+    Jfeed_java.Parser.parse_program
+      "void f() { int x = 1; x = 2; int y = x; }"
+  in
+  let outcome, snaps = Interp.run_traced prog ~entry:"f" ~args:[] in
+  Alcotest.(check bool) "no error" true (outcome.Interp.error = None);
+  Alcotest.(check int) "one snapshot per statement" 3 (List.length snaps);
+  (match List.rev snaps with
+  | last :: _ ->
+      Alcotest.(check (list (pair string string)))
+        "final snapshot" [ ("x", "2"); ("y", "2") ] last
+  | [] -> Alcotest.fail "no snapshots")
+
+(* Property: the interpreter agrees with OCaml on random arithmetic. *)
+let prop_arith_oracle =
+  let gen =
+    QCheck.Gen.(
+      let* a = int_range (-1000) 1000 in
+      let* b = int_range 1 100 in
+      let* op = oneofl [ "+"; "-"; "*"; "/"; "%" ] in
+      return (a, b, op))
+  in
+  QCheck.Test.make ~count:300 ~name:"arithmetic agrees with OCaml"
+    (QCheck.make gen) (fun (a, b, op) ->
+      let expect =
+        match op with
+        | "+" -> a + b
+        | "-" -> a - b
+        | "*" -> a * b
+        | "/" -> a / b
+        | _ -> a mod b
+      in
+      let src =
+        Printf.sprintf "void f() { System.out.println(%d %s %d); }"
+          a op b
+      in
+      out ~args:[] src = string_of_int expect ^ "\n")
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "arrays" `Quick test_arrays;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "methods and recursion" `Quick test_methods;
+    Alcotest.test_case "scanner" `Quick test_scanner;
+    Alcotest.test_case "step limit" `Quick test_step_limit;
+    Alcotest.test_case "math builtins" `Quick test_math;
+    Alcotest.test_case "scoping" `Quick test_scoping;
+    Alcotest.test_case "incr/decr value" `Quick test_incdec_semantics;
+    Alcotest.test_case "variable tracing" `Quick test_trace;
+    QCheck_alcotest.to_alcotest prop_arith_oracle;
+  ]

@@ -1,0 +1,290 @@
+(** Tests for the Java-subset frontend: lexer, parser, pretty-printer and
+    the variable analyses.  The pretty-printer round-trip property
+    ([parse (render e) = e]) is the backbone of the expression matcher —
+    templates match against canonical renderings. *)
+
+open Jfeed_java
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let tokens src =
+  List.filter_map
+    (fun (t : Lexer.located) ->
+      match t.tok with Lexer.Eof -> None | tok -> Some tok)
+    (Lexer.tokenize src)
+
+let test_lex_basic () =
+  Alcotest.(check int) "count" 5 (List.length (tokens "int x = 42;"));
+  (match tokens "x <= y" with
+  | [ Lexer.Ident "x"; Lexer.Punct "<="; Lexer.Ident "y" ] -> ()
+  | _ -> Alcotest.fail "<= must lex as one token");
+  match tokens "i+++j" with
+  | [ Lexer.Ident "i"; Lexer.Punct "++"; Lexer.Punct "+"; Lexer.Ident "j" ] ->
+      ()
+  | _ -> Alcotest.fail "maximal munch on ++"
+
+let test_lex_literals () =
+  (match tokens "3.5 10 'a' \"hi\\n\" true" with
+  | [
+   Lexer.Double_literal 3.5;
+   Lexer.Int_literal 10;
+   Lexer.Char_literal 'a';
+   Lexer.String_literal "hi\n";
+   Lexer.Keyword "true";
+  ] ->
+      ()
+  | _ -> Alcotest.fail "literal forms");
+  match tokens "1e3 2L 4.0f" with
+  | [ Lexer.Double_literal 1000.0; Lexer.Int_literal 2; Lexer.Double_literal 4.0 ]
+    ->
+      ()
+  | _ -> Alcotest.fail "suffixed literals"
+
+let test_lex_comments () =
+  Alcotest.(check int) "line comment" 2
+    (List.length (tokens "x // the rest is gone\ny"));
+  Alcotest.(check int) "block comment" 2
+    (List.length (tokens "x /* y z\n w */ y"))
+
+let test_lex_errors () =
+  (try
+     ignore (Lexer.tokenize "\"unterminated");
+     Alcotest.fail "expected a lex error"
+   with Lexer.Lex_error (_, 1, _) -> ());
+  try
+    ignore (Lexer.tokenize "int x = #;");
+    Alcotest.fail "expected a lex error"
+  with Lexer.Lex_error (_, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let expr = Parser.parse_expression
+
+let test_parse_precedence () =
+  Alcotest.(check bool)
+    "mul binds tighter" true
+    (expr "1 + 2 * 3"
+    = Ast.Binary (Ast.Add, Ast.Int_lit 1, Ast.Binary (Ast.Mul, Ast.Int_lit 2, Ast.Int_lit 3)));
+  Alcotest.(check bool)
+    "relational vs and" true
+    (expr "a < b && c"
+    = Ast.Binary
+        (Ast.And, Ast.Binary (Ast.Lt, Ast.Var "a", Ast.Var "b"), Ast.Var "c"));
+  Alcotest.(check bool)
+    "assignment right assoc" true
+    (expr "a = b = 1"
+    = Ast.Assign (Ast.Set, Ast.Var "a", Ast.Assign (Ast.Set, Ast.Var "b", Ast.Int_lit 1)));
+  Alcotest.(check bool)
+    "left assoc subtraction" true
+    (expr "5 - 2 - 1"
+    = Ast.Binary (Ast.Sub, Ast.Binary (Ast.Sub, Ast.Int_lit 5, Ast.Int_lit 2), Ast.Int_lit 1))
+
+let test_parse_postfix () =
+  Alcotest.(check bool)
+    "array access" true
+    (expr "a[i + 1]" = Ast.Index (Ast.Var "a", Ast.Binary (Ast.Add, Ast.Var "i", Ast.Int_lit 1)));
+  Alcotest.(check bool)
+    "field" true
+    (expr "a.length" = Ast.Field (Ast.Var "a", "length"));
+  Alcotest.(check bool)
+    "method chain" true
+    (expr "System.out.println(x)"
+    = Ast.Call (Some (Ast.Field (Ast.Var "System", "out")), "println", [ Ast.Var "x" ]));
+  Alcotest.(check bool)
+    "new scanner" true
+    (expr "new Scanner(new File(\"f\"))"
+    = Ast.New (Ast.Tclass "Scanner", [ Ast.New (Ast.Tclass "File", [ Ast.Str_lit "f" ]) ]));
+  Alcotest.(check bool)
+    "new array" true
+    (expr "new int[n]" = Ast.New_array (Ast.Tprim "int", [ Ast.Var "n" ]));
+  Alcotest.(check bool)
+    "post incr" true
+    (expr "i++" = Ast.Incdec (Ast.Post_incr, Ast.Var "i"));
+  Alcotest.(check bool)
+    "cast" true
+    (expr "(int) Math.pow(2, 3)"
+    = Ast.Cast (Ast.Tprim "int", Ast.Call (Some (Ast.Var "Math"), "pow", [ Ast.Int_lit 2; Ast.Int_lit 3 ])))
+
+let test_parse_statements () =
+  (match Parser.parse_statement "if (x > 0) y = 1; else y = 2;" with
+  | Ast.Sif (_, Ast.Sexpr _, Some (Ast.Sexpr _)) -> ()
+  | _ -> Alcotest.fail "if/else shape");
+  (match Parser.parse_statement "for (int i = 0; i < n; i++) sum += i;" with
+  | Ast.Sfor (Some (Ast.For_decl [ _ ]), Some _, [ _ ], Ast.Sexpr _) -> ()
+  | _ -> Alcotest.fail "for shape");
+  (match Parser.parse_statement "do { x--; } while (x > 0);" with
+  | Ast.Sdo (Ast.Sblock [ _ ], _) -> ()
+  | _ -> Alcotest.fail "do-while shape");
+  (match Parser.parse_statement "int a = 1, b = 2;" with
+  | Ast.Sdecl [ d1; d2 ] ->
+      Alcotest.(check string) "first declarator" "a" d1.Ast.d_name;
+      Alcotest.(check string) "second declarator" "b" d2.Ast.d_name
+  | _ -> Alcotest.fail "multi declarator");
+  match
+    Parser.parse_statement
+      "switch (x) { case 1: y = 1; break; default: y = 0; }"
+  with
+  | Ast.Sswitch (_, [ c1; c2 ]) ->
+      Alcotest.(check bool) "case label" true (c1.Ast.case_label <> None);
+      Alcotest.(check bool) "default" true (c2.Ast.case_label = None)
+  | _ -> Alcotest.fail "switch shape"
+
+let test_parse_program_forms () =
+  let bare = Parser.parse_program "void f() { }  int g(int x) { return x; }" in
+  Alcotest.(check int) "two methods" 2 (List.length bare.Ast.methods);
+  let wrapped =
+    Parser.parse_program
+      "import java.util.Scanner;\n\
+       public class Main { public static void f() { } }"
+  in
+  Alcotest.(check int) "class wrapper" 1 (List.length wrapped.Ast.methods);
+  let m = List.hd wrapped.Ast.methods in
+  Alcotest.(check string) "method name" "f" m.Ast.m_name
+
+let test_parse_errors () =
+  (try
+     ignore (Parser.parse_program "void f() { int = 5; }");
+     Alcotest.fail "expected parse error"
+   with Parser.Parse_error (_, 1, _) -> ());
+  try
+    ignore (Parser.parse_program "void f() { x = ; }");
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error (_, _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing round trip                                          *)
+
+(* A generator of well-formed expressions of the subset. *)
+let gen_expr : Ast.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let var = oneofl [ "a"; "b"; "i"; "sum"; "x" ] >|= fun v -> Ast.Var v in
+  let leaf =
+    oneof
+      [
+        (int_bound 100 >|= fun n -> Ast.Int_lit n);
+        var;
+        (oneofl [ true; false ] >|= fun b -> Ast.Bool_lit b);
+        return (Ast.Str_lit "s");
+        return (Ast.Field (Ast.Var "a", "length"));
+      ]
+  in
+  let binop =
+    oneofl
+      Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne; And; Or ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (3, leaf);
+               ( 4,
+                 let* op = binop in
+                 let* l = self (n / 2) in
+                 let* r = self (n / 2) in
+                 return (Ast.Binary (op, l, r)) );
+               ( 1,
+                 let* e = self (n / 2) in
+                 return (Ast.Unary (Ast.Neg, e)) );
+               ( 1,
+                 let* e = self (n / 2) in
+                 return (Ast.Unary (Ast.Not, e)) );
+               ( 1,
+                 let* a = var in
+                 let* i = self (n / 2) in
+                 return (Ast.Index (a, i)) );
+               ( 1,
+                 let* c = self (n / 3) in
+                 let* t = self (n / 3) in
+                 let* f = self (n / 3) in
+                 return (Ast.Ternary (c, t, f)) );
+               ( 1,
+                 let* l = var in
+                 let* op = oneofl Ast.[ Set; Add_eq; Mul_eq ] in
+                 let* r = self (n / 2) in
+                 return (Ast.Assign (op, l, r)) );
+               ( 1,
+                 let* args = list_size (int_bound 2) (self (n / 3)) in
+                 return (Ast.Call (None, "f", args)) );
+             ])
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"parse (render e) = e"
+    (QCheck.make ~print:Pretty.expr gen_expr) (fun e ->
+      try Parser.parse_expression (Pretty.expr e) = e
+      with _ -> false)
+
+let prop_statement_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"parse (render stmt) = stmt"
+    (QCheck.make
+       ~print:(fun e -> Pretty.stmt (Ast.Sexpr e))
+       gen_expr)
+    (fun e ->
+      let s = Ast.Sexpr e in
+      try Parser.parse_statement (Pretty.stmt s) = s with _ -> false)
+
+let test_canonical_forms () =
+  let check src want =
+    Alcotest.(check string) src want (Pretty.expr (expr src))
+  in
+  check "i<=a.length" "i <= a.length";
+  check "odd+=a[i]" "odd += a[i]";
+  check "(1+2)*3" "(1 + 2) * 3";
+  check "1+(2*3)" "1 + 2 * 3";
+  check "System.out.println( odd )" "System.out.println(odd)";
+  check "i%2==1" "i % 2 == 1";
+  check "-x + +y" "-x + +y";
+  check "a - (b - c)" "a - (b - c)"
+
+let test_method_render () =
+  let src = "int f(int x) {\n    return x + 1;\n}" in
+  let prog = Parser.parse_program src in
+  Alcotest.(check string) "method render" src
+    (Pretty.meth (List.hd prog.Ast.methods))
+
+(* ------------------------------------------------------------------ *)
+(* Variable analyses                                                   *)
+
+let test_vars () =
+  let e = expr "System.out.println(a[i] + Math.abs(x))" in
+  Alcotest.(check (list string)) "vars" [ "a"; "i"; "x" ] (Ast.vars_of_expr e);
+  let assign = expr "a[i] = b + 1" in
+  Alcotest.(check (list string)) "assigned" [ "a" ] (Ast.assigned_vars assign);
+  Alcotest.(check (list string)) "reads of array store" [ "a"; "i"; "b" ]
+    (Ast.read_vars assign);
+  let plain = expr "x = y + 1" in
+  Alcotest.(check (list string)) "plain write" [ "x" ] (Ast.assigned_vars plain);
+  Alcotest.(check (list string)) "plain reads" [ "y" ] (Ast.read_vars plain);
+  let compound = expr "x += y" in
+  Alcotest.(check (list string)) "compound reads both" [ "x"; "y" ]
+    (Ast.read_vars compound);
+  let incr = expr "i++" in
+  Alcotest.(check (list string)) "incr writes" [ "i" ] (Ast.assigned_vars incr);
+  Alcotest.(check (list string)) "incr reads" [ "i" ] (Ast.read_vars incr)
+
+let test_class_names_excluded () =
+  let e = expr "new Scanner(new File(name))" in
+  Alcotest.(check (list string)) "only the variable" [ "name" ]
+    (Ast.vars_of_expr e)
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lex_basic;
+    Alcotest.test_case "lexer literals" `Quick test_lex_literals;
+    Alcotest.test_case "lexer comments" `Quick test_lex_comments;
+    Alcotest.test_case "lexer errors" `Quick test_lex_errors;
+    Alcotest.test_case "parser precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "parser postfix forms" `Quick test_parse_postfix;
+    Alcotest.test_case "parser statements" `Quick test_parse_statements;
+    Alcotest.test_case "parser program forms" `Quick test_parse_program_forms;
+    Alcotest.test_case "parser errors" `Quick test_parse_errors;
+    Alcotest.test_case "canonical rendering" `Quick test_canonical_forms;
+    Alcotest.test_case "method rendering" `Quick test_method_render;
+    Alcotest.test_case "variable analyses" `Quick test_vars;
+    Alcotest.test_case "class names excluded" `Quick test_class_names_excluded;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_statement_roundtrip;
+  ]

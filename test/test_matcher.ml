@@ -1,0 +1,238 @@
+(** Tests for Algorithm 1 (pattern matching with variable mappings),
+    anchored on the paper's §III-B/§IV worked example. *)
+
+open Jfeed_core
+open Jfeed_exprmatch
+module E = Jfeed_pdg.Epdg
+
+let graph_of src =
+  match E.of_source src with
+  | [ (_, g) ] -> g
+  | _ -> Alcotest.fail "expected one method"
+
+let fig2a =
+  {|
+void assignment1(int[] a) {
+  int even = 0;
+  int odd = 0;
+  for (int i = 0; i <= a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+    if (i % 2 == 1)
+      even *= a[i];
+  }
+  System.out.println(odd);
+  System.out.println(even);
+}
+|}
+
+let p_o = Jfeed_kb.Patterns.p_odd_access
+
+let test_paper_embedding () =
+  let g = graph_of fig2a in
+  let ms = Matcher.embeddings p_o g in
+  (* Fig. 2a uses i % 2 == 1 for both accumulations, so p_o embeds twice
+     (and each embedding's bound node is approximate: i <= a.length). *)
+  Alcotest.(check int) "two embeddings" 2 (List.length ms);
+  List.iter
+    (fun (m : Matcher.embedding) ->
+      Alcotest.(check (list (pair string string)))
+        "variable mapping γ"
+        [ ("s", "a"); ("x", "i") ]
+        (List.sort compare m.Matcher.gamma);
+      Alcotest.(check bool) "bound node approximate" false
+        (Matcher.is_fully_correct m);
+      (* exactly one node (the <= bound) is approximate *)
+      let approx =
+        List.filter (fun (_, (_, mk)) -> mk = Matcher.Approx) m.Matcher.iota
+      in
+      Alcotest.(check int) "one incorrect node" 1 (List.length approx))
+    ms
+
+let test_correct_submission_exact () =
+  let g =
+    graph_of
+      {|
+void assignment1(int[] a) {
+  int odd = 0;
+  for (int i = 0; i < a.length; i++) {
+    if (i % 2 == 1)
+      odd += a[i];
+  }
+  System.out.println(odd);
+}
+|}
+  in
+  match Matcher.embeddings p_o g with
+  | [ m ] -> Alcotest.(check bool) "fully correct" true (Matcher.is_fully_correct m)
+  | ms -> Alcotest.failf "expected one embedding, got %d" (List.length ms)
+
+let test_injectivity () =
+  (* Two pattern nodes must not map to the same graph node. *)
+  let p =
+    {
+      Pattern.id = "two_assigns";
+      description = "two distinct constant initializations";
+      nodes =
+        [|
+          Pattern.node ~typ:E.Assign (Template.regex_of {|%x% = [0-9]+|}) ~ok:"";
+          Pattern.node ~typ:E.Assign (Template.regex_of {|%y% = [0-9]+|}) ~ok:"";
+        |];
+      edges = [];
+      fb_present = "";
+      fb_missing = "";
+    }
+  in
+  let g = graph_of {|
+void f() {
+  int a = 1;
+  int b = 2;
+}
+|} in
+  let ms = Matcher.embeddings p g in
+  (* 2 assignments, 2 untied pattern nodes: the 2 orderings, never the
+     same node twice. *)
+  Alcotest.(check int) "both orders" 2 (List.length ms);
+  List.iter
+    (fun (m : Matcher.embedding) ->
+      let images = List.map (fun (_, (v, _)) -> v) m.Matcher.iota in
+      Alcotest.(check bool) "injective" true
+        (List.length (List.sort_uniq compare images) = List.length images))
+    ms;
+  Alcotest.(check int) "one occurrence (same footprint)" 1
+    (List.length (Matcher.occurrences ms))
+
+let test_edge_direction_checked () =
+  (* The incoming-edge direction must be verified too (DESIGN.md §4.4):
+     a pattern requiring init -Data-> use must not match when the use
+     comes first. *)
+  let p =
+    {
+      Pattern.id = "def_use";
+      description = "definition reaches use";
+      nodes =
+        [|
+          Pattern.node ~typ:E.Assign (Template.exact_of "%x% = 1") ~ok:"";
+          Pattern.node ~typ:E.Call
+            (Template.regex_of {|System\.out\.println\(%x%\)|})
+            ~ok:"";
+        |];
+      edges = [ (0, 1, E.Data) ];
+      fb_present = "";
+      fb_missing = "";
+    }
+  in
+  let good = graph_of {|
+void f() {
+  int x = 1;
+  System.out.println(x);
+}
+|} in
+  let bad =
+    graph_of
+      {|
+void f() {
+  int x = 0;
+  System.out.println(x);
+  x = 1;
+}
+|}
+  in
+  Alcotest.(check int) "matches when def reaches" 1
+    (List.length (Matcher.embeddings p good));
+  Alcotest.(check int) "no match when def follows" 0
+    (List.length (Matcher.embeddings p bad))
+
+let test_untyped_matches_all () =
+  let p =
+    {
+      Pattern.id = "any";
+      description = "any node containing x";
+      nodes = [| Pattern.node (Template.contains_of "%x%") ~ok:"" |];
+      edges = [];
+      fb_present = "";
+      fb_missing = "";
+    }
+  in
+  let g = graph_of {|
+void f(int k) {
+  int y = k + 1;
+  System.out.println(y);
+}
+|} in
+  (* Untyped: Decl, Assign and Call nodes are all candidates. *)
+  let ms = Matcher.embeddings p g in
+  Alcotest.(check bool) "several node kinds matched" true (List.length ms >= 3)
+
+let test_type_filter () =
+  let p =
+    {
+      Pattern.id = "cond_only";
+      description = "a condition mentioning x";
+      nodes = [| Pattern.node ~typ:E.Cond (Template.contains_of "%x%") ~ok:"" |];
+      edges = [];
+      fb_present = "";
+      fb_missing = "";
+    }
+  in
+  let g = graph_of {|
+void f(int k) {
+  if (k > 0)
+    k = 0;
+}
+|} in
+  match Matcher.embeddings p g with
+  | [ m ] ->
+      Alcotest.(check (list (pair string string)))
+        "binds the condition variable" [ ("x", "k") ] m.Matcher.gamma
+  | ms -> Alcotest.failf "expected 1, got %d" (List.length ms)
+
+let test_exact_preferred_over_approx () =
+  (* When both r and r̂ can match, the occurrence keeps the exact mark. *)
+  let g =
+    graph_of
+      {|
+void f(int[] a) {
+  int s = 0;
+  for (int i = 0; i < a.length; i++) {
+    if (i % 2 == 1)
+      s += a[i];
+  }
+  System.out.println(s);
+}
+|}
+  in
+  let occs = Matcher.occurrences (Matcher.embeddings p_o g) in
+  Alcotest.(check int) "one occurrence" 1 (List.length occs);
+  Alcotest.(check bool) "kept fully correct" true
+    (Matcher.is_fully_correct (List.hd occs))
+
+let test_no_match_missing_guard () =
+  let g =
+    graph_of
+      {|
+void f(int[] a) {
+  int s = 0;
+  for (int i = 0; i < a.length; i += 2)
+    s += a[i];
+  System.out.println(s);
+}
+|}
+  in
+  Alcotest.(check int) "no parity guard, no embedding" 0
+    (List.length (Matcher.embeddings p_o g))
+
+let suite =
+  [
+    Alcotest.test_case "paper's p_o embedding" `Quick test_paper_embedding;
+    Alcotest.test_case "fully correct embedding" `Quick
+      test_correct_submission_exact;
+    Alcotest.test_case "node-mapping injectivity" `Quick test_injectivity;
+    Alcotest.test_case "incoming edges checked" `Quick
+      test_edge_direction_checked;
+    Alcotest.test_case "untyped nodes" `Quick test_untyped_matches_all;
+    Alcotest.test_case "type filtering" `Quick test_type_filter;
+    Alcotest.test_case "exact preferred in occurrences" `Quick
+      test_exact_preferred_over_approx;
+    Alcotest.test_case "missing crucial node" `Quick test_no_match_missing_guard;
+  ]

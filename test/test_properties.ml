@@ -1,0 +1,163 @@
+(** System-level property tests: invariants that must hold for *every*
+    submission in every assignment's search space, checked on random
+    indices.  These are the guard rails for the whole pipeline —
+    parse → EPDG → match → constraints → Λ. *)
+
+open Jfeed_core
+open Jfeed_kb
+module G = Jfeed_graph.Digraph
+module E = Jfeed_pdg.Epdg
+
+let arbitrary_submission =
+  (* (bundle index, submission index) — printed as assignment/index. *)
+  let gen =
+    QCheck.Gen.(
+      let* bi = int_bound (List.length Bundles.all - 1) in
+      let b = List.nth Bundles.all bi in
+      let* idx = int_bound (Jfeed_gen.Spec.size b.Bundles.gen - 1) in
+      return (bi, idx))
+  in
+  let print (bi, idx) =
+    let b = List.nth Bundles.all bi in
+    Printf.sprintf "%s #%d" b.Bundles.grading.Grader.a_id idx
+  in
+  QCheck.make ~print gen
+
+let program_of (bi, idx) =
+  let b = List.nth Bundles.all bi in
+  ( b,
+    Jfeed_java.Parser.parse_program
+      (Jfeed_gen.Spec.source_of_index b.Bundles.gen idx) )
+
+let prop_grading_total =
+  QCheck.Test.make ~count:250 ~name:"grading is total and Λ is bounded"
+    arbitrary_submission (fun key ->
+      let b, prog = program_of key in
+      let r = Grader.grade b.Bundles.grading prog in
+      let n = float_of_int (List.length r.Grader.comments) in
+      r.Grader.score >= 0.0 && r.Grader.score <= n && r.Grader.comments <> [])
+
+let prop_grading_deterministic =
+  QCheck.Test.make ~count:100 ~name:"grading is deterministic"
+    arbitrary_submission (fun key ->
+      let b, prog = program_of key in
+      Grader.grade b.Bundles.grading prog = Grader.grade b.Bundles.grading prog)
+
+let prop_score_is_lambda_sum =
+  QCheck.Test.make ~count:100 ~name:"Λ is the sum of the verdict weights"
+    arbitrary_submission (fun key ->
+      let b, prog = program_of key in
+      let r = Grader.grade b.Bundles.grading prog in
+      Float.abs
+        (r.Grader.score
+        -. List.fold_left
+             (fun acc c -> acc +. Feedback.lambda c.Feedback.verdict)
+             0.0 r.Grader.comments)
+      < 1e-9)
+
+let prop_extensions_never_lower_score =
+  (* The §VII extensions only widen what is accepted. *)
+  QCheck.Test.make ~count:100 ~name:"extensions never lower Λ"
+    arbitrary_submission (fun key ->
+      let b, prog = program_of key in
+      let base = Grader.grade b.Bundles.grading prog in
+      let ext =
+        Grader.grade ~normalize:true ~use_variants:true b.Bundles.grading prog
+      in
+      ext.Grader.score >= base.Grader.score -. 1e-9)
+
+(* EPDG well-formedness over arbitrary generated submissions. *)
+
+let defs g v =
+  let info = G.label g.E.graph v in
+  match info.E.n_type with
+  | E.Decl -> Jfeed_java.Ast.vars_of_expr info.E.n_expr
+  | _ -> Jfeed_java.Ast.assigned_vars info.E.n_expr
+
+let reads g v =
+  Jfeed_java.Ast.read_vars (E.node_expr g v)
+
+let prop_epdg_wellformed =
+  QCheck.Test.make ~count:150 ~name:"EPDG: Ctrl from Cond, Data is def-use"
+    arbitrary_submission (fun key ->
+      let _, prog = program_of key in
+      List.for_all
+        (fun (_, g) ->
+          List.for_all
+            (fun (s, t, e) ->
+              match e with
+              | E.Ctrl ->
+                  (* Control edges only originate in conditions and are
+                     never self loops. *)
+                  E.node_type g s = E.Cond && s <> t
+              | E.Data ->
+                  (* A data edge's source defines a variable its target
+                     reads. *)
+                  s <> t
+                  && List.exists (fun x -> List.mem x (reads g t)) (defs g s))
+            (G.edges g.E.graph))
+        (E.of_program prog))
+
+let prop_epdg_single_ctrl_parent =
+  QCheck.Test.make ~count:150
+    ~name:"EPDG: at most one controlling condition per node (transitive \
+           reduction)"
+    arbitrary_submission (fun key ->
+      let _, prog = program_of key in
+      List.for_all
+        (fun (_, g) ->
+          List.for_all
+            (fun v ->
+              let ctrl_parents =
+                List.filter (fun (_, e) -> e = E.Ctrl) (G.pred g.E.graph v)
+              in
+              List.length ctrl_parents <= 1)
+            (G.nodes g.E.graph))
+        (E.of_program prog))
+
+let prop_interpreter_total =
+  (* Whatever the submission, the interpreter's outcome is an outcome —
+     errors are data, not exceptions. *)
+  QCheck.Test.make ~count:120 ~name:"functional testing is total"
+    arbitrary_submission (fun key ->
+      let b, prog = program_of key in
+      let reference =
+        Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+      in
+      let expected =
+        Jfeed_ftest.Runner.expected_outputs b.Bundles.suite reference
+      in
+      match Jfeed_ftest.Runner.run b.Bundles.suite ~expected prog with
+      | Jfeed_ftest.Runner.Pass | Jfeed_ftest.Runner.Fail _ -> true)
+
+let prop_canonical_text_reparses =
+  (* Every EPDG node's canonical text re-parses (templates rely on it). *)
+  QCheck.Test.make ~count:100 ~name:"node canonical texts re-parse"
+    arbitrary_submission (fun key ->
+      let _, prog = program_of key in
+      List.for_all
+        (fun (_, g) ->
+          List.for_all
+            (fun v ->
+              let info = G.label g.E.graph v in
+              match info.E.n_type with
+              | E.Decl | E.Break | E.Return -> true (* non-expression texts *)
+              | E.Assign | E.Call | E.Cond -> (
+                  match Jfeed_java.Parser.parse_expression info.E.n_text with
+                  | _ -> true
+                  | exception _ -> false))
+            (G.nodes g.E.graph))
+        (E.of_program prog))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_grading_total;
+      prop_grading_deterministic;
+      prop_score_is_lambda_sum;
+      prop_extensions_never_lower_score;
+      prop_epdg_wellformed;
+      prop_epdg_single_ctrl_parent;
+      prop_interpreter_total;
+      prop_canonical_text_reparses;
+    ]

@@ -1,0 +1,212 @@
+(** Statement-level printer/parser round-trip: a QCheck generator of
+    well-formed statement trees (declarations, if/else, loops, switch,
+    blocks) and the property [parse (render s) = s]. *)
+
+open Jfeed_java
+
+let gen_small_expr : Ast.expr QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        (int_bound 99 >|= fun n -> Ast.Int_lit n);
+        (oneofl [ "a"; "i"; "x"; "sum" ] >|= fun v -> Ast.Var v);
+        ( oneofl [ "a"; "i" ] >>= fun v ->
+          int_bound 9 >|= fun n ->
+          Ast.Binary (Ast.Add, Ast.Var v, Ast.Int_lit n) );
+        ( oneofl [ "i"; "x" ] >>= fun v ->
+          int_bound 9 >|= fun n ->
+          Ast.Binary (Ast.Lt, Ast.Var v, Ast.Int_lit n) );
+      ])
+
+let gen_assign : Ast.expr QCheck.Gen.t =
+  QCheck.Gen.(
+    let* lhs = oneofl [ "i"; "x"; "sum" ] in
+    let* op = oneofl Ast.[ Set; Add_eq; Mul_eq ] in
+    let* rhs = gen_small_expr in
+    return (Ast.Assign (op, Ast.Var lhs, rhs)))
+
+let gen_stmt : Ast.stmt QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               (gen_assign >|= fun e -> Ast.Sexpr e);
+               ( oneofl [ "i"; "v" ] >>= fun name ->
+                 gen_small_expr >|= fun init ->
+                 Ast.Sdecl
+                   [
+                     {
+                       Ast.d_type = Ast.Tprim "int";
+                       d_name = name;
+                       d_init = Some init;
+                     };
+                   ] );
+               return Ast.Sbreak;
+               return Ast.Scontinue;
+               (gen_small_expr >|= fun e -> Ast.Sreturn (Some e));
+               return (Ast.Sreturn None);
+               ( gen_small_expr >|= fun e ->
+                 Ast.Sexpr
+                   (Ast.Call
+                      ( Some (Ast.Field (Ast.Var "System", "out")),
+                        "println",
+                        [ e ] )) );
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           let sub = self (n / 2) in
+           frequency
+             [
+               (4, leaf);
+               ( 2,
+                 let* c = gen_small_expr in
+                 let* t = sub in
+                 let* has_else = bool in
+                 if has_else then
+                   let* e = sub in
+                   return (Ast.Sif (c, t, Some e))
+                 else return (Ast.Sif (c, t, None)) );
+               ( 1,
+                 let* c = gen_small_expr in
+                 let* b = sub in
+                 return (Ast.Swhile (c, b)) );
+               ( 1,
+                 let* b = sub in
+                 let* c = gen_small_expr in
+                 return (Ast.Sdo (b, c)) );
+               ( 1,
+                 let* cond = gen_small_expr in
+                 let* b = sub in
+                 return
+                   (Ast.Sfor
+                      ( Some
+                          (Ast.For_decl
+                             [
+                               {
+                                 Ast.d_type = Ast.Tprim "int";
+                                 d_name = "k";
+                                 d_init = Some (Ast.Int_lit 0);
+                               };
+                             ]),
+                        Some cond,
+                        [ Ast.Incdec (Ast.Post_incr, Ast.Var "k") ],
+                        b )) );
+               ( 1,
+                 let* body = list_size (int_bound 3) sub in
+                 return (Ast.Sblock body) );
+               ( 1,
+                 let* scr = gen_small_expr in
+                 let* c1 = sub in
+                 let* c2 = sub in
+                 return
+                   (Ast.Sswitch
+                      ( scr,
+                        [
+                          {
+                            Ast.case_label = Some (Ast.Int_lit 1);
+                            case_body = [ c1; Ast.Sbreak ];
+                          };
+                          { Ast.case_label = None; case_body = [ c2 ] };
+                        ] )) );
+             ])
+
+(* The printer may brace a then-branch to avoid dangling-else capture, so
+   the round trip holds modulo singleton-block flattening. *)
+let rec flatten (s : Ast.stmt) : Ast.stmt =
+  match s with
+  | Ast.Sblock [ one ] -> flatten one
+  | Ast.Sblock body -> Ast.Sblock (List.map flatten body)
+  | Ast.Sif (c, t, e) -> Ast.Sif (c, flatten t, Option.map flatten e)
+  | Ast.Swhile (c, b) -> Ast.Swhile (c, flatten b)
+  | Ast.Sdo (b, c) -> Ast.Sdo (flatten b, c)
+  | Ast.Sfor (i, c, u, b) -> Ast.Sfor (i, c, u, flatten b)
+  | Ast.Sswitch (scr, cases) ->
+      Ast.Sswitch
+        ( scr,
+          List.map
+            (fun k -> { k with Ast.case_body = List.map flatten k.Ast.case_body })
+            cases )
+  | Ast.Sempty | Ast.Sexpr _ | Ast.Sdecl _ | Ast.Sbreak | Ast.Scontinue
+  | Ast.Sreturn _ ->
+      s
+
+let prop_stmt_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"parse (render stmt-tree) = stmt-tree"
+    (QCheck.make ~print:(fun s -> Pretty.stmt s) gen_stmt)
+    (fun s ->
+      try flatten (Parser.parse_statement (Pretty.stmt s)) = flatten s
+      with _ -> false)
+
+let prop_program_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"parse (render method) = method"
+    (QCheck.make
+       ~print:(fun body ->
+         Pretty.meth
+           {
+             Ast.m_ret = Ast.Tprim "void";
+             m_name = "f";
+             m_params = [ { Ast.p_type = Ast.Tprim "int"; p_name = "p" } ];
+             m_body = body;
+           })
+       QCheck.Gen.(list_size (int_bound 4) gen_stmt))
+    (fun body ->
+      let m =
+        {
+          Ast.m_ret = Ast.Tprim "void";
+          m_name = "f";
+          m_params = [ { Ast.p_type = Ast.Tprim "int"; p_name = "p" } ];
+          m_body = body;
+        }
+      in
+      try
+        match (Parser.parse_program (Pretty.meth m)).Ast.methods with
+        | [ m' ] ->
+            { m' with Ast.m_body = List.map flatten m'.Ast.m_body }
+            = { m with Ast.m_body = List.map flatten m.Ast.m_body }
+        | _ -> false
+      with _ -> false)
+
+let prop_epdg_total_on_generated_stmts =
+  (* The EPDG builder must accept any well-formed method. *)
+  QCheck.Test.make ~count:300 ~name:"EPDG construction is total"
+    (QCheck.make QCheck.Gen.(list_size (int_bound 5) gen_stmt))
+    (fun body ->
+      let m =
+        {
+          Ast.m_ret = Ast.Tprim "void";
+          m_name = "f";
+          m_params = [ { Ast.p_type = Ast.Tprim "int"; p_name = "p" } ];
+          m_body = body;
+        }
+      in
+      match Jfeed_pdg.Epdg.of_method m with _ -> true)
+
+let test_dangling_else_braced () =
+  (* if (a) if (b) x = 1; else x = 2;  — the else belongs to the OUTER
+     if in this AST, so the printer must brace the then-branch. *)
+  let inner = Ast.Sif (Ast.Var "b", Ast.Sexpr (Ast.Assign (Ast.Set, Ast.Var "x", Ast.Int_lit 1)), None) in
+  let outer =
+    Ast.Sif
+      ( Ast.Var "a",
+        inner,
+        Some (Ast.Sexpr (Ast.Assign (Ast.Set, Ast.Var "x", Ast.Int_lit 2))) )
+  in
+  let rendered = Pretty.stmt outer in
+  let reparsed = Parser.parse_statement rendered in
+  (match reparsed with
+  | Ast.Sif (_, Ast.Sblock [ Ast.Sif (_, _, None) ], Some _) -> ()
+  | _ -> Alcotest.failf "dangling else captured:\n%s" rendered);
+  Alcotest.(check bool) "semantics preserved" true
+    (flatten reparsed = flatten outer)
+
+let suite =
+  Alcotest.test_case "dangling else braced" `Quick test_dangling_else_braced
+  :: List.map QCheck_alcotest.to_alcotest
+    [
+      prop_stmt_roundtrip;
+      prop_program_roundtrip;
+      prop_epdg_total_on_generated_stmts;
+    ]

@@ -1,0 +1,117 @@
+(** Tests for algorithmic-strategy enforcement (§VI-C structural
+    requirements). *)
+
+open Jfeed_core
+open Jfeed_kb
+
+let parse = Jfeed_java.Parser.parse_program
+
+let feedback_positive (r : Grader.result) =
+  List.for_all (fun c -> c.Feedback.verdict = Feedback.Correct) r.Grader.comments
+
+let single_loop =
+  parse
+    {|
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  for (int i = 0; i < a.length; i++) {
+    if (i % 2 == 1)
+      o += a[i];
+    if (i % 2 == 0)
+      e *= a[i];
+  }
+  System.out.println(o);
+  System.out.println(e);
+}
+|}
+
+let two_loops =
+  parse
+    {|
+void assignment1(int[] a) {
+  int o = 0, e = 1;
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 1)
+      o += a[i];
+  for (int i = 0; i < a.length; i++)
+    if (i % 2 == 0)
+      e *= a[i];
+  System.out.println(o);
+  System.out.println(e);
+}
+|}
+
+let test_single_loop_strategy () =
+  let base = Bundles.assignment1.Bundles.grading in
+  let strict = Strategies.apply Strategies.assignment1_single_loop base in
+  (* Without the strategy both forms are accepted... *)
+  Alcotest.(check bool) "plain: single loop ok" true
+    (feedback_positive (Grader.grade base single_loop));
+  Alcotest.(check bool) "plain: two loops ok" true
+    (feedback_positive (Grader.grade base two_loops));
+  (* ...with it, only the single-loop form is. *)
+  Alcotest.(check bool) "strict: single loop ok" true
+    (feedback_positive (Grader.grade strict single_loop));
+  let r = Grader.grade strict two_loops in
+  Alcotest.(check bool) "strict: two loops flagged" false
+    (feedback_positive r);
+  (* The flag is exactly the strategy constraint, not a pattern. *)
+  let failing =
+    List.filter
+      (fun c -> c.Feedback.verdict <> Feedback.Correct)
+      r.Grader.comments
+  in
+  Alcotest.(check (list string))
+    "only the strategy constraints fail"
+    [ "strat_same_bound"; "strat_same_index_init" ]
+    (List.sort compare
+       (List.filter_map
+          (fun c ->
+            match c.Feedback.about with
+            | `Constraint id -> Some id
+            | `Pattern _ -> None)
+          failing))
+
+let test_strategy_adds_to_score_denominator () =
+  let base = Bundles.assignment1.Bundles.grading in
+  let strict = Strategies.apply Strategies.assignment1_single_loop base in
+  let r = Grader.grade strict single_loop in
+  Alcotest.(check int) "two extra comments" 12
+    (List.length r.Grader.comments)
+
+let test_lookahead_strategy () =
+  let b = Option.get (Bundles.find "esc-LAB-3-P1-V1") in
+  let strict =
+    Strategies.apply
+      (Option.get (Strategies.find "esc-LAB-3-P1-V1-canonical-lookahead"))
+      b.Bundles.grading
+  in
+  let reference = parse (Jfeed_gen.Spec.reference b.Bundles.gen) in
+  Alcotest.(check bool) "reference satisfies the strategy" true
+    (feedback_positive (Grader.grade strict reference));
+  (* The flipped-comparison variant passes the tests but not the
+     canonical-form strategy. *)
+  let spec = b.Bundles.gen in
+  let digits = Array.make (Array.length spec.Jfeed_gen.Spec.choices) 0 in
+  Array.iteri
+    (fun i c -> if c.Jfeed_gen.Spec.tag = "cond-flip" then digits.(i) <- 1)
+    spec.Jfeed_gen.Spec.choices;
+  let flipped = parse (spec.Jfeed_gen.Spec.render digits) in
+  Alcotest.(check bool) "flipped form rejected" false
+    (feedback_positive (Grader.grade strict flipped))
+
+let test_registry () =
+  Alcotest.(check int) "three strategies" 3 (List.length Strategies.all);
+  Alcotest.(check bool) "find known" true
+    (Strategies.find "assignment1-single-loop" <> None);
+  Alcotest.(check bool) "find unknown" true (Strategies.find "nope" = None)
+
+let suite =
+  [
+    Alcotest.test_case "single-loop strategy" `Quick test_single_loop_strategy;
+    Alcotest.test_case "strategy extends the comment set" `Quick
+      test_strategy_adds_to_score_denominator;
+    Alcotest.test_case "canonical-lookahead strategy" `Quick
+      test_lookahead_strategy;
+    Alcotest.test_case "registry" `Quick test_registry;
+  ]

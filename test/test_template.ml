@@ -1,0 +1,112 @@
+(** Tests for the incomplete-expression templates (Definitions 4 and 6). *)
+
+open Jfeed_exprmatch
+
+let test_vars () =
+  Alcotest.(check (list string))
+    "placeholders" [ "x"; "s" ]
+    (Template.vars (Template.exact_of "%x% < %s%.length"));
+  Alcotest.(check (list string))
+    "no duplicates" [ "x" ]
+    (Template.vars (Template.exact_of "%x% = %x% + 1"));
+  Alcotest.(check (list string))
+    "modulo is not a placeholder" [ "x" ]
+    (Template.vars (Template.exact_of "%x% % 2 == 1"))
+
+let test_exact () =
+  let t = Template.exact_of "%x% = 0" in
+  Alcotest.(check bool) "match" true
+    (Template.matches t ~gamma:[ ("x", "i") ] "i = 0");
+  Alcotest.(check bool) "wrong var" false
+    (Template.matches t ~gamma:[ ("x", "j") ] "i = 0");
+  Alcotest.(check bool) "anchored" false
+    (Template.matches t ~gamma:[ ("x", "i") ] "i = 0 + 1");
+  (* Metacharacters in exact templates are literal. *)
+  let t2 = Template.exact_of "%c% += %s%[%x%]" in
+  Alcotest.(check bool) "brackets literal" true
+    (Template.matches t2
+       ~gamma:[ ("c", "odd"); ("s", "a"); ("x", "i") ]
+       "odd += a[i]")
+
+let test_regex () =
+  let t = Template.regex_of {|%x% (<|<=) %s%\.length|} in
+  Alcotest.(check bool) "lt" true
+    (Template.matches t ~gamma:[ ("x", "i"); ("s", "a") ] "i < a.length");
+  Alcotest.(check bool) "le" true
+    (Template.matches t ~gamma:[ ("x", "i"); ("s", "a") ] "i <= a.length");
+  Alcotest.(check bool) "gt" false
+    (Template.matches t ~gamma:[ ("x", "i"); ("s", "a") ] "i > a.length");
+  Alcotest.check_raises "syntax error rejected"
+    (Invalid_argument "Template: invalid regex \"(unclosed\"") (fun () ->
+      ignore (Template.regex_of "(unclosed"))
+
+let test_contains () =
+  let t = Template.contains_of "%s%[%x%]" in
+  let gamma = [ ("s", "a"); ("x", "i") ] in
+  Alcotest.(check bool) "inside" true
+    (Template.matches t ~gamma "odd += a[i]");
+  Alcotest.(check bool) "exact" true (Template.matches t ~gamma "a[i]");
+  Alcotest.(check bool) "absent" false
+    (Template.matches t ~gamma "odd += a[j]");
+  (* token boundaries: [a] must not match inside [data]. *)
+  let t2 = Template.contains_of "%x%" in
+  Alcotest.(check bool) "boundary" false
+    (Template.matches t2 ~gamma:[ ("x", "a") ] "data + 1");
+  Alcotest.(check bool) "boundary hit" true
+    (Template.matches t2 ~gamma:[ ("x", "a") ] "data + a")
+
+let test_unbound_placeholder () =
+  (* Unbound placeholders match any single identifier. *)
+  let t = Template.exact_of "%x% = %y%" in
+  Alcotest.(check bool) "free y" true
+    (Template.matches t ~gamma:[ ("x", "a") ] "a = b");
+  Alcotest.(check bool) "free y is one identifier" false
+    (Template.matches t ~gamma:[ ("x", "a") ] "a = b + c")
+
+let test_quoting () =
+  (* A submission variable with regex metacharacters must be quoted —
+     identifiers can contain [$]. *)
+  let t = Template.exact_of "%x% = 0" in
+  Alcotest.(check bool) "dollar var" true
+    (Template.matches t ~gamma:[ ("x", "a$b") ] "a$b = 0")
+
+let test_instantiate () =
+  Alcotest.(check string)
+    "bound" "i should be initialized to 0"
+    (Template.instantiate "%x% should be initialized to 0"
+       ~gamma:[ ("x", "i") ]);
+  Alcotest.(check string)
+    "unbound keeps the name" "x should be initialized to 0"
+    (Template.instantiate "%x% should be initialized to 0" ~gamma:[]);
+  Alcotest.(check string)
+    "literal percent" "i % 2 == 1"
+    (Template.instantiate "%x% % 2 == 1" ~gamma:[ ("x", "i") ])
+
+(* Property: exact templates built from a literal always match that
+   literal with the identity mapping. *)
+let prop_exact_identity =
+  let gen =
+    QCheck.Gen.(
+      let ident =
+        let* c = oneofl [ "i"; "sum"; "a" ] in
+        return c
+      in
+      let* x = ident in
+      let* n = int_bound 50 in
+      return (Printf.sprintf "%s = %d" x n))
+  in
+  QCheck.Test.make ~count:200 ~name:"exact template matches its own text"
+    (QCheck.make gen) (fun text ->
+      Template.matches (Template.exact_of text) ~gamma:[] text)
+
+let suite =
+  [
+    Alcotest.test_case "placeholder variables" `Quick test_vars;
+    Alcotest.test_case "exact templates" `Quick test_exact;
+    Alcotest.test_case "regex templates" `Quick test_regex;
+    Alcotest.test_case "contains templates" `Quick test_contains;
+    Alcotest.test_case "unbound placeholders" `Quick test_unbound_placeholder;
+    Alcotest.test_case "submission variables quoted" `Quick test_quoting;
+    Alcotest.test_case "feedback instantiation" `Quick test_instantiate;
+    QCheck_alcotest.to_alcotest prop_exact_identity;
+  ]
