@@ -5,7 +5,9 @@
     - [feedback]  — grade a submission file against an assignment
     - [graph]     — print the extended program dependence graph of a file
     - [generate]  — render synthetic submissions from an assignment space
-    - [test]      — run an assignment's functional tests on a file *)
+    - [test]      — run an assignment's functional tests on a file
+    - [batch]     — grade a directory of submissions through the resilient
+                    pipeline; JSON summary, never crashes on bad input *)
 
 open Cmdliner
 open Jfeed_kb
@@ -218,6 +220,70 @@ let generate_cmd =
        ~doc:"Render synthetic submissions from an assignment's search space")
     Term.(const run $ assignment_pos $ index $ sample $ seed)
 
+let batch_cmd =
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Per-submission fuel budget shared by the matcher, the \
+             method-pairing search and the interpreter; exhaustion degrades \
+             the grade instead of aborting it.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-submission CPU-time deadline.")
+  in
+  let no_tests =
+    Arg.(
+      value & flag
+      & info [ "no-tests" ] ~doc:"Skip the functional-test stage.")
+  in
+  let dir_pos =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Directory of submission files.")
+  in
+  let run b fuel deadline no_tests dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "jfeed batch: %S is not a directory\n" dir;
+      2
+    end
+    else begin
+      let sources =
+        Sys.readdir dir |> Array.to_list |> List.sort compare
+        |> List.filter_map (fun f ->
+               let path = Filename.concat dir f in
+               if Sys.is_directory path then None
+               else
+                 Some
+                   ( f,
+                     match read_file path with
+                     | s -> Ok s
+                     | exception Sys_error e -> Error e ))
+      in
+      let summary =
+        Jfeed_robust.Pipeline.run_batch ?fuel ?deadline_s:deadline
+          ~with_tests:(not no_tests) b sources
+      in
+      print_endline (Jfeed_robust.Pipeline.summary_to_json summary);
+      Jfeed_robust.Pipeline.exit_code summary
+    end
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Grade every submission in a directory through the resilient \
+          pipeline (exit 0: all graded; 1: some degraded/rejected; 2: usage \
+          error)")
+    Term.(
+      const run $ assignment_pos $ fuel $ deadline $ no_tests $ dir_pos)
+
 let test_cmd =
   let run b path =
     let suite = b.Bundles.suite in
@@ -250,5 +316,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
-            strategies_cmd;
+            batch_cmd; strategies_cmd;
           ]))

@@ -1,0 +1,68 @@
+(** Grading budgets: a shared fuel pool with an optional CPU-time
+    deadline, threaded through the matcher, the pairing search and the
+    interpreter.  See budget.mli. *)
+
+type stage = Matcher | Pairing | Interp
+
+let string_of_stage = function
+  | Matcher -> "matcher"
+  | Pairing -> "pairing"
+  | Interp -> "interp"
+
+type t = {
+  fuel : int option;  (** total allowance; [None] = unlimited *)
+  deadline : float option;  (** absolute {!Sys.time} cutoff *)
+  mutable used : int;
+  mutable dead : bool;  (** latched once either axis is exhausted *)
+  mutable hit_list : stage list;  (** reverse first-hit order, deduped *)
+}
+
+let make fuel deadline = { fuel; deadline; used = 0; dead = false; hit_list = [] }
+
+let unlimited () = make None None
+
+let create ?fuel ?deadline_s () =
+  let deadline = Option.map (fun s -> Sys.time () +. s) deadline_s in
+  make fuel deadline
+
+let record_hit b stage =
+  if not (List.mem stage b.hit_list) then b.hit_list <- stage :: b.hit_list
+
+(* Polling the clock on every interpreter step would dominate the step
+   itself; the deadline only needs ~ms resolution, so poll every 1024
+   spends. *)
+let poll_mask = 1023
+
+let over_deadline b =
+  match b.deadline with
+  | Some d when b.used land poll_mask = 0 -> Sys.time () > d
+  | _ -> false
+
+let spend b stage n =
+  if b.dead then begin
+    record_hit b stage;
+    false
+  end
+  else begin
+    b.used <- b.used + n;
+    let out_of_fuel =
+      match b.fuel with Some f -> b.used > f | None -> false
+    in
+    if out_of_fuel || over_deadline b then begin
+      b.dead <- true;
+      record_hit b stage;
+      false
+    end
+    else true
+  end
+
+let check b stage = spend b stage 0
+
+let spent b = b.used
+
+let remaining b =
+  Option.map (fun f -> max 0 (f - b.used)) b.fuel
+
+let exhausted b = b.dead
+
+let hits b = List.rev b.hit_list

@@ -1,0 +1,55 @@
+(** Grading budgets: a shared fuel pool with an optional CPU-time deadline.
+
+    A single budget is threaded through every expensive stage of the
+    grading pipeline — the backtracking embedding search
+    ({!Jfeed_core.Matcher}), the method-pairing combination search
+    ({!Jfeed_core.Grader}) and the interpreter's step loop
+    ({!Jfeed_interp.Interp}) — so one submission can never consume more
+    than a bounded amount of work, no matter which stage its pathology
+    lives in.
+
+    Exhaustion is never silent: each stage that asks for fuel after the
+    pool is empty (or the deadline has passed) is recorded, and
+    {!hits} reports them in first-hit order so callers can name the
+    truncated stages in the degradation report
+    ({!Jfeed_robust.Outcome}). *)
+
+type stage =
+  | Matcher  (** candidate-extension steps of the embedding search *)
+  | Pairing  (** method combinations examined by Algorithm 2 *)
+  | Interp  (** interpreter execution steps *)
+
+type t
+
+val unlimited : unit -> t
+(** Never exhausts; still counts fuel spent. *)
+
+val create : ?fuel:int -> ?deadline_s:float -> unit -> t
+(** [create ~fuel ~deadline_s ()] exhausts after [fuel] units of work or
+    after [deadline_s] seconds of CPU time ({!Sys.time}), whichever
+    comes first.  Omitting either bound leaves that axis unlimited. *)
+
+val spend : t -> stage -> int -> bool
+(** [spend b stage n] burns [n] units; [false] when the budget is (or
+    just became) exhausted, in which case [stage] is recorded as a hit.
+    Callers must stop the work of [stage] when [spend] returns [false].
+    The deadline is polled at most once every 1024 spends. *)
+
+val check : t -> stage -> bool
+(** Like {!spend} with [n = 0]: test (and record) exhaustion without
+    consuming fuel. *)
+
+val spent : t -> int
+(** Total fuel consumed so far, across all stages. *)
+
+val remaining : t -> int option
+(** Fuel left, [None] when the fuel axis is unlimited. *)
+
+val exhausted : t -> bool
+
+val hits : t -> stage list
+(** Stages that requested fuel after exhaustion, deduplicated, in
+    first-hit order. *)
+
+val string_of_stage : stage -> string
+(** ["matcher"], ["pairing"], ["interp"]. *)

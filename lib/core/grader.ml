@@ -33,42 +33,25 @@ type spec = {
           method of the same name (the paper's "common practice" remark). *)
 }
 
+type truncation =
+  | Matcher_exhausted of string
+      (** the embedding search for this pattern id was cut short *)
+  | Pairing_exhausted
+      (** the combination search stopped before trying every pairing *)
+
 type result = {
   comments : Feedback.comment list;
   score : float;  (** Λ of [comments] *)
   pairing : (string * string option) list;
       (** chosen combination: expected method → submission method *)
+  truncations : truncation list;
+      (** budget cuts incurred while producing this result, in first-hit
+          order; empty = the full search ran *)
 }
 
-(* All pairings of expected methods with distinct submission methods.  When
-   there are fewer submission methods than expected ones, the unmatchable
-   expected methods are paired with [None] (their patterns will all be
-   Not_expected — the paper's "does not adhere to the specification"
-   case). *)
-let combinations ~enforce_headers (qs : method_spec list) (hs : string list) =
-  let rec go qs available =
-    match qs with
-    | [] -> [ [] ]
-    | q :: rest ->
-        let with_h =
-          List.concat_map
-            (fun h ->
-              if enforce_headers && h <> q.q_name then []
-              else
-                let remaining = List.filter (fun h' -> h' <> h) available in
-                List.map (fun tail -> (q, Some h) :: tail) (go rest remaining))
-            available
-        in
-        let without =
-          if List.length available < List.length qs then
-            List.map (fun tail -> (q, None) :: tail) (go rest available)
-          else []
-        in
-        with_h @ without
-  in
-  match go qs hs with
-  | [] -> [ List.map (fun q -> (q, None)) qs ]
-  | combos -> combos
+let string_of_truncation = function
+  | Matcher_exhausted id -> "matcher:" ^ id
+  | Pairing_exhausted -> "pairing"
 
 let missing_comments (q : method_spec) =
   List.map
@@ -90,16 +73,21 @@ let missing_comments (q : method_spec) =
         })
       q.q_constraints
 
-let grade_method ~use_variants (q : method_spec) (h : string) (epdg : Epdg.t)
-    =
+let grade_method ?budget ~note ~use_variants (q : method_spec) (h : string)
+    (epdg : Epdg.t) =
   (* 2.1: match every pattern, store embeddings in m̄.  With variants
      enabled, a primary pattern that does not occur the expected number
      of times may be replaced by the first variant that does. *)
+  let match_pattern (p : Pattern.t) =
+    let s = Matcher.embeddings_budgeted ?budget p epdg in
+    if s.Matcher.exhausted then note (Matcher_exhausted p.Pattern.id);
+    s.Matcher.found
+  in
   let stored = Hashtbl.create 8 in
   let pattern_comments =
     List.map
       (fun ((p : Pattern.t), t) ->
-        let ms = Matcher.embeddings p epdg in
+        let ms = match_pattern p in
         let found = List.length (Matcher.occurrences ms) in
         let chosen_p, chosen_ms =
           if found = t || not use_variants then (p, ms)
@@ -107,7 +95,7 @@ let grade_method ~use_variants (q : method_spec) (h : string) (epdg : Epdg.t)
             let rec try_variants = function
               | [] -> (p, ms)
               | v :: rest ->
-                  let vms = Matcher.embeddings v epdg in
+                  let vms = match_pattern v in
                   if List.length (Matcher.occurrences vms) = t then (v, vms)
                   else try_variants rest
             in
@@ -150,7 +138,11 @@ let grade_method ~use_variants (q : method_spec) (h : string) (epdg : Epdg.t)
   in
   pattern_comments @ constraint_comments
 
-let grade ?(normalize = false) ?(use_variants = false)
+exception Pairing_cut
+(* Unwinds the combination search when the pairing fuel runs out; the
+   best combination found so far stands. *)
+
+let grade ?budget ?(normalize = false) ?(use_variants = false)
     ?(inline_helpers = false) (spec : spec) (prog : Ast.program) =
   (* Optional §VII extensions: else-polarity normalization, the pattern
      hierarchy, and inlining of non-expected helper methods.  All default
@@ -166,38 +158,84 @@ let grade ?(normalize = false) ?(use_variants = false)
   (* 1: one EPDG per submission method. *)
   let graphs = Epdg.of_program prog in
   let method_names = List.map fst graphs in
-  (* 2: best combination by Λ. *)
+  let truncs = ref [] in
+  let note t = if not (List.mem t !truncs) then truncs := t :: !truncs in
+  let fuel_ok () =
+    match budget with
+    | None -> true
+    | Some b ->
+        let ok =
+          Jfeed_budget.Budget.spend b Jfeed_budget.Budget.Pairing 1
+        in
+        if not ok then note Pairing_exhausted;
+        ok
+  in
+  (* 2: best combination by Λ.  Pairings of expected methods with
+     distinct submission methods are enumerated lazily — materializing
+     the combination list first is exponential in the method count, the
+     exact blowup the budget exists to bound.  When there are fewer
+     submission methods than expected ones, the unmatchable expected
+     methods are paired with [None] (their patterns will all be
+     Not_expected — the paper's "does not adhere to the specification"
+     case). *)
   let best = ref None in
-  List.iter
-    (fun combo ->
-      let comments =
-        List.concat_map
-          (fun (q, h_opt) ->
-            match h_opt with
-            | None -> missing_comments q
-            | Some h -> grade_method ~use_variants q h (List.assoc h graphs))
-          combo
-      in
-      let score = Feedback.score comments in
-      let better =
-        match !best with None -> true | Some (s, _, _) -> score > s
-      in
-      if better then
-        best :=
-          Some
-            ( score,
-              comments,
-              List.map (fun (q, h) -> (q.q_name, h)) combo ))
-    (combinations ~enforce_headers:spec.enforce_headers spec.a_methods
-       method_names);
+  let evaluated = ref 0 in
+  let consider combo =
+    incr evaluated;
+    let comments =
+      List.concat_map
+        (fun (q, h_opt) ->
+          match h_opt with
+          | None -> missing_comments q
+          | Some h ->
+              grade_method ?budget ~note ~use_variants q h
+                (List.assoc h graphs))
+        combo
+    in
+    let score = Feedback.score comments in
+    let better =
+      match !best with None -> true | Some (s, _, _) -> score > s
+    in
+    if better then
+      best :=
+        Some (score, comments, List.map (fun (q, h) -> (q.q_name, h)) combo)
+  in
+  let rec go acc qs available =
+    match qs with
+    | [] -> consider (List.rev acc)
+    | q :: rest ->
+        List.iter
+          (fun h ->
+            if (not spec.enforce_headers) || h = q.q_name then begin
+              if not (fuel_ok ()) then raise Pairing_cut;
+              go
+                ((q, Some h) :: acc)
+                rest
+                (List.filter (fun h' -> h' <> h) available)
+            end)
+          available;
+        if List.length available < List.length qs then begin
+          if not (fuel_ok ()) then raise Pairing_cut;
+          go ((q, None) :: acc) rest available
+        end
+  in
+  (try go [] spec.a_methods method_names with Pairing_cut -> ());
+  (* No combination completed — header enforcement filtered everything,
+     the submission has no methods, or the fuel died first.  Grade the
+     all-[None] combination so a result always exists. *)
+  if !evaluated = 0 then
+    consider (List.map (fun q -> (q, None)) spec.a_methods);
   match !best with
-  | Some (score, comments, pairing) -> { comments; score; pairing }
-  | None -> { comments = []; score = 0.0; pairing = [] }
+  | Some (score, comments, pairing) ->
+      { comments; score; pairing; truncations = List.rev !truncs }
+  | None ->
+      { comments = []; score = 0.0; pairing = []; truncations = List.rev !truncs }
 
 (** Parse then grade; [Error] carries a human-readable parse diagnostic. *)
-let grade_source ?normalize ?use_variants ?inline_helpers spec src =
+let grade_source ?budget ?normalize ?use_variants ?inline_helpers spec src =
   match Parser.parse_program src with
-  | prog -> Ok (grade ?normalize ?use_variants ?inline_helpers spec prog)
+  | prog ->
+      Ok (grade ?budget ?normalize ?use_variants ?inline_helpers spec prog)
   | exception Parser.Parse_error (msg, line, col) ->
       Error (Printf.sprintf "parse error at %d:%d: %s" line col msg)
   | exception Lexer.Lex_error (msg, line, col) ->

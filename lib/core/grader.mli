@@ -30,15 +30,35 @@ type spec = {
           practice" remark). *)
 }
 
+type truncation =
+  | Matcher_exhausted of string
+      (** the embedding search for this pattern id was cut short by the
+          fuel budget or the {!Matcher.max_embeddings} backstop *)
+  | Pairing_exhausted
+      (** the combination search stopped before trying every pairing *)
+
+val string_of_truncation : truncation -> string
+(** ["matcher:<pattern id>"] / ["pairing"]. *)
+
 type result = {
   comments : Feedback.comment list;
   score : float;  (** Λ of [comments] *)
   pairing : (string * string option) list;
       (** chosen combination: expected method → submission method;
           [None] when the submission lacks a method to pair *)
+  truncations : truncation list;
+      (** budget cuts incurred while producing this result, in first-hit
+          order; empty = the full search ran and the result is exact *)
 }
 
+val missing_comments : method_spec -> Feedback.comment list
+(** The [Not_expected] comment set of an expected method paired with no
+    submission method — the paper's "does not adhere to the
+    specification" case.  Exposed for degraded-mode pipelines that must
+    report on methods they could not grade. *)
+
 val grade :
+  ?budget:Jfeed_budget.Budget.t ->
   ?normalize:bool ->
   ?use_variants:bool ->
   ?inline_helpers:bool ->
@@ -52,9 +72,17 @@ val grade :
     (default off) inlines student-invented helper methods not among the
     expected methods ({!Jfeed_java.Inline}).  All three are the paper's
     §VII future-work extensions; the defaults reproduce the published
-    system. *)
+    system.
+
+    [?budget] bounds the work: the embedding search spends
+    {!Jfeed_budget.Budget.Matcher} fuel, the lazily-enumerated pairing
+    search spends {!Jfeed_budget.Budget.Pairing} fuel, and every cut is
+    reported in the result's [truncations] — a starved budget degrades
+    the answer, it never crashes or silently drops work.  At least one
+    combination is always evaluated, so a result always exists. *)
 
 val grade_source :
+  ?budget:Jfeed_budget.Budget.t ->
   ?normalize:bool ->
   ?use_variants:bool ->
   ?inline_helpers:bool ->

@@ -36,21 +36,25 @@ let max_embeddings = 20_000
 (* Backstop against pathological patterns; far above anything the
    knowledge base produces. *)
 
-(* All injective mappings of xs into ys, as association lists. *)
-let rec injections xs ys =
-  match xs with
-  | [] -> [ [] ]
-  | x :: rest ->
-      List.concat_map
-        (fun y ->
-          let ys' = List.filter (fun y' -> y' <> y) ys in
-          List.map (fun tail -> (x, y) :: tail) (injections rest ys'))
-        ys
+type search = {
+  found : embedding list;
+  exhausted : bool;
+      (** the embedding cap or the fuel budget cut the search short:
+          [found] is a prefix of the full embedding set, not all of it *)
+}
+
+exception Cut
+(* Unwinds the backtracking search when the fuel budget or the embedding
+   cap is exhausted; the results accumulated so far are kept. *)
 
 (** All embeddings of pattern [p] in EPDG [epdg] (Definition 7 plus
     correctness marks).  Deduplicated: at most one embedding per
-    (ι, γ) pair. *)
-let embeddings (p : Pattern.t) (epdg : Epdg.t) =
+    (ι, γ) pair.  Every candidate-extension step — a graph node tried
+    for a pattern node, or a variable added to an injective mapping —
+    spends one unit of [budget] fuel; when the fuel or the
+    {!max_embeddings} backstop runs out the search stops and the partial
+    result is tagged [exhausted] instead of being silently truncated. *)
+let embeddings_budgeted ?budget (p : Pattern.t) (epdg : Epdg.t) =
   let g = epdg.Epdg.graph in
   let n = Array.length p.Pattern.nodes in
   (* Search space Φ: graph nodes compatible with each pattern node's type. *)
@@ -68,6 +72,15 @@ let embeddings (p : Pattern.t) (epdg : Epdg.t) =
   let used = Hashtbl.create 16 in
   let results = ref [] in
   let count = ref 0 in
+  let exhausted = ref false in
+  let tick () =
+    match budget with
+    | Some b when not (Jfeed_budget.Budget.spend b Jfeed_budget.Budget.Matcher 1)
+      ->
+        exhausted := true;
+        raise Cut
+    | _ -> ()
+  in
   let snapshot gamma =
     let pairs =
       List.init n (fun u -> (u, (iota.(u), marks.(u))))
@@ -106,66 +119,95 @@ let embeddings (p : Pattern.t) (epdg : Epdg.t) =
       p.Pattern.edges
   in
   let rec search matched gamma =
-    if !count < max_embeddings then
-      if matched = n then begin
-        incr count;
-        results := snapshot gamma :: !results
-      end
-      else begin
-        let u = pick_next () in
-        let pn = p.Pattern.nodes.(u) in
-        List.iter
-          (fun v ->
-            if (not (Hashtbl.mem used v)) && edges_consistent u v then begin
-              iota.(u) <- v;
-              Hashtbl.add used v ();
-              let c = Epdg.node_text epdg v in
-              let dom = List.map fst gamma in
-              let ran = List.map snd gamma in
-              let xs =
-                List.filter
-                  (fun x -> not (List.mem x dom))
-                  (Template.vars pn.Pattern.exact)
-              in
-              let ys =
-                List.filter
-                  (fun y -> not (List.mem y ran))
-                  (Jfeed_java.Ast.vars_of_expr (Epdg.node_expr epdg v))
-              in
-              List.iter
-                (fun z ->
-                  let gamma' = List.rev_append z gamma in
-                  let assoc = List.rev gamma' in
-                  if Template.matches pn.Pattern.exact ~gamma:assoc c then begin
-                    marks.(u) <- Exact;
+    if !count >= max_embeddings then begin
+      exhausted := true;
+      raise Cut
+    end;
+    if matched = n then begin
+      incr count;
+      results := snapshot gamma :: !results
+    end
+    else begin
+      let u = pick_next () in
+      let pn = p.Pattern.nodes.(u) in
+      List.iter
+        (fun v ->
+          tick ();
+          if (not (Hashtbl.mem used v)) && edges_consistent u v then begin
+            iota.(u) <- v;
+            Hashtbl.add used v ();
+            let c = Epdg.node_text epdg v in
+            let dom = List.map fst gamma in
+            let ran = List.map snd gamma in
+            let xs =
+              List.filter
+                (fun x -> not (List.mem x dom))
+                (Template.vars pn.Pattern.exact)
+            in
+            let ys =
+              List.filter
+                (fun y -> not (List.mem y ran))
+                (Jfeed_java.Ast.vars_of_expr (Epdg.node_expr epdg v))
+            in
+            let try_injection z =
+              let gamma' = List.rev_append z gamma in
+              let assoc = List.rev gamma' in
+              if Template.matches pn.Pattern.exact ~gamma:assoc c then begin
+                marks.(u) <- Exact;
+                search (matched + 1) gamma'
+              end
+              else
+                match pn.Pattern.approx with
+                | Some a when Template.matches a ~gamma:assoc c ->
+                    marks.(u) <- Approx;
                     search (matched + 1) gamma'
-                  end
-                  else
-                    match pn.Pattern.approx with
-                    | Some a when Template.matches a ~gamma:assoc c ->
-                        marks.(u) <- Approx;
-                        search (matched + 1) gamma'
-                    | _ -> ())
-                (injections xs ys);
-              Hashtbl.remove used v;
-              iota.(u) <- -1
-            end)
-          phi.(u)
-      end
+                | _ -> ()
+            in
+            (* Enumerate the injective mappings of xs into ys lazily —
+               materializing them first would itself be the factorial
+               blowup the budget exists to bound — in the same
+               lexicographic order the eager enumeration produced. *)
+            let rec inject xs ys acc =
+              match xs with
+              | [] -> try_injection (List.rev acc)
+              | x :: rest ->
+                  List.iter
+                    (fun y ->
+                      tick ();
+                      let ys' = List.filter (fun y' -> y' <> y) ys in
+                      inject rest ys' ((x, y) :: acc))
+                    ys
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                Hashtbl.remove used v;
+                iota.(u) <- -1)
+              (fun () -> inject xs ys [])
+          end)
+        phi.(u)
+    end
   in
-  search 0 [];
+  (try search 0 [] with Cut -> ());
   (* Deduplicate: distinct variable-injection orders can reach the same
      (ι, γ). *)
   let tbl = Hashtbl.create 16 in
-  List.filter
-    (fun m ->
-      let key = (m.iota, List.sort compare m.gamma) in
-      if Hashtbl.mem tbl key then false
-      else begin
-        Hashtbl.add tbl key ();
-        true
-      end)
-    (List.rev !results)
+  let found =
+    List.filter
+      (fun m ->
+        let key = (m.iota, List.sort compare m.gamma) in
+        if Hashtbl.mem tbl key then false
+        else begin
+          Hashtbl.add tbl key ();
+          true
+        end)
+      (List.rev !results)
+  in
+  { found; exhausted = !exhausted }
+
+(** {!embeddings_budgeted} without the exhaustion tag — the historical
+    interface; prefer the budgeted form in pipeline code, where
+    truncation must be surfaced. *)
+let embeddings ?budget p epdg = (embeddings_budgeted ?budget p epdg).found
 
 (** Group embeddings into occurrences (by footprint), keeping the best
     embedding of each occurrence — the one with the most correct nodes.

@@ -31,9 +31,33 @@ val footprint : embedding -> Jfeed_graph.Digraph.node list
 val max_embeddings : int
 (** Backstop on the number of embeddings explored per pattern. *)
 
-val embeddings : Pattern.t -> Jfeed_pdg.Epdg.t -> embedding list
+type search = {
+  found : embedding list;
+  exhausted : bool;
+      (** the {!max_embeddings} cap or the fuel budget cut the search
+          short: [found] is a prefix of the full embedding set.  Never
+          silently dropped — callers surface this as a degradation
+          reason. *)
+}
+
+val embeddings_budgeted :
+  ?budget:Jfeed_budget.Budget.t -> Pattern.t -> Jfeed_pdg.Epdg.t -> search
 (** All embeddings of a pattern in an EPDG (Definition 7 plus correctness
-    marks), deduplicated by (ι, γ). *)
+    marks), deduplicated by (ι, γ).  Each candidate-extension step of the
+    backtracking search — a graph node tried for a pattern node, or a
+    variable appended to an injective mapping — spends one unit of
+    [budget] fuel ({!Jfeed_budget.Budget.Matcher}); fuel exhaustion or
+    the {!max_embeddings} backstop stop the search with [exhausted]
+    set. *)
+
+val embeddings :
+  ?budget:Jfeed_budget.Budget.t ->
+  Pattern.t ->
+  Jfeed_pdg.Epdg.t ->
+  embedding list
+(** {!embeddings_budgeted} without the exhaustion tag — the historical
+    interface.  Prefer the budgeted form in pipeline code, where
+    truncation must be surfaced. *)
 
 val occurrences : embedding list -> embedding list
 (** Group embeddings into occurrences (by footprint), keeping the best

@@ -23,8 +23,8 @@ type verdict =
   | Pass
   | Fail of { case : string; reason : string }
 
-let run_case suite prog (c : case) =
-  Interp.run
+let run_case ?budget suite prog (c : case) =
+  Interp.run ?budget
     ~config:{ Interp.files = c.files; max_steps = suite.max_steps }
     prog ~entry:suite.entry ~args:c.args
 
@@ -42,12 +42,12 @@ let expected_outputs suite (reference : Ast.program) =
             (Printf.sprintf "reference solution failed on %s: %s" c.label e))
     suite.cases
 
-let run suite ~expected (prog : Ast.program) =
+let run ?budget suite ~expected (prog : Ast.program) =
   let rec go cases expects =
     match (cases, expects) with
     | [], [] -> Pass
     | c :: cs, want :: ws -> (
-        let out = run_case suite prog c in
+        let out = run_case ?budget suite prog c in
         match out.Interp.error with
         | Some e -> Fail { case = c.label; reason = "error: " ^ e }
         | None ->
@@ -59,8 +59,20 @@ let run suite ~expected (prog : Ast.program) =
                   reason =
                     Printf.sprintf "expected %S, got %S" want out.Interp.stdout;
                 })
-    | _ -> invalid_arg "Runner.run: expected-output count mismatch"
+    | _ ->
+        (* A malformed test spec (wrong number of expected outputs) is a
+           suite bug, but it must not crash a grading batch — report it
+           as a failing verdict instead of raising. *)
+        Fail
+          {
+            case = "<suite>";
+            reason =
+              Printf.sprintf
+                "expected-output count mismatch: %d cases, %d expected outputs"
+                (List.length suite.cases)
+                (List.length expected);
+          }
   in
   go suite.cases expected
 
-let passes suite ~expected prog = run suite ~expected prog = Pass
+let passes ?budget suite ~expected prog = run ?budget suite ~expected prog = Pass

@@ -19,14 +19,33 @@ type suite = { entry : string; cases : case list; max_steps : int }
 type verdict = Pass | Fail of { case : string; reason : string }
 
 val run_case :
-  suite -> Jfeed_java.Ast.program -> case -> Jfeed_interp.Interp.outcome
+  ?budget:Jfeed_budget.Budget.t ->
+  suite ->
+  Jfeed_java.Ast.program ->
+  case ->
+  Jfeed_interp.Interp.outcome
+(** [?budget] is the shared grading fuel pool, spent by the interpreter
+    one unit per execution step ({!Jfeed_interp.Interp.run}). *)
 
 val expected_outputs : suite -> Jfeed_java.Ast.program -> string list
 (** Outputs of the reference solution, one per case.  Raises
     [Invalid_argument] if the reference itself fails — a harness bug, not
     a grading outcome. *)
 
-val run : suite -> expected:string list -> Jfeed_java.Ast.program -> verdict
-(** Stops at the first failing case. *)
+val run :
+  ?budget:Jfeed_budget.Budget.t ->
+  suite ->
+  expected:string list ->
+  Jfeed_java.Ast.program ->
+  verdict
+(** Stops at the first failing case.  Total: a malformed suite (the
+    [expected] list does not line up with the cases) yields a [Fail]
+    verdict on the pseudo-case ["<suite>"] instead of raising, so a bad
+    test spec cannot crash a grading batch. *)
 
-val passes : suite -> expected:string list -> Jfeed_java.Ast.program -> bool
+val passes :
+  ?budget:Jfeed_budget.Budget.t ->
+  suite ->
+  expected:string list ->
+  Jfeed_java.Ast.program ->
+  bool

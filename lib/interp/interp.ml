@@ -11,6 +11,11 @@ open Value
 
 exception Runtime_error of string
 exception Step_limit
+exception Fuel_exhausted
+(* Distinct from Step_limit: the per-run step ceiling says "this
+   submission loops"; the shared fuel pool says "the grading budget for
+   this submission is spent".  The pipeline degrades differently on
+   each. *)
 
 type config = {
   files : (string * string) list;  (** virtual file system: name → content *)
@@ -30,6 +35,10 @@ type outcome = {
 type ctx = {
   methods : (string, Ast.meth) Hashtbl.t;
   config : config;
+  budget : Jfeed_budget.Budget.t option;
+      (** shared grading fuel pool; unlike [config.max_steps] (per run)
+          it is spent across runs, unifying the interpreter's step
+          budget with the matcher's and the pairing search's *)
   out : Buffer.t;
   mutable steps : int;
   mutable trace_sink : ((string * Value.t) list -> unit) option;
@@ -49,7 +58,12 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
 
 let tick ctx =
   ctx.steps <- ctx.steps + 1;
-  if ctx.steps > ctx.config.max_steps then raise Step_limit
+  if ctx.steps > ctx.config.max_steps then raise Step_limit;
+  match ctx.budget with
+  | Some b
+    when not (Jfeed_budget.Budget.spend b Jfeed_budget.Budget.Interp 1) ->
+      raise Fuel_exhausted
+  | _ -> ()
 
 let rec lookup env x =
   match env with
@@ -565,15 +579,10 @@ and exec_scoped ctx env s =
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 
-let run ?(config = default_config) (prog : Ast.program) ~entry ~args =
-  let methods = Hashtbl.create 8 in
-  List.iter
-    (fun (m : Ast.meth) -> Hashtbl.replace methods m.Ast.m_name m)
-    prog.Ast.methods;
-  let ctx =
-    { methods; config; out = Buffer.create 256; steps = 0; trace_sink = None }
-  in
-  match Hashtbl.find_opt methods entry with
+(* Shared tail of run/run_traced: invoke the entry method and convert
+   every interpreter exception into an outcome — never a raise. *)
+let finish ctx entry args =
+  match Hashtbl.find_opt ctx.methods entry with
   | None ->
       {
         stdout = "";
@@ -603,15 +612,41 @@ let run ?(config = default_config) (prog : Ast.program) ~entry ~args =
             result = None;
             steps = ctx.steps;
             error = Some "step limit exceeded";
+          }
+      | exception Fuel_exhausted ->
+          {
+            stdout = Buffer.contents ctx.out;
+            result = None;
+            steps = ctx.steps;
+            error = Some "fuel budget exhausted";
           })
 
-let run_source ?config src ~entry ~args =
-  run ?config (Parser.parse_program src) ~entry ~args
+let run ?budget ?(config = default_config) (prog : Ast.program) ~entry ~args
+    =
+  let methods = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Ast.meth) -> Hashtbl.replace methods m.Ast.m_name m)
+    prog.Ast.methods;
+  let ctx =
+    {
+      methods;
+      config;
+      budget;
+      out = Buffer.create 256;
+      steps = 0;
+      trace_sink = None;
+    }
+  in
+  finish ctx entry args
+
+let run_source ?budget ?config src ~entry ~args =
+  run ?budget ?config (Parser.parse_program src) ~entry ~args
 
 (** Run and additionally collect the CLARA-style variable trace: one
     name-sorted snapshot of the visible variables per executed statement.
     Values are rendered with {!Value.to_display}. *)
-let run_traced ?(config = default_config) (prog : Ast.program) ~entry ~args =
+let run_traced ?budget ?(config = default_config) (prog : Ast.program)
+    ~entry ~args =
   let methods = Hashtbl.create 8 in
   List.iter
     (fun (m : Ast.meth) -> Hashtbl.replace methods m.Ast.m_name m)
@@ -633,42 +668,11 @@ let run_traced ?(config = default_config) (prog : Ast.program) ~entry ~args =
     {
       methods;
       config;
+      budget;
       out = Buffer.create 256;
       steps = 0;
       trace_sink = Some sink;
     }
   in
-  let outcome =
-    match Hashtbl.find_opt methods entry with
-    | None ->
-        {
-          stdout = "";
-          result = None;
-          steps = 0;
-          error = Some (Printf.sprintf "no method named %s" entry);
-        }
-    | Some m -> (
-        match call_method ctx m args with
-        | v ->
-            {
-              stdout = Buffer.contents ctx.out;
-              result = Some v;
-              steps = ctx.steps;
-              error = None;
-            }
-        | exception Runtime_error msg ->
-            {
-              stdout = Buffer.contents ctx.out;
-              result = None;
-              steps = ctx.steps;
-              error = Some msg;
-            }
-        | exception Step_limit ->
-            {
-              stdout = Buffer.contents ctx.out;
-              result = None;
-              steps = ctx.steps;
-              error = Some "step limit exceeded";
-            })
-  in
+  let outcome = finish ctx entry args in
   (outcome, List.rev !trace)

@@ -15,6 +15,12 @@
 exception Runtime_error of string
 exception Step_limit
 
+exception Fuel_exhausted
+(** The shared grading budget ran dry mid-execution — distinct from
+    {!Step_limit}, the per-run ceiling that flags looping submissions.
+    Like every interpreter failure it is reported in {!outcome}
+    (as ["fuel budget exhausted"]), never raised by {!run}. *)
+
 type config = {
   files : (string * string) list;  (** virtual file system: name → content *)
   max_steps : int;
@@ -28,24 +34,36 @@ type outcome = {
   result : Value.t option;  (** [None] when execution failed *)
   steps : int;
   error : string option;
-      (** runtime error or ["step limit exceeded"] (≈ infinite loop) *)
+      (** runtime error, ["step limit exceeded"] (≈ infinite loop) or
+          ["fuel budget exhausted"] (shared grading budget ran dry) *)
 }
 
 val run :
+  ?budget:Jfeed_budget.Budget.t ->
   ?config:config ->
   Jfeed_java.Ast.program ->
   entry:string ->
   args:Value.t list ->
   outcome
 (** Invoke [entry] with [args].  Runtime failures are reported in the
-    outcome, never raised. *)
+    outcome, never raised.  Each execution step additionally spends one
+    unit of {!Jfeed_budget.Budget.Interp} fuel from [budget] (shared
+    across runs), unifying the interpreter's step budget with the rest
+    of the grading pipeline; [config.max_steps] remains the per-run
+    ceiling. *)
 
 val run_source :
-  ?config:config -> string -> entry:string -> args:Value.t list -> outcome
+  ?budget:Jfeed_budget.Budget.t ->
+  ?config:config ->
+  string ->
+  entry:string ->
+  args:Value.t list ->
+  outcome
 (** Parse then {!run}.  Parse errors do raise
     ({!Jfeed_java.Parser.Parse_error}). *)
 
 val run_traced :
+  ?budget:Jfeed_budget.Budget.t ->
   ?config:config ->
   Jfeed_java.Ast.program ->
   entry:string ->

@@ -10,7 +10,19 @@ open Ast
 exception Parse_error of string * int * int
 (** message, line, column *)
 
-type state = { toks : Lexer.located array; mutable cursor : int }
+type state = {
+  toks : Lexer.located array;
+  mutable cursor : int;
+  mutable depth : int;
+      (** recursion depth of the expression/statement grammar, to turn
+          pathological nesting into a {!Parse_error} instead of a
+          [Stack_overflow] *)
+}
+
+let max_nesting = 1_000
+(* Far beyond any real submission (hand-written code nests a few dozen
+   levels at most), far below the recursion depth that overflows the
+   OCaml stack. *)
 
 let current st = st.toks.(st.cursor)
 let peek_tok st = (current st).tok
@@ -25,6 +37,17 @@ let advance st =
 let fail st msg =
   let loc : Lexer.located = current st in
   raise (Parse_error (msg, loc.line, loc.col))
+
+(* Guard a recursive descent: every self-embedding production
+   (expression, unary chain, statement) passes through here, so inputs
+   like 10k-deep parentheses fail with a diagnostic instead of blowing
+   the stack. *)
+let deepen st f =
+  st.depth <- st.depth + 1;
+  if st.depth > max_nesting then fail st "nesting too deep";
+  let r = f st in
+  st.depth <- st.depth - 1;
+  r
 
 let expect_punct st p =
   match peek_tok st with
@@ -151,7 +174,7 @@ let assign_op_of_punct = function
   | "%=" -> Some Mod_eq
   | _ -> None
 
-let rec parse_expr st = parse_assignment st
+let rec parse_expr st = deepen st parse_assignment
 
 and parse_assignment st =
   let lhs = parse_ternary st in
@@ -190,7 +213,9 @@ and parse_binary st min_prec =
   in
   loop lhs
 
-and parse_unary st =
+and parse_unary st = deepen st parse_unary_body
+
+and parse_unary_body st =
   match peek_tok st with
   | Lexer.Punct "-" ->
       advance st;
@@ -350,18 +375,25 @@ let starts_declaration st =
       | _ -> false)
   | _ -> false
 
-let rec parse_declarators st base =
-  let name = expect_ident st in
-  let t = parse_array_suffix st base in
-  let init = if eat_punct st "=" then Some (parse_expr st) else None in
-  let d = { d_type = t; d_name = name; d_init = init } in
-  if eat_punct st "," then d :: parse_declarators st base else [ d ]
+(* Accumulator loop, not naive recursion: a token-duplication fuzzer can
+   produce arbitrarily long [int a, a, a, …] chains. *)
+let parse_declarators st base =
+  let rec go acc =
+    let name = expect_ident st in
+    let t = parse_array_suffix st base in
+    let init = if eat_punct st "=" then Some (parse_expr st) else None in
+    let d = { d_type = t; d_name = name; d_init = init } in
+    if eat_punct st "," then go (d :: acc) else List.rev (d :: acc)
+  in
+  go []
 
 let parse_decl_list st =
   let base = parse_type st in
   parse_declarators st base
 
-let rec parse_stmt st =
+let rec parse_stmt st = deepen st parse_stmt_body
+
+and parse_stmt_body st =
   match peek_tok st with
   | Lexer.Punct ";" ->
       advance st;
@@ -570,7 +602,7 @@ let parse_program_tokens st =
 
 let with_state src f =
   let toks = Array.of_list (Lexer.tokenize src) in
-  f { toks; cursor = 0 }
+  f { toks; cursor = 0; depth = 0 }
 
 (** Parse a complete submission: one or more methods, optionally inside
     class declarations.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)

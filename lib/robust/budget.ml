@@ -1,0 +1,6 @@
+(** Re-export: the budget type lives in its own leaf library
+    ([jfeed.budget]) so the matcher, grader and interpreter can all
+    accept one without depending on this resilience layer; pipeline code
+    should reach it as [Jfeed_robust.Budget]. *)
+
+include Jfeed_budget.Budget

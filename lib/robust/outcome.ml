@@ -1,0 +1,95 @@
+(** Total outcome taxonomy for the resilient grading pipeline.  See
+    outcome.mli for the contract. *)
+
+open Jfeed_core
+
+type reason =
+  | Matcher_exhausted of string
+  | Pairing_exhausted
+  | Interp_exhausted
+  | Method_skipped of string * string
+  | Crash_recovered of string
+  | Tests_skipped of string
+
+let string_of_reason = function
+  | Matcher_exhausted id -> "matcher:" ^ id
+  | Pairing_exhausted -> "pairing"
+  | Interp_exhausted -> "interp"
+  | Method_skipped (m, _) -> "skipped:" ^ m
+  | Crash_recovered _ -> "crash"
+  | Tests_skipped _ -> "tests"
+
+let describe_reason = function
+  | Matcher_exhausted id ->
+      Printf.sprintf "embedding search for pattern %s was cut short" id
+  | Pairing_exhausted ->
+      "method-pairing search stopped before trying every combination"
+  | Interp_exhausted -> "functional tests ran out of fuel"
+  | Method_skipped (m, e) ->
+      Printf.sprintf "method %s could not be graded (%s)" m e
+  | Crash_recovered e ->
+      Printf.sprintf "full grading crashed (%s); per-method fallback used" e
+  | Tests_skipped e -> Printf.sprintf "functional tests skipped (%s)" e
+
+let stage_of_reason = function
+  | Matcher_exhausted _ -> "matcher"
+  | Pairing_exhausted -> "pairing"
+  | Interp_exhausted -> "interp"
+  | Method_skipped _ | Crash_recovered _ -> "ladder"
+  | Tests_skipped _ -> "tests"
+
+type test_status =
+  | Tests_passed
+  | Tests_failed of string * string
+  | Tests_not_run
+
+type report = { grading : Grader.result; tests : test_status }
+
+type diagnostic = { stage : string; message : string }
+
+type t =
+  | Graded of report
+  | Degraded of report * reason list
+  | Rejected of diagnostic
+
+let classify = function
+  | Graded _ -> "graded"
+  | Degraded _ -> "degraded"
+  | Rejected _ -> "rejected"
+
+let report = function
+  | Graded r | Degraded (r, _) -> Some r
+  | Rejected _ -> None
+
+let reasons = function
+  | Graded _ | Rejected _ -> []
+  | Degraded (_, rs) -> rs
+
+let json_string s = {|"|} ^ Feedback.json_escape s ^ {|"|}
+
+let tests_to_json = function
+  | Tests_passed -> {|"passed"|}
+  | Tests_failed (case, _) ->
+      Printf.sprintf {|{"failed":%s}|} (json_string case)
+  | Tests_not_run -> {|"not-run"|}
+
+let to_json ?file t =
+  let prefix =
+    match file with
+    | Some f -> Printf.sprintf {|"file":%s,|} (json_string f)
+    | None -> ""
+  in
+  match t with
+  | Graded r | Degraded (r, _) ->
+      Printf.sprintf
+        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]}|}
+        prefix
+        (json_string (classify t))
+        r.grading.Grader.score
+        (List.length r.grading.Grader.comments)
+        (tests_to_json r.tests)
+        (String.concat ","
+           (List.map (fun x -> json_string (string_of_reason x)) (reasons t)))
+  | Rejected d ->
+      Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s}|} prefix
+        (json_string d.stage) (json_string d.message)

@@ -1,0 +1,236 @@
+(** Total, budgeted grading entry points.  See pipeline.mli for the
+    ladder contract. *)
+
+open Jfeed_core
+open Jfeed_java
+module Budget = Jfeed_budget.Budget
+module Bundles = Jfeed_kb.Bundles
+module Runner = Jfeed_ftest.Runner
+
+(* Convert any escaping exception into an error string.  Stack_overflow
+   and Out_of_memory are named explicitly — they are the expected
+   failure modes of adversarial submissions; everything else falls
+   through to Printexc so that no exception whatsoever crosses the
+   pipeline boundary. *)
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Stack_overflow -> Error "stack overflow"
+  | exception Out_of_memory -> Error "out of memory"
+  | exception Invalid_argument m -> Error ("invalid argument: " ^ m)
+  | exception Failure m -> Error m
+  | exception e -> Error (Printexc.to_string e)
+
+let parse_stage src =
+  match Parser.parse_program src with
+  | prog -> Ok prog
+  | exception Parser.Parse_error (msg, line, col) ->
+      Error
+        {
+          Outcome.stage = "parse";
+          message = Printf.sprintf "parse error at %d:%d: %s" line col msg;
+        }
+  | exception Lexer.Lex_error (msg, line, col) ->
+      Error
+        {
+          Outcome.stage = "lex";
+          message = Printf.sprintf "lex error at %d:%d: %s" line col msg;
+        }
+  | exception e ->
+      Error { Outcome.stage = "parse"; message = Printexc.to_string e }
+
+let reasons_of_truncations ts =
+  List.map
+    (function
+      | Grader.Matcher_exhausted id -> Outcome.Matcher_exhausted id
+      | Grader.Pairing_exhausted -> Outcome.Pairing_exhausted)
+    ts
+
+(* Ladder rung 2/3: grade each expected method in isolation so one
+   blown-up method cannot take down the whole report.  A method whose
+   grading crashes is reported through its Not_expected comment set
+   (rung 3: when every method crashes, this degenerates to parse-only
+   diagnostics — the submission is still classified and scored). *)
+let per_method_grade ?budget ?normalize ?use_variants ?inline_helpers
+    (spec : Grader.spec) prog crash_msg =
+  let skipped = ref [] in
+  let results =
+    List.map
+      (fun (q : Grader.method_spec) ->
+        let single = { spec with Grader.a_methods = [ q ] } in
+        match
+          protect (fun () ->
+              Grader.grade ?budget ?normalize ?use_variants ?inline_helpers
+                single prog)
+        with
+        | Ok r -> r
+        | Error e ->
+            skipped := Outcome.Method_skipped (q.Grader.q_name, e) :: !skipped;
+            {
+              Grader.comments = Grader.missing_comments q;
+              score = 0.0;
+              pairing = [ (q.Grader.q_name, None) ];
+              truncations = [];
+            })
+      spec.Grader.a_methods
+  in
+  let comments = List.concat_map (fun r -> r.Grader.comments) results in
+  let grading =
+    {
+      Grader.comments;
+      score = Feedback.score comments;
+      pairing = List.concat_map (fun r -> r.Grader.pairing) results;
+      truncations =
+        List.concat_map (fun r -> r.Grader.truncations) results
+        |> List.sort_uniq compare;
+    }
+  in
+  let reasons =
+    (Outcome.Crash_recovered crash_msg :: List.rev !skipped)
+    @ reasons_of_truncations grading.Grader.truncations
+  in
+  (grading, reasons)
+
+let grade_prog ?budget ?normalize ?use_variants ?inline_helpers
+    (spec : Grader.spec) prog =
+  match
+    protect (fun () ->
+        Grader.grade ?budget ?normalize ?use_variants ?inline_helpers spec
+          prog)
+  with
+  | Ok r -> (r, reasons_of_truncations r.Grader.truncations)
+  | Error msg ->
+      per_method_grade ?budget ?normalize ?use_variants ?inline_helpers spec
+        prog msg
+
+let outcome_of ~tests grading reasons =
+  let report = { Outcome.grading; tests } in
+  if reasons = [] then Outcome.Graded report
+  else Outcome.Degraded (report, reasons)
+
+let grade_guarded ?budget ?normalize ?use_variants ?inline_helpers spec src =
+  match parse_stage src with
+  | Error d -> Outcome.Rejected d
+  | Ok prog ->
+      let grading, reasons =
+        grade_prog ?budget ?normalize ?use_variants ?inline_helpers spec prog
+      in
+      outcome_of ~tests:Outcome.Tests_not_run grading reasons
+
+(* Functional testing under the shared budget.  A failing submission is
+   a normal graded outcome; only an unrunnable suite or fuel exhaustion
+   mid-test degrades. *)
+let run_tests ?budget (b : Bundles.t) prog =
+  match
+    protect (fun () ->
+        let reference =
+          Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+        in
+        let expected = Runner.expected_outputs b.Bundles.suite reference in
+        Runner.run ?budget b.Bundles.suite ~expected prog)
+  with
+  | Ok Runner.Pass -> (Outcome.Tests_passed, [])
+  | Ok (Runner.Fail { case; reason }) ->
+      let fuel_died = reason = "error: fuel budget exhausted" in
+      ( Outcome.Tests_failed (case, reason),
+        if fuel_died then [ Outcome.Interp_exhausted ] else [] )
+  | Error e -> (Outcome.Tests_not_run, [ Outcome.Tests_skipped e ])
+
+let assess ?budget ?normalize ?use_variants ?inline_helpers
+    ?(with_tests = true) (b : Bundles.t) src =
+  match parse_stage src with
+  | Error d -> Outcome.Rejected d
+  | Ok prog ->
+      let grading, reasons =
+        grade_prog ?budget ?normalize ?use_variants ?inline_helpers
+          b.Bundles.grading prog
+      in
+      let tests, test_reasons =
+        if with_tests then run_tests ?budget b prog
+        else (Outcome.Tests_not_run, [])
+      in
+      outcome_of ~tests grading (reasons @ test_reasons)
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+
+type item = { file : string; outcome : Outcome.t; fuel_spent : int }
+
+type summary = {
+  assignment : string;
+  total : int;
+  graded : int;
+  degraded : int;
+  rejected : int;
+  fuel_limit : int option;
+  items : item list;
+}
+
+let run_batch ?fuel ?deadline_s ?with_tests (b : Bundles.t) sources =
+  let items =
+    List.map
+      (fun (file, src) ->
+        (* Per-submission isolation: a fresh budget each, and even a
+           bug in the pipeline itself is confined to this item. *)
+        let budget =
+          match (fuel, deadline_s) with
+          | None, None -> Budget.unlimited ()
+          | _ -> Budget.create ?fuel ?deadline_s ()
+        in
+        let outcome =
+          match src with
+          | Error e ->
+              Outcome.Rejected { Outcome.stage = "read"; message = e }
+          | Ok src -> (
+              match protect (fun () -> assess ~budget ?with_tests b src) with
+              | Ok o -> o
+              | Error e ->
+                  Outcome.Rejected { Outcome.stage = "internal"; message = e }
+              )
+        in
+        { file; outcome; fuel_spent = Budget.spent budget })
+      sources
+  in
+  let count cls =
+    List.length
+      (List.filter (fun it -> Outcome.classify it.outcome = cls) items)
+  in
+  {
+    assignment = b.Bundles.grading.Grader.a_id;
+    total = List.length items;
+    graded = count "graded";
+    degraded = count "degraded";
+    rejected = count "rejected";
+    fuel_limit = fuel;
+    items;
+  }
+
+let summary_to_json s =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"assignment":"%s","total":%d,"graded":%d,"degraded":%d,"rejected":%d|}
+       (Feedback.json_escape s.assignment)
+       s.total s.graded s.degraded s.rejected);
+  (match s.fuel_limit with
+  | Some f -> Buffer.add_string buf (Printf.sprintf {|,"fuel":%d|} f)
+  | None -> ());
+  Buffer.add_string buf {|,"submissions":[|};
+  List.iteri
+    (fun i it ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n  ";
+      let line = Outcome.to_json ~file:it.file it.outcome in
+      (* Splice the per-item fuel in only under a finite budget, so
+         unbudgeted output is byte-stable. *)
+      match s.fuel_limit with
+      | Some _ ->
+          let body = String.sub line 0 (String.length line - 1) in
+          Buffer.add_string buf
+            (Printf.sprintf {|%s,"fuel":%d}|} body it.fuel_spent)
+      | None -> Buffer.add_string buf line)
+    s.items;
+  Buffer.add_string buf "\n]}";
+  Buffer.contents buf
+
+let exit_code s = if s.degraded = 0 && s.rejected = 0 then 0 else 1

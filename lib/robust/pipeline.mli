@@ -1,0 +1,91 @@
+(** Total, budgeted grading entry points — the resilience layer.
+
+    Every function here returns an {!Outcome.t}; no exception escapes,
+    whatever the submission looks like ([Stack_overflow] from
+    pathological nesting, [Invalid_argument] from a malformed suite,
+    [Out_of_memory], lexer and parser failures…).  Work is bounded by
+    an optional {!Budget} shared across the matcher, the pairing search
+    and the interpreter.
+
+    The degradation ladder, tried top to bottom:
+    + full Algorithm 2 grading (the paper's system) — [Graded], or
+      [Degraded] when a budget cut work short;
+    + per-method grading with blown-up methods skipped — each expected
+      method is graded in isolation; the ones that still crash are
+      reported as missing, with a {!Outcome.Method_skipped} reason;
+    + parse-only diagnostics — when every method fails, the report
+      degenerates to the full "does not adhere to the specification"
+      comment set, but the submission is still parsed, classified and
+      scored rather than dropped.
+
+    Only unparseable input is [Rejected]. *)
+
+val grade_guarded :
+  ?budget:Jfeed_budget.Budget.t ->
+  ?normalize:bool ->
+  ?use_variants:bool ->
+  ?inline_helpers:bool ->
+  Jfeed_core.Grader.spec ->
+  string ->
+  Outcome.t
+(** Grade a source string against a grading spec, guarded by the
+    ladder.  Functional tests are not run ([tests = Tests_not_run]). *)
+
+val assess :
+  ?budget:Jfeed_budget.Budget.t ->
+  ?normalize:bool ->
+  ?use_variants:bool ->
+  ?inline_helpers:bool ->
+  ?with_tests:bool ->
+  Jfeed_kb.Bundles.t ->
+  string ->
+  Outcome.t
+(** {!grade_guarded} against the bundle's grading spec, then (unless
+    [~with_tests:false]) the bundle's functional-test suite under the
+    same budget.  A submission that merely {e fails} the tests is still
+    [Graded] — test failure is a grading verdict, not a degradation;
+    but fuel exhaustion mid-test ({!Outcome.Interp_exhausted}) or an
+    unrunnable suite ({!Outcome.Tests_skipped}) degrade. *)
+
+(** {2 Batch driver} *)
+
+type item = {
+  file : string;
+  outcome : Outcome.t;
+  fuel_spent : int;  (** fuel this submission consumed *)
+}
+
+type summary = {
+  assignment : string;
+  total : int;
+  graded : int;
+  degraded : int;
+  rejected : int;
+  fuel_limit : int option;  (** per-submission allowance, when bounded *)
+  items : item list;  (** input order *)
+}
+
+val run_batch :
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?with_tests:bool ->
+  Jfeed_kb.Bundles.t ->
+  (string * (string, string) result) list ->
+  summary
+(** Assess each [(name, source)] pair with per-submission isolation: a
+    fresh budget per submission ([?fuel] / [?deadline_s] bound each one
+    independently), and any failure confined to its own item.  A pair
+    whose source is [Error msg] (the caller could not read the file)
+    is [Rejected] at stage ["read"]. *)
+
+val summary_to_json : summary -> string
+(** Stable field order, one submission per line:
+    [{"assignment":…,"total":…,"graded":…,"degraded":…,"rejected":…,
+    ("fuel":…,)"submissions":[…]}].  The per-submission [fuel] field
+    appears only when a fuel limit was set, so unbudgeted output is
+    byte-stable across runs. *)
+
+val exit_code : summary -> int
+(** [0] when every submission graded cleanly, [1] when any was degraded
+    or rejected — the batch CLI contract ([2] is reserved for usage
+    errors, decided by the CLI itself). *)

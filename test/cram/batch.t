@@ -1,0 +1,51 @@
+Batch grading: a directory of submissions goes through the resilient
+pipeline — one JSON summary, stable field order, and an exit code that
+tells CI what happened (0 all graded, 1 some degraded/rejected, 2 usage
+error).
+
+  $ mkdir clean
+  $ jfeed generate assignment1 --index 0 | tail -n +2 > clean/ref.java
+  $ jfeed batch assignment1 clean
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[]}
+  ]}
+
+All graded: exit 0.
+
+  $ echo $?
+  0
+
+A mixed directory: a truncated file is rejected at parse, garbage bytes
+are rejected at lex, pathological nesting is rejected instead of
+overflowing the stack — and none of them stop the neighbours from
+being graded.
+
+  $ mkdir mixed
+  $ cp clean/ref.java mixed/good.java
+  $ printf 'void assignment1(' > mixed/truncated.java
+  $ printf '\377\376' > mixed/garbage.java
+  $ { printf 'void assignment1(int[] a) { int x = '; for i in $(seq 9000); do printf '('; done; printf '1'; for i in $(seq 9000); do printf ')'; done; printf '; }'; } > mixed/bomb.java
+  $ jfeed batch assignment1 mixed
+  {"assignment":"assignment1","total":4,"graded":1,"degraded":0,"rejected":3,"submissions":[
+    {"file":"bomb.java","outcome":"rejected","stage":"parse","error":"parse error at 1:536: nesting too deep"},
+    {"file":"garbage.java","outcome":"rejected","stage":"lex","error":"lex error at 1:1: unexpected character '\\255'"},
+    {"file":"good.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[]},
+    {"file":"truncated.java","outcome":"rejected","stage":"parse","error":"parse error at 1:18: expected a type but found end of input"}
+  ]}
+  [1]
+
+A starved fuel budget degrades instead of crashing or lying: the
+grade is still produced, and every truncation names the stage that ran
+dry (matcher, pairing, interp).
+
+  $ jfeed batch --fuel 100 assignment1 clean
+  {"assignment":"assignment1","total":1,"graded":0,"degraded":1,"rejected":0,"fuel":100,"submissions":[
+    {"file":"ref.java","outcome":"degraded","score":3,"max":10,"tests":{"failed":"small"},"reasons":["matcher:p_cond_accum_add","matcher:p_cond_accum_mul","matcher:p_print_var","interp"],"fuel":101}
+  ]}
+  [1]
+
+Usage errors are exit 2:
+
+  $ jfeed batch assignment1 /no/such/dir
+  jfeed batch: "/no/such/dir" is not a directory
+  [2]

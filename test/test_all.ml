@@ -7,4 +7,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("properties", Test_properties.suite); ("inline", Test_inline.suite);
       ("strategies", Test_strategies.suite);
-      ("stmt-roundtrip", Test_stmt_roundtrip.suite) ]
+      ("stmt-roundtrip", Test_stmt_roundtrip.suite);
+      ("robust", Test_robust.suite) ]
