@@ -186,6 +186,81 @@ let micro () =
     (List.sort compare entries)
 
 (* ------------------------------------------------------------------ *)
+(* micro --json: the tracked perf trajectory (BENCH_grading.json)      *)
+
+(* Wall-clock batch grading over the Table-I sample, sequential vs
+   [--jobs N], written to BENCH_grading.json so the speedup and the
+   per-assignment ms/submission are tracked across PRs.  Functional
+   tests are skipped: the file tracks matching throughput (column M's
+   operational headline), not interpreter speed. *)
+let micro_json ~sample ~seed ~jobs () =
+  let rows =
+    List.map
+      (fun (b : Bundles.t) ->
+        let spec = b.Bundles.gen in
+        let indices = Jfeed_gen.Spec.sample_indices spec ~n:sample ~seed in
+        let sources =
+          List.map
+            (fun idx ->
+              ( Printf.sprintf "s%06d.java" idx,
+                Ok (Jfeed_gen.Spec.source_of_index spec idx) ))
+            indices
+        in
+        let run j =
+          time (fun () ->
+              Jfeed_robust.Pipeline.run_batch ~with_tests:false ~jobs:j b
+                sources)
+        in
+        let seq_summary, seq_s = run 1 in
+        let par_summary, par_s = run jobs in
+        let identical =
+          Jfeed_robust.Pipeline.summary_to_json seq_summary
+          = Jfeed_robust.Pipeline.summary_to_json par_summary
+        in
+        (b.Bundles.grading.Grader.a_id, List.length indices, seq_s, par_s,
+         identical))
+      Bundles.all
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let seq_total = sum (fun (_, _, s, _, _) -> s) in
+  let par_total = sum (fun (_, _, _, p, _) -> p) in
+  let submissions =
+    List.fold_left (fun acc (_, n, _, _, _) -> acc + n) 0 rows
+  in
+  let identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
+  let speedup = if par_total > 0.0 then seq_total /. par_total else 0.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"schema":"jfeed-bench-grading/1","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
+       sample seed jobs);
+  List.iteri
+    (fun i (id, n, seq_s, par_s, _) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  \
+            {\"id\":\"%s\",\"submissions\":%d,\"ms_per_submission\":%.4f,\"sequential_s\":%.4f,\"parallel_s\":%.4f}"
+           id n
+           (1000.0 *. seq_s /. float_of_int (max 1 n))
+           seq_s par_s))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n\
+        ],\"batch\":{\"submissions\":%d,\"sequential_s\":%.4f,\"parallel_s\":%.4f,\"speedup\":%.3f,\"identical\":%b}}"
+       submissions seq_total par_total speedup identical);
+  let json = Buffer.contents buf in
+  let oc = open_out "BENCH_grading.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "BENCH_grading.json written: %d submissions, sequential %.3fs, --jobs \
+     %d %.3fs, speedup %.2fx, output identical: %b\n"
+    submissions seq_total jobs par_total speedup identical
+
+(* ------------------------------------------------------------------ *)
 (* §VI-C comparison                                                    *)
 
 let fig8_reference =
@@ -534,9 +609,11 @@ let () =
   in
   let sample = opt "--sample" 150 in
   let seed = opt "--seed" 42 in
+  let jobs = opt "--jobs" 4 in
   match args with
   | _ :: "table1" :: _ ->
       table1 ~sample ~seed ~full:(has "--full") ~explain:(has "--explain") ()
+  | _ :: "micro" :: _ when has "--json" -> micro_json ~sample ~seed ~jobs ()
   | _ :: "micro" :: _ -> micro ()
   | _ :: "compare" :: _ -> compare ()
   | _ :: "ablation" :: _ -> ablation ~sample ~seed ()

@@ -243,14 +243,27 @@ let batch_cmd =
       value & flag
       & info [ "no-tests" ] ~doc:"Skip the functional-test stage.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Grade submissions on N parallel domains.  Output is \
+             byte-identical to --jobs 1 (deterministic merge; the fuel \
+             budget is per submission at any N).")
+  in
   let dir_pos =
     Arg.(
       required
       & pos 1 (some string) None
       & info [] ~docv:"DIR" ~doc:"Directory of submission files.")
   in
-  let run b fuel deadline no_tests dir =
-    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+  let run b fuel deadline no_tests jobs dir =
+    if jobs < 1 then begin
+      Printf.eprintf "jfeed batch: --jobs must be at least 1 (got %d)\n" jobs;
+      2
+    end
+    else if not (Sys.file_exists dir && Sys.is_directory dir) then begin
       Printf.eprintf "jfeed batch: %S is not a directory\n" dir;
       2
     end
@@ -269,7 +282,7 @@ let batch_cmd =
       in
       let summary =
         Jfeed_robust.Pipeline.run_batch ?fuel ?deadline_s:deadline
-          ~with_tests:(not no_tests) b sources
+          ~with_tests:(not no_tests) ~jobs b sources
       in
       print_endline (Jfeed_robust.Pipeline.summary_to_json summary);
       Jfeed_robust.Pipeline.exit_code summary
@@ -282,7 +295,8 @@ let batch_cmd =
           pipeline (exit 0: all graded; 1: some degraded/rejected; 2: usage \
           error)")
     Term.(
-      const run $ assignment_pos $ fuel $ deadline $ no_tests $ dir_pos)
+      const run $ assignment_pos $ fuel $ deadline $ no_tests $ jobs
+      $ dir_pos)
 
 let test_cmd =
   let run b path =

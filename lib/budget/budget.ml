@@ -58,6 +58,11 @@ let spend b stage n =
 
 let check b stage = spend b stage 0
 
+let split total ~ways =
+  if ways <= 0 then invalid_arg "Budget.split: ways must be positive";
+  let q = total / ways and r = total mod ways in
+  List.init ways (fun i -> q + if i < r then 1 else 0)
+
 let spent b = b.used
 
 let remaining b =

@@ -39,6 +39,27 @@ val check : t -> stage -> bool
 (** Like {!spend} with [n = 0]: test (and record) exhaustion without
     consuming fuel. *)
 
+val split : int -> ways:int -> int list
+(** [split total ~ways] divides a fuel allowance into [ways] pools that
+    {e sum exactly to [total]} — the first [total mod ways] pools get
+    the extra unit; no fuel is lost to integer division.  Raises
+    [Invalid_argument] when [ways <= 0].
+
+    {b Parallel fuel accounting.}  The batch driver
+    ({!Jfeed_robust.Pipeline.run_batch}) gives every submission its own
+    fresh budget of the requested [--fuel], so the pool available to a
+    worker domain is (items it grades) × [--fuel] and the pools across
+    domains always sum to the global allowance (submissions × [--fuel])
+    — {e at any [--jobs] value}.  [--fuel N] therefore means exactly the
+    same bound per submission whether the batch runs on 1 domain or 16;
+    dividing one allowance among cooperating consumers goes through
+    [split] so the remainder is distributed, never dropped.  The CPU
+    {e deadline} axis is the exception: {!create}'s [deadline_s] reads
+    the process-wide CPU clock ({!Sys.time}), which advances [jobs]
+    times faster under parallel grading — deadline-bounded runs are
+    reproducible only at a fixed [--jobs], so the byte-identical
+    guarantee is stated for fuel-only budgets. *)
+
 val spent : t -> int
 (** Total fuel consumed so far, across all stages. *)
 

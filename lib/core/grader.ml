@@ -73,13 +73,16 @@ let missing_comments (q : method_spec) =
         })
       q.q_constraints
 
-let grade_method ?budget ~note ~use_variants (q : method_spec) (h : string)
-    (epdg : Epdg.t) =
+let grade_method ?budget ~cache ~note ~use_variants (q : method_spec)
+    (h : string) (epdg : Epdg.t) =
   (* 2.1: match every pattern, store embeddings in m̄.  With variants
      enabled, a primary pattern that does not occur the expected number
-     of times may be replaced by the first variant that does. *)
+     of times may be replaced by the first variant that does.  The memo
+     cache makes re-examining a (pattern, method) pair — every pairing
+     combination does, and the variants layer re-tries primaries — a
+     lookup instead of a fresh backtracking search. *)
   let match_pattern (p : Pattern.t) =
-    let s = Matcher.embeddings_budgeted ?budget p epdg in
+    let s = Matcher.embeddings_budgeted ?budget ~cache p epdg in
     if s.Matcher.exhausted then note (Matcher_exhausted p.Pattern.id);
     s.Matcher.found
   in
@@ -158,6 +161,9 @@ let grade ?budget ?(normalize = false) ?(use_variants = false)
   (* 1: one EPDG per submission method. *)
   let graphs = Epdg.of_program prog in
   let method_names = List.map fst graphs in
+  (* One embedding cache per grading call: every pairing combination
+     re-examines the same (pattern, method) searches. *)
+  let cache = Matcher.Cache.create () in
   let truncs = ref [] in
   let note t = if not (List.mem t !truncs) then truncs := t :: !truncs in
   let fuel_ok () =
@@ -188,7 +194,7 @@ let grade ?budget ?(normalize = false) ?(use_variants = false)
           match h_opt with
           | None -> missing_comments q
           | Some h ->
-              grade_method ?budget ~note ~use_variants q h
+              grade_method ?budget ~cache ~note ~use_variants q h
                 (List.assoc h graphs))
         combo
     in

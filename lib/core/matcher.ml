@@ -54,19 +54,31 @@ exception Cut
     spends one unit of [budget] fuel; when the fuel or the
     {!max_embeddings} backstop runs out the search stops and the partial
     result is tagged [exhausted] instead of being silently truncated. *)
-let embeddings_budgeted ?budget (p : Pattern.t) (epdg : Epdg.t) =
+let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
   let g = epdg.Epdg.graph in
   let n = Array.length p.Pattern.nodes in
-  (* Search space Φ: graph nodes compatible with each pattern node's type. *)
+  (* Search space Φ: graph nodes compatible with each pattern node's
+     type — an index lookup per pattern node, not an O(V) filter; the
+     index preserves insertion order, so the search visits candidates in
+     exactly the order the filter produced. *)
   let phi =
     Array.map
       (fun (pn : Pattern.pnode) ->
-        G.filter_nodes g ~f:(fun _ info ->
-            match pn.Pattern.pn_type with
-            | None -> true
-            | Some t -> t = info.Epdg.n_type))
+        match pn.Pattern.pn_type with
+        | None -> G.nodes g
+        | Some t -> Epdg.nodes_of_type epdg t)
       p.Pattern.nodes
   in
+  (* Pattern edges incident to each pattern node, precomputed once —
+     [pick_next] and [edges_consistent] no longer rescan [p.edges] at
+     every extension step.  Edges not incident to [u] are vacuously
+     consistent, so restricting both loops to [incident.(u)] is exact. *)
+  let incident = Array.make (max 1 n) [] in
+  List.iter
+    (fun ((s, d, _) as e) ->
+      incident.(s) <- e :: incident.(s);
+      if d <> s then incident.(d) <- e :: incident.(d))
+    p.Pattern.edges;
   let iota = Array.make n (-1) in
   let marks = Array.make n Exact in
   let used = Hashtbl.create 16 in
@@ -92,11 +104,11 @@ let embeddings_budgeted ?budget (p : Pattern.t) (epdg : Epdg.t) =
      candidate set. *)
   let pick_next () =
     let adjacency u =
-      List.length
-        (List.filter
-           (fun (s, d, _) ->
-             (s = u && iota.(d) >= 0) || (d = u && iota.(s) >= 0))
-           p.Pattern.edges)
+      List.fold_left
+        (fun k (s, d, _) ->
+          if (s = u && iota.(d) >= 0) || (d = u && iota.(s) >= 0) then k + 1
+          else k)
+        0 incident.(u)
     in
     let best = ref (-1) and best_key = ref (min_int, min_int) in
     for u = 0 to n - 1 do
@@ -116,7 +128,7 @@ let embeddings_budgeted ?budget (p : Pattern.t) (epdg : Epdg.t) =
         if s = u && iota.(d) >= 0 then G.mem_edge g v iota.(d) et
         else if d = u && iota.(s) >= 0 then G.mem_edge g iota.(s) v et
         else true)
-      p.Pattern.edges
+      incident.(u)
   in
   let rec search matched gamma =
     if !count >= max_embeddings then begin
@@ -203,6 +215,31 @@ let embeddings_budgeted ?budget (p : Pattern.t) (epdg : Epdg.t) =
       (List.rev !results)
   in
   { found; exhausted = !exhausted }
+
+(** Embedding memo cache, keyed by (pattern id, EPDG uid).  One grading
+    call examines the same (pattern, method) pair once per method-pairing
+    combination, and the variants/strategies layers re-try primaries —
+    with the cache each distinct search runs once per submission.  Scope
+    a cache to a single grading call: keys assume pattern ids are stable
+    within one spec, and a cached search's budget spending must not be
+    replayed across submissions. *)
+module Cache = struct
+  type nonrec t = (string * int, search) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+end
+
+let embeddings_budgeted ?budget ?cache (p : Pattern.t) (epdg : Epdg.t) =
+  match cache with
+  | None -> search_uncached ?budget p epdg
+  | Some (c : Cache.t) -> (
+      let key = (p.Pattern.id, epdg.Epdg.uid) in
+      match Hashtbl.find_opt c key with
+      | Some s -> s
+      | None ->
+          let s = search_uncached ?budget p epdg in
+          Hashtbl.add c key s;
+          s)
 
 (** {!embeddings_budgeted} without the exhaustion tag — the historical
     interface; prefer the budgeted form in pipeline code, where

@@ -40,15 +40,33 @@ type search = {
           reason. *)
 }
 
+(** Embedding memo cache, keyed by (pattern id, EPDG uid).  Scope one
+    cache to one grading call: within a submission the method-pairing
+    search and the variants/strategies layers re-run identical
+    (pattern, method) searches, and the cache collapses each to a single
+    backtracking run.  A cache hit spends no budget fuel — the work it
+    stands for was already paid for when the entry was filled. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+end
+
 val embeddings_budgeted :
-  ?budget:Jfeed_budget.Budget.t -> Pattern.t -> Jfeed_pdg.Epdg.t -> search
+  ?budget:Jfeed_budget.Budget.t ->
+  ?cache:Cache.t ->
+  Pattern.t ->
+  Jfeed_pdg.Epdg.t ->
+  search
 (** All embeddings of a pattern in an EPDG (Definition 7 plus correctness
     marks), deduplicated by (ι, γ).  Each candidate-extension step of the
     backtracking search — a graph node tried for a pattern node, or a
     variable appended to an injective mapping — spends one unit of
     [budget] fuel ({!Jfeed_budget.Budget.Matcher}); fuel exhaustion or
     the {!max_embeddings} backstop stop the search with [exhausted]
-    set. *)
+    set.  With [?cache], a repeated (pattern id, EPDG) search returns
+    the memoized result (including its [exhausted] tag) without running
+    or spending fuel. *)
 
 val embeddings :
   ?budget:Jfeed_budget.Budget.t ->

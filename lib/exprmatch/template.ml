@@ -85,7 +85,13 @@ let contains_of text =
 (* A placeholder with no binding matches any single identifier. *)
 let any_identifier = {|[A-Za-z_$][A-Za-z0-9_$]*|}
 
-let memo : (string, Re.re) Hashtbl.t = Hashtbl.create 64
+(* Domain-local: the parallel batch driver grades submissions on several
+   domains at once, and a shared Hashtbl would race (corrupting buckets
+   is undefined behaviour under OCaml 5).  Each domain memoizes its own
+   compilations — slightly more compile work, zero synchronization on
+   the matcher's hottest string path. *)
+let memo_key : (string, Re.re) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
 (* The set of distinct instantiated regexes is (templates x submission
    variable names); an unbounded stream of fresh names would grow the
@@ -94,6 +100,7 @@ let memo : (string, Re.re) Hashtbl.t = Hashtbl.create 64
 let memo_cap = 65_536
 
 let compiled regex_text =
+  let memo = Domain.DLS.get memo_key in
   match Hashtbl.find_opt memo regex_text with
   | Some re -> re
   | None ->

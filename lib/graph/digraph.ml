@@ -5,6 +5,12 @@ type ('n, 'e) t = {
   mutable size : int;
   succ : (node, (node * 'e) list ref) Hashtbl.t;
   pred : (node, (node * 'e) list ref) Hashtbl.t;
+  edge_set : (node * node * 'e, unit) Hashtbl.t;
+      (* labelled-edge membership, O(1) [mem_edge] *)
+  pair_set : (node * node, int) Hashtbl.t;
+      (* parallel-edge count per (src, dst), O(1) [has_edge] *)
+  mutable out_deg : int array;  (* maintained counters, indexed by node *)
+  mutable in_deg : int array;
   mutable edge_count : int;
 }
 
@@ -14,6 +20,10 @@ let create () =
     size = 0;
     succ = Hashtbl.create 16;
     pred = Hashtbl.create 16;
+    edge_set = Hashtbl.create 32;
+    pair_set = Hashtbl.create 32;
+    out_deg = [||];
+    in_deg = [||];
     edge_count = 0;
   }
 
@@ -25,18 +35,30 @@ let check_node g v =
   if not (mem_node g v) then
     invalid_arg (Printf.sprintf "Digraph: unknown node %d" v)
 
+let grow_int_array a cap' =
+  let fresh = Array.make cap' 0 in
+  Array.blit a 0 fresh 0 (Array.length a);
+  fresh
+
 let grow g =
   let cap = Array.length g.labels in
   if g.size >= cap then begin
     let cap' = max 8 (2 * cap) in
     let fresh = Array.make cap' g.labels.(0) in
     Array.blit g.labels 0 fresh 0 g.size;
-    g.labels <- fresh
+    g.labels <- fresh;
+    g.out_deg <- grow_int_array g.out_deg cap';
+    g.in_deg <- grow_int_array g.in_deg cap'
   end
 
 let add_node g lbl =
   let v = g.size in
-  if Array.length g.labels = 0 then g.labels <- Array.make 8 lbl else grow g;
+  if Array.length g.labels = 0 then begin
+    g.labels <- Array.make 8 lbl;
+    g.out_deg <- Array.make 8 0;
+    g.in_deg <- Array.make 8 0
+  end
+  else grow g;
   g.labels.(v) <- lbl;
   g.size <- g.size + 1;
   v
@@ -56,8 +78,8 @@ let push tbl v entry =
   | Some r -> r := entry :: !r
   | None -> Hashtbl.add tbl v (ref [ entry ])
 
-let mem_edge g s t e = List.exists (fun (t', e') -> t' = t && e' = e) (adj g.succ s)
-let has_edge g s t = List.exists (fun (t', _) -> t' = t) (adj g.succ s)
+let mem_edge g s t e = Hashtbl.mem g.edge_set (s, t, e)
+let has_edge g s t = Hashtbl.mem g.pair_set (s, t)
 
 let add_edge g s t e =
   check_node g s;
@@ -65,6 +87,11 @@ let add_edge g s t e =
   if not (mem_edge g s t e) then begin
     push g.succ s (t, e);
     push g.pred t (s, e);
+    Hashtbl.add g.edge_set (s, t, e) ();
+    Hashtbl.replace g.pair_set (s, t)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt g.pair_set (s, t)));
+    g.out_deg.(s) <- g.out_deg.(s) + 1;
+    g.in_deg.(t) <- g.in_deg.(t) + 1;
     g.edge_count <- g.edge_count + 1
   end
 
@@ -76,8 +103,13 @@ let pred g v =
   check_node g v;
   List.rev (adj g.pred v)
 
-let out_degree g v = List.length (succ g v)
-let in_degree g v = List.length (pred g v)
+let out_degree g v =
+  check_node g v;
+  g.out_deg.(v)
+
+let in_degree g v =
+  check_node g v;
+  g.in_deg.(v)
 let nodes g = List.init g.size Fun.id
 
 let edges g =

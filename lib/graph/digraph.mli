@@ -33,9 +33,12 @@ val set_label : ('n, 'e) t -> node -> 'n -> unit
 val mem_node : ('n, 'e) t -> node -> bool
 
 val mem_edge : ('n, 'e) t -> node -> node -> 'e -> bool
+(** Labelled-edge membership.  O(1): backed by a hash set maintained at
+    insertion, not a scan of the adjacency list — this is the matcher's
+    innermost consistency check. *)
 
 val has_edge : ('n, 'e) t -> node -> node -> bool
-(** Ignores the edge label. *)
+(** Ignores the edge label.  O(1), same mechanism as {!mem_edge}. *)
 
 val succ : ('n, 'e) t -> node -> (node * 'e) list
 (** Outgoing neighbours with edge labels, in insertion order. *)
@@ -44,7 +47,10 @@ val pred : ('n, 'e) t -> node -> (node * 'e) list
 (** Incoming neighbours with edge labels, in insertion order. *)
 
 val out_degree : ('n, 'e) t -> node -> int
+(** O(1): counters maintained by {!add_edge}, no adjacency-list walk. *)
+
 val in_degree : ('n, 'e) t -> node -> int
+(** O(1), same mechanism as {!out_degree}. *)
 
 val nodes : ('n, 'e) t -> node list
 (** All nodes in insertion order. *)

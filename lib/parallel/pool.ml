@@ -1,0 +1,57 @@
+(** Domain worker pool: chunked distribution, deterministic merge.
+    See pool.mli for the contract. *)
+
+let chunks ~n ~jobs =
+  if n <= 0 then []
+  else begin
+    let jobs = max 1 jobs in
+    (* About 4 chunks per worker: small enough that the atomic cursor
+       rebalances around expensive items, large enough that claiming a
+       chunk (one fetch-and-add) is noise. *)
+    let size = max 1 (n / (jobs * 4)) in
+    let rec go start acc =
+      if start >= n then List.rev acc
+      else
+        let len = min size (n - start) in
+        go (start + len) ((start, len) :: acc)
+    in
+    go 0 []
+  end
+
+let map ~jobs ~f a =
+  let n = Array.length a in
+  if jobs <= 1 || n <= 1 then Array.map f a
+  else begin
+    let workers = min jobs n in
+    let cs = Array.of_list (chunks ~n ~jobs:workers) in
+    let out = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec claim () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < Array.length cs then begin
+          let start, len = cs.(i) in
+          for j = start to start + len - 1 do
+            out.(j) <-
+              Some
+                (match f a.(j) with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+          done;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let domains = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* Every slot was written by exactly one worker, and the joins order
+       those writes before these reads. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false)
+      out
+  end

@@ -1,0 +1,30 @@
+(** Domain-based worker pool for batch grading (OCaml 5 multicore).
+
+    The pool maps a function over an array on [jobs] domains with
+    {e chunked} work distribution — workers claim contiguous index
+    ranges from a shared atomic cursor, so load balances even when item
+    costs are wildly uneven (one pathological submission does not stall
+    a whole static partition) — and a {e deterministic merge}: result
+    [i] always lands in slot [i], so the output is byte-identical to the
+    sequential run whatever the scheduling.
+
+    The mapped function must not touch shared mutable state; everything
+    in the grading pipeline satisfies this (per-submission budgets,
+    domain-local regex memo in [Jfeed_exprmatch.Template], per-call
+    embedding caches in [Jfeed_core.Grader]). *)
+
+val chunks : n:int -> jobs:int -> (int * int) list
+(** [chunks ~n ~jobs] — the (start, length) work units used to
+    distribute [n] items over [jobs] workers: contiguous, disjoint,
+    covering [0..n-1] in order, each about a quarter of an even
+    per-worker share (so the atomic cursor can rebalance).  A pure
+    function of [(n, jobs)]: the decomposition never depends on timing.
+    Empty iff [n = 0]. *)
+
+val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~f a] = [Array.map f a], computed on [min jobs (length a)]
+    domains ([jobs <= 1] runs in the calling domain, no spawns).  Slots
+    are filled by index, so the result — and any output derived from it
+    — is identical at every [jobs] value.  If [f] raises, the first
+    exception in {e index} order (not completion order) is re-raised
+    after all workers have been joined. *)

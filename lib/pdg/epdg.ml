@@ -9,9 +9,38 @@ type t = {
   graph : (node_info, edge_type) Jfeed_graph.Digraph.t;
   method_name : string;
   param_names : string list;
+  uid : int;
+  by_type : Jfeed_graph.Digraph.node list array;
 }
 
 module G = Jfeed_graph.Digraph
+
+let n_node_types = 6
+
+let int_of_node_type = function
+  | Assign -> 0
+  | Break -> 1
+  | Call -> 2
+  | Cond -> 3
+  | Decl -> 4
+  | Return -> 5
+
+(* Graph identity for memo caches (e.g. the matcher's embedding cache):
+   structural hashing of a whole EPDG would cost more than the search it
+   is meant to save, so every constructed EPDG gets a process-unique
+   stamp.  Atomic: EPDGs are built concurrently by the batch workers. *)
+let uid_counter = Atomic.make 0
+
+let build_type_index g =
+  let acc = Array.make n_node_types [] in
+  List.iter
+    (fun v ->
+      let i = int_of_node_type (G.label g v).n_type in
+      acc.(i) <- v :: acc.(i))
+    (G.nodes g);
+  Array.map List.rev acc
+
+let nodes_of_type t ty = t.by_type.(int_of_node_type ty)
 
 let string_of_node_type = function
   | Assign -> "Assign"
@@ -222,6 +251,8 @@ let of_method (m : Ast.meth) =
     graph = b.g;
     method_name = m.m_name;
     param_names = List.map (fun (p : Ast.param) -> p.p_name) m.m_params;
+    uid = Atomic.fetch_and_add uid_counter 1;
+    by_type = build_type_index b.g;
   }
 
 let of_program (p : Ast.program) =

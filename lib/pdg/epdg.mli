@@ -27,6 +27,17 @@ type t = {
   graph : (node_info, edge_type) Jfeed_graph.Digraph.t;
   method_name : string;
   param_names : string list;
+  uid : int;
+      (** process-unique stamp, assigned at construction; memo caches key
+          on it instead of hashing the whole graph (atomic counter, safe
+          under parallel batch grading) *)
+  by_type : Jfeed_graph.Digraph.node list array;
+      (** node-type index, built once at construction — the matcher's
+          candidate sets Φ.  Indexed by the internal type ordinal; read it
+          through {!nodes_of_type}.  Invariant: for every type [ty],
+          [nodes_of_type t ty] equals
+          [Digraph.filter_nodes t.graph ~f:(fun _ i -> i.n_type = ty)],
+          in the same (insertion) order. *)
 }
 
 val string_of_node_type : node_type -> string
@@ -42,6 +53,11 @@ val of_source : string -> (string * t) list
 (** Parse a submission and build the EPDG of every method.  Raises
     {!Jfeed_java.Parser.Parse_error} / {!Jfeed_java.Lexer.Lex_error} on
     malformed input. *)
+
+val nodes_of_type : t -> node_type -> Jfeed_graph.Digraph.node list
+(** All nodes of the given type, in insertion order — an array lookup
+    into the precomputed index, not an O(V) filter.  Agrees exactly with
+    [Digraph.filter_nodes] on the type predicate (see {!t.by_type}). *)
 
 val node_text : t -> Jfeed_graph.Digraph.node -> string
 val node_type : t -> Jfeed_graph.Digraph.node -> node_type

@@ -166,30 +166,32 @@ type summary = {
   items : item list;
 }
 
-let run_batch ?fuel ?deadline_s ?with_tests (b : Bundles.t) sources =
-  let items =
-    List.map
-      (fun (file, src) ->
-        (* Per-submission isolation: a fresh budget each, and even a
-           bug in the pipeline itself is confined to this item. *)
-        let budget =
-          match (fuel, deadline_s) with
-          | None, None -> Budget.unlimited ()
-          | _ -> Budget.create ?fuel ?deadline_s ()
-        in
-        let outcome =
-          match src with
+let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) (b : Bundles.t)
+    sources =
+  let grade_one (file, src) =
+    (* Per-submission isolation: a fresh budget each — so the fuel
+       allowance is identical at every [jobs] value (see
+       [Budget.split]'s accounting note) — and even a bug in the
+       pipeline itself is confined to this item. *)
+    let budget =
+      match (fuel, deadline_s) with
+      | None, None -> Budget.unlimited ()
+      | _ -> Budget.create ?fuel ?deadline_s ()
+    in
+    let outcome =
+      match src with
+      | Error e -> Outcome.Rejected { Outcome.stage = "read"; message = e }
+      | Ok src -> (
+          match protect (fun () -> assess ~budget ?with_tests b src) with
+          | Ok o -> o
           | Error e ->
-              Outcome.Rejected { Outcome.stage = "read"; message = e }
-          | Ok src -> (
-              match protect (fun () -> assess ~budget ?with_tests b src) with
-              | Ok o -> o
-              | Error e ->
-                  Outcome.Rejected { Outcome.stage = "internal"; message = e }
-              )
-        in
-        { file; outcome; fuel_spent = Budget.spent budget })
-      sources
+              Outcome.Rejected { Outcome.stage = "internal"; message = e })
+    in
+    { file; outcome; fuel_spent = Budget.spent budget }
+  in
+  let items =
+    Array.to_list
+      (Jfeed_parallel.Pool.map ~jobs ~f:grade_one (Array.of_list sources))
   in
   let count cls =
     List.length

@@ -69,6 +69,7 @@ val run_batch :
   ?fuel:int ->
   ?deadline_s:float ->
   ?with_tests:bool ->
+  ?jobs:int ->
   Jfeed_kb.Bundles.t ->
   (string * (string, string) result) list ->
   summary
@@ -76,7 +77,18 @@ val run_batch :
     fresh budget per submission ([?fuel] / [?deadline_s] bound each one
     independently), and any failure confined to its own item.  A pair
     whose source is [Error msg] (the caller could not read the file)
-    is [Rejected] at stage ["read"]. *)
+    is [Rejected] at stage ["read"].
+
+    [?jobs] (default 1) grades submissions on that many parallel
+    domains ({!Jfeed_parallel.Pool}).  The summary — items, order,
+    counts, fuel — is {e byte-identical} at every [jobs] value when
+    budgets are fuel-only: each submission gets its own fresh [?fuel]
+    allowance whatever domain it runs on (per-domain pools sum to
+    submissions × [?fuel]; see {!Jfeed_budget.Budget.split}), and
+    results merge by input index, not completion order.  A
+    [?deadline_s] budget reads the process-wide CPU clock, which
+    several domains advance together, so deadline-bounded output is
+    only reproducible at a fixed [jobs] value. *)
 
 val summary_to_json : summary -> string
 (** Stable field order, one submission per line:

@@ -1,0 +1,48 @@
+Multicore batch grading: --jobs N grades on N domains and the output is
+byte-identical to --jobs 1 — deterministic merge, per-submission fuel.
+
+  $ mkdir subs
+  $ jfeed generate assignment1 --index 0 | tail -n +2 > subs/ref.java
+  $ printf 'void assignment1(' > subs/truncated.java
+  $ jfeed batch --jobs 1 --fuel 100000 assignment1 subs > seq.json
+  [1]
+  $ jfeed batch --jobs 4 --fuel 100000 assignment1 subs > par.json
+  [1]
+  $ cmp seq.json par.json && echo identical
+  identical
+
+The short flag spells the same thing:
+
+  $ jfeed batch -j 2 --fuel 100000 assignment1 subs > par2.json
+  [1]
+  $ cmp seq.json par2.json && echo identical
+  identical
+
+A nonsensical width is a usage error (exit 2), like every other one:
+
+  $ jfeed batch --jobs 0 assignment1 subs
+  jfeed batch: --jobs must be at least 1 (got 0)
+  [2]
+
+The benchmark trajectory: `bench micro --json` writes BENCH_grading.json
+(per-assignment ms/submission, sequential vs --jobs wall-clock, speedup,
+and the identical-output check).  The schema is pinned — a key rename
+must show up here as a diff:
+
+  $ jfeed-bench micro --json --sample 2 --jobs 2 > /dev/null
+  $ grep -c '"schema":"jfeed-bench-grading/1"' BENCH_grading.json
+  1
+  $ grep -o '"[a-z_]*":' BENCH_grading.json | sort -u
+  "assignments":
+  "batch":
+  "id":
+  "identical":
+  "jobs":
+  "ms_per_submission":
+  "parallel_s":
+  "sample":
+  "schema":
+  "seed":
+  "sequential_s":
+  "speedup":
+  "submissions":

@@ -100,6 +100,24 @@ let test_map_dot () =
   in
   Alcotest.(check bool) "dot mentions edge" true (contains ~needle:"n0 -> n1" dot)
 
+let test_degree_counters () =
+  (* Degrees come from maintained counters; they must track insertions,
+     ignore duplicate no-ops, and count parallel edges separately. *)
+  let g = build [] 3 in
+  Alcotest.(check int) "fresh out" 0 (Digraph.out_degree g 0);
+  Digraph.add_edge g 0 1 "a";
+  Digraph.add_edge g 0 1 "b";
+  Digraph.add_edge g 0 2 "a";
+  Digraph.add_edge g 0 1 "a";
+  (* duplicate: no-op *)
+  Alcotest.(check int) "out counts parallel edges" 3 (Digraph.out_degree g 0);
+  Alcotest.(check int) "in at 1" 2 (Digraph.in_degree g 1);
+  Alcotest.(check int) "in at 2" 1 (Digraph.in_degree g 2);
+  Alcotest.(check int) "untouched node" 0 (Digraph.in_degree g 0);
+  Alcotest.check_raises "degree of unknown node"
+    (Invalid_argument "Digraph: unknown node 9") (fun () ->
+      ignore (Digraph.out_degree g 9))
+
 (* Property tests ---------------------------------------------------- *)
 
 let random_dag_gen =
@@ -134,6 +152,44 @@ let prop_transpose_involution =
       List.sort compare (Digraph.edges g)
       = List.sort compare (Digraph.edges tt))
 
+let random_multigraph_gen =
+  (* Arbitrary directions, parallel labelled edges, self loops. *)
+  QCheck.Gen.(
+    sized (fun size ->
+        let n = 1 + (size mod 10) in
+        let* edges =
+          list_size (int_bound 30)
+            (let* s = int_bound (n - 1) in
+             let* t = int_bound (n - 1) in
+             let* e = int_bound 2 in
+             return (s, t, e))
+        in
+        return (n, edges)))
+
+let prop_indexed_membership_agrees_with_scan =
+  (* mem_edge/has_edge answer from hash sets and degrees from counters;
+     all four must agree with a naive scan of the adjacency lists. *)
+  QCheck.Test.make ~count:300 ~name:"edge index ≡ adjacency-list scan"
+    (QCheck.make random_multigraph_gen) (fun (n, edges) ->
+      let g = build edges n in
+      let nodes = Digraph.nodes g in
+      List.for_all
+        (fun s ->
+          let succs = Digraph.succ g s in
+          Digraph.out_degree g s = List.length succs
+          && Digraph.in_degree g s = List.length (Digraph.pred g s)
+          && List.for_all
+               (fun t ->
+                 Digraph.has_edge g s t
+                 = List.exists (fun (t', _) -> t' = t) succs
+                 && List.for_all
+                      (fun e ->
+                        Digraph.mem_edge g s t e
+                        = List.exists (fun (t', e') -> t' = t && e' = e) succs)
+                      [ 0; 1; 2 ])
+               nodes)
+        nodes)
+
 let prop_reachable_closed =
   QCheck.Test.make ~count:200 ~name:"reachable set is successor-closed"
     (QCheck.make random_dag_gen) (fun (n, edges) ->
@@ -155,6 +211,8 @@ let suite =
     Alcotest.test_case "topological sort" `Quick test_topo;
     Alcotest.test_case "transpose" `Quick test_transpose;
     Alcotest.test_case "map and dot" `Quick test_map_dot;
+    Alcotest.test_case "degree counters" `Quick test_degree_counters;
+    QCheck_alcotest.to_alcotest prop_indexed_membership_agrees_with_scan;
     QCheck_alcotest.to_alcotest prop_topo_respects_edges;
     QCheck_alcotest.to_alcotest prop_transpose_involution;
     QCheck_alcotest.to_alcotest prop_reachable_closed;

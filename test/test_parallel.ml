@@ -1,0 +1,126 @@
+(** The throughput layer: the Domain worker pool, the fuel-split
+    arithmetic, and the headline guarantee — parallel batch grading is
+    byte-identical to sequential on the fault-injection corpus. *)
+
+open Jfeed_kb
+open Jfeed_robust
+module Pool = Jfeed_parallel.Pool
+module Budget = Jfeed_budget.Budget
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.chunks: a deterministic, exact decomposition *)
+
+let prop_chunks_partition =
+  QCheck.Test.make ~count:300 ~name:"chunks partition 0..n-1 in order"
+    QCheck.(pair (int_bound 500) (int_bound 32))
+    (fun (n, jobs) ->
+      let cs = Pool.chunks ~n ~jobs:(jobs + 1) in
+      let covered =
+        List.concat_map (fun (s, l) -> List.init l (fun i -> s + i)) cs
+      in
+      covered = List.init n Fun.id && List.for_all (fun (_, l) -> l > 0) cs)
+
+let test_chunks_empty () =
+  Alcotest.(check (list (pair int int))) "no items, no chunks" []
+    (Pool.chunks ~n:0 ~jobs:4)
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map: sequential semantics at any width *)
+
+let prop_map_equals_array_map =
+  QCheck.Test.make ~count:200 ~name:"Pool.map = Array.map at any jobs"
+    QCheck.(pair (list small_int) (int_bound 7))
+    (fun (xs, jobs) ->
+      let a = Array.of_list xs in
+      let f x = (x * 37) + (x mod 5) in
+      Pool.map ~jobs:(jobs + 1) ~f a = Array.map f a)
+
+let test_map_exception_first_index () =
+  (* The first failing *index* is re-raised, not the first to finish. *)
+  let a = Array.init 40 Fun.id in
+  let f x = if x mod 7 = 3 then failwith (string_of_int x) else x in
+  match Pool.map ~jobs:4 ~f a with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure msg -> Alcotest.(check string) "index order" "3" msg
+
+(* ------------------------------------------------------------------ *)
+(* Budget.split: nothing lost to integer division *)
+
+let prop_split_sum_preserving =
+  QCheck.Test.make ~count:300 ~name:"Budget.split pools sum to the total"
+    QCheck.(pair (int_bound 1_000_000) (int_bound 63))
+    (fun (total, ways) ->
+      let ways = ways + 1 in
+      let pools = Budget.split total ~ways in
+      List.length pools = ways
+      && List.fold_left ( + ) 0 pools = total
+      && (* even: largest and smallest pool differ by at most one unit *)
+      List.for_all
+        (fun p -> abs (p - (total / ways)) <= 1)
+        pools)
+
+let test_split_rejects_zero_ways () =
+  Alcotest.check_raises "ways must be positive"
+    (Invalid_argument "Budget.split: ways must be positive") (fun () ->
+      ignore (Budget.split 100 ~ways:0))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: run_batch ~jobs:4 ≡ ~jobs:1, byte for byte, on the
+   fault-injection corpus (clean generated submissions plus mutants of
+   every class — parse garbage, deep nesting, giant expressions — under
+   a finite fuel budget, functional tests included). *)
+
+let corpus_bundle = Bundles.esc_p2v2
+
+let corpus =
+  let spec = corpus_bundle.Bundles.gen in
+  let size = Jfeed_gen.Spec.size spec in
+  List.init 60 (fun i ->
+      let idx = (i * 48271) mod size in
+      let src = Jfeed_gen.Spec.source_of_index spec idx in
+      let src =
+        (* Two in three submissions are mutated, the rest stay clean, so
+           the batch crosses every outcome class. *)
+        if i mod 3 = 0 then src
+        else Test_robust.mutate (Test_robust.lcg ((i * 104729) + idx)) src
+      in
+      (Printf.sprintf "m%03d.java" i, Ok src))
+
+let test_parallel_batch_byte_identical () =
+  let run jobs =
+    Pipeline.summary_to_json
+      (Pipeline.run_batch ~fuel:50_000 ~jobs corpus_bundle corpus)
+  in
+  let seq = run 1 in
+  Alcotest.(check string) "jobs:4 equals jobs:1" seq (run 4);
+  Alcotest.(check string) "jobs:3 equals jobs:1" seq (run 3);
+  (* The corpus really exercises the ladder: all three classes appear. *)
+  let s = Pipeline.run_batch ~fuel:50_000 ~jobs:4 corpus_bundle corpus in
+  check "some graded" true (s.Pipeline.graded > 0);
+  check "some rejected" true (s.Pipeline.rejected > 0)
+
+let test_parallel_more_jobs_than_items () =
+  let tiny = [ List.hd corpus ] in
+  let run jobs =
+    Pipeline.summary_to_json
+      (Pipeline.run_batch ~fuel:50_000 ~jobs corpus_bundle tiny)
+  in
+  Alcotest.(check string) "jobs:8 on one item" (run 1) (run 8)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_chunks_partition;
+    Alcotest.test_case "chunks: empty input" `Quick test_chunks_empty;
+    QCheck_alcotest.to_alcotest prop_map_equals_array_map;
+    Alcotest.test_case "map: exception in index order" `Quick
+      test_map_exception_first_index;
+    QCheck_alcotest.to_alcotest prop_split_sum_preserving;
+    Alcotest.test_case "split: zero ways rejected" `Quick
+      test_split_rejects_zero_ways;
+    Alcotest.test_case "batch determinism on the fault corpus" `Slow
+      test_parallel_batch_byte_identical;
+    Alcotest.test_case "more jobs than items" `Quick
+      test_parallel_more_jobs_than_items;
+  ]

@@ -130,6 +130,23 @@ let prop_interpreter_total =
       match Jfeed_ftest.Runner.run b.Bundles.suite ~expected prog with
       | Jfeed_ftest.Runner.Pass | Jfeed_ftest.Runner.Fail _ -> true)
 
+let prop_type_index_matches_filter =
+  (* The matcher's candidate sets Φ come from the precomputed type
+     index; it must return exactly what the O(V) filter returned, in
+     the same order, on every EPDG. *)
+  QCheck.Test.make ~count:150 ~name:"EPDG: type index ≡ filter_nodes"
+    arbitrary_submission (fun key ->
+      let _, prog = program_of key in
+      List.for_all
+        (fun (_, g) ->
+          List.for_all
+            (fun ty ->
+              E.nodes_of_type g ty
+              = G.filter_nodes g.E.graph ~f:(fun _ info ->
+                    info.E.n_type = ty))
+            [ E.Assign; E.Break; E.Call; E.Cond; E.Decl; E.Return ])
+        (E.of_program prog))
+
 let prop_canonical_text_reparses =
   (* Every EPDG node's canonical text re-parses (templates rely on it). *)
   QCheck.Test.make ~count:100 ~name:"node canonical texts re-parse"
@@ -158,6 +175,7 @@ let suite =
       prop_extensions_never_lower_score;
       prop_epdg_wellformed;
       prop_epdg_single_ctrl_parent;
+      prop_type_index_matches_filter;
       prop_interpreter_total;
       prop_canonical_text_reparses;
     ]
