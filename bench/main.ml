@@ -261,6 +261,117 @@ let micro_json ~sample ~seed ~jobs () =
     submissions seq_total jobs par_total speedup identical
 
 (* ------------------------------------------------------------------ *)
+(* serve --json: the serving-tier trajectory (BENCH_service.json)      *)
+
+(* Replay a generated corpus through an in-process [jfeed serve] daemon
+   over a pipe pair and measure end-to-end serving throughput.  A
+   configurable fraction of the requests are α-renamed duplicates of
+   earlier submissions — the MOOC-realistic load the content-addressed
+   cache exists for — so the hit rate is part of the tracked record. *)
+let serve_json ~requests ~dup_pct ~jobs ~seed () =
+  let b = Bundles.assignment1 in
+  let spec = b.Bundles.gen in
+  let n_unique = max 1 (requests * (100 - dup_pct) / 100) in
+  let uniques =
+    Array.of_list
+      (List.map
+         (Jfeed_gen.Spec.source_of_index spec)
+         (Jfeed_gen.Spec.sample_indices spec ~n:n_unique ~seed))
+  in
+  let n_unique = Array.length uniques in
+  (* Deterministic request stream: first every unique once, then
+     α-renamed mutants of a rotating earlier submission. *)
+  let source_of i =
+    if i < n_unique then uniques.(i)
+    else Jfeed_gen.Mutate.alpha_rename ~seed:(seed + i) uniques.(i mod n_unique)
+  in
+  let line_of i =
+    Printf.sprintf
+      {|{"op":"grade","id":"r%d","assignment":"%s","source":"%s"}|} i
+      b.Bundles.grading.Grader.a_id
+      (Jfeed_core.Feedback.json_escape (source_of i))
+  in
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let config =
+    { Jfeed_service.Server.default_config with jobs; with_tests = false }
+  in
+  let t0 = Unix.gettimeofday () in
+  let server =
+    Domain.spawn (fun () ->
+        let oc = Unix.out_channel_of_descr resp_write in
+        let r = Jfeed_service.Server.serve_fd config req_read oc in
+        flush oc;
+        Unix.close resp_write;
+        r)
+  in
+  let writer =
+    Domain.spawn (fun () ->
+        let oc = Unix.out_channel_of_descr req_write in
+        for i = 0 to requests - 1 do
+          output_string oc (line_of i);
+          output_char oc '\n'
+        done;
+        output_string oc "{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+        flush oc;
+        Unix.close req_write)
+  in
+  let ic = Unix.in_channel_of_descr resp_read in
+  let last_grade = ref t0 and grades = ref 0 and stats_line = ref "" in
+  (try
+     while true do
+       let line = input_line ic in
+       match Jfeed_service.Proto.(member "op" (Result.get_ok (parse_json line))) with
+       | Some (Jfeed_service.Proto.Str "grade") ->
+           incr grades;
+           last_grade := Unix.gettimeofday ()
+       | Some (Jfeed_service.Proto.Str "stats") -> stats_line := line
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  Domain.join writer;
+  ignore (Domain.join server);
+  Unix.close req_read;
+  Unix.close resp_read;
+  let wall = !last_grade -. t0 in
+  let num path =
+    let rec walk j = function
+      | [] -> ( match j with Jfeed_service.Proto.Num n -> n | _ -> 0.0)
+      | f :: rest -> (
+          match Jfeed_service.Proto.member f j with
+          | Some j' -> walk j' rest
+          | None -> 0.0)
+    in
+    match Jfeed_service.Proto.parse_json !stats_line with
+    | Ok j -> walk j path
+    | Error _ -> 0.0
+  in
+  let hits = num [ "cache"; "hits" ] and misses = num [ "cache"; "misses" ] in
+  let hit_rate =
+    if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0
+  in
+  let throughput =
+    if wall > 0.0 then float_of_int !grades /. wall else 0.0
+  in
+  let json =
+    Printf.sprintf
+      {|{"schema":"jfeed-bench-service/1","requests":%d,"duplicate_ratio":%.2f,"jobs":%d,"wall_s":%.4f,"throughput_rps":%.2f,"cache_hit_rate":%.4f,"p50_ms":%.3f,"p95_ms":%.3f}|}
+      !grades
+      (float_of_int dup_pct /. 100.0)
+      jobs wall throughput hit_rate
+      (num [ "latency_ms"; "p50" ])
+      (num [ "latency_ms"; "p95" ])
+  in
+  let oc = open_out "BENCH_service.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "BENCH_service.json written: %d requests (%d%% duplicates), %.1f req/s, \
+     hit rate %.2f\n"
+    !grades dup_pct throughput hit_rate
+
+(* ------------------------------------------------------------------ *)
 (* §VI-C comparison                                                    *)
 
 let fig8_reference =
@@ -615,6 +726,11 @@ let () =
       table1 ~sample ~seed ~full:(has "--full") ~explain:(has "--explain") ()
   | _ :: "micro" :: _ when has "--json" -> micro_json ~sample ~seed ~jobs ()
   | _ :: "micro" :: _ -> micro ()
+  | _ :: "serve" :: _ ->
+      serve_json
+        ~requests:(opt "--requests" 60)
+        ~dup_pct:(opt "--dup" 50)
+        ~jobs ~seed ()
   | _ :: "compare" :: _ -> compare ()
   | _ :: "ablation" :: _ -> ablation ~sample ~seed ()
   | _ :: "scaling" :: _ -> scaling ()

@@ -7,7 +7,10 @@
     - [generate]  — render synthetic submissions from an assignment space
     - [test]      — run an assignment's functional tests on a file
     - [batch]     — grade a directory of submissions through the resilient
-                    pipeline; JSON summary, never crashes on bad input *)
+                    pipeline; JSON summary, never crashes on bad input
+    - [serve]     — persistent grading daemon over newline-delimited JSON
+                    with a content-addressed result cache
+    - [assignments] — the bundle ids, one per line (scripting aid) *)
 
 open Cmdliner
 open Jfeed_kb
@@ -298,6 +301,112 @@ let batch_cmd =
       const run $ assignment_pos $ fuel $ deadline $ no_tests $ jobs
       $ dir_pos)
 
+let assignments_cmd =
+  let run () =
+    List.iter
+      (fun (b : Bundles.t) -> print_endline b.grading.Grader.a_id)
+      Bundles.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "assignments"
+       ~doc:
+         "Print the assignment ids, one per line (the valid values of the \
+          serve protocol's \"assignment\" field)")
+    Term.(const run $ const ())
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket at $(docv) instead of \
+             stdin/stdout; connections are served sequentially and share \
+             the cache.")
+  in
+  let cache_cap =
+    Arg.(
+      value
+      & opt int Jfeed_service.Server.default_config.cache_cap
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:"Result-cache capacity in entries (LRU); 0 disables caching.")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt int Jfeed_service.Server.default_config.queue_cap
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:
+            "Maximum grade requests held in memory at once; further lines \
+             wait in the kernel pipe buffer.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Grade a batch of cache misses on N parallel domains.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "Default per-request fuel budget; a request's \"fuel\" field \
+             overrides it.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Default per-request CPU-time deadline.")
+  in
+  let no_tests =
+    Arg.(
+      value & flag
+      & info [ "no-tests" ]
+          ~doc:"Skip the functional-test stage by default.")
+  in
+  let run socket cache_cap queue_cap jobs fuel deadline no_tests =
+    if jobs < 1 then begin
+      Printf.eprintf "jfeed serve: --jobs must be at least 1 (got %d)\n" jobs;
+      2
+    end
+    else if queue_cap < 1 then begin
+      Printf.eprintf "jfeed serve: --queue-cap must be at least 1 (got %d)\n"
+        queue_cap;
+      2
+    end
+    else begin
+      let config =
+        {
+          Jfeed_service.Server.cache_cap;
+          queue_cap;
+          jobs;
+          fuel;
+          deadline_s = deadline;
+          with_tests = not no_tests;
+        }
+      in
+      (match socket with
+      | None -> Jfeed_service.Server.serve_stdio config
+      | Some path -> Jfeed_service.Server.serve_socket config path);
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent grading daemon: newline-delimited JSON \
+          requests (grade/stats/shutdown) on stdin or a Unix socket, one \
+          response line per request, α-renaming-aware result cache")
+    Term.(
+      const run $ socket $ cache_cap $ queue_cap $ jobs $ fuel $ deadline
+      $ no_tests)
+
 let test_cmd =
   let run b path =
     let suite = b.Bundles.suite in
@@ -330,5 +439,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
-            batch_cmd; strategies_cmd;
+            batch_cmd; strategies_cmd; serve_cmd; assignments_cmd;
           ]))

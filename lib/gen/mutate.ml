@@ -1,0 +1,45 @@
+(** Semantics-preserving source mutators.  See mutate.mli. *)
+
+open Jfeed_java
+
+(* Deterministic LCG (same constants as Spec.sample_indices') so mutants
+   are reproducible from (seed, source) alone. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    if bound <= 0 then 0 else !state mod bound
+
+let alpha_rename ~seed src =
+  let prog = Parser.parse_program src in
+  (* Fresh names keyed by seed and discovery index: distinct indices get
+     distinct names, and renaming is total, so no mutant name can
+     collide with a surviving original.  Lower-case first letter keeps
+     them out of the class-name namespace. *)
+  let renamed =
+    Normalize.alpha_rename_with
+      (fun i -> Printf.sprintf "m%d_%d" (seed mod 1000) i)
+      prog
+  in
+  Pretty.program renamed
+
+let whitespace ~seed src =
+  let rand = lcg seed in
+  let lines = String.split_on_char '\n' src in
+  let buf = Buffer.create (String.length src + 64) in
+  List.iteri
+    (fun i line ->
+      if i > 0 then Buffer.add_char buf '\n';
+      (* Blank line injected before some lines... *)
+      if String.trim line <> "" && rand 4 = 0 then Buffer.add_char buf '\n';
+      (* ...extra indentation on some... *)
+      if rand 3 = 0 then Buffer.add_string buf (String.make (1 + rand 4) ' ');
+      Buffer.add_string buf line;
+      (* ...and trailing spaces on others.  Leading/trailing whitespace
+         and blank lines never split or join tokens, so the token stream
+         is untouched. *)
+      if rand 3 = 0 then Buffer.add_string buf (String.make (1 + rand 3) ' '))
+    lines;
+  Buffer.contents buf
+
+let rename_and_reflow ~seed src = whitespace ~seed (alpha_rename ~seed src)

@@ -1,0 +1,29 @@
+(** Semantics-preserving source mutators.
+
+    These produce the "same submission, different student" variants that
+    dominate real MOOC traffic: consistent variable renamings and
+    whitespace re-flows.  Both preserve the α-renamed canonical AST, so
+    the serving tier's content-addressed result cache
+    ({!Jfeed_service.Normalize}) maps a mutant to the same key as its
+    base — the property the cache-key soundness tests check over
+    generated corpora, and the knob the service benchmark's
+    duplicate-ratio replay turns.
+
+    All mutators are deterministic in [(seed, source)]. *)
+
+val alpha_rename : seed:int -> string -> string
+(** Parse, consistently rename every parameter and local variable to a
+    fresh seed-derived name, and pretty-print.  Raises
+    {!Jfeed_java.Parser.Parse_error} / {!Jfeed_java.Lexer.Lex_error} on
+    unparseable input.  Class names, field selectors and method names
+    are untouched, so the mutant still parses, runs and grades — its
+    feedback merely names different variables. *)
+
+val whitespace : seed:int -> string -> string
+(** Token-preserving layout edits: re-indented lines, injected blank
+    lines, trailing spaces.  Works on any input (no parse needed); the
+    token stream — and hence the AST — is unchanged. *)
+
+val rename_and_reflow : seed:int -> string -> string
+(** {!alpha_rename} then {!whitespace} — the strongest cache-equivalent
+    mutant. *)

@@ -168,18 +168,47 @@ let transpose g =
   List.iter (fun (s, t, e) -> add_edge g' t s e) (edges g);
   g'
 
+type dot_attr =
+  | Label of string
+  | Shape of string
+  | Style of string
+  | Raw of string
+
+let dot_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | _ -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_attrs attrs =
+  String.concat ", "
+    (List.map
+       (function
+         | Label s -> Printf.sprintf "label=\"%s\"" (dot_escape s)
+         | Shape s -> "shape=" ^ s
+         | Style s -> "style=" ^ s
+         | Raw s -> s)
+       attrs)
+
 let to_dot g ~node_attrs ~edge_attrs =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "digraph g {\n";
   List.iter
     (fun v ->
       Buffer.add_string buf
-        (Printf.sprintf "  n%d [%s];\n" v (node_attrs v (label g v))))
+        (Printf.sprintf "  n%d [%s];\n" v (render_attrs (node_attrs v (label g v)))))
     (nodes g);
   List.iter
     (fun (s, t, e) ->
       Buffer.add_string buf
-        (Printf.sprintf "  n%d -> n%d [%s];\n" s t (edge_attrs e)))
+        (Printf.sprintf "  n%d -> n%d [%s];\n" s t (render_attrs (edge_attrs e))))
     (edges g);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

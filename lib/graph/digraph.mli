@@ -76,10 +76,27 @@ val transpose : ('n, 'e) t -> ('n, 'e) t
 val map : ('n, 'e) t -> fn:('n -> 'm) -> fe:('e -> 'f) -> ('m, 'f) t
 (** Structure-preserving relabelling; node identifiers are preserved. *)
 
+(** One Graphviz attribute.  [Label] payloads are escaped by {!to_dot}
+    (quotes, backslashes, raw newlines — the characters a student's
+    string literal can smuggle into a node label); [Shape]/[Style] are
+    bare identifiers; [Raw] is spliced verbatim for anything else. *)
+type dot_attr =
+  | Label of string
+  | Shape of string
+  | Style of string
+  | Raw of string
+
+val dot_escape : string -> string
+(** Escape a string for use inside a double-quoted DOT attribute value:
+    double quotes and backslashes gain a backslash, raw newlines and
+    carriage returns become backslash-n / backslash-r. *)
+
 val to_dot :
   ('n, 'e) t ->
-  node_attrs:(node -> 'n -> string) ->
-  edge_attrs:('e -> string) ->
+  node_attrs:(node -> 'n -> dot_attr list) ->
+  edge_attrs:('e -> dot_attr list) ->
   string
-(** Graphviz rendering; [node_attrs]/[edge_attrs] return attribute strings
-    such as [{|label="x", shape=box|}]. *)
+(** Graphviz rendering; [node_attrs]/[edge_attrs] return attribute lists
+    such as [[Label "x = 0"; Shape "box"]].  Label text is escaped here —
+    callers pass the raw label, never pre-escaped text, so
+    string-literal-bearing submissions cannot produce invalid DOT. *)

@@ -46,3 +46,107 @@ let rec norm_stmt (s : stmt) : stmt =
 (** Flip negated if/else statements throughout a program. *)
 let flip_negated_else (p : program) : program =
   { methods = List.map (fun m -> { m with m_body = List.map norm_stmt m.m_body }) p.methods }
+
+(* ------------------------------------------------------------------ *)
+(* α-renaming.
+
+   [alpha_rename_with name] rewrites every program variable of every
+   method to [name i], where [i] is the variable's discovery index in a
+   deterministic structural walk (parameters first, then the body in
+   source order).  Two methods that differ only in how the student named
+   their variables therefore rename to the *same* program — the property
+   the serving tier's content-addressed result cache keys on
+   ({!Jfeed_service.Normalize}) — and renaming with a fresh-name
+   generator yields an α-equivalent mutant ({!Jfeed_gen.Mutate}).
+
+   Only program variables are touched: class names (the capitalization
+   heuristic {!Ast.is_class_name}), field selectors, and method names —
+   both declarations and call sites, so helper-method wiring survives —
+   are left alone.  The walk renames binding and use sites alike, so a
+   name is mapped once and consistently; Java shadowing inside disjoint
+   blocks collapses to one name, which can only merge α-distinct
+   programs *before* renaming, never split α-equivalent ones. *)
+
+let alpha_rename_with (name : int -> string) (p : program) : program =
+  let rename_method (m : meth) : meth =
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let canon x =
+      if is_class_name x then x
+      else
+        match Hashtbl.find_opt tbl x with
+        | Some y -> y
+        | None ->
+            let y = name !next in
+            incr next;
+            Hashtbl.add tbl x y;
+            y
+    in
+    let rec expr (e : expr) : expr =
+      match e with
+      | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+      | Null_lit ->
+          e
+      | Var x -> Var (canon x)
+      | Field (e1, f) -> Field (expr e1, f)
+      | Index (e1, e2) -> Index (expr e1, expr e2)
+      | Call (recv, f, args) ->
+          Call (Option.map expr recv, f, List.map expr args)
+      | New (t, args) -> New (t, List.map expr args)
+      | New_array (t, dims) -> New_array (t, List.map expr dims)
+      | Array_lit elts -> Array_lit (List.map expr elts)
+      | Unary (op, e1) -> Unary (op, expr e1)
+      | Incdec (op, e1) -> Incdec (op, expr e1)
+      | Binary (op, e1, e2) -> Binary (op, expr e1, expr e2)
+      | Assign (op, e1, e2) -> Assign (op, expr e1, expr e2)
+      | Ternary (c, t, f) -> Ternary (expr c, expr t, expr f)
+      | Cast (t, e1) -> Cast (t, expr e1)
+    in
+    let decl (d : var_decl) : var_decl =
+      (* Bind the declared name before walking the initializer, matching
+         declaration-before-use order. *)
+      let d_name = canon d.d_name in
+      { d with d_name; d_init = Option.map expr d.d_init }
+    in
+    let rec stmt (s : stmt) : stmt =
+      match s with
+      | Sdecl ds -> Sdecl (List.map decl ds)
+      | Sexpr e -> Sexpr (expr e)
+      | Sif (c, t, f) -> Sif (expr c, stmt t, Option.map stmt f)
+      | Swhile (c, b) -> Swhile (expr c, stmt b)
+      | Sdo (b, c) -> Sdo (stmt b, expr c)
+      | Sfor (init, cond, upd, b) ->
+          let init =
+            Option.map
+              (function
+                | For_decl ds -> For_decl (List.map decl ds)
+                | For_exprs es -> For_exprs (List.map expr es))
+              init
+          in
+          Sfor (init, Option.map expr cond, List.map expr upd, stmt b)
+      | Sswitch (scr, cases) ->
+          Sswitch
+            ( expr scr,
+              List.map
+                (fun k ->
+                  {
+                    case_label = Option.map expr k.case_label;
+                    case_body = List.map stmt k.case_body;
+                  })
+                cases )
+      | Sreturn e -> Sreturn (Option.map expr e)
+      | Sblock body -> Sblock (List.map stmt body)
+      | Sempty | Sbreak | Scontinue -> s
+    in
+    let m_params =
+      List.map (fun q -> { q with p_name = canon q.p_name }) m.m_params
+    in
+    { m with m_params; m_body = List.map stmt m.m_body }
+  in
+  { methods = List.map rename_method p.methods }
+
+(** Canonical α-renaming: every variable becomes [v0], [v1], … in
+    discovery order.  Idempotent; α-equivalent methods map to identical
+    trees. *)
+let alpha_rename (p : program) : program =
+  alpha_rename_with (fun i -> "v" ^ string_of_int i) p

@@ -998,3 +998,103 @@ let all =
 
 let find id =
   List.find_opt (fun b -> b.grading.Grader.a_id = id) all
+
+(* ------------------------------------------------------------------ *)
+(* KB revision fingerprint.
+
+   A stable digest of everything grading-relevant in the knowledge base:
+   every bundle's id, expected methods, patterns (node templates, types,
+   edges, feedback texts, occurrence counts), variants, constraints, and
+   the header-enforcement flag.  The serving tier's result cache keys on
+   it, so outcomes cached by a binary with one knowledge base are never
+   served by a binary with another — editing any pattern invalidates the
+   whole cache, which is exactly the safe granularity for a compiled-in
+   KB. *)
+
+let revision =
+  let dump_template buf tag (t : Template.t) =
+    Buffer.add_string buf tag;
+    Buffer.add_string buf (Template.source t);
+    Buffer.add_char buf '\x00'
+  in
+  let dump_pattern buf (p : Pattern.t) =
+    Buffer.add_string buf p.Pattern.id;
+    Buffer.add_char buf '\x00';
+    Buffer.add_string buf p.Pattern.description;
+    Buffer.add_char buf '\x00';
+    Array.iter
+      (fun (n : Pattern.pnode) ->
+        Buffer.add_string buf
+          (match n.Pattern.pn_type with
+          | None -> "*"
+          | Some ty -> E.string_of_node_type ty);
+        dump_template buf "r:" n.Pattern.exact;
+        Option.iter (dump_template buf "r^:") n.Pattern.approx;
+        Buffer.add_string buf (Option.value ~default:"" n.Pattern.fb_correct);
+        Buffer.add_char buf '\x00';
+        Buffer.add_string buf
+          (Option.value ~default:"" n.Pattern.fb_incorrect);
+        Buffer.add_char buf '\x00')
+      p.Pattern.nodes;
+    List.iter
+      (fun (u, v, ty) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d>%d:%s;" u v (E.string_of_edge_type ty)))
+      p.Pattern.edges;
+    Buffer.add_string buf p.Pattern.fb_present;
+    Buffer.add_char buf '\x00';
+    Buffer.add_string buf p.Pattern.fb_missing;
+    Buffer.add_char buf '\x00'
+  in
+  let dump_constr buf (c : Constr.t) =
+    Buffer.add_string buf c.Constr.c_id;
+    Buffer.add_char buf '\x00';
+    Buffer.add_string buf c.Constr.description;
+    Buffer.add_char buf '\x00';
+    (match c.Constr.kind with
+    | Constr.Equality { pi; ui; pj; uj } ->
+        Buffer.add_string buf (Printf.sprintf "eq:%s.%d=%s.%d" pi ui pj uj)
+    | Constr.Edge_exists { pi; ui; pj; uj; edge } ->
+        Buffer.add_string buf
+          (Printf.sprintf "edge:%s.%d>%s.%d:%s" pi ui pj uj
+             (E.string_of_edge_type edge))
+    | Constr.Containment { main; u; template; support } ->
+        Buffer.add_string buf
+          (Printf.sprintf "contain:%s.%d:%s:%s" main u
+             (Template.source template)
+             (String.concat "," support)));
+    Buffer.add_string buf c.Constr.fb_ok;
+    Buffer.add_char buf '\x00';
+    Buffer.add_string buf c.Constr.fb_fail;
+    Buffer.add_char buf '\x00'
+  in
+  lazy
+    (let buf = Buffer.create 65536 in
+     List.iter
+       (fun b ->
+         Buffer.add_string buf b.grading.Grader.a_id;
+         Buffer.add_char buf '\x00';
+         Buffer.add_string buf b.grading.Grader.a_title;
+         Buffer.add_char buf '\x00';
+         Buffer.add_string buf
+           (if b.grading.Grader.enforce_headers then "h1" else "h0");
+         List.iter
+           (fun (q : Grader.method_spec) ->
+             Buffer.add_string buf q.Grader.q_name;
+             Buffer.add_char buf '\x00';
+             List.iter
+               (fun (p, t) ->
+                 Buffer.add_string buf (Printf.sprintf "t=%d:" t);
+                 dump_pattern buf p)
+               q.Grader.q_patterns;
+             List.iter
+               (fun (primary, variants) ->
+                 Buffer.add_string buf ("variants-of:" ^ primary);
+                 List.iter (dump_pattern buf) variants)
+               q.Grader.q_variants;
+             List.iter (dump_constr buf) q.Grader.q_constraints)
+           b.grading.Grader.a_methods)
+       all;
+     Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let revision () = Lazy.force revision

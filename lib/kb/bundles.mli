@@ -33,3 +33,12 @@ val all : t list
 
 val find : string -> t option
 (** Look up by assignment id (e.g. ["esc-LAB-3-P2-V1"]). *)
+
+val revision : unit -> string
+(** Fingerprint of the whole knowledge base (hex digest, computed once):
+    covers every bundle's patterns — templates, node types, edges,
+    feedback texts, occurrence counts — variants, constraints, and
+    flags.  Changing any grading-relevant KB content changes it, so a
+    content-addressed result cache keyed on it
+    ({!Jfeed_service.Normalize}) is invalidated wholesale by a KB edit
+    and survives mere recompilation. *)

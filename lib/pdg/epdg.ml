@@ -264,21 +264,22 @@ let node_text t v = (G.label t.graph v).n_text
 let node_type t v = (G.label t.graph v).n_type
 let node_expr t v = (G.label t.graph v).n_expr
 
-let dot_escape s =
-  String.concat ""
-    (List.map
-       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
-       (List.init (String.length s) (String.get s)))
-
 let to_dot t =
+  (* Labels go in raw — [Digraph.to_dot] escapes quotes, backslashes and
+     newlines, so the literal newline below renders as DOT's [\n] line
+     break and hostile [n_text] cannot break out of the attribute. *)
   G.to_dot t.graph
     ~node_attrs:(fun v info ->
-      Printf.sprintf "label=\"v%d: %s\\n%s\", shape=box" v
-        (string_of_node_type info.n_type)
-        (dot_escape info.n_text))
+      [
+        G.Label
+          (Printf.sprintf "v%d: %s\n%s" v
+             (string_of_node_type info.n_type)
+             info.n_text);
+        G.Shape "box";
+      ])
     ~edge_attrs:(function
-      | Data -> "style=solid, label=Data"
-      | Ctrl -> "style=dashed, label=Ctrl")
+      | Data -> [ G.Style "solid"; G.Label "Data" ]
+      | Ctrl -> [ G.Style "dashed"; G.Label "Ctrl" ])
 
 let to_string t =
   let buf = Buffer.create 256 in

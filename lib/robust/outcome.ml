@@ -73,7 +73,7 @@ let tests_to_json = function
       Printf.sprintf {|{"failed":%s}|} (json_string case)
   | Tests_not_run -> {|"not-run"|}
 
-let to_json ?file t =
+let to_json ?file ?(comments = false) t =
   let prefix =
     match file with
     | Some f -> Printf.sprintf {|"file":%s,|} (json_string f)
@@ -81,8 +81,15 @@ let to_json ?file t =
   in
   match t with
   | Graded r | Degraded (r, _) ->
+      let comment_field =
+        if comments then
+          Printf.sprintf {|,"comments":[%s]|}
+            (String.concat ","
+               (List.map Feedback.comment_to_json r.grading.Grader.comments))
+        else ""
+      in
       Printf.sprintf
-        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]}|}
+        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s}|}
         prefix
         (json_string (classify t))
         r.grading.Grader.score
@@ -90,6 +97,7 @@ let to_json ?file t =
         (tests_to_json r.tests)
         (String.concat ","
            (List.map (fun x -> json_string (string_of_reason x)) (reasons t)))
+        comment_field
   | Rejected d ->
       Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s}|} prefix
         (json_string d.stage) (json_string d.message)

@@ -72,8 +72,11 @@ val report : t -> report option
 val reasons : t -> reason list
 (** Degradation reasons; empty for [Graded] and [Rejected]. *)
 
-val to_json : ?file:string -> t -> string
+val to_json : ?file:string -> ?comments:bool -> t -> string
 (** One submission's outcome as a single-line JSON object with stable
     field order: [file] (when given), [outcome], then per-outcome
     fields — [score]/[max]/[tests]/[reasons] for graded and degraded,
-    [stage]/[error] for rejected. *)
+    [stage]/[error] for rejected.  [?comments] (default off, preserving
+    the batch summary's byte-stable shape) appends the instantiated
+    feedback comments as a [comments] array — the serving tier's full
+    payload. *)

@@ -166,28 +166,37 @@ type summary = {
   items : item list;
 }
 
+let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
+    (b : Bundles.t) src =
+  (* The single-submission serving entry: a fresh budget per call — the
+     same per-submission isolation the batch driver gives each item —
+     and total even against bugs in the pipeline itself.  The KB bundle
+     is a static value, so a long-lived server pays no per-request
+     loading cost. *)
+  let budget =
+    match (fuel, deadline_s) with
+    | None, None -> Budget.unlimited ()
+    | _ -> Budget.create ?fuel ?deadline_s ()
+  in
+  let outcome =
+    match protect (fun () -> assess ~budget ?with_tests b src) with
+    | Ok o -> o
+    | Error e -> Outcome.Rejected { Outcome.stage = "internal"; message = e }
+  in
+  { file = name; outcome; fuel_spent = Budget.spent budget }
+
 let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) (b : Bundles.t)
     sources =
   let grade_one (file, src) =
-    (* Per-submission isolation: a fresh budget each — so the fuel
-       allowance is identical at every [jobs] value (see
-       [Budget.split]'s accounting note) — and even a bug in the
-       pipeline itself is confined to this item. *)
-    let budget =
-      match (fuel, deadline_s) with
-      | None, None -> Budget.unlimited ()
-      | _ -> Budget.create ?fuel ?deadline_s ()
-    in
-    let outcome =
-      match src with
-      | Error e -> Outcome.Rejected { Outcome.stage = "read"; message = e }
-      | Ok src -> (
-          match protect (fun () -> assess ~budget ?with_tests b src) with
-          | Ok o -> o
-          | Error e ->
-              Outcome.Rejected { Outcome.stage = "internal"; message = e })
-    in
-    { file; outcome; fuel_spent = Budget.spent budget }
+    match src with
+    | Error e ->
+        {
+          file;
+          outcome = Outcome.Rejected { Outcome.stage = "read"; message = e };
+          fuel_spent = 0;
+        }
+    | Ok src ->
+        grade_submission ?fuel ?deadline_s ?with_tests ~name:file b src
   in
   let items =
     Array.to_list

@@ -55,6 +55,22 @@ type item = {
   fuel_spent : int;  (** fuel this submission consumed *)
 }
 
+val grade_submission :
+  ?fuel:int ->
+  ?deadline_s:float ->
+  ?with_tests:bool ->
+  ?name:string ->
+  Jfeed_kb.Bundles.t ->
+  string ->
+  item
+(** Assess one source string with batch-grade isolation: a fresh budget
+    ([?fuel] / [?deadline_s]) guards this call alone, and {e any}
+    failure — including a bug inside the pipeline — lands in the item's
+    outcome rather than an exception.  This is the persistent grading
+    service's entry point ({!Jfeed_service.Server}): the bundle is a
+    static value, so nothing is re-loaded per request.  [?name] (default
+    ["<submission>"]) fills the item's [file] field. *)
+
 type summary = {
   assignment : string;
   total : int;

@@ -1,0 +1,87 @@
+(** Serving statistics.  See metrics.mli. *)
+
+let reservoir_cap = 4096
+
+type t = {
+  mutable requests : int;
+  mutable grades : int;
+  mutable stats_reqs : int;
+  mutable errors : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable graded : int;
+  mutable degraded : int;
+  mutable rejected : int;
+  mutable queue_max : int;
+  lat : float array;  (* ring of the last [reservoir_cap] grade latencies *)
+  mutable lat_n : int;  (* total latencies ever recorded *)
+}
+
+let create () =
+  {
+    requests = 0;
+    grades = 0;
+    stats_reqs = 0;
+    errors = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    graded = 0;
+    degraded = 0;
+    rejected = 0;
+    queue_max = 0;
+    lat = Array.make reservoir_cap 0.0;
+    lat_n = 0;
+  }
+
+let record_request t = t.requests <- t.requests + 1
+let record_error t = t.errors <- t.errors + 1
+let record_stats_req t = t.stats_reqs <- t.stats_reqs + 1
+
+let record_grade t ~outcome ~hit ~ms =
+  t.grades <- t.grades + 1;
+  if hit then t.cache_hits <- t.cache_hits + 1
+  else t.cache_misses <- t.cache_misses + 1;
+  (match outcome with
+  | "graded" -> t.graded <- t.graded + 1
+  | "degraded" -> t.degraded <- t.degraded + 1
+  | _ -> t.rejected <- t.rejected + 1);
+  t.lat.(t.lat_n mod reservoir_cap) <- ms;
+  t.lat_n <- t.lat_n + 1
+
+let observe_queue_depth t d = if d > t.queue_max then t.queue_max <- d
+
+let hits t = t.cache_hits
+let misses t = t.cache_misses
+let queue_max t = t.queue_max
+
+let percentile t p =
+  let n = min t.lat_n reservoir_cap in
+  if n = 0 then 0.0
+  else begin
+    let a = Array.sub t.lat 0 n in
+    Array.sort compare a;
+    (* Nearest-rank: the smallest sample with at least p of the mass at
+       or below it. *)
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let to_stats t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
+  {
+    Proto.requests = t.requests;
+    grades = t.grades;
+    stats_reqs = t.stats_reqs;
+    errors = t.errors;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    cache_size;
+    cache_cap;
+    graded = t.graded;
+    degraded = t.degraded;
+    rejected = t.rejected;
+    queue_depth;
+    queue_max = t.queue_max;
+    queue_cap;
+    p50_ms = percentile t 0.50;
+    p95_ms = percentile t 0.95;
+  }

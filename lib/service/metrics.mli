@@ -1,0 +1,51 @@
+(** Live serving statistics: counters and grade-latency percentiles.
+
+    One instance per server; every counter is monotone over the server's
+    lifetime.  Latencies go into a fixed-size ring (the last
+    {!reservoir_cap} grades), so a long-lived daemon's percentiles track
+    {e recent} behaviour and memory stays bounded. *)
+
+type t
+
+val create : unit -> t
+
+val reservoir_cap : int
+(** Latency samples kept (4096). *)
+
+(** {2 Recording} *)
+
+val record_request : t -> unit
+(** Any parsed or attempted request line. *)
+
+val record_error : t -> unit
+
+val record_stats_req : t -> unit
+
+val record_grade : t -> outcome:string -> hit:bool -> ms:float -> unit
+(** One grade response: [outcome] is the taxonomy class
+    (["graded"] / ["degraded"] / ["rejected"]), [hit] whether it was
+    served from the result cache (including in-flight batch duplicates),
+    [ms] the request's service time. *)
+
+val observe_queue_depth : t -> int -> unit
+(** Track the high-water mark of the grade queue. *)
+
+(** {2 Reading} *)
+
+val hits : t -> int
+val misses : t -> int
+val queue_max : t -> int
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [[0, 1]]: nearest-rank percentile of
+    the latency reservoir in milliseconds; [0.0] before the first
+    grade. *)
+
+val to_stats :
+  t ->
+  cache_size:int ->
+  cache_cap:int ->
+  queue_depth:int ->
+  queue_cap:int ->
+  Proto.stats
+(** Snapshot for a [stats] response. *)

@@ -1,0 +1,28 @@
+(** Submission → cache key.  See normalize.mli. *)
+
+open Jfeed_java
+
+type fingerprint = { ast : bool; digest : string }
+
+let fingerprint src =
+  match Parser.parse_program src with
+  | prog ->
+      let canonical = Pretty.program (Normalize.alpha_rename prog) in
+      { ast = true; digest = Digest.to_hex (Digest.string canonical) }
+  | exception _ ->
+      (* Unparseable: only byte-identical resubmissions may share the
+         rejection (its diagnostic quotes exact positions). *)
+      { ast = false; digest = Digest.to_hex (Digest.string src) }
+
+let cache_key ~assignment ~fuel ~deadline_s ~with_tests src =
+  let fp = fingerprint src in
+  let key =
+    Printf.sprintf "%s|%s|%s:%s|fuel=%s|dl=%s|tests=%b" assignment
+      (Jfeed_kb.Bundles.revision ())
+      (if fp.ast then "ast" else "raw")
+      fp.digest
+      (match fuel with Some f -> string_of_int f | None -> "-")
+      (match deadline_s with Some d -> Printf.sprintf "%g" d | None -> "-")
+      with_tests
+  in
+  (key, fp)

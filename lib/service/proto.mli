@@ -1,0 +1,98 @@
+(** The grading service's wire protocol: newline-delimited JSON.
+
+    One request per line, one response line per request, in request
+    order.  The grammar (DESIGN.md §9):
+
+    {v
+    request  := grade | stats | shutdown
+    grade    := { "op":"grade", "assignment":string, "source":string,
+                  "id"?:string, "fuel"?:int, "deadline_s"?:number,
+                  "with_tests"?:bool }
+    stats    := { "op":"stats", "id"?:string }
+    shutdown := { "op":"shutdown", "id"?:string }
+    v}
+
+    Unknown object fields are ignored (forward compatibility); a missing
+    or ill-typed required field, malformed JSON, or an unknown ["op"]
+    yields one [error] response line and the daemon keeps serving.
+
+    The module is also the service's only JSON {e reader} — the rest of
+    the repository only prints JSON — so the hand-rolled parser lives
+    here, total over arbitrary bytes. *)
+
+(** Parsed JSON value.  Numbers are kept as [float] (the grammar's only
+    number type); [Num] carrying an integral value is accepted wherever
+    an integer field is required. *)
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val parse_json : string -> (json, string) result
+(** Total recursive-descent parse of one JSON document; trailing
+    non-whitespace is an error.  Error strings name the byte offset. *)
+
+val member : string -> json -> json option
+(** Object field lookup; [None] on non-objects too. *)
+
+(** One request, as read off the wire. *)
+type request =
+  | Grade of {
+      id : string option;  (** echoed back verbatim in the response *)
+      assignment : string;  (** bundle id, see [jfeed assignments] *)
+      source : string;  (** full Java submission text *)
+      fuel : int option;  (** overrides the server's default budget *)
+      deadline_s : float option;
+      with_tests : bool option;  (** overrides the server default *)
+    }
+  | Stats of { id : string option }
+  | Shutdown of { id : string option }
+
+val request_of_line :
+  string -> (request, string option * string) result
+(** Parse one request line.  [Error (id, message)] recovers the request
+    id when the line was an object with a string ["id"], so the error
+    response can still be correlated. *)
+
+(** {2 Response lines}
+
+    Builders return one complete JSON line (no trailing newline).
+    Stable field order: [id] (when the request carried one), [op], then
+    per-op payload. *)
+
+val grade_response :
+  ?id:string -> cached:bool -> fuel:int option -> string -> string
+(** The final argument is the serialized {!Jfeed_robust.Outcome} object
+    (spliced verbatim — cache hits replay the stored bytes, making the
+    "equal key ⇒ byte-identical payload" contract trivial to audit).
+    [fuel] reports fuel spent and appears only when the request ran
+    under a finite fuel budget, mirroring the batch summary's
+    byte-stable shape. *)
+
+type stats = {
+  requests : int;  (** request lines parsed, any op *)
+  grades : int;  (** grade requests answered (cached or not) *)
+  stats_reqs : int;
+  errors : int;  (** error responses emitted *)
+  cache_hits : int;
+  cache_misses : int;
+  cache_size : int;
+  cache_cap : int;
+  graded : int;  (** outcome taxonomy counts over grade responses *)
+  degraded : int;
+  rejected : int;
+  queue_depth : int;  (** grade requests queued when stats was handled *)
+  queue_max : int;  (** deepest queue observed so far *)
+  queue_cap : int;
+  p50_ms : float;  (** grade latency percentiles, 0 when no grades yet *)
+  p95_ms : float;
+}
+
+val stats_response : ?id:string -> stats -> string
+
+val shutdown_response : ?id:string -> unit -> string
+
+val error_response : ?id:string -> string -> string

@@ -1,0 +1,363 @@
+(** The persistent grading daemon.  See server.mli. *)
+
+module Bundles = Jfeed_kb.Bundles
+module Pipeline = Jfeed_robust.Pipeline
+module Outcome = Jfeed_robust.Outcome
+module Pool = Jfeed_parallel.Pool
+
+type config = {
+  cache_cap : int;
+  queue_cap : int;
+  jobs : int;
+  fuel : int option;
+  deadline_s : float option;
+  with_tests : bool;
+}
+
+let default_config =
+  {
+    cache_cap = 10_000;
+    queue_cap = 64;
+    jobs = 1;
+    fuel = None;
+    deadline_s = None;
+    with_tests = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking-capable line reader.
+
+   The loop must distinguish "a full line is available right now" (keep
+   filling the batch) from "the client is waiting for answers" (stop and
+   grade), so input is buffered here rather than through stdlib
+   channels: [read_line] blocks, [poll_line] only consumes what a
+   0-timeout [select] says is ready. *)
+
+type reader = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;  (* unconsumed byte count *)
+  mutable eof : bool;
+}
+
+let reader_of_fd fd = { fd; buf = Bytes.create 65536; start = 0; len = 0; eof = false }
+
+let compact r =
+  if r.start > 0 then begin
+    Bytes.blit r.buf r.start r.buf 0 r.len;
+    r.start <- 0
+  end;
+  if r.len = Bytes.length r.buf then
+    r.buf <- Bytes.extend r.buf 0 (Bytes.length r.buf)
+
+(* One [read(2)]; false when the descriptor hit end of input. *)
+let fill r =
+  compact r;
+  let n = Unix.read r.fd r.buf (r.start + r.len) (Bytes.length r.buf - r.start - r.len) in
+  if n = 0 then r.eof <- true else r.len <- r.len + n;
+  n > 0
+
+let readable_now fd =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+
+let take_buffered_line r =
+  let rec find i =
+    if i >= r.start + r.len then None
+    else if Bytes.get r.buf i = '\n' then Some i
+    else find (i + 1)
+  in
+  match find r.start with
+  | Some nl ->
+      let strip = if nl > r.start && Bytes.get r.buf (nl - 1) = '\r' then 1 else 0 in
+      let line = Bytes.sub_string r.buf r.start (nl - r.start - strip) in
+      r.len <- r.len - (nl - r.start + 1);
+      r.start <- nl + 1;
+      Some line
+  | None ->
+      if r.eof && r.len > 0 then begin
+        (* final line without a newline *)
+        let line = Bytes.sub_string r.buf r.start r.len in
+        r.start <- 0;
+        r.len <- 0;
+        Some line
+      end
+      else None
+
+let rec read_line r =
+  match take_buffered_line r with
+  | Some line -> Some line
+  | None -> if r.eof then None else if fill r then read_line r else read_line r
+
+let rec poll_line r =
+  match take_buffered_line r with
+  | Some line -> Some line
+  | None ->
+      if r.eof then None
+      else if readable_now r.fd then begin
+        ignore (fill r);
+        poll_line r
+      end
+      else None
+
+(* ------------------------------------------------------------------ *)
+(* Server state and request handling                                   *)
+
+(* What the cache stores per key: everything needed to replay the
+   response byte-for-byte (minus the envelope's [id]/[cached] fields). *)
+type entry = {
+  outcome_class : string;
+  fuel_spent : int option;  (* the response's fuel field, when budgeted *)
+  result_json : string;
+}
+
+type state = {
+  config : config;
+  cache : entry Cache.t;
+  metrics : Metrics.t;
+}
+
+let make_state config =
+  { config; cache = Cache.create ~cap:config.cache_cap;
+    metrics = Metrics.create () }
+
+type grade_req = {
+  g_id : string option;
+  g_assignment : string;
+  g_source : string;
+  g_fuel : int option;
+  g_deadline : float option;
+  g_with_tests : bool;
+}
+
+(* Per-entry resolution after the cache pass. *)
+type resolved =
+  | Err of string
+  | Hit of entry * float  (* lookup ms *)
+  | Miss of int  (* index into the miss array *)
+  | Dup of int  (* same key as an earlier miss of this batch *)
+
+type miss = {
+  m_bundle : Bundles.t;
+  m_key : string;
+  m_req : grade_req;
+}
+
+let now_ms () = 1000.0 *. Unix.gettimeofday ()
+
+let grade_miss (m : miss) =
+  let r = m.m_req in
+  let t0 = now_ms () in
+  let item =
+    Pipeline.grade_submission ?fuel:r.g_fuel ?deadline_s:r.g_deadline
+      ~with_tests:r.g_with_tests ~name:"<request>" m.m_bundle r.g_source
+  in
+  let ms = now_ms () -. t0 in
+  let entry =
+    {
+      outcome_class = Outcome.classify item.Pipeline.outcome;
+      fuel_spent =
+        (match r.g_fuel with
+        | Some _ -> Some item.Pipeline.fuel_spent
+        | None -> None);
+      result_json = Outcome.to_json ~comments:true item.Pipeline.outcome;
+    }
+  in
+  (entry, ms)
+
+let process_batch st oc (batch : grade_req list) =
+  Metrics.observe_queue_depth st.metrics (List.length batch);
+  let misses = ref [] in
+  let n_misses = ref 0 in
+  let inflight = Hashtbl.create 16 in
+  let resolved =
+    List.map
+      (fun r ->
+        match Bundles.find r.g_assignment with
+        | None ->
+            ( r,
+              Err
+                (Printf.sprintf
+                   "unknown assignment %S; try: jfeed assignments"
+                   r.g_assignment) )
+        | Some b ->
+            let t0 = now_ms () in
+            let key, _fp =
+              Normalize.cache_key ~assignment:r.g_assignment ~fuel:r.g_fuel
+                ~deadline_s:r.g_deadline ~with_tests:r.g_with_tests
+                r.g_source
+            in
+            (match Cache.find st.cache key with
+            | Some e -> (r, Hit (e, now_ms () -. t0))
+            | None -> (
+                match Hashtbl.find_opt inflight key with
+                | Some i -> (r, Dup i)
+                | None ->
+                    let i = !n_misses in
+                    Hashtbl.add inflight key i;
+                    incr n_misses;
+                    misses := { m_bundle = b; m_key = key; m_req = r } :: !misses;
+                    (r, Miss i))))
+      batch
+  in
+  let miss_arr = Array.of_list (List.rev !misses) in
+  (* The parallel part: only genuine cache misses reach the pool, each
+     with its own fresh budget (jobs-invariant, like the batch CLI). *)
+  let results = Pool.map ~jobs:st.config.jobs ~f:grade_miss miss_arr in
+  List.iter
+    (fun (r, res) ->
+      let line =
+        match res with
+        | Err msg ->
+            Metrics.record_error st.metrics;
+            Proto.error_response ?id:r.g_id msg
+        | Hit (e, ms) ->
+            Metrics.record_grade st.metrics ~outcome:e.outcome_class
+              ~hit:true ~ms;
+            Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
+              e.result_json
+        | Miss i ->
+            let entry, ms = results.(i) in
+            Cache.add st.cache miss_arr.(i).m_key entry;
+            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+              ~hit:false ~ms;
+            Proto.grade_response ?id:r.g_id ~cached:false
+              ~fuel:entry.fuel_spent entry.result_json
+        | Dup i ->
+            (* Served from an in-flight computation of this very batch:
+               a hit in every observable way, it just wasn't stored yet
+               when the lookup ran. *)
+            let entry, _ = results.(i) in
+            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+              ~hit:true ~ms:0.0;
+            Proto.grade_response ?id:r.g_id ~cached:true
+              ~fuel:entry.fuel_spent entry.result_json
+      in
+      output_string oc line;
+      output_char oc '\n')
+    resolved;
+  flush oc
+
+let stats_line st ?id ~queue_depth () =
+  Proto.stats_response ?id
+    (Metrics.to_stats st.metrics ~cache_size:(Cache.size st.cache)
+       ~cache_cap:st.config.cache_cap ~queue_depth
+       ~queue_cap:st.config.queue_cap)
+
+(* Request fields override the server defaults; an absent field means
+   "whatever the daemon was started with". *)
+let grade_req_of config ~id ~assignment ~source ~fuel ~deadline_s ~with_tests
+    =
+  {
+    g_id = id;
+    g_assignment = assignment;
+    g_source = source;
+    g_fuel = (match fuel with Some _ -> fuel | None -> config.fuel);
+    g_deadline =
+      (match deadline_s with Some _ -> deadline_s | None -> config.deadline_s);
+    g_with_tests = Option.value ~default:config.with_tests with_tests;
+  }
+
+let serve_connection st r oc =
+  (* A non-grade line discovered while draining the queue is stashed and
+     re-processed after the batch — responses stay in request order. *)
+  let pending = ref None in
+  let next_line () =
+    match !pending with
+    | Some l ->
+        pending := None;
+        Some l
+    | None -> read_line r
+  in
+  let rec drain_into batch =
+    if List.length batch >= st.config.queue_cap then List.rev batch
+    else
+      match poll_line r with
+      | None -> List.rev batch
+      | Some l when String.trim l = "" -> drain_into batch
+      | Some l -> (
+          match Proto.request_of_line l with
+          | Ok (Proto.Grade g) ->
+              Metrics.record_request st.metrics;
+              let req =
+                grade_req_of st.config ~id:g.id ~assignment:g.assignment
+                  ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
+                  ~with_tests:g.with_tests
+              in
+              drain_into (req :: batch)
+          | _ ->
+              (* stats / shutdown / error: a barrier — park the raw line *)
+              pending := Some l;
+              List.rev batch)
+  in
+  let rec loop () =
+    match next_line () with
+    | None -> `Eof
+    | Some line when String.trim line = "" -> loop ()
+    | Some line -> (
+        Metrics.record_request st.metrics;
+        match Proto.request_of_line line with
+        | Error (id, msg) ->
+            Metrics.record_error st.metrics;
+            output_string oc (Proto.error_response ?id msg);
+            output_char oc '\n';
+            flush oc;
+            loop ()
+        | Ok (Proto.Stats { id }) ->
+            Metrics.record_stats_req st.metrics;
+            output_string oc (stats_line st ?id ~queue_depth:0 ());
+            output_char oc '\n';
+            flush oc;
+            loop ()
+        | Ok (Proto.Shutdown { id }) ->
+            output_string oc (Proto.shutdown_response ?id ());
+            output_char oc '\n';
+            flush oc;
+            `Shutdown
+        | Ok (Proto.Grade g) ->
+            let req =
+              grade_req_of st.config ~id:g.id ~assignment:g.assignment
+                ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
+                ~with_tests:g.with_tests
+            in
+            let batch = drain_into [ req ] in
+            process_batch st oc batch;
+            loop ())
+  in
+  try loop () with Sys_error _ -> `Eof
+
+let serve_fd config fd oc = serve_connection (make_state config) (reader_of_fd fd) oc
+
+let serve_stdio config =
+  ignore (serve_fd config Unix.stdin stdout)
+
+let serve_socket config path =
+  (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+  | () -> ()
+  | exception _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close sock with _ -> ());
+    try Sys.remove path with _ -> ()
+  in
+  (try
+     Unix.bind sock (Unix.ADDR_UNIX path);
+     Unix.listen sock 16
+   with e ->
+     cleanup ();
+     raise e);
+  (* One state for the daemon's lifetime: the cache and the stats span
+     connections, which is the whole point of a persistent service. *)
+  let st = make_state config in
+  let rec accept_loop () =
+    let fd, _ = Unix.accept sock in
+    let oc = Unix.out_channel_of_descr fd in
+    let outcome = serve_connection st (reader_of_fd fd) oc in
+    (try flush oc with _ -> ());
+    (try Unix.close fd with _ -> ());
+    match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+  in
+  Fun.protect ~finally:cleanup accept_loop

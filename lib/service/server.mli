@@ -1,0 +1,52 @@
+(** The persistent grading daemon ([jfeed serve]).
+
+    A single-threaded request loop over newline-delimited JSON
+    ({!Proto}), with the expensive part — grading — fanned out to a
+    {!Jfeed_parallel.Pool} of domains per batch:
+
+    + read one request line (blocking);
+    + if it is a [grade], drain further {e immediately available} grade
+      lines into a bounded in-memory queue (at most [queue_cap]; lines
+      beyond that stay in the kernel pipe buffer — backpressure without
+      an unbounded heap);
+    + resolve each queued request against the content-addressed result
+      cache ({!Normalize} keys into {!Cache}); duplicates {e within} the
+      batch collapse onto one computation too;
+    + grade the remaining misses on the pool, one fresh per-request
+      budget each ({!Jfeed_robust.Pipeline.grade_submission});
+    + emit one response line per request, in request order.
+
+    [stats] and [shutdown] requests are barriers: they are answered
+    after every earlier grade response.  A malformed line costs one
+    [error] response, never the daemon.  The KB is compiled in and every
+    per-assignment structure is a static value, so a fresh daemon
+    serves its first request without a warm-up phase. *)
+
+type config = {
+  cache_cap : int;  (** result-cache entries; [0] disables caching *)
+  queue_cap : int;  (** max grade requests held in memory *)
+  jobs : int;  (** pool width for a batch of cache misses *)
+  fuel : int option;  (** default per-request budget; request may override *)
+  deadline_s : float option;
+  with_tests : bool;  (** default; request may override *)
+}
+
+val default_config : config
+(** cache 10000, queue 64, jobs 1, no budget, tests on. *)
+
+val serve_fd :
+  config -> Unix.file_descr -> out_channel -> [ `Eof | `Shutdown ]
+(** Serve one connection with fresh state: read requests from the
+    descriptor, write responses to the channel (flushed after every
+    batch).  Returns on end of input or on a [shutdown] request. *)
+
+val serve_stdio : config -> unit
+(** [serve_fd] over stdin/stdout — the [jfeed serve] default, drivable
+    from cram tests and shell pipelines. *)
+
+val serve_socket : config -> string -> unit
+(** Listen on a Unix-domain socket at the given path (unlinked first if
+    stale, removed on exit) and serve connections sequentially,
+    {e sharing} cache and metrics across them — connection n+1 hits the
+    results connection n computed.  A [shutdown] request stops the whole
+    daemon; a client hangup only ends its connection. *)

@@ -46,3 +46,27 @@ must show up here as a diff:
   "sequential_s":
   "speedup":
   "submissions":
+
+The serving trajectory: `bench serve` replays a generated corpus — half
+α-renamed duplicates by default — through an in-process `jfeed serve`
+daemon and writes BENCH_service.json (throughput, cache hit rate, tail
+latency).  Its schema is pinned the same way:
+
+  $ jfeed-bench serve --requests 8 --dup 50 --jobs 2 > /dev/null
+  $ grep -c '"schema":"jfeed-bench-service/1"' BENCH_service.json
+  1
+  $ grep -o '"[a-z0-9_]*":' BENCH_service.json | sort -u
+  "cache_hit_rate":
+  "duplicate_ratio":
+  "jobs":
+  "p50_ms":
+  "p95_ms":
+  "requests":
+  "schema":
+  "throughput_rps":
+  "wall_s":
+
+The duplicate fraction of the stream really lands in the cache:
+
+  $ grep -o '"cache_hit_rate":0.5000' BENCH_service.json
+  "cache_hit_rate":0.5000

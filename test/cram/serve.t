@@ -1,0 +1,81 @@
+The persistent grading service.  `jfeed assignments` prints the valid
+values of the protocol's "assignment" field, one per line:
+
+  $ jfeed assignments
+  assignment1
+  esc-LAB-3-P1-V1
+  esc-LAB-3-P2-V1
+  esc-LAB-3-P2-V2
+  esc-LAB-3-P3-V1
+  esc-LAB-3-P4-V1
+  esc-LAB-3-P3-V2
+  esc-LAB-3-P4-V2
+  mitx-derivatives
+  mitx-polynomials
+  rit-all-g-medals
+  rit-medals-by-ath
+
+A full serving session over stdin/stdout: two submissions that differ
+only by a consistent variable renaming, a line that is not JSON at all,
+a grade request missing its required fields, then stats and shutdown.
+
+  $ cat > session.jsonl <<'EOF'
+  > {"op":"grade","id":"first","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] poly) { double[] deriv = new double[poly.length - 1]; for (int i = 1; i < poly.length; i = i + 1) { deriv[i - 1] = poly[i] * i; } return deriv; } }"}
+  > {"op":"grade","id":"renamed","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] qq) { double[] zz = new double[qq.length - 1]; for (int k = 1; k < qq.length; k = k + 1) { zz[k - 1] = qq[k] * k; } return zz; } }"}
+  > not json at all
+  > {"op":"grade","id":"incomplete"}
+  > {"op":"stats","id":"s"}
+  > {"op":"shutdown","id":"bye"}
+  > EOF
+
+A shutdown request ends the daemon with exit 0; every request line got
+exactly one response line:
+
+  $ jfeed serve < session.jsonl > responses.jsonl
+  $ wc -l < responses.jsonl
+  6
+
+The first submission is graded fresh; the α-renamed resubmission is
+served from the content-addressed cache:
+
+  $ grep -c '^{"id":"first","op":"grade","cached":false,"result":{"outcome":"graded"' responses.jsonl
+  1
+  $ grep -c '^{"id":"renamed","op":"grade","cached":true,"result":{"outcome":"graded"' responses.jsonl
+  1
+
+and its feedback payload is byte-identical to the first answer:
+
+  $ awk 'NR<=2 {print substr($0, index($0, "\"result\":"))}' responses.jsonl > payloads
+  $ sed -n 1p payloads > p1
+  $ sed -n 2p payloads > p2
+  $ cmp p1 p2 && echo identical
+  identical
+
+The feedback payload is the real thing — outcome, score, and the
+per-pattern comments of the single-submission grader:
+
+  $ sed -n 1p p1 | grep -c '"comments":\[{"kind":"pattern"'
+  1
+
+Malformed input costs one structured error response each, never the
+daemon — the stats and shutdown below prove it kept serving:
+
+  $ sed -n 3p responses.jsonl
+  {"op":"error","error":"invalid JSON at byte 0: expected null"}
+  $ sed -n 4p responses.jsonl
+  {"id":"incomplete","op":"error","error":"grade request lacks \"assignment\""}
+
+Live stats: the renamed resubmission shows up as the cache hit, both
+gradings land in the outcome taxonomy, and the two bad lines are
+counted (latencies are wall-clock, so they are masked here):
+
+  $ sed -n 5p responses.jsonl | sed 's/"latency_ms":.*/"latency_ms":{masked}}/'
+  {"id":"s","op":"stats","requests":5,"grades":2,"stats":1,"errors":2,"cache":{"hits":1,"misses":1,"size":1,"cap":10000},"outcomes":{"graded":2,"degraded":0,"rejected":0},"queue":{"depth":0,"max":2,"cap":64},"latency_ms":{masked}}
+  $ sed -n 6p responses.jsonl
+  {"id":"bye","op":"shutdown","ok":true}
+
+Usage errors are caught before the daemon starts:
+
+  $ jfeed serve --jobs 0 < /dev/null
+  jfeed serve: --jobs must be at least 1 (got 0)
+  [2]

@@ -8,4 +8,5 @@ let () =
       ("properties", Test_properties.suite); ("inline", Test_inline.suite);
       ("strategies", Test_strategies.suite);
       ("stmt-roundtrip", Test_stmt_roundtrip.suite);
-      ("robust", Test_robust.suite); ("parallel", Test_parallel.suite) ]
+      ("robust", Test_robust.suite); ("parallel", Test_parallel.suite);
+      ("service", Test_service.suite) ]

@@ -90,8 +90,8 @@ let test_map_dot () =
   Digraph.add_edge g2 a b "x";
   let dot =
     Digraph.to_dot g2
-      ~node_attrs:(fun _ l -> Printf.sprintf "label=\"%s\"" l)
-      ~edge_attrs:(fun e -> Printf.sprintf "label=\"%s\"" e)
+      ~node_attrs:(fun _ l -> [ Digraph.Label l ])
+      ~edge_attrs:(fun e -> [ Digraph.Label e ])
   in
   let contains ~needle hay =
     let n = String.length needle and h = String.length hay in
@@ -99,6 +99,47 @@ let test_map_dot () =
     at 0
   in
   Alcotest.(check bool) "dot mentions edge" true (contains ~needle:"n0 -> n1" dot)
+
+let test_dot_escaping () =
+  (* A node label carrying the canonical rendering of a Java string
+     literal — quotes, backslashes, even a raw newline — must emit valid
+     DOT: every quote inside an attribute value escaped, no raw
+     newlines.  This is what string-literal-bearing submissions feed
+     [to_dot] through the EPDG. *)
+  let g = Digraph.create () in
+  let v = Digraph.add_node g "println(\"a \\\"b\\\"\")\nline2" in
+  ignore v;
+  let dot =
+    Digraph.to_dot g
+      ~node_attrs:(fun _ l -> [ Digraph.Label l; Digraph.Shape "box" ])
+      ~edge_attrs:(fun _ -> [])
+  in
+  String.split_on_char '\n' dot
+  |> List.iter (fun line ->
+         (* Inside each line, unescaped quotes must balance: a quote is
+            either preceded by a backslash that itself is not escaped, or
+            it delimits an attribute value. *)
+         let unescaped = ref 0 in
+         String.iteri
+           (fun i c ->
+             if c = '"' then begin
+               let rec backslashes j n =
+                 if j >= 0 && line.[j] = '\\' then backslashes (j - 1) (n + 1)
+                 else n
+               in
+               if backslashes (i - 1) 0 mod 2 = 0 then incr unescaped
+             end)
+           line;
+         Alcotest.(check int)
+           (Printf.sprintf "balanced quotes in %S" line)
+           0 (!unescaped mod 2));
+  Alcotest.(check bool)
+    "escaped newline, not a raw one, inside the label" true
+    (String.length (String.concat "" (String.split_on_char '\n' dot))
+     < String.length dot
+    (* the only raw newlines are the structural ones: header, one node
+       line, closing brace *)
+    && List.length (String.split_on_char '\n' dot) = 4)
 
 let test_degree_counters () =
   (* Degrees come from maintained counters; they must track insertions,
@@ -211,6 +252,7 @@ let suite =
     Alcotest.test_case "topological sort" `Quick test_topo;
     Alcotest.test_case "transpose" `Quick test_transpose;
     Alcotest.test_case "map and dot" `Quick test_map_dot;
+    Alcotest.test_case "dot label escaping" `Quick test_dot_escaping;
     Alcotest.test_case "degree counters" `Quick test_degree_counters;
     QCheck_alcotest.to_alcotest prop_indexed_membership_agrees_with_scan;
     QCheck_alcotest.to_alcotest prop_topo_respects_edges;

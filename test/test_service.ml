@@ -1,0 +1,417 @@
+(** The serving tier: wire protocol, LRU result cache, content
+    addressing, metrics, and the daemon loop end to end.
+
+    The headline properties:
+    - α-renaming and whitespace re-flows of a submission map to the same
+      cache key (qcheck, over generated mutants of every assignment);
+    - through a live serving session, every request whose key equals an
+      earlier one receives a byte-identical feedback payload, marked
+      [cached:true] — checked over 60 mutants of one submission;
+    - a malformed line costs one [error] response, never the daemon. *)
+
+open Jfeed_service
+module Spec = Jfeed_gen.Spec
+module Mutate = Jfeed_gen.Mutate
+module Bundles = Jfeed_kb.Bundles
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let index_of ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let contains ~sub s = index_of ~sub s <> None
+
+(* ------------------------------------------------------------------ *)
+(* Proto: the JSON reader *)
+
+let parses s = Result.is_ok (Proto.parse_json s)
+
+let test_json_values () =
+  check "object" true (parses {|{"a":1,"b":[true,false,null],"c":"x"}|});
+  check "nested" true (parses {|{"a":{"b":{"c":[1,2,3]}}}|});
+  check "floats" true (parses {|[0.5, -1e3, 2E-2, 12.25]|});
+  check "empty forms" true (parses {|[{}, [], "", 0]|});
+  Alcotest.(check (option (float 1e-9)))
+    "number value" (Some 12.25)
+    (match Proto.parse_json "12.25" with
+    | Ok (Proto.Num f) -> Some f
+    | _ -> None);
+  check "escapes decode" true
+    (Proto.parse_json {|"a\nb\t\"c\"\\d"|} = Ok (Proto.Str "a\nb\t\"c\"\\d"));
+  check "unicode escape" true
+    (Proto.parse_json {|"é"|} = Ok (Proto.Str "\xc3\xa9"));
+  check "surrogate pair" true
+    (Proto.parse_json {|"😀"|} = Ok (Proto.Str "\xf0\x9f\x98\x80"))
+
+let test_json_rejects () =
+  let rejects s = check s true (Result.is_error (Proto.parse_json s)) in
+  rejects "";
+  rejects "{";
+  rejects {|{"a":}|};
+  rejects {|{"a":1,}|};
+  rejects {|[1 2]|};
+  rejects {|"unterminated|};
+  rejects {|"bad \q escape"|};
+  rejects {|"lone surrogate \ud800"|};
+  rejects "01";
+  rejects "1.";
+  rejects "nul";
+  rejects {|{"a":1} trailing|};
+  rejects "\"raw \n newline\"";
+  (* the depth limit keeps adversarial nesting from overflowing *)
+  rejects (String.make 200 '[' ^ String.make 200 ']')
+
+let test_request_parsing () =
+  (match Proto.request_of_line {|{"op":"grade","assignment":"a1","source":"s","id":"r7","fuel":500}|} with
+  | Ok (Proto.Grade g) ->
+      check_str "assignment" "a1" g.assignment;
+      check_str "source" "s" g.source;
+      check "id" true (g.id = Some "r7");
+      check "fuel" true (g.fuel = Some 500);
+      check "deadline absent" true (g.deadline_s = None);
+      check "with_tests absent" true (g.with_tests = None)
+  | _ -> Alcotest.fail "grade request did not parse");
+  check "stats" true
+    (Proto.request_of_line {|{"op":"stats"}|} = Ok (Proto.Stats { id = None }));
+  check "shutdown with id" true
+    (Proto.request_of_line {|{"op":"shutdown","id":"z"}|}
+    = Ok (Proto.Shutdown { id = Some "z" }));
+  check "unknown fields ignored" true
+    (match Proto.request_of_line {|{"op":"stats","future":1}|} with
+    | Ok (Proto.Stats _) -> true
+    | _ -> false)
+
+let test_request_errors () =
+  let err line =
+    match Proto.request_of_line line with
+    | Error (id, msg) -> (id, msg)
+    | Ok _ -> Alcotest.fail ("unexpectedly parsed: " ^ line)
+  in
+  check "malformed JSON has no id" true (fst (err "not json") = None);
+  (* the id survives even when the request itself is broken, so the
+     error response can still be correlated *)
+  let id, msg = err {|{"op":"grade","id":"r9"}|} in
+  check "id recovered" true (id = Some "r9");
+  check "message names the field" true
+    (msg = {|grade request lacks "assignment"|});
+  check "unknown op" true
+    (snd (err {|{"op":"fly"}|}) = {|unknown op "fly"|});
+  check "non-object" true (fst (err "[1,2]") = None);
+  check "ill-typed fuel" true
+    (snd (err {|{"op":"grade","assignment":"a","source":"s","fuel":"lots"}|})
+    = {|field "fuel" must be an integer|})
+
+let test_response_shapes () =
+  check_str "grade response"
+    {|{"id":"r1","op":"grade","cached":true,"result":{"x":1}}|}
+    (Proto.grade_response ~id:"r1" ~cached:true ~fuel:None {|{"x":1}|});
+  check_str "fuel appears when budgeted"
+    {|{"op":"grade","cached":false,"fuel":42,"result":{}}|}
+    (Proto.grade_response ~cached:false ~fuel:(Some 42) "{}");
+  check_str "error escapes the message"
+    {|{"op":"error","error":"bad \"x\""}|}
+    (Proto.error_response {|bad "x"|});
+  (* response lines must themselves parse as JSON *)
+  check "responses are valid JSON" true
+    (parses (Proto.grade_response ~id:"a\"b" ~cached:false ~fuel:None "{}")
+    && parses (Proto.shutdown_response ~id:"z" ()))
+
+(* ------------------------------------------------------------------ *)
+(* Cache: LRU over cache keys *)
+
+let test_cache_lru () =
+  let c = Cache.create ~cap:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check_int "size" 2 (Cache.size c);
+  (* touching [a] makes [b] the eviction victim *)
+  check "find bumps recency" true (Cache.find c "a" = Some 1);
+  Cache.add c "c" 3;
+  check_int "capacity held" 2 (Cache.size c);
+  check "b evicted" false (Cache.mem c "b");
+  check "a survived" true (Cache.mem c "a");
+  check "c present" true (Cache.mem c "c")
+
+let test_cache_replace_and_disable () =
+  let c = Cache.create ~cap:2 in
+  Cache.add c "k" 1;
+  Cache.add c "k" 2;
+  check_int "replace does not grow" 1 (Cache.size c);
+  check "replaced value" true (Cache.find c "k" = Some 2);
+  let off = Cache.create ~cap:0 in
+  Cache.add off "k" 1;
+  check_int "cap 0 stores nothing" 0 (Cache.size off);
+  check "cap 0 never hits" true (Cache.find off "k" = None)
+
+let test_cache_churn () =
+  (* a long insert/lookup churn keeps exactly the cap newest-or-touched *)
+  let c = Cache.create ~cap:8 in
+  for i = 0 to 99 do
+    Cache.add c (string_of_int i) i;
+    ignore (Cache.find c (string_of_int (max 0 (i - 3))))
+  done;
+  check_int "cap respected" 8 (Cache.size c);
+  check "newest present" true (Cache.mem c "99");
+  check "oldest gone" false (Cache.mem c "0")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  check "empty percentile is 0" true (Metrics.percentile m 0.95 = 0.0);
+  (* 1..100 ms: nearest-rank p50 is the 50th sample, p95 the 95th *)
+  for i = 1 to 100 do
+    Metrics.record_grade m ~outcome:"graded" ~hit:(i mod 2 = 0)
+      ~ms:(float_of_int i)
+  done;
+  check "p50" true (Metrics.percentile m 0.50 = 50.0);
+  check "p95" true (Metrics.percentile m 0.95 = 95.0);
+  Metrics.observe_queue_depth m 7;
+  Metrics.observe_queue_depth m 3;
+  let s = Metrics.to_stats m ~cache_size:1 ~cache_cap:2 ~queue_depth:0 ~queue_cap:64 in
+  check_int "grades" 100 s.Proto.grades;
+  check_int "hits" 50 s.Proto.cache_hits;
+  check_int "misses" 50 s.Proto.cache_misses;
+  check_int "graded" 100 s.Proto.graded;
+  check_int "queue max latches" 7 s.Proto.queue_max
+
+(* ------------------------------------------------------------------ *)
+(* Normalize: content addressing *)
+
+let base_source = Spec.source_of_index Bundles.assignment1.Bundles.gen 0
+
+let key src =
+  fst
+    (Normalize.cache_key ~assignment:"assignment1" ~fuel:None ~deadline_s:None
+       ~with_tests:true src)
+
+let test_fingerprint_collapses_names () =
+  let fp = Normalize.fingerprint base_source in
+  check "parses to an AST fingerprint" true fp.Normalize.ast;
+  check_str "α-renaming preserved the key" (key base_source)
+    (key (Mutate.alpha_rename ~seed:7 base_source));
+  check_str "whitespace preserved the key" (key base_source)
+    (key (Mutate.whitespace ~seed:7 base_source))
+
+let test_key_scoping () =
+  let k = key base_source in
+  let other ~assignment ~fuel ~with_tests =
+    fst
+      (Normalize.cache_key ~assignment ~fuel ~deadline_s:None ~with_tests
+         base_source)
+  in
+  check "assignment scopes the key" false
+    (k = other ~assignment:"mitx-derivatives" ~fuel:None ~with_tests:true);
+  check "fuel scopes the key" false
+    (k = other ~assignment:"assignment1" ~fuel:(Some 100) ~with_tests:true);
+  check "with_tests scopes the key" false
+    (k = other ~assignment:"assignment1" ~fuel:None ~with_tests:false);
+  check "KB revision is part of the key" true
+    (let r = Bundles.revision () in
+     String.length r = 32 && contains ~sub:r k)
+
+let test_fingerprint_raw_fallback () =
+  let fp = Normalize.fingerprint "int int int (((" in
+  check "unparseable falls back to raw bytes" false fp.Normalize.ast;
+  check "raw fallback is byte-exact" false
+    (Normalize.fingerprint "int int int ((( " = fp)
+
+let prop_mutants_share_key =
+  (* ≥60 generated mutants across all twelve assignment spaces: each
+     α-renamed / re-flowed variant must land on its base's cache key. *)
+  let gen =
+    QCheck.Gen.(
+      let* bi = int_bound (List.length Bundles.all - 1) in
+      let b = List.nth Bundles.all bi in
+      let* idx = int_bound (Spec.size b.Bundles.gen - 1) in
+      let* seed = int_bound 10_000 in
+      return (bi, idx, seed))
+  in
+  let print (bi, idx, seed) =
+    let b = List.nth Bundles.all bi in
+    Printf.sprintf "%s #%d seed %d" b.Bundles.grading.Jfeed_core.Grader.a_id
+      idx seed
+  in
+  QCheck.Test.make ~count:60 ~name:"mutants map to the base cache key"
+    (QCheck.make ~print gen)
+    (fun (bi, idx, seed) ->
+      let b = List.nth Bundles.all bi in
+      let id = b.Bundles.grading.Jfeed_core.Grader.a_id in
+      let src = Spec.source_of_index b.Bundles.gen idx in
+      let key src =
+        fst
+          (Normalize.cache_key ~assignment:id ~fuel:None ~deadline_s:None
+             ~with_tests:true src)
+      in
+      let k = key src in
+      key (Mutate.alpha_rename ~seed src) = k
+      && key (Mutate.whitespace ~seed src) = k
+      && key (Mutate.rename_and_reflow ~seed src) = k)
+
+(* ------------------------------------------------------------------ *)
+(* Server: end-to-end sessions over a pipe pair *)
+
+let run_session ?(config = Server.default_config) lines =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        let oc = Unix.out_channel_of_descr resp_w in
+        let outcome = Server.serve_fd config req_r oc in
+        (try flush oc with Sys_error _ -> ());
+        Unix.close resp_w;
+        outcome)
+  in
+  let oc = Unix.out_channel_of_descr req_w in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  Unix.close req_w;
+  let ic = Unix.in_channel_of_descr resp_r in
+  let rec collect acc =
+    match input_line ic with
+    | l -> collect (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let responses = collect [] in
+  let outcome = Domain.join server in
+  Unix.close req_r;
+  Unix.close resp_r;
+  (outcome, responses)
+
+let grade_line ?id src =
+  Printf.sprintf {|{"op":"grade",%s"assignment":"assignment1","source":"%s"}|}
+    (match id with Some i -> Printf.sprintf {|"id":"%s",|} i | None -> "")
+    (Jfeed_core.Feedback.json_escape src)
+
+(* The response's feedback payload: everything from "result": on. *)
+let payload_of line =
+  match index_of ~sub:{|"result":|} line with
+  | Some i -> String.sub line i (String.length line - i)
+  | None -> Alcotest.fail ("no result payload in: " ^ line)
+
+let cached_of line =
+  if contains ~sub:{|"cached":true|} line then true
+  else if contains ~sub:{|"cached":false|} line then false
+  else Alcotest.fail ("no cached marker in: " ^ line)
+
+let test_session_cached_mutants () =
+  (* 60 mutants of one submission: every one must be served from the
+     cache (or its in-flight twin) with a byte-identical payload. *)
+  let mutants =
+    List.init 60 (fun i ->
+        match i mod 3 with
+        | 0 -> Mutate.alpha_rename ~seed:i base_source
+        | 1 -> Mutate.whitespace ~seed:i base_source
+        | _ -> Mutate.rename_and_reflow ~seed:i base_source)
+  in
+  let lines =
+    (grade_line ~id:"base" base_source
+    :: List.mapi (fun i m -> grade_line ~id:(Printf.sprintf "m%d" i) m) mutants)
+    @ [ {|{"op":"stats"}|}; {|{"op":"shutdown"}|} ]
+  in
+  let outcome, responses = run_session lines in
+  check "session ended by shutdown" true (outcome = `Shutdown);
+  check_int "one response per request" (List.length lines)
+    (List.length responses);
+  let grades = List.filteri (fun i _ -> i <= 60) responses in
+  let base = List.hd grades in
+  check "first serving is a miss" false (cached_of base);
+  let expected = payload_of base in
+  List.iteri
+    (fun i r ->
+      check (Printf.sprintf "mutant %d cached" i) true (cached_of r);
+      check_str
+        (Printf.sprintf "mutant %d payload byte-identical" i)
+        expected (payload_of r))
+    (List.tl grades);
+  let stats = List.nth responses 61 in
+  check "60 hits" true (contains ~sub:{|"hits":60,"misses":1|} stats)
+
+let test_session_survives_malformed () =
+  let outcome, responses =
+    run_session
+      [
+        "garbage";
+        {|{"op":"grade","id":"g"}|};
+        {|{"op":"grade","id":"ok","assignment":"nope","source":"x"}|};
+        grade_line ~id:"real" base_source;
+        {|{"op":"stats","id":"s"}|};
+        {|{"op":"shutdown","id":"z"}|};
+      ]
+  in
+  check "shutdown reached" true (outcome = `Shutdown);
+  check_int "all requests answered" 6 (List.length responses);
+  check "malformed line → error response" true
+    (contains ~sub:{|"op":"error"|} (List.nth responses 0));
+  check "id echoed on field error" true
+    (String.starts_with ~prefix:{|{"id":"g","op":"error"|}
+       (List.nth responses 1));
+  check "unknown assignment is an error, not a crash" true
+    (String.starts_with ~prefix:{|{"id":"ok","op":"error"|}
+       (List.nth responses 2));
+  check "the daemon still grades afterwards" true
+    (String.starts_with ~prefix:{|{"id":"real","op":"grade","cached":false|}
+       (List.nth responses 3))
+
+let test_session_eof_without_shutdown () =
+  let outcome, responses = run_session [ grade_line base_source ] in
+  check "EOF ends the connection" true (outcome = `Eof);
+  check_int "the grade was still answered" 1 (List.length responses)
+
+let test_session_parallel_determinism () =
+  (* The same mixed stream through --jobs 1 and --jobs 4 must produce
+     byte-identical response lines: the pool merge is index-ordered and
+     the budget is per request. *)
+  let srcs =
+    List.init 8 (fun i ->
+        Spec.source_of_index Bundles.assignment1.Bundles.gen (i * 11))
+  in
+  let lines =
+    List.mapi (fun i s -> grade_line ~id:(string_of_int i) s) srcs
+    @ [ {|{"op":"shutdown"}|} ]
+  in
+  let run jobs =
+    snd (run_session ~config:{ Server.default_config with jobs } lines)
+  in
+  check "jobs-invariant responses" true (run 1 = run 4)
+
+let suite =
+  [
+    Alcotest.test_case "json values parse" `Quick test_json_values;
+    Alcotest.test_case "json rejects" `Quick test_json_rejects;
+    Alcotest.test_case "request parsing" `Quick test_request_parsing;
+    Alcotest.test_case "request errors keep the id" `Quick test_request_errors;
+    Alcotest.test_case "response shapes" `Quick test_response_shapes;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache replace and cap 0" `Quick
+      test_cache_replace_and_disable;
+    Alcotest.test_case "cache churn" `Quick test_cache_churn;
+    Alcotest.test_case "metrics percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "fingerprint collapses naming" `Quick
+      test_fingerprint_collapses_names;
+    Alcotest.test_case "cache key scoping" `Quick test_key_scoping;
+    Alcotest.test_case "raw fallback for unparseable" `Quick
+      test_fingerprint_raw_fallback;
+    QCheck_alcotest.to_alcotest prop_mutants_share_key;
+    Alcotest.test_case "60 mutants byte-identical via cache" `Slow
+      test_session_cached_mutants;
+    Alcotest.test_case "malformed lines never kill the daemon" `Quick
+      test_session_survives_malformed;
+    Alcotest.test_case "EOF without shutdown" `Quick
+      test_session_eof_without_shutdown;
+    Alcotest.test_case "responses are jobs-invariant" `Slow
+      test_session_parallel_determinism;
+  ]
