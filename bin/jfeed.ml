@@ -10,7 +10,9 @@
                     pipeline; JSON summary, never crashes on bad input
     - [serve]     — persistent grading daemon over newline-delimited JSON
                     with a content-addressed result cache
-    - [assignments] — the bundle ids, one per line (scripting aid) *)
+    - [assignments] — the bundle ids, one per line (scripting aid)
+    - [analyze]   — run the static analysis passes over submission files
+    - [lint-kb]   — statically validate the shipped pattern bundles *)
 
 open Cmdliner
 open Jfeed_kb
@@ -407,6 +409,130 @@ let serve_cmd =
       const run $ socket $ cache_cap $ queue_cap $ jobs $ fuel $ deadline
       $ no_tests)
 
+let analyze_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"One JSON object per file: {\"file\":…,\"diagnostics\":[…]}.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Analyze files on N parallel domains.  Output is byte-identical \
+             to --jobs 1 (deterministic merge).")
+  in
+  let files_pos =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Java submission files.")
+  in
+  let run json jobs files =
+    if jobs < 1 then begin
+      Printf.eprintf "jfeed analyze: --jobs must be at least 1 (got %d)\n"
+        jobs;
+      2
+    end
+    else begin
+      let module D = Jfeed_analysis.Diagnostic in
+      let module P = Jfeed_analysis.Passes in
+      let analyze_file path =
+        match read_file path with
+        | exception Sys_error e ->
+            [ D.make ~pass:"read" ~severity:D.Error e ]
+        | src -> P.analyze_source src
+      in
+      let render path diags =
+        if json then
+          Printf.sprintf {|{"file":"%s","diagnostics":[%s]}|}
+            (Feedback.json_escape path)
+            (String.concat "," (List.map D.to_json diags))
+        else
+          String.concat ""
+            (List.map
+               (fun d -> Printf.sprintf "%s:%s\n" path (D.render d))
+               diags)
+      in
+      let results =
+        Jfeed_parallel.Pool.map ~jobs
+          ~f:(fun path ->
+            let diags = analyze_file path in
+            (render path diags, diags <> []))
+          (Array.of_list files)
+      in
+      Array.iter
+        (fun (text, _) -> if json then print_endline text else print_string text)
+        results;
+      if Array.exists snd results then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static analysis passes (use-before-init, dead-store, \
+          unreachable, missing-return, suspicious-loop) over submission \
+          files (exit 0: clean; 1: diagnostics; 2: usage error)")
+    Term.(const run $ json $ jobs $ files_pos)
+
+let lint_kb_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "One JSON object per assignment: \
+             {\"assignment\":…,\"diagnostics\":[…]}.")
+  in
+  let fixture =
+    Arg.(
+      value & flag
+      & info [ "fixture-broken" ]
+          ~doc:
+            "Lint the deliberately broken built-in fixture instead of the \
+             shipped bundles (must exit 1 — used by the test suite).")
+  in
+  let assignments_pos =
+    Arg.(
+      value & pos_all bundle_conv []
+      & info [] ~docv:"ASSIGNMENT"
+        ~doc:"Assignments to lint (default: all twelve).")
+  in
+  let run json fixture assignments =
+    let module D = Jfeed_analysis.Diagnostic in
+    let specs =
+      if fixture then [ Jfeed_analysis.Kb_lint.broken_fixture ]
+      else
+        (match assignments with [] -> Bundles.all | bs -> bs)
+        |> List.map (fun (b : Bundles.t) -> b.grading)
+    in
+    let dirty = ref false in
+    List.iter
+      (fun (spec : Grader.spec) ->
+        let diags = Jfeed_analysis.Kb_lint.lint_spec spec in
+        if diags <> [] then dirty := true;
+        if json then
+          Printf.printf {|{"assignment":"%s","diagnostics":[%s]}|}
+            (Feedback.json_escape spec.a_id)
+            (String.concat "," (List.map D.to_json diags))
+        else if diags = [] then Printf.printf "%s: ok\n" spec.a_id
+        else
+          List.iter
+            (fun d -> Printf.printf "%s:%s\n" spec.a_id (D.render d))
+            diags;
+        if json then print_newline ())
+      specs;
+    if !dirty then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint-kb"
+       ~doc:
+         "Statically validate pattern bundles: dangling references, unknown \
+          pattern ids, unbound feedback placeholders, unsatisfiable \
+          patterns, duplicates (exit 0: clean; 1: problems found)")
+    Term.(const run $ json $ fixture $ assignments_pos)
+
 let test_cmd =
   let run b path =
     let suite = b.Bundles.suite in
@@ -440,4 +566,5 @@ let () =
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
             batch_cmd; strategies_cmd; serve_cmd; assignments_cmd;
+            analyze_cmd; lint_kb_cmd;
           ]))

@@ -1,0 +1,311 @@
+(** Knowledge-base linter.  See kb_lint.mli. *)
+
+open Jfeed_core
+module Template = Jfeed_exprmatch.Template
+module S = Set.Make (String)
+
+let pass_ids =
+  [ "kb-structure"; "kb-unsat"; "kb-unknown-pattern"; "kb-dangling-ref";
+    "kb-unbound-placeholder"; "kb-duplicate" ]
+
+let diag ?(meth = "") pass msg =
+  Diagnostic.make ~pass ~severity:Error ~meth msg
+
+(* Placeholders of a feedback text, under the exact same scanning rules
+   the template engine uses (a lone '%' — Java's modulo — is literal). *)
+let placeholders text =
+  match Template.exact_of text with
+  | t -> Template.vars t
+  | exception _ -> []
+
+let quote x = "'" ^ x ^ "'"
+
+(* Checks on one pattern, primary or variant.  [where] names it in
+   messages ("pattern 'p_loop'" / "variant 'p_search_do' of
+   'p_search_while'"). *)
+let lint_pattern ~meth ~where (p : Pattern.t) =
+  let out = ref [] in
+  let emit pass msg = out := diag ~meth pass (where ^ ": " ^ msg) :: !out in
+  (* validate's messages already name the pattern *)
+  List.iter
+    (fun problem -> out := diag ~meth "kb-structure" problem :: !out)
+    (Pattern.validate p);
+  (* EPDG construction gives Break nodes the text "break" or "continue"
+     and nothing else; a Break-typed node whose template matches neither
+     can never be satisfied by any submission. *)
+  Array.iteri
+    (fun i (n : Pattern.pnode) ->
+      match n.pn_type with
+      | Some Jfeed_pdg.Epdg.Break ->
+          let can text = Template.matches n.exact ~gamma:[] text in
+          if not (can "break" || can "continue") then
+            emit "kb-unsat"
+              (Printf.sprintf
+                 "node %d is typed Break but its template %s matches neither \
+                  \"break\" nor \"continue\" — no EPDG node can satisfy it"
+                 i
+                 (quote (Template.source n.exact)))
+      | _ -> ())
+    p.nodes;
+  let vars = S.of_list (Pattern.vars p) in
+  let check_fb what text =
+    List.iter
+      (fun x ->
+        if not (S.mem x vars) then
+          emit "kb-unbound-placeholder"
+            (Printf.sprintf
+               "%s placeholder %%%s%% is bound by none of the pattern's \
+                variables"
+               what x))
+      (placeholders text)
+  in
+  check_fb "feedback (present)" p.fb_present;
+  check_fb "feedback (missing)" p.fb_missing;
+  Array.iteri
+    (fun i (n : Pattern.pnode) ->
+      Option.iter (check_fb (Printf.sprintf "node %d feedback (correct)" i))
+        n.fb_correct;
+      Option.iter (check_fb (Printf.sprintf "node %d feedback (incorrect)" i))
+        n.fb_incorrect)
+    p.nodes;
+  List.rev !out
+
+let lint_method (q : Grader.method_spec) =
+  let meth = q.q_name in
+  let out = ref [] in
+  let emit d = out := d :: !out in
+  let primaries = List.map fst q.q_patterns in
+  let primary_ids = List.map (fun (p : Pattern.t) -> p.id) primaries in
+  (* duplicate pattern ids *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      if Hashtbl.mem seen id then
+        emit
+          (diag ~meth "kb-duplicate"
+             (Printf.sprintf "pattern id %s is declared twice" (quote id)))
+      else Hashtbl.add seen id ())
+    primary_ids;
+  (* per-pattern checks; remember node counts and variable alphabets for
+     the reference checks below *)
+  let node_count = Hashtbl.create 8 in
+  let var_set = Hashtbl.create 8 in
+  let register (p : Pattern.t) =
+    if not (Hashtbl.mem node_count p.id) then begin
+      Hashtbl.add node_count p.id (Array.length p.nodes);
+      Hashtbl.add var_set p.id (S.of_list (Pattern.vars p))
+    end
+  in
+  List.iter
+    (fun (p : Pattern.t) ->
+      List.iter emit
+        (lint_pattern ~meth ~where:("pattern " ^ quote p.id) p);
+      register p)
+    primaries;
+  (* variants *)
+  List.iter
+    (fun (key, alts) ->
+      if not (List.mem key primary_ids) then
+        emit
+          (diag ~meth "kb-unknown-pattern"
+             (Printf.sprintf "variant table keyed by unknown pattern id %s"
+                (quote key)));
+      List.iter
+        (fun (alt : Pattern.t) ->
+          let where =
+            Printf.sprintf "variant %s of %s" (quote alt.id) (quote key)
+          in
+          if List.mem alt.id primary_ids then
+            emit
+              (diag ~meth "kb-duplicate"
+                 (Printf.sprintf "%s shadows a pattern with the same id" where));
+          List.iter emit (lint_pattern ~meth ~where alt);
+          (match Hashtbl.find_opt node_count key with
+          | Some n when n <> Array.length alt.nodes ->
+              emit
+                (diag ~meth "kb-structure"
+                   (Printf.sprintf
+                      "%s has %d nodes but the primary has %d — constraint \
+                       node indices cannot align"
+                      where (Array.length alt.nodes) n))
+          | _ -> ());
+          register alt)
+        alts)
+    q.q_variants;
+  (* constraints *)
+  let known id = Hashtbl.mem node_count id in
+  let check_index c_id pid u =
+    match Hashtbl.find_opt node_count pid with
+    | Some n when u < 0 || u >= n ->
+        emit
+          (diag ~meth "kb-dangling-ref"
+             (Printf.sprintf
+                "constraint %s refers to node %d of pattern %s, which has \
+                 only %d node%s"
+                (quote c_id) u (quote pid) n (if n = 1 then "" else "s")))
+    | _ -> ()
+  in
+  List.iter
+    (fun (c : Constr.t) ->
+      let refs = Constr.referenced_patterns c in
+      List.iter
+        (fun pid ->
+          if not (known pid) then
+            emit
+              (diag ~meth "kb-unknown-pattern"
+                 (Printf.sprintf "constraint %s names unknown pattern id %s"
+                    (quote c.c_id) (quote pid))))
+        refs;
+      (match c.kind with
+      | Equality { pi; ui; pj; uj } ->
+          check_index c.c_id pi ui;
+          check_index c.c_id pj uj
+      | Edge_exists { pi; ui; pj; uj; edge = _ } ->
+          check_index c.c_id pi ui;
+          check_index c.c_id pj uj
+      | Containment { main; u; template; support } ->
+          check_index c.c_id main u;
+          let bound =
+            List.fold_left
+              (fun acc pid ->
+                match Hashtbl.find_opt var_set pid with
+                | Some vs -> S.union acc vs
+                | None -> acc)
+              S.empty (main :: support)
+          in
+          List.iter
+            (fun x ->
+              if not (S.mem x bound) then
+                emit
+                  (diag ~meth "kb-dangling-ref"
+                     (Printf.sprintf
+                        "constraint %s: containment template variable %%%s%% \
+                         is bound by neither the main nor the supporting \
+                         patterns"
+                        (quote c.c_id) x)))
+            (Template.vars template));
+      (* feedback placeholders are instantiated from the referenced
+         patterns' embeddings *)
+      let bound =
+        List.fold_left
+          (fun acc pid ->
+            match Hashtbl.find_opt var_set pid with
+            | Some vs -> S.union acc vs
+            | None -> acc)
+          S.empty refs
+      in
+      let check_fb what text =
+        List.iter
+          (fun x ->
+            if not (S.mem x bound) then
+              emit
+                (diag ~meth "kb-unbound-placeholder"
+                   (Printf.sprintf
+                      "constraint %s: %s placeholder %%%s%% is bound by none \
+                       of the referenced patterns"
+                      (quote c.c_id) what x)))
+          (placeholders text)
+      in
+      check_fb "feedback (ok)" c.fb_ok;
+      check_fb "feedback (fail)" c.fb_fail)
+    q.q_constraints;
+  List.rev !out
+
+let lint_spec_unguarded (spec : Grader.spec) =
+  let per_method = List.concat_map lint_method spec.a_methods in
+  (* duplicate constraint ids anywhere in the spec *)
+  let seen = Hashtbl.create 8 in
+  let dups = ref [] in
+  List.iter
+    (fun (q : Grader.method_spec) ->
+      List.iter
+        (fun (c : Constr.t) ->
+          if Hashtbl.mem seen c.c_id then
+            dups :=
+              diag ~meth:q.q_name "kb-duplicate"
+                (Printf.sprintf "constraint id %s is declared twice"
+                   (quote c.c_id))
+              :: !dups
+          else Hashtbl.add seen c.c_id ())
+        q.q_constraints)
+    spec.a_methods;
+  per_method @ List.rev !dups
+
+let lint_spec spec =
+  match lint_spec_unguarded spec with
+  | diags -> diags
+  | exception e ->
+      [
+        diag "kb-structure"
+          (Printf.sprintf "linter failed: %s" (Printexc.to_string e));
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* The deliberately broken fixture                                     *)
+
+let broken_fixture : Grader.spec =
+  let t = Template.exact_of in
+  let p_loop : Pattern.t =
+    {
+      id = "p_loop";
+      description = "counting loop (broken on purpose)";
+      nodes =
+        [|
+          Pattern.node ~typ:Jfeed_pdg.Epdg.Cond (t "%i% < %n%");
+          Pattern.node ~typ:Jfeed_pdg.Epdg.Assign (t "%i% = %i% + 1");
+        |];
+      (* (0, 5): endpoint absent from the pattern; (1, 1): self edge *)
+      edges =
+        [ (0, 5, Jfeed_pdg.Epdg.Data); (1, 1, Jfeed_pdg.Epdg.Ctrl) ];
+      fb_present = "The loop counts with %i%.";
+      (* %bound% is bound by no node template *)
+      fb_missing = "No loop runs up to %bound%.";
+    }
+  in
+  let p_loop_dup : Pattern.t =
+    { p_loop with edges = []; fb_missing = "No loop found." }
+  in
+  let p_brk : Pattern.t =
+    {
+      id = "p_brk";
+      description = "early exit (broken on purpose)";
+      (* Break-typed node whose template can only match an assignment —
+         structurally unsatisfiable *)
+      nodes = [| Pattern.node ~typ:Jfeed_pdg.Epdg.Break (t "%x% = 0") |];
+      edges = [];
+      fb_present = "Stops early.";
+      fb_missing = "Never stops early.";
+    }
+  in
+  {
+    a_id = "broken-fixture";
+    a_title = "Deliberately malformed bundle (linter fixture)";
+    a_methods =
+      [
+        {
+          q_name = "compute";
+          q_patterns = [ (p_loop, 1); (p_loop_dup, 1); (p_brk, 1) ];
+          q_constraints =
+            [
+              (* references a pattern id that does not exist *)
+              Constr.equality ~id:"cx_ghost" ~desc:"ghost reference"
+                ("p_ghost", 0) ("p_loop", 0);
+              (* node index beyond the referenced pattern's range *)
+              Constr.equality ~id:"cx_range" ~desc:"index out of range"
+                ~ok:"Aligned via %zz%."
+                ("p_brk", 7) ("p_loop", 1);
+              (* containment template variable bound by nobody *)
+              Constr.containment ~id:"cx_free" ~desc:"free template variable"
+                ("p_loop", 0)
+                (t "%i% < %mystery%")
+                [ "p_brk" ];
+            ];
+          q_variants =
+            [
+              (* keyed by an id the method does not define *)
+              ("p_missing", [ { p_brk with id = "p_brk_alt" } ]);
+            ];
+        };
+      ];
+    enforce_headers = false;
+  }

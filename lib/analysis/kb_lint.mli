@@ -1,0 +1,38 @@
+(** Knowledge-base linter (tentpole client 2).
+
+    Static validation of a grading specification — the pattern bundles
+    the paper's instructors author by hand.  A malformed bundle today
+    fails *silently*: a dangling reference simply never matches and the
+    student gets vacuous feedback.  The linter turns each authoring
+    mistake into a diagnostic:
+
+    - [kb-structure] — {!Jfeed_core.Pattern.validate} problems (edge
+      endpoints out of range, self edges, no nodes, approximate
+      variables outside the exact alphabet) and variants whose node
+      count differs from their primary's;
+    - [kb-unsat] — patterns no EPDG can ever satisfy: a [Break]-typed
+      node whose exact template matches neither ["break"] nor
+      ["continue"], the only texts EPDG construction gives such nodes;
+    - [kb-unknown-pattern] — constraints or variant tables naming a
+      pattern id the method does not define;
+    - [kb-dangling-ref] — constraint node indices out of the referenced
+      pattern's range, and containment templates using variables bound
+      by neither the main nor the supporting patterns;
+    - [kb-unbound-placeholder] — feedback templates with [%x%]
+      placeholders that no embedding of the owning pattern(s) can bind;
+    - [kb-duplicate] — duplicate pattern ids within a method, variant
+      ids shadowing pattern ids, duplicate constraint ids in a spec.
+
+    All diagnostics carry the expected-method name in [meth] (or [""]
+    for spec-level problems); KB objects have no source positions. *)
+
+val pass_ids : string list
+(** The six stable linter pass ids, in canonical order. *)
+
+val lint_spec : Jfeed_core.Grader.spec -> Diagnostic.t list
+(** Total: never raises.  Empty = the spec is clean. *)
+
+val broken_fixture : Jfeed_core.Grader.spec
+(** A deliberately malformed spec exercising every check above — the
+    negative fixture behind [jfeed lint-kb --fixture-broken] and the
+    cram test. *)

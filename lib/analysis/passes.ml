@@ -1,0 +1,488 @@
+(** The five submission analysis passes.  See passes.mli. *)
+
+open Jfeed_java
+open Ast
+module S = Set.Make (String)
+
+let pass_ids =
+  [ "use-before-init"; "dead-store"; "unreachable"; "missing-return";
+    "suspicious-loop" ]
+
+let quote x = "'" ^ x ^ "'"
+
+(* Position helpers: every pass works with or without a source map. *)
+let stmt_pos srcmap s = Option.bind srcmap (fun m -> Srcmap.stmt_pos m s)
+let decl_pos srcmap d = Option.bind srcmap (fun m -> Srcmap.decl_pos m d)
+let meth_pos srcmap m = Option.bind srcmap (fun sm -> Srcmap.meth_pos sm m)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: use-before-init (definite assignment)                       *)
+
+module Must = Dataflow.Forward (struct
+  type t = S.t
+
+  let join = S.inter
+end)
+
+let use_before_init ?srcmap (m : meth) =
+  let diags = ref [] in
+  let declared = Hashtbl.create 16 in
+  let emit s x =
+    diags :=
+      Diagnostic.make ~pass:"use-before-init" ~severity:Error ~meth:m.m_name
+        ?pos:(stmt_pos srcmap s)
+        (Printf.sprintf "variable %s may be read before it is initialized"
+           (quote x))
+      :: !diags
+  in
+  let expr st s e =
+    List.iter
+      (fun x -> if Hashtbl.mem declared x && not (S.mem x st) then emit s x)
+      (read_vars e);
+    List.fold_left (fun st x -> S.add x st) st (assigned_vars e)
+  in
+  let decl st s (d : var_decl) =
+    match d.d_init with
+    | Some e ->
+        let st = expr st s e in
+        Hashtbl.replace declared d.d_name ();
+        S.add d.d_name st
+    | None ->
+        Hashtbl.replace declared d.d_name ();
+        st
+  in
+  let entry =
+    List.fold_left (fun st p -> S.add p.p_name st) S.empty m.m_params
+  in
+  ignore (Must.stmts { expr; decl } entry m.m_body);
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: dead-store / unused variable                                *)
+
+(* Every variable a statement mentions, read or written, at any depth —
+   used to conservatively invalidate pending stores when control flow
+   gets involved. *)
+let rec mentioned_vars s acc =
+  let of_expr e acc =
+    let acc = List.fold_left (fun a x -> S.add x a) acc (read_vars e) in
+    List.fold_left (fun a x -> S.add x a) acc (assigned_vars e)
+  in
+  let of_decl (d : var_decl) acc =
+    let acc = S.add d.d_name acc in
+    match d.d_init with Some e -> of_expr e acc | None -> acc
+  in
+  match s with
+  | Sempty | Sbreak | Scontinue -> acc
+  | Sdecl ds -> List.fold_left (fun a d -> of_decl d a) acc ds
+  | Sexpr e -> of_expr e acc
+  | Sreturn (Some e) -> of_expr e acc
+  | Sreturn None -> acc
+  | Sblock b -> List.fold_left (fun a s -> mentioned_vars s a) acc b
+  | Sif (c, t, f) ->
+      let acc = of_expr c acc in
+      let acc = mentioned_vars t acc in
+      (match f with Some f -> mentioned_vars f acc | None -> acc)
+  | Swhile (c, b) -> mentioned_vars b (of_expr c acc)
+  | Sdo (b, c) -> mentioned_vars b (of_expr c acc)
+  | Sfor (init, cond, update, b) ->
+      let acc =
+        match init with
+        | None -> acc
+        | Some (For_decl ds) -> List.fold_left (fun a d -> of_decl d a) acc ds
+        | Some (For_exprs es) -> List.fold_left (fun a e -> of_expr e a) acc es
+      in
+      let acc = match cond with Some c -> of_expr c acc | None -> acc in
+      let acc = List.fold_left (fun a e -> of_expr e a) acc update in
+      mentioned_vars b acc
+  | Sswitch (scrut, cases) ->
+      let acc = of_expr scrut acc in
+      List.fold_left
+        (fun a c ->
+          let a =
+            match c.case_label with Some l -> of_expr l a | None -> a
+          in
+          List.fold_left (fun a s -> mentioned_vars s a) a c.case_body)
+        acc cases
+
+let dead_store ?srcmap (m : meth) =
+  let diags = ref [] in
+  let emit ?pos x =
+    diags :=
+      Diagnostic.make ~pass:"dead-store" ~severity:Warning ~meth:m.m_name ?pos
+        (Printf.sprintf
+           "value stored in %s is overwritten before it is ever read"
+           (quote x))
+      :: !diags
+  in
+  (* Scan each statement sequence independently: a pending plain store
+     [x = e] is dead when the same sequence stores to [x] again with no
+     read of [x] in between.  Any compound statement (branching, loops,
+     switch) conservatively invalidates every variable it mentions, and
+     pending stores are never carried past the end of a sequence, so the
+     check has no false positives from control flow. *)
+  let rec seq stmts =
+    let pending : (string, Srcmap.pos option) Hashtbl.t = Hashtbl.create 8 in
+    let clear_reads e =
+      List.iter (Hashtbl.remove pending) (read_vars e)
+    in
+    let store x pos =
+      (match Hashtbl.find_opt pending x with
+      | Some prior -> emit ?pos:prior x
+      | None -> ());
+      Hashtbl.replace pending x pos
+    in
+    let step s =
+      match s with
+      | Sexpr (Assign (Set, Var x, rhs)) ->
+          clear_reads rhs;
+          (* a nested assignment inside the rhs is a store too — just
+             invalidate, no verdict *)
+          List.iter (Hashtbl.remove pending) (assigned_vars rhs);
+          store x (stmt_pos srcmap s)
+      | Sdecl ds ->
+          List.iter
+            (fun (d : var_decl) ->
+              match d.d_init with
+              | Some e ->
+                  clear_reads e;
+                  List.iter (Hashtbl.remove pending) (assigned_vars e);
+                  let pos =
+                    match decl_pos srcmap d with
+                    | Some _ as p -> p
+                    | None -> stmt_pos srcmap s
+                  in
+                  store d.d_name pos
+              | None -> ())
+            ds
+      | Sexpr e ->
+          clear_reads e;
+          List.iter (Hashtbl.remove pending) (assigned_vars e)
+      | Sreturn (Some e) -> clear_reads e
+      | Sreturn None | Sbreak | Scontinue | Sempty -> ()
+      | Sblock _ | Sif _ | Swhile _ | Sdo _ | Sfor _ | Sswitch _ ->
+          S.iter (Hashtbl.remove pending) (mentioned_vars s S.empty);
+          nested s
+    in
+    List.iter step stmts
+  and nested s =
+    match s with
+    | Sblock b -> seq b
+    | Sif (_, t, f) ->
+        nested_or_seq t;
+        Option.iter nested_or_seq f
+    | Swhile (_, b) | Sfor (_, _, _, b) | Sdo (b, _) -> nested_or_seq b
+    | Sswitch (_, cases) -> List.iter (fun c -> seq c.case_body) cases
+    | _ -> ()
+  and nested_or_seq s = match s with Sblock b -> seq b | s -> nested s in
+  seq m.m_body;
+  List.rev !diags
+
+(* A local that no EPDG node ever reads: the def-use reading of the
+   method (its program dependence graph) never consumes the variable. *)
+let unused_vars ?srcmap (m : meth) =
+  let epdg = Jfeed_pdg.Epdg.of_method m in
+  let reads =
+    Jfeed_graph.Digraph.fold_nodes epdg.graph ~init:S.empty
+      ~f:(fun acc _ (info : Jfeed_pdg.Epdg.node_info) ->
+        List.fold_left (fun a x -> S.add x a) acc (read_vars info.n_expr))
+  in
+  (* collect every declarator of the method, in source order *)
+  let decls = ref [] in
+  let rec go s =
+    match s with
+    | Sdecl ds -> decls := List.rev_append ds !decls
+    | Sblock b -> List.iter go b
+    | Sif (_, t, f) ->
+        go t;
+        Option.iter go f
+    | Swhile (_, b) | Sdo (b, _) -> go b
+    | Sfor (init, _, _, b) ->
+        (match init with
+        | Some (For_decl ds) -> decls := List.rev_append ds !decls
+        | _ -> ());
+        go b
+    | Sswitch (_, cases) -> List.iter (fun c -> List.iter go c.case_body) cases
+    | Sexpr _ | Sreturn _ | Sbreak | Scontinue | Sempty -> ()
+  in
+  List.iter go m.m_body;
+  List.rev !decls
+  |> List.filter (fun (d : var_decl) -> not (S.mem d.d_name reads))
+  |> List.map (fun (d : var_decl) ->
+         Diagnostic.make ~pass:"dead-store" ~severity:Warning ~meth:m.m_name
+           ?pos:(decl_pos srcmap d)
+           (Printf.sprintf "variable %s is never read" (quote d.d_name)))
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: unreachable code                                            *)
+
+let unreachable ?srcmap (m : meth) =
+  let diags = ref [] in
+  let emit s msg =
+    diags :=
+      Diagnostic.make ~pass:"unreachable" ~severity:Warning ~meth:m.m_name
+        ?pos:(stmt_pos srcmap s) msg
+      :: !diags
+  in
+  let rec scan s =
+    match s with
+    | Sblock b -> scan_seq b
+    | Sif (c, t, f) ->
+        (match (c, f) with
+        | Bool_lit false, _ ->
+            emit t "this branch is unreachable (condition is always false)"
+        | Bool_lit true, Some e ->
+            emit e "this branch is unreachable (condition is always true)"
+        | _ -> ());
+        scan t;
+        Option.iter scan f
+    | Swhile (c, body) ->
+        (match c with
+        | Bool_lit false ->
+            emit body "loop body is unreachable (condition is always false)"
+        | _ -> ());
+        scan body
+    | Sfor (_, cond, _, body) ->
+        (match cond with
+        | Some (Bool_lit false) ->
+            emit body "loop body is unreachable (condition is always false)"
+        | _ -> ());
+        scan body
+    | Sdo (body, _) -> scan body
+    | Sswitch (_, cases) -> List.iter (fun c -> scan_seq c.case_body) cases
+    | Sdecl _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue | Sempty -> ()
+  and scan_seq stmts =
+    (* one verdict per sequence: the first statement that control cannot
+       reach; nested statements are still scanned for their own issues *)
+    let rec go emitted = function
+      | [] -> ()
+      | s :: rest ->
+          scan s;
+          let emitted =
+            if (not emitted) && (not (Dataflow.completes s)) && rest <> []
+            then begin
+              (match rest with
+              | r :: _ -> emit r "statement is unreachable"
+              | [] -> ());
+              true
+            end
+            else emitted
+          in
+          go emitted rest
+    in
+    go false stmts
+  in
+  scan_seq m.m_body;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: missing return                                              *)
+
+let missing_return ?srcmap (m : meth) =
+  if m.m_ret <> Tprim "void" && Dataflow.seq_completes m.m_body then
+    [
+      Diagnostic.make ~pass:"missing-return" ~severity:Error ~meth:m.m_name
+        ?pos:(meth_pos srcmap m)
+        (Printf.sprintf
+           "method %s returns %s but can finish without returning a value"
+           (quote m.m_name)
+           (string_of_typ m.m_ret));
+    ]
+  else []
+
+(* ------------------------------------------------------------------ *)
+(* Pass 5: suspicious loop                                             *)
+
+let rec expr_has_call = function
+  | Call _ -> true
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+  | Var _ ->
+      false
+  | Field (e, _) | Unary (_, e) | Incdec (_, e) | Cast (_, e) ->
+      expr_has_call e
+  | Index (e1, e2) | Binary (_, e1, e2) | Assign (_, e1, e2) ->
+      expr_has_call e1 || expr_has_call e2
+  | New (_, es) | New_array (_, es) | Array_lit es ->
+      List.exists expr_has_call es
+  | Ternary (c, t, f) ->
+      expr_has_call c || expr_has_call t || expr_has_call f
+
+let rec exits_early = function
+  | Sbreak | Sreturn _ -> true
+  | Sblock b -> List.exists exits_early b
+  | Sif (_, t, f) ->
+      exits_early t || (match f with Some f -> exits_early f | None -> false)
+  | Swhile (_, b) | Sfor (_, _, _, b) | Sdo (b, _) -> exits_early b
+  | Sswitch (_, cases) ->
+      (* [break] in a case binds to the switch; only [return] escapes *)
+      let rec returns = function
+        | Sreturn _ -> true
+        | Sblock b -> List.exists returns b
+        | Sif (_, t, f) ->
+            returns t
+            || (match f with Some f -> returns f | None -> false)
+        | Swhile (_, b) | Sfor (_, _, _, b) | Sdo (b, _) -> returns b
+        | Sswitch (_, cs) ->
+            List.exists (fun c -> List.exists returns c.case_body) cs
+        | _ -> false
+      in
+      List.exists (fun c -> List.exists returns c.case_body) cases
+  | Sdecl _ | Sexpr _ | Scontinue | Sempty -> false
+
+(* Every variable the statement assigns, at any depth, including
+   declared-with-initializer names (a shadowing redeclaration still
+   updates the name the condition reads, under our name-based view). *)
+let rec updated_vars s acc =
+  let of_expr e acc =
+    List.fold_left (fun a x -> S.add x a) acc (assigned_vars e)
+  in
+  let of_decl (d : var_decl) acc =
+    let acc = S.add d.d_name acc in
+    match d.d_init with Some e -> of_expr e acc | None -> acc
+  in
+  match s with
+  | Sempty | Sbreak | Scontinue | Sreturn None -> acc
+  | Sdecl ds -> List.fold_left (fun a d -> of_decl d a) acc ds
+  | Sexpr e | Sreturn (Some e) -> of_expr e acc
+  | Sblock b -> List.fold_left (fun a s -> updated_vars s a) acc b
+  | Sif (c, t, f) ->
+      let acc = of_expr c acc in
+      let acc = updated_vars t acc in
+      (match f with Some f -> updated_vars f acc | None -> acc)
+  | Swhile (c, b) -> updated_vars b (of_expr c acc)
+  | Sdo (b, c) -> updated_vars b (of_expr c acc)
+  | Sfor (init, cond, update, b) ->
+      let acc =
+        match init with
+        | None -> acc
+        | Some (For_decl ds) -> List.fold_left (fun a d -> of_decl d a) acc ds
+        | Some (For_exprs es) -> List.fold_left (fun a e -> of_expr e a) acc es
+      in
+      let acc = match cond with Some c -> of_expr c acc | None -> acc in
+      let acc = List.fold_left (fun a e -> of_expr e a) acc update in
+      updated_vars b acc
+  | Sswitch (scrut, cases) ->
+      let acc = of_expr scrut acc in
+      List.fold_left
+        (fun a c -> List.fold_left (fun a s -> updated_vars s a) a c.case_body)
+        acc cases
+
+let suspicious_loop ?srcmap (m : meth) =
+  let diags = ref [] in
+  let emit s vars =
+    let noun =
+      match vars with
+      | [ v ] -> Printf.sprintf "%s, which the loop body never updates" (quote v)
+      | vs ->
+          Printf.sprintf "%s, none of which the loop body updates"
+            (String.concat ", " (List.map quote vs))
+    in
+    diags :=
+      Diagnostic.make ~pass:"suspicious-loop" ~severity:Warning ~meth:m.m_name
+        ?pos:(stmt_pos srcmap s)
+        (Printf.sprintf "loop condition only reads %s" noun)
+      :: !diags
+  in
+  let check s cond body update =
+    (* method calls in the condition can observe external state
+       ([sc.hasNextInt()]); stay silent on those *)
+    if not (expr_has_call cond) then begin
+      let cond_vars = read_vars cond in
+      if cond_vars <> [] && not (exits_early body) then begin
+        let updated =
+          List.fold_left
+            (fun a e -> List.fold_left (fun a x -> S.add x a) a (assigned_vars e))
+            (updated_vars body S.empty) update
+        in
+        if not (List.exists (fun v -> S.mem v updated) cond_vars) then
+          emit s cond_vars
+      end
+    end
+  in
+  let rec scan s =
+    match s with
+    | Swhile (c, body) ->
+        check s c body [];
+        scan body
+    | Sdo (body, c) ->
+        check s c body [];
+        scan body
+    | Sfor (_, cond, update, body) ->
+        (match cond with Some c -> check s c body update | None -> ());
+        scan body
+    | Sblock b -> List.iter scan b
+    | Sif (_, t, f) ->
+        scan t;
+        Option.iter scan f
+    | Sswitch (_, cases) -> List.iter (fun c -> List.iter scan c.case_body) cases
+    | Sdecl _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue | Sempty -> ()
+  in
+  List.iter scan m.m_body;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+(* Totality: a pass that raises reports the failure as one diagnostic
+   of its own pass id — analysis never takes the pipeline down. *)
+let guard pass meth_name f =
+  match f () with
+  | diags -> diags
+  | exception e ->
+      [
+        Diagnostic.make ~pass ~severity:Error ~meth:meth_name
+          (Printf.sprintf "analysis failed: %s" (Printexc.to_string e));
+      ]
+
+let analyze_method ?srcmap (m : meth) =
+  let runs =
+    [
+      ("use-before-init", fun () -> use_before_init ?srcmap m);
+      ("dead-store", fun () -> dead_store ?srcmap m @ unused_vars ?srcmap m);
+      ("unreachable", fun () -> unreachable ?srcmap m);
+      ("missing-return", fun () -> missing_return ?srcmap m);
+      ("suspicious-loop", fun () -> suspicious_loop ?srcmap m);
+    ]
+  in
+  List.concat_map (fun (id, f) -> guard id m.m_name f) runs
+  |> List.sort Diagnostic.compare
+
+let analyze_program ?srcmap (p : program) =
+  List.concat_map (analyze_method ?srcmap) p.methods
+
+let analyze_source src =
+  match Parser.parse_program_located src with
+  | prog, srcmap -> analyze_program ~srcmap prog
+  | exception Parser.Parse_error (msg, line, col) ->
+      [
+        Diagnostic.make ~pass:"parse" ~severity:Error
+          ~pos:{ line; col }
+          (Printf.sprintf "parse error: %s" msg);
+      ]
+  | exception Lexer.Lex_error (msg, line, col) ->
+      [
+        Diagnostic.make ~pass:"parse" ~severity:Error
+          ~pos:{ line; col }
+          (Printf.sprintf "lexical error: %s" msg);
+      ]
+  | exception e ->
+      [
+        Diagnostic.make ~pass:"parse" ~severity:Error
+          (Printf.sprintf "analysis failed: %s" (Printexc.to_string e));
+      ]
+
+let count_by_pass diags =
+  let counts = Hashtbl.create 8 in
+  let extra = ref [] in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      (match Hashtbl.find_opt counts d.pass with
+      | None ->
+          Hashtbl.add counts d.pass 1;
+          if not (List.mem d.pass pass_ids) then extra := d.pass :: !extra
+      | Some n -> Hashtbl.replace counts d.pass (n + 1)))
+    diags;
+  let of_id id =
+    (id, match Hashtbl.find_opt counts id with Some n -> n | None -> 0)
+  in
+  List.map of_id pass_ids @ List.rev_map of_id !extra

@@ -1,0 +1,41 @@
+(** The submission analysis passes (tentpole client 1).
+
+    Five intraprocedural passes over the AST + EPDG:
+
+    - [use-before-init] — definite assignment: a declared local may be
+      read on some path before any assignment reaches it (error);
+    - [dead-store] — a value stored into a variable is overwritten
+      before any read, or a local is never read at all (warning; the
+      never-read check reads uses off the method's EPDG def-use nodes);
+    - [unreachable] — statements after [return]/[break]/[continue], and
+      branches/bodies guarded by constant-false (or constant-true)
+      conditions (warning);
+    - [missing-return] — a non-[void] method can complete normally
+      without returning a value (error);
+    - [suspicious-loop] — a loop whose condition reads only variables
+      the body never updates, with no [break]/[return] escape and no
+      method call in the condition (warning).
+
+    Every entry point is total: a pass that raises is reported as a
+    single diagnostic of that pass rather than an exception. *)
+
+val pass_ids : string list
+(** The five stable pass ids, in canonical order. *)
+
+val analyze_method :
+  ?srcmap:Jfeed_java.Srcmap.t -> Jfeed_java.Ast.meth -> Diagnostic.t list
+
+val analyze_program :
+  ?srcmap:Jfeed_java.Srcmap.t -> Jfeed_java.Ast.program -> Diagnostic.t list
+(** Methods in source order; within a method, diagnostics sorted by
+    position, then pass id, then message. *)
+
+val analyze_source : string -> Diagnostic.t list
+(** Parse with positions and analyze.  Total: lexer/parser failures come
+    back as a single [parse] diagnostic (severity error) instead of an
+    exception. *)
+
+val count_by_pass : Diagnostic.t list -> (string * int) list
+(** Diagnostic counts keyed by the five pass ids, in {!pass_ids} order,
+    every pass present (count 0 included); diagnostics from other passes
+    (e.g. [parse]) are appended after, in first-seen order. *)

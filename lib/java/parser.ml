@@ -17,6 +17,9 @@ type state = {
       (** recursion depth of the expression/statement grammar, to turn
           pathological nesting into a {!Parse_error} instead of a
           [Stack_overflow] *)
+  map : Srcmap.t option;
+      (** when present, statement/declarator/method positions are
+          recorded as they are parsed (see {!parse_program_located}) *)
 }
 
 let max_nesting = 1_000
@@ -37,6 +40,12 @@ let advance st =
 let fail st msg =
   let loc : Lexer.located = current st in
   raise (Parse_error (msg, loc.line, loc.col))
+
+(* Position of the token about to be consumed — the start of whatever
+   construct is being parsed next. *)
+let here st : Srcmap.pos =
+  let loc : Lexer.located = current st in
+  { line = loc.line; col = loc.col }
 
 (* Guard a recursive descent: every self-embedding production
    (expression, unary chain, statement) passes through here, so inputs
@@ -379,10 +388,12 @@ let starts_declaration st =
    produce arbitrarily long [int a, a, a, …] chains. *)
 let parse_declarators st base =
   let rec go acc =
+    let pos = here st in
     let name = expect_ident st in
     let t = parse_array_suffix st base in
     let init = if eat_punct st "=" then Some (parse_expr st) else None in
     let d = { d_type = t; d_name = name; d_init = init } in
+    Option.iter (fun m -> Srcmap.record_decl m d pos) st.map;
     if eat_punct st "," then go (d :: acc) else List.rev (d :: acc)
   in
   go []
@@ -391,7 +402,14 @@ let parse_decl_list st =
   let base = parse_type st in
   parse_declarators st base
 
-let rec parse_stmt st = deepen st parse_stmt_body
+let rec parse_stmt st =
+  match st.map with
+  | None -> deepen st parse_stmt_body
+  | Some m ->
+      let pos = here st in
+      let s = deepen st parse_stmt_body in
+      Srcmap.record_stmt m s pos;
+      s
 
 and parse_stmt_body st =
   match peek_tok st with
@@ -550,6 +568,7 @@ let parse_params st =
 
 let parse_method st =
   skip_modifiers st;
+  let pos = here st in
   let ret = parse_type st in
   let name = expect_ident st in
   let params = parse_params st in
@@ -563,7 +582,9 @@ let parse_method st =
   | _ -> ());
   expect_punct st "{";
   let body = parse_stmts_until st "}" in
-  { m_ret = ret; m_name = name; m_params = params; m_body = body }
+  let m = { m_ret = ret; m_name = name; m_params = params; m_body = body } in
+  Option.iter (fun map -> Srcmap.record_meth map m pos) st.map;
+  m
 
 let parse_program_tokens st =
   let methods = ref [] in
@@ -602,11 +623,21 @@ let parse_program_tokens st =
 
 let with_state src f =
   let toks = Array.of_list (Lexer.tokenize src) in
-  f { toks; cursor = 0; depth = 0 }
+  f { toks; cursor = 0; depth = 0; map = None }
 
 (** Parse a complete submission: one or more methods, optionally inside
     class declarations.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
 let parse_program src = with_state src parse_program_tokens
+
+(** Like {!parse_program}, additionally recording statement, declarator
+    and method source positions.  Recording stays off for the plain
+    entry points so hot paths (cache normalization, the generator) pay
+    nothing. *)
+let parse_program_located src =
+  let map = Srcmap.create () in
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let prog = parse_program_tokens { toks; cursor = 0; depth = 0; map = Some map } in
+  (prog, map)
 
 (** Parse a single expression; the whole input must be consumed. *)
 let parse_expression src =

@@ -11,6 +11,11 @@ exception Parse_error of string * int * int
 val parse_program : string -> Ast.program
 (** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
 
+val parse_program_located : string -> Ast.program * Srcmap.t
+(** Like {!parse_program}, additionally recording where every statement,
+    declarator and method begins.  The plain entry points skip the
+    recording entirely, so they cost nothing extra. *)
+
 val parse_expression : string -> Ast.expr
 (** Parse a single expression; the whole input must be consumed. *)
 

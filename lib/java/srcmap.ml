@@ -1,0 +1,44 @@
+(** Source-position side table keyed by physical identity.  See
+    srcmap.mli. *)
+
+type pos = { line : int; col : int }
+
+(* [Hashtbl.hash] is structural, which only spreads the buckets; the
+   [==] equality is what distinguishes two structurally equal nodes. *)
+module Phys (T : sig
+  type t
+end) =
+Hashtbl.Make (struct
+  type t = T.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+module Stmts = Phys (struct
+  type t = Ast.stmt
+end)
+
+module Decls = Phys (struct
+  type t = Ast.var_decl
+end)
+
+module Meths = Phys (struct
+  type t = Ast.meth
+end)
+
+type t = {
+  stmts : pos Stmts.t;
+  decls : pos Decls.t;
+  meths : pos Meths.t;
+}
+
+let create () =
+  { stmts = Stmts.create 64; decls = Decls.create 16; meths = Meths.create 4 }
+
+let record_stmt t s p = Stmts.replace t.stmts s p
+let record_decl t d p = Decls.replace t.decls d p
+let record_meth t m p = Meths.replace t.meths m p
+let stmt_pos t s = Stmts.find_opt t.stmts s
+let decl_pos t d = Decls.find_opt t.decls d
+let meth_pos t m = Meths.find_opt t.meths m

@@ -1,0 +1,29 @@
+(** Source-position side table for AST nodes.
+
+    The AST constructors carry no positions (they are pattern-matched in
+    dozens of places and round-tripped through {!Pretty}); instead the
+    parser can record where each statement, declarator and method began
+    into a side table keyed by the node's *physical* identity.  Lookups
+    on an AST that was not parsed with recording on simply return
+    [None].
+
+    Caveat: the constant constructors [Sbreak], [Scontinue] and [Sempty]
+    are physically shared atoms, so all occurrences of each share one
+    slot — the table keeps the position of the last one parsed.  The
+    analyses that need positions for those forms resolve them through
+    the enclosing statement instead. *)
+
+type pos = { line : int; col : int }
+(** 1-based, as produced by {!Lexer.tokenize}. *)
+
+type t
+
+val create : unit -> t
+
+val record_stmt : t -> Ast.stmt -> pos -> unit
+val record_decl : t -> Ast.var_decl -> pos -> unit
+val record_meth : t -> Ast.meth -> pos -> unit
+
+val stmt_pos : t -> Ast.stmt -> pos option
+val decl_pos : t -> Ast.var_decl -> pos option
+val meth_pos : t -> Ast.meth -> pos option

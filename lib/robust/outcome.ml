@@ -43,7 +43,11 @@ type test_status =
   | Tests_failed of string * string
   | Tests_not_run
 
-type report = { grading : Grader.result; tests : test_status }
+type report = {
+  grading : Grader.result;
+  tests : test_status;
+  diags : Jfeed_analysis.Diagnostic.t list;
+}
 
 type diagnostic = { stage : string; message : string }
 
@@ -81,6 +85,17 @@ let to_json ?file ?(comments = false) t =
   in
   match t with
   | Graded r | Degraded (r, _) ->
+      (* the batch summary keeps one line per submission, so it carries
+         only the diagnostic count; the serving payload (comments on)
+         also carries the full diagnostics array *)
+      let diag_fields =
+        if comments then
+          Printf.sprintf {|,"diags":%d,"diagnostics":[%s]|}
+            (List.length r.diags)
+            (String.concat ","
+               (List.map Jfeed_analysis.Diagnostic.to_json r.diags))
+        else Printf.sprintf {|,"diags":%d|} (List.length r.diags)
+      in
       let comment_field =
         if comments then
           Printf.sprintf {|,"comments":[%s]|}
@@ -89,7 +104,7 @@ let to_json ?file ?(comments = false) t =
         else ""
       in
       Printf.sprintf
-        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s}|}
+        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s%s}|}
         prefix
         (json_string (classify t))
         r.grading.Grader.score
@@ -97,7 +112,7 @@ let to_json ?file ?(comments = false) t =
         (tests_to_json r.tests)
         (String.concat ","
            (List.map (fun x -> json_string (string_of_reason x)) (reasons t)))
-        comment_field
+        diag_fields comment_field
   | Rejected d ->
       Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s}|} prefix
         (json_string d.stage) (json_string d.message)

@@ -54,6 +54,10 @@ type test_status =
 type report = {
   grading : Jfeed_core.Grader.result;
   tests : test_status;
+  diags : Jfeed_analysis.Diagnostic.t list;
+      (** static-analysis findings on the submission (the five
+          {!Jfeed_analysis.Passes} passes), computed once at parse time;
+          empty when analysis itself failed — analysis never rejects *)
 }
 
 type diagnostic = { stage : string; message : string }
@@ -75,8 +79,9 @@ val reasons : t -> reason list
 val to_json : ?file:string -> ?comments:bool -> t -> string
 (** One submission's outcome as a single-line JSON object with stable
     field order: [file] (when given), [outcome], then per-outcome
-    fields — [score]/[max]/[tests]/[reasons] for graded and degraded,
-    [stage]/[error] for rejected.  [?comments] (default off, preserving
-    the batch summary's byte-stable shape) appends the instantiated
-    feedback comments as a [comments] array — the serving tier's full
-    payload. *)
+    fields — [score]/[max]/[tests]/[reasons]/[diags] for graded and
+    degraded, [stage]/[error] for rejected.  [diags] is the diagnostic
+    count; [?comments] (default off, preserving the batch summary's
+    one-line-per-submission shape) additionally appends the full
+    [diagnostics] array and the instantiated feedback comments as a
+    [comments] array — the serving tier's full payload. *)

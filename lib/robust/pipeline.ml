@@ -22,8 +22,8 @@ let protect f =
   | exception e -> Error (Printexc.to_string e)
 
 let parse_stage src =
-  match Parser.parse_program src with
-  | prog -> Ok prog
+  match Parser.parse_program_located src with
+  | prog, srcmap -> Ok (prog, srcmap)
   | exception Parser.Parse_error (msg, line, col) ->
       Error
         {
@@ -103,19 +103,30 @@ let grade_prog ?budget ?normalize ?use_variants ?inline_helpers
       per_method_grade ?budget ?normalize ?use_variants ?inline_helpers spec
         prog msg
 
-let outcome_of ~tests grading reasons =
-  let report = { Outcome.grading; tests } in
+let outcome_of ~tests ~diags grading reasons =
+  let report = { Outcome.grading; tests; diags } in
   if reasons = [] then Outcome.Graded report
   else Outcome.Degraded (report, reasons)
+
+(* The analysis passes are total by contract, but the pipeline trusts
+   nothing: a crash here yields an empty diagnostic list, never a
+   changed outcome. *)
+let analyze_stage (prog, srcmap) =
+  match
+    protect (fun () -> Jfeed_analysis.Passes.analyze_program ~srcmap prog)
+  with
+  | Ok diags -> diags
+  | Error _ -> []
 
 let grade_guarded ?budget ?normalize ?use_variants ?inline_helpers spec src =
   match parse_stage src with
   | Error d -> Outcome.Rejected d
-  | Ok prog ->
+  | Ok ((prog, _) as parsed) ->
+      let diags = analyze_stage parsed in
       let grading, reasons =
         grade_prog ?budget ?normalize ?use_variants ?inline_helpers spec prog
       in
-      outcome_of ~tests:Outcome.Tests_not_run grading reasons
+      outcome_of ~tests:Outcome.Tests_not_run ~diags grading reasons
 
 (* Functional testing under the shared budget.  A failing submission is
    a normal graded outcome; only an unrunnable suite or fuel exhaustion
@@ -140,7 +151,8 @@ let assess ?budget ?normalize ?use_variants ?inline_helpers
     ?(with_tests = true) (b : Bundles.t) src =
   match parse_stage src with
   | Error d -> Outcome.Rejected d
-  | Ok prog ->
+  | Ok ((prog, _) as parsed) ->
+      let diags = analyze_stage parsed in
       let grading, reasons =
         grade_prog ?budget ?normalize ?use_variants ?inline_helpers
           b.Bundles.grading prog
@@ -149,7 +161,7 @@ let assess ?budget ?normalize ?use_variants ?inline_helpers
         if with_tests then run_tests ?budget b prog
         else (Outcome.Tests_not_run, [])
       in
-      outcome_of ~tests grading (reasons @ test_reasons)
+      outcome_of ~tests ~diags grading (reasons @ test_reasons)
 
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)

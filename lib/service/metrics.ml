@@ -13,6 +13,9 @@ type t = {
   mutable degraded : int;
   mutable rejected : int;
   mutable queue_max : int;
+  diag_counts : (string, int) Hashtbl.t;
+      (* static-analysis findings delivered, keyed by pass id; cached
+         replays count — the client received those diagnostics too *)
   lat : float array;  (* ring of the last [reservoir_cap] grade latencies *)
   mutable lat_n : int;  (* total latencies ever recorded *)
 }
@@ -29,6 +32,7 @@ let create () =
     degraded = 0;
     rejected = 0;
     queue_max = 0;
+    diag_counts = Hashtbl.create 8;
     lat = Array.make reservoir_cap 0.0;
     lat_n = 0;
   }
@@ -47,6 +51,18 @@ let record_grade t ~outcome ~hit ~ms =
   | _ -> t.rejected <- t.rejected + 1);
   t.lat.(t.lat_n mod reservoir_cap) <- ms;
   t.lat_n <- t.lat_n + 1
+
+let record_diags t counts =
+  List.iter
+    (fun (pass, n) ->
+      if n > 0 then
+        let prev =
+          match Hashtbl.find_opt t.diag_counts pass with
+          | Some p -> p
+          | None -> 0
+        in
+        Hashtbl.replace t.diag_counts pass (prev + n))
+    counts
 
 let observe_queue_depth t d = if d > t.queue_max then t.queue_max <- d
 
@@ -82,6 +98,15 @@ let to_stats t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
     queue_depth;
     queue_max = t.queue_max;
     queue_cap;
+    (* the five pass ids, fixed order, all present — byte-stable *)
+    diag_counts =
+      List.map
+        (fun pass ->
+          ( pass,
+            match Hashtbl.find_opt t.diag_counts pass with
+            | Some n -> n
+            | None -> 0 ))
+        Jfeed_analysis.Passes.pass_ids;
     p50_ms = percentile t 0.50;
     p95_ms = percentile t 0.95;
   }

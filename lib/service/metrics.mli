@@ -27,6 +27,12 @@ val record_grade : t -> outcome:string -> hit:bool -> ms:float -> unit
     served from the result cache (including in-flight batch duplicates),
     [ms] the request's service time. *)
 
+val record_diags : t -> (string * int) list -> unit
+(** Static-analysis findings delivered with a grade response, as
+    per-pass counts ({!Jfeed_analysis.Passes.count_by_pass}).  Counted
+    on cache hits and in-flight duplicates too — the client received
+    those diagnostics all the same. *)
+
 val observe_queue_depth : t -> int -> unit
 (** Track the high-water mark of the grade queue. *)
 

@@ -347,16 +347,23 @@ type stats = {
   queue_depth : int;
   queue_max : int;
   queue_cap : int;
+  diag_counts : (string * int) list;
   p50_ms : float;
   p95_ms : float;
 }
 
 let stats_response ?id s =
+  let diagnostics =
+    String.concat ","
+      (List.map
+         (fun (pass, n) -> Printf.sprintf {|"%s":%d|} (esc pass) n)
+         s.diag_counts)
+  in
   Printf.sprintf
-    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"queue":{"depth":%d,"max":%d,"cap":%d},"latency_ms":{"p50":%.3f,"p95":%.3f}}|}
+    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d},"latency_ms":{"p50":%.3f,"p95":%.3f}}|}
     (id_prefix id) s.requests s.grades s.stats_reqs s.errors s.cache_hits
     s.cache_misses s.cache_size s.cache_cap s.graded s.degraded s.rejected
-    s.queue_depth s.queue_max s.queue_cap s.p50_ms s.p95_ms
+    diagnostics s.queue_depth s.queue_max s.queue_cap s.p50_ms s.p95_ms
 
 let shutdown_response ?id () =
   Printf.sprintf {|{%s"op":"shutdown","ok":true}|} (id_prefix id)

@@ -87,6 +87,10 @@ type stats = {
   queue_depth : int;  (** grade requests queued when stats was handled *)
   queue_max : int;  (** deepest queue observed so far *)
   queue_cap : int;
+  diag_counts : (string * int) list;
+      (** static-analysis findings delivered, per pass id; the five
+          standard passes always present, in {!Jfeed_analysis.Passes.pass_ids}
+          order, so the rendered object is byte-stable *)
   p50_ms : float;  (** grade latency percentiles, 0 when no grades yet *)
   p95_ms : float;
 }

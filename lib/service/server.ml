@@ -110,6 +110,7 @@ let rec poll_line r =
 type entry = {
   outcome_class : string;
   fuel_spent : int option;  (* the response's fuel field, when budgeted *)
+  diag_counts : (string * int) list;  (* per-pass analysis findings *)
   result_json : string;
 }
 
@@ -162,6 +163,11 @@ let grade_miss (m : miss) =
         (match r.g_fuel with
         | Some _ -> Some item.Pipeline.fuel_spent
         | None -> None);
+      diag_counts =
+        (match Outcome.report item.Pipeline.outcome with
+        | Some rep ->
+            Jfeed_analysis.Passes.count_by_pass rep.Outcome.diags
+        | None -> []);
       result_json = Outcome.to_json ~comments:true item.Pipeline.outcome;
     }
   in
@@ -216,6 +222,7 @@ let process_batch st oc (batch : grade_req list) =
         | Hit (e, ms) ->
             Metrics.record_grade st.metrics ~outcome:e.outcome_class
               ~hit:true ~ms;
+            Metrics.record_diags st.metrics e.diag_counts;
             Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
               e.result_json
         | Miss i ->
@@ -223,6 +230,7 @@ let process_batch st oc (batch : grade_req list) =
             Cache.add st.cache miss_arr.(i).m_key entry;
             Metrics.record_grade st.metrics ~outcome:entry.outcome_class
               ~hit:false ~ms;
+            Metrics.record_diags st.metrics entry.diag_counts;
             Proto.grade_response ?id:r.g_id ~cached:false
               ~fuel:entry.fuel_spent entry.result_json
         | Dup i ->
@@ -232,6 +240,7 @@ let process_batch st oc (batch : grade_req list) =
             let entry, _ = results.(i) in
             Metrics.record_grade st.metrics ~outcome:entry.outcome_class
               ~hit:true ~ms:0.0;
+            Metrics.record_diags st.metrics entry.diag_counts;
             Proto.grade_response ?id:r.g_id ~cached:true
               ~fuel:entry.fuel_spent entry.result_json
       in

@@ -1,0 +1,123 @@
+The static-analysis CLI: `jfeed analyze` runs the five submission
+passes over Java sources and cites method:line:col positions; a clean
+file is silent and exits 0.
+
+  $ cat > clean.java <<'EOF'
+  > int sum(int n) {
+  >     int s = 0;
+  >     int i = 0;
+  >     while (i < n) {
+  >         s = s + i;
+  >         i = i + 1;
+  >     }
+  >     return s;
+  > }
+  > EOF
+  $ jfeed analyze clean.java
+
+A file with findings prints one located line per diagnostic and exits 1.
+This fixture trips all five passes:
+
+  $ cat > buggy.java <<'EOF'
+  > int check(int n) {
+  >     int u;
+  >     int dead = 1;
+  >     dead = n;
+  >     while (dead > 0) {
+  >         u = n;
+  >     }
+  >     return u;
+  >     n = 0;
+  > }
+  > 
+  > int missing(int n) {
+  >     if (n > 0) {
+  >         return 1;
+  >     }
+  > }
+  > EOF
+  $ jfeed analyze buggy.java
+  buggy.java:check:3:9: warning [dead-store] value stored in 'dead' is overwritten before it is ever read
+  buggy.java:check:5:5: warning [suspicious-loop] loop condition only reads 'dead', which the loop body never updates
+  buggy.java:check:8:5: error [use-before-init] variable 'u' may be read before it is initialized
+  buggy.java:check:9:5: warning [unreachable] statement is unreachable
+  buggy.java:missing:12:1: error [missing-return] method 'missing' returns int but can finish without returning a value
+  [1]
+
+Unparseable input is a diagnostic of the [parse] pass, never a crash:
+
+  $ printf 'int f( {' > broken.java
+  $ jfeed analyze broken.java
+  broken.java:1:8: error [parse] parse error: expected a type but found "{"
+  [1]
+
+--json emits one object per file.  The diagnostic schema is pinned the
+way perf.t pins the benchmark schemas — a key rename must diff here:
+
+  $ jfeed analyze --json buggy.java clean.java > out.json
+  [1]
+  $ grep -c '"file":"clean.java","diagnostics":\[\]' out.json
+  1
+  $ grep -o '"[a-z_]*":' out.json | sort -u
+  "col":
+  "diagnostics":
+  "file":
+  "line":
+  "message":
+  "method":
+  "pass":
+  "severity":
+
+Output is byte-identical at any worker-pool width, and a nonsensical
+width is a usage error:
+
+  $ jfeed generate assignment1 --index 0 | tail -n +2 > gen0.java
+  $ jfeed generate assignment1 --index 7 | tail -n +2 > gen7.java
+  $ jfeed analyze --json --jobs 1 buggy.java clean.java gen0.java gen7.java > j1.json 2>&1; echo "exit=$?"
+  exit=1
+  $ jfeed analyze --json --jobs 4 buggy.java clean.java gen0.java gen7.java > j4.json 2>&1; echo "exit=$?"
+  exit=1
+  $ cmp j1.json j4.json && echo identical
+  identical
+  $ jfeed analyze --jobs 0 buggy.java
+  jfeed analyze: --jobs must be at least 1 (got 0)
+  [2]
+
+The KB linter: every shipped bundle validates clean (exit 0, one line
+per assignment)...
+
+  $ jfeed lint-kb
+  assignment1: ok
+  esc-LAB-3-P1-V1: ok
+  esc-LAB-3-P2-V1: ok
+  esc-LAB-3-P2-V2: ok
+  esc-LAB-3-P3-V1: ok
+  esc-LAB-3-P4-V1: ok
+  esc-LAB-3-P3-V2: ok
+  esc-LAB-3-P4-V2: ok
+  mitx-derivatives: ok
+  mitx-polynomials: ok
+  rit-all-g-medals: ok
+  rit-medals-by-ath: ok
+
+...in JSON too:
+
+  $ jfeed lint-kb assignment1 --json
+  {"assignment":"assignment1","diagnostics":[]}
+
+...and the deliberately broken fixture is flagged on every linter pass,
+with exit 1:
+
+  $ jfeed lint-kb --fixture-broken
+  broken-fixture:compute: error [kb-duplicate] pattern id 'p_loop' is declared twice
+  broken-fixture:compute: error [kb-structure] pattern p_loop: edge (0, 5) out of range
+  broken-fixture:compute: error [kb-structure] pattern p_loop: self edge on node 1
+  broken-fixture:compute: error [kb-unbound-placeholder] pattern 'p_loop': feedback (missing) placeholder %bound% is bound by none of the pattern's variables
+  broken-fixture:compute: error [kb-unsat] pattern 'p_brk': node 0 is typed Break but its template '%x% = 0' matches neither "break" nor "continue" — no EPDG node can satisfy it
+  broken-fixture:compute: error [kb-unknown-pattern] variant table keyed by unknown pattern id 'p_missing'
+  broken-fixture:compute: error [kb-unsat] variant 'p_brk_alt' of 'p_missing': node 0 is typed Break but its template '%x% = 0' matches neither "break" nor "continue" — no EPDG node can satisfy it
+  broken-fixture:compute: error [kb-unknown-pattern] constraint 'cx_ghost' names unknown pattern id 'p_ghost'
+  broken-fixture:compute: error [kb-dangling-ref] constraint 'cx_range' refers to node 7 of pattern 'p_brk', which has only 1 node
+  broken-fixture:compute: error [kb-unbound-placeholder] constraint 'cx_range': feedback (ok) placeholder %zz% is bound by none of the referenced patterns
+  broken-fixture:compute: error [kb-dangling-ref] constraint 'cx_free': containment template variable %mystery% is bound by neither the main nor the supporting patterns
+  [1]

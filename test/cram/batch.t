@@ -7,7 +7,7 @@ error).
   $ jfeed generate assignment1 --index 0 | tail -n +2 > clean/ref.java
   $ jfeed batch assignment1 clean
   {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
-    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[]}
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0}
   ]}
 
 All graded: exit 0.
@@ -29,7 +29,7 @@ being graded.
   {"assignment":"assignment1","total":4,"graded":1,"degraded":0,"rejected":3,"submissions":[
     {"file":"bomb.java","outcome":"rejected","stage":"parse","error":"parse error at 1:536: nesting too deep"},
     {"file":"garbage.java","outcome":"rejected","stage":"lex","error":"lex error at 1:1: unexpected character '\\255'"},
-    {"file":"good.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[]},
+    {"file":"good.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0},
     {"file":"truncated.java","outcome":"rejected","stage":"parse","error":"parse error at 1:18: expected a type but found end of input"}
   ]}
   [1]
@@ -40,7 +40,7 @@ dry (matcher, pairing, interp).
 
   $ jfeed batch --fuel 100 assignment1 clean
   {"assignment":"assignment1","total":1,"graded":0,"degraded":1,"rejected":0,"fuel":100,"submissions":[
-    {"file":"ref.java","outcome":"degraded","score":3,"max":10,"tests":{"failed":"small"},"reasons":["matcher:p_cond_accum_add","matcher:p_cond_accum_mul","matcher:p_print_var","interp"],"fuel":101}
+    {"file":"ref.java","outcome":"degraded","score":3,"max":10,"tests":{"failed":"small"},"reasons":["matcher:p_cond_accum_add","matcher:p_cond_accum_mul","matcher:p_print_var","interp"],"diags":0,"fuel":101}
   ]}
   [1]
 

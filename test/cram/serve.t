@@ -70,7 +70,7 @@ gradings land in the outcome taxonomy, and the two bad lines are
 counted (latencies are wall-clock, so they are masked here):
 
   $ sed -n 5p responses.jsonl | sed 's/"latency_ms":.*/"latency_ms":{masked}}/'
-  {"id":"s","op":"stats","requests":5,"grades":2,"stats":1,"errors":2,"cache":{"hits":1,"misses":1,"size":1,"cap":10000},"outcomes":{"graded":2,"degraded":0,"rejected":0},"queue":{"depth":0,"max":2,"cap":64},"latency_ms":{masked}}
+  {"id":"s","op":"stats","requests":5,"grades":2,"stats":1,"errors":2,"cache":{"hits":1,"misses":1,"size":1,"cap":10000},"outcomes":{"graded":2,"degraded":0,"rejected":0},"diagnostics":{"use-before-init":0,"dead-store":0,"unreachable":0,"missing-return":0,"suspicious-loop":0},"queue":{"depth":0,"max":2,"cap":64},"latency_ms":{masked}}
   $ sed -n 6p responses.jsonl
   {"id":"bye","op":"shutdown","ok":true}
 

@@ -9,4 +9,4 @@ let () =
       ("strategies", Test_strategies.suite);
       ("stmt-roundtrip", Test_stmt_roundtrip.suite);
       ("robust", Test_robust.suite); ("parallel", Test_parallel.suite);
-      ("service", Test_service.suite) ]
+      ("service", Test_service.suite); ("analysis", Test_analysis.suite) ]
