@@ -206,36 +206,50 @@ let micro_json ~sample ~seed ~jobs () =
                 Ok (Jfeed_gen.Spec.source_of_index spec idx) ))
             indices
         in
-        let run j =
+        let run ?traced j =
           time (fun () ->
-              Jfeed_robust.Pipeline.run_batch ~with_tests:false ~jobs:j b
-                sources)
+              Jfeed_robust.Pipeline.run_batch ~with_tests:false ~jobs:j
+                ?traced b sources)
         in
         let seq_summary, seq_s = run 1 in
         let par_summary, par_s = run jobs in
+        (* A third, fully traced sequential pass: its wall-clock against
+           the untraced one is the price of turning tracing ON — and its
+           grades must be byte-identical (tracing observes, never
+           steers). *)
+        let traced_summary, traced_s = run ~traced:true 1 in
         let identical =
           Jfeed_robust.Pipeline.summary_to_json seq_summary
           = Jfeed_robust.Pipeline.summary_to_json par_summary
+          && Jfeed_robust.Pipeline.summary_to_json seq_summary
+             = Jfeed_robust.Pipeline.summary_to_json ~traces:false
+                 traced_summary
         in
         (b.Bundles.grading.Grader.a_id, List.length indices, seq_s, par_s,
-         identical))
+         traced_s, identical))
       Bundles.all
   in
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
-  let seq_total = sum (fun (_, _, s, _, _) -> s) in
-  let par_total = sum (fun (_, _, _, p, _) -> p) in
+  let seq_total = sum (fun (_, _, s, _, _, _) -> s) in
+  let par_total = sum (fun (_, _, _, p, _, _) -> p) in
+  let traced_total = sum (fun (_, _, _, _, t, _) -> t) in
   let submissions =
-    List.fold_left (fun acc (_, n, _, _, _) -> acc + n) 0 rows
+    List.fold_left (fun acc (_, n, _, _, _, _) -> acc + n) 0 rows
   in
-  let identical = List.for_all (fun (_, _, _, _, i) -> i) rows in
+  let identical = List.for_all (fun (_, _, _, _, _, i) -> i) rows in
   let speedup = if par_total > 0.0 then seq_total /. par_total else 0.0 in
+  let trace_overhead_pct =
+    if seq_total > 0.0 then
+      100.0 *. (traced_total -. seq_total) /. seq_total
+    else 0.0
+  in
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"schema":"jfeed-bench-grading/1","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
+       {|{"schema":"jfeed-bench-grading/2","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
        sample seed jobs);
   List.iteri
-    (fun i (id, n, seq_s, par_s, _) ->
+    (fun i (id, n, seq_s, par_s, _, _) ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
@@ -248,8 +262,8 @@ let micro_json ~sample ~seed ~jobs () =
   Buffer.add_string buf
     (Printf.sprintf
        "\n\
-        ],\"batch\":{\"submissions\":%d,\"sequential_s\":%.4f,\"parallel_s\":%.4f,\"speedup\":%.3f,\"identical\":%b}}"
-       submissions seq_total par_total speedup identical);
+        ],\"batch\":{\"submissions\":%d,\"sequential_s\":%.4f,\"parallel_s\":%.4f,\"speedup\":%.3f,\"trace_overhead_pct\":%.1f,\"identical\":%b}}"
+       submissions seq_total par_total speedup trace_overhead_pct identical);
   let json = Buffer.contents buf in
   let oc = open_out "BENCH_grading.json" in
   output_string oc json;
@@ -257,8 +271,8 @@ let micro_json ~sample ~seed ~jobs () =
   close_out oc;
   Printf.printf
     "BENCH_grading.json written: %d submissions, sequential %.3fs, --jobs \
-     %d %.3fs, speedup %.2fx, output identical: %b\n"
-    submissions seq_total jobs par_total speedup identical
+     %d %.3fs, speedup %.2fx, trace overhead %.1f%%, output identical: %b\n"
+    submissions seq_total jobs par_total speedup trace_overhead_pct identical
 
 (* ------------------------------------------------------------------ *)
 (* serve --json: the serving-tier trajectory (BENCH_service.json)      *)
@@ -355,7 +369,7 @@ let serve_json ~requests ~dup_pct ~jobs ~seed () =
   in
   let json =
     Printf.sprintf
-      {|{"schema":"jfeed-bench-service/1","requests":%d,"duplicate_ratio":%.2f,"jobs":%d,"wall_s":%.4f,"throughput_rps":%.2f,"cache_hit_rate":%.4f,"p50_ms":%.3f,"p95_ms":%.3f}|}
+      {|{"schema":"jfeed-bench-service/1","requests":%d,"duplicate_ratio":%.2f,"jobs":%d,"wall_s":%.4f,"throughput_rps":%.2f,"cache_hit_rate":%.4f,"p50_ms":%.3g,"p95_ms":%.3g}|}
       !grades
       (float_of_int dup_pct /. 100.0)
       jobs wall throughput hit_rate

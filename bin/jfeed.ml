@@ -12,7 +12,8 @@
                     with a content-addressed result cache
     - [assignments] — the bundle ids, one per line (scripting aid)
     - [analyze]   — run the static analysis passes over submission files
-    - [lint-kb]   — statically validate the shipped pattern bundles *)
+    - [lint-kb]   — statically validate the shipped pattern bundles
+    - [version]   — tool version, KB revision digest and feature set *)
 
 open Cmdliner
 open Jfeed_kb
@@ -163,24 +164,47 @@ let graph_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
   in
-  let run dot path =
-    match Jfeed_pdg.Epdg.of_source (read_file path) with
-    | graphs ->
-        List.iter
-          (fun (_, g) ->
-            print_string
-              (if dot then Jfeed_pdg.Epdg.to_dot g
-               else Jfeed_pdg.Epdg.to_string g))
-          graphs;
-        0
-    | exception Jfeed_java.Parser.Parse_error (msg, line, col) ->
-        Printf.eprintf "parse error at %d:%d: %s\n" line col msg;
-        1
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object: assignment id plus every method's \
+                nodes and edges.")
+  in
+  let run b dot json path =
+    if dot && json then begin
+      Printf.eprintf "jfeed graph: --dot and --json are exclusive\n";
+      2
+    end
+    else
+      match Jfeed_pdg.Epdg.of_source (read_file path) with
+      | graphs ->
+          if json then
+            print_endline
+              (Printf.sprintf {|{"assignment":"%s","methods":[%s]}|}
+                 (Feedback.json_escape b.Bundles.grading.Grader.a_id)
+                 (String.concat ","
+                    (List.map
+                       (fun (_, g) -> Jfeed_pdg.Epdg.to_json g)
+                       graphs)))
+          else
+            List.iter
+              (fun (_, g) ->
+                print_string
+                  (if dot then Jfeed_pdg.Epdg.to_dot g
+                   else Jfeed_pdg.Epdg.to_string g))
+              graphs;
+          0
+      | exception Jfeed_java.Parser.Parse_error (msg, line, col) ->
+          Printf.eprintf "parse error at %d:%d: %s\n" line col msg;
+          1
   in
   Cmd.v
     (Cmd.info "graph"
-       ~doc:"Print the extended program dependence graph of a submission")
-    Term.(const run $ dot $ file_pos 0)
+       ~doc:
+         "Print the extended program dependence graph of a submission \
+          (text, Graphviz via --dot, or JSON via --json)")
+    Term.(const run $ assignment_pos $ dot $ json $ file_pos 1)
 
 let generate_cmd =
   let index =
@@ -225,6 +249,87 @@ let generate_cmd =
        ~doc:"Render synthetic submissions from an assignment's search space")
     Term.(const run $ assignment_pos $ index $ sample $ seed)
 
+(* --trace-dir: one Chrome trace_event file per submission, plus an
+   aggregate summary.json.  File names derive from the submission file
+   names ([Sys.readdir] basenames, so no separators to sanitize). *)
+let write_trace_dir dir (summary : Jfeed_robust.Pipeline.summary) =
+  let module Trace = Jfeed_trace.Trace in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write_file path contents =
+    let oc = open_out_bin path in
+    output_string oc contents;
+    close_out oc
+  in
+  List.iteri
+    (fun i (it : Jfeed_robust.Pipeline.item) ->
+      if Trace.enabled it.trace then
+        write_file
+          (Filename.concat dir (it.file ^ ".trace.json"))
+          (Trace.to_chrome_json ~pid:1 ~tid:(i + 1) it.trace))
+    summary.items;
+  (* Aggregate: nearest-rank p50/p95 of each stage's per-submission
+     total, stages in first-seen order, then the top 5 patterns by
+     total matcher fuel (the [match.fuel:<pattern>] counters). *)
+  let stage_order = ref [] in
+  let stage_ms : (string, float list) Hashtbl.t = Hashtbl.create 16 in
+  let fuel_by_pattern : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (it : Jfeed_robust.Pipeline.item) ->
+      List.iter
+        (fun (stage, (_n, ns)) ->
+          if not (Hashtbl.mem stage_ms stage) then
+            stage_order := stage :: !stage_order;
+          Hashtbl.replace stage_ms stage
+            ((Int64.to_float ns /. 1e6)
+            :: (try Hashtbl.find stage_ms stage with Not_found -> [])))
+        (Trace.rollup it.trace);
+      List.iter
+        (fun (name, n) ->
+          match String.index_opt name ':' with
+          | Some i when String.sub name 0 i = "match.fuel" ->
+              let p =
+                String.sub name (i + 1) (String.length name - i - 1)
+              in
+              Hashtbl.replace fuel_by_pattern p
+                (n
+                + try Hashtbl.find fuel_by_pattern p with Not_found -> 0)
+          | _ -> ())
+        (Trace.counters it.trace))
+    summary.items;
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else
+      let rank = int_of_float (ceil (p *. float_of_int n)) in
+      a.(max 0 (min (n - 1) (rank - 1)))
+  in
+  let stages =
+    List.rev !stage_order
+    |> List.map (fun stage ->
+           let xs = Hashtbl.find stage_ms stage in
+           Printf.sprintf {|"%s":{"p50_ms":%.4f,"p95_ms":%.4f}|}
+             (Feedback.json_escape stage)
+             (percentile 0.50 xs) (percentile 0.95 xs))
+  in
+  let top_patterns =
+    Hashtbl.fold (fun p n acc -> (p, n) :: acc) fuel_by_pattern []
+    |> List.sort (fun (p1, n1) (p2, n2) ->
+           match compare n2 n1 with 0 -> compare p1 p2 | c -> c)
+    |> List.filteri (fun i _ -> i < 5)
+    |> List.map (fun (p, n) ->
+           Printf.sprintf {|{"pattern":"%s","fuel":%d}|}
+             (Feedback.json_escape p) n)
+  in
+  write_file
+    (Filename.concat dir "summary.json")
+    (Printf.sprintf
+       {|{"submissions":%d,"stages":{%s},"top_patterns":[%s]}|}
+       summary.total
+       (String.concat "," stages)
+       (String.concat "," top_patterns))
+
 let batch_cmd =
   let fuel =
     Arg.(
@@ -257,13 +362,32 @@ let batch_cmd =
              byte-identical to --jobs 1 (deterministic merge; the fuel \
              budget is per submission at any N).")
   in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Embed a per-stage trace summary (span counts, milliseconds, \
+             matcher counters) in every submission's JSON line.")
+  in
+  let trace_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one Chrome trace_event JSON file per submission into \
+             $(docv) (created if missing; loadable in about:tracing or \
+             Perfetto), plus an aggregate summary.json with per-stage \
+             p50/p95 and the patterns costing the most matcher fuel.")
+  in
   let dir_pos =
     Arg.(
       required
       & pos 1 (some string) None
       & info [] ~docv:"DIR" ~doc:"Directory of submission files.")
   in
-  let run b fuel deadline no_tests jobs dir =
+  let run b fuel deadline no_tests jobs trace trace_dir dir =
     if jobs < 1 then begin
       Printf.eprintf "jfeed batch: --jobs must be at least 1 (got %d)\n" jobs;
       2
@@ -287,9 +411,17 @@ let batch_cmd =
       in
       let summary =
         Jfeed_robust.Pipeline.run_batch ?fuel ?deadline_s:deadline
-          ~with_tests:(not no_tests) ~jobs b sources
+          ~with_tests:(not no_tests) ~jobs
+          ~traced:(trace || trace_dir <> None)
+          b sources
       in
-      print_endline (Jfeed_robust.Pipeline.summary_to_json summary);
+      (match trace_dir with
+      | None -> ()
+      | Some dir -> write_trace_dir dir summary);
+      (* --trace-dir without --trace keeps stdout byte-identical to an
+         untraced run; the traces live only in the directory. *)
+      print_endline
+        (Jfeed_robust.Pipeline.summary_to_json ~traces:trace summary);
       Jfeed_robust.Pipeline.exit_code summary
     end
   in
@@ -301,7 +433,7 @@ let batch_cmd =
           error)")
     Term.(
       const run $ assignment_pos $ fuel $ deadline $ no_tests $ jobs
-      $ dir_pos)
+      $ trace $ trace_dir $ dir_pos)
 
 let assignments_cmd =
   let run () =
@@ -557,14 +689,43 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run the assignment's functional tests on a file")
     Term.(const run $ assignment_pos $ file_pos 1)
 
+let tool_version = "1.0.0"
+
+let version_cmd =
+  (* The build's identity on one JSON line: tool version, the digest of
+     the compiled-in knowledge base (Bundles.revision — two builds with
+     the same digest grade identically), and the compiled-in feature
+     set, fixed order. *)
+  let features =
+    [
+      "normalize"; "variants"; "inline-helpers"; "strategies"; "analysis";
+      "parallel"; "serve-cache"; "trace";
+    ]
+  in
+  let run () =
+    Printf.printf {|{"version":"%s","kb_revision":"%s","features":[%s]}|}
+      (Feedback.json_escape tool_version)
+      (Feedback.json_escape (Bundles.revision ()))
+      (String.concat ","
+         (List.map (fun f -> {|"|} ^ Feedback.json_escape f ^ {|"|}) features));
+    print_newline ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print tool version, knowledge-base revision digest and enabled \
+          features as one JSON line")
+    Term.(const run $ const ())
+
 let () =
   let doc = "PDG-pattern personalized feedback for intro Java assignments" in
-  let info = Cmd.info "jfeed" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "jfeed" ~version:tool_version ~doc in
   exit
     (Cmd.eval'
        (Cmd.group info
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
             batch_cmd; strategies_cmd; serve_cmd; assignments_cmd;
-            analyze_cmd; lint_kb_cmd;
+            analyze_cmd; lint_kb_cmd; version_cmd;
           ]))

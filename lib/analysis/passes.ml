@@ -444,7 +444,19 @@ let analyze_method ?srcmap (m : meth) =
       ("suspicious-loop", fun () -> suspicious_loop ?srcmap m);
     ]
   in
-  List.concat_map (fun (id, f) -> guard id m.m_name f) runs
+  (* One [pass:<id>] span per pass per method when tracing — the
+     analysis stage's own breakdown; untraced, span is just [f ()]. *)
+  let tr = Jfeed_trace.Trace.current () in
+  List.concat_map
+    (fun (id, f) ->
+      Jfeed_trace.Trace.span tr
+        (if Jfeed_trace.Trace.enabled tr then "pass:" ^ id else "pass")
+        (fun () ->
+          let diags = guard id m.m_name f in
+          Jfeed_trace.Trace.add_attr tr "diags"
+            (string_of_int (List.length diags));
+          diags))
+    runs
   |> List.sort Diagnostic.compare
 
 let analyze_program ?srcmap (p : program) =

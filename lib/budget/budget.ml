@@ -9,15 +9,28 @@ let string_of_stage = function
   | Pairing -> "pairing"
   | Interp -> "interp"
 
+let int_of_stage = function Matcher -> 0 | Pairing -> 1 | Interp -> 2
+
+let stages = [ Matcher; Pairing; Interp ]
+
 type t = {
   fuel : int option;  (** total allowance; [None] = unlimited *)
   deadline : float option;  (** absolute {!Sys.time} cutoff *)
   mutable used : int;
+  stage_used : int array;  (** fuel per {!stage}, indexed by {!int_of_stage} *)
   mutable dead : bool;  (** latched once either axis is exhausted *)
   mutable hit_list : stage list;  (** reverse first-hit order, deduped *)
 }
 
-let make fuel deadline = { fuel; deadline; used = 0; dead = false; hit_list = [] }
+let make fuel deadline =
+  {
+    fuel;
+    deadline;
+    used = 0;
+    stage_used = Array.make 3 0;
+    dead = false;
+    hit_list = [];
+  }
 
 let unlimited () = make None None
 
@@ -45,6 +58,8 @@ let spend b stage n =
   end
   else begin
     b.used <- b.used + n;
+    let i = int_of_stage stage in
+    b.stage_used.(i) <- b.stage_used.(i) + n;
     let out_of_fuel =
       match b.fuel with Some f -> b.used > f | None -> false
     in
@@ -64,6 +79,11 @@ let split total ~ways =
   List.init ways (fun i -> q + if i < r then 1 else 0)
 
 let spent b = b.used
+
+let spent_by b =
+  List.map
+    (fun stage -> (string_of_stage stage, b.stage_used.(int_of_stage stage)))
+    stages
 
 let remaining b =
   Option.map (fun f -> max 0 (f - b.used)) b.fuel

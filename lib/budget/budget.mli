@@ -63,6 +63,11 @@ val split : int -> ways:int -> int list
 val spent : t -> int
 (** Total fuel consumed so far, across all stages. *)
 
+val spent_by : t -> (string * int) list
+(** Fuel consumed per stage, keyed by {!string_of_stage}, every stage
+    present in declaration order (zeros included) — the tracing layer's
+    per-stage fuel breakdown.  Sums to {!spent}. *)
+
 val remaining : t -> int option
 (** Fuel left, [None] when the fuel axis is unlimited. *)
 

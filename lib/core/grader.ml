@@ -225,12 +225,16 @@ let grade ?budget ?(normalize = false) ?(use_variants = false)
           go ((q, None) :: acc) rest available
         end
   in
-  (try go [] spec.a_methods method_names with Pairing_cut -> ());
-  (* No combination completed — header enforcement filtered everything,
-     the submission has no methods, or the fuel died first.  Grade the
-     all-[None] combination so a result always exists. *)
-  if !evaluated = 0 then
-    consider (List.map (fun q -> (q, None)) spec.a_methods);
+  let tr = Jfeed_trace.Trace.current () in
+  Jfeed_trace.Trace.span tr "pairing" (fun () ->
+      (try go [] spec.a_methods method_names with Pairing_cut -> ());
+      (* No combination completed — header enforcement filtered
+         everything, the submission has no methods, or the fuel died
+         first.  Grade the all-[None] combination so a result always
+         exists. *)
+      if !evaluated = 0 then
+        consider (List.map (fun q -> (q, None)) spec.a_methods);
+      Jfeed_trace.Trace.add_attr tr "combos" (string_of_int !evaluated));
   match !best with
   | Some (score, comments, pairing) ->
       { comments; score; pairing; truncations = List.rev !truncs }

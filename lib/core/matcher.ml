@@ -14,6 +14,7 @@
 open Jfeed_exprmatch
 module G = Jfeed_graph.Digraph
 module Epdg = Jfeed_pdg.Epdg
+module Trace = Jfeed_trace.Trace
 
 type node_mark = Exact  (** r matched: correct *) | Approx  (** r̂ matched: incorrect *)
 
@@ -53,7 +54,13 @@ exception Cut
     for a pattern node, or a variable added to an injective mapping —
     spends one unit of [budget] fuel; when the fuel or the
     {!max_embeddings} backstop runs out the search stops and the partial
-    result is tagged [exhausted] instead of being silently truncated. *)
+    result is tagged [exhausted] instead of being silently truncated.
+
+    Returns the search result paired with the number of
+    candidate-extension steps taken (the ticks) — the tracing layer's
+    per-pattern backtracking cost, counted whether or not a budget or a
+    trace is present (one integer increment per step, which the bench
+    gate holds within its <5% overhead allowance). *)
 let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
   let g = epdg.Epdg.graph in
   let n = Array.length p.Pattern.nodes in
@@ -85,7 +92,9 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
   let results = ref [] in
   let count = ref 0 in
   let exhausted = ref false in
+  let nsteps = ref 0 in
   let tick () =
+    incr nsteps;
     match budget with
     | Some b when not (Jfeed_budget.Budget.spend b Jfeed_budget.Budget.Matcher 1)
       ->
@@ -214,7 +223,7 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
         end)
       (List.rev !results)
   in
-  { found; exhausted = !exhausted }
+  ({ found; exhausted = !exhausted }, !nsteps)
 
 (** Embedding memo cache, keyed by (pattern id, EPDG uid).  One grading
     call examines the same (pattern, method) pair once per method-pairing
@@ -229,15 +238,54 @@ module Cache = struct
   let create () : t = Hashtbl.create 32
 end
 
+(* A traced search runs under a [match:<pattern id>] span carrying the
+   backtrack-step count, the fuel the search drew from the budget, the
+   embeddings found, and the exhaustion flag; the same numbers also
+   land in per-pattern counters so a whole submission's matcher cost
+   can be ranked by pattern.  The sink check keeps the untraced path
+   free of any of this — no span, no string building, no clock read. *)
+let search_traced ?budget p epdg =
+  let tr = Trace.current () in
+  if not (Trace.enabled tr) then fst (search_uncached ?budget p epdg)
+  else
+    let id = p.Pattern.id in
+    Trace.span tr ("match:" ^ id) (fun () ->
+        let fuel0 =
+          match budget with
+          | Some b -> Jfeed_budget.Budget.spent b
+          | None -> 0
+        in
+        let s, nodes = search_uncached ?budget p epdg in
+        let fuel =
+          (match budget with
+          | Some b -> Jfeed_budget.Budget.spent b
+          | None -> 0)
+          - fuel0
+        in
+        Trace.add_attr tr "nodes" (string_of_int nodes);
+        Trace.add_attr tr "fuel" (string_of_int fuel);
+        Trace.add_attr tr "found" (string_of_int (List.length s.found));
+        if s.exhausted then Trace.add_attr tr "exhausted" "true";
+        Trace.count tr ("match.nodes:" ^ id) nodes;
+        Trace.count tr ("match.fuel:" ^ id) fuel;
+        s)
+
 let embeddings_budgeted ?budget ?cache (p : Pattern.t) (epdg : Epdg.t) =
   match cache with
-  | None -> search_uncached ?budget p epdg
+  | None -> search_traced ?budget p epdg
   | Some (c : Cache.t) -> (
       let key = (p.Pattern.id, epdg.Epdg.uid) in
       match Hashtbl.find_opt c key with
-      | Some s -> s
+      | Some s ->
+          Trace.count (Trace.current ())
+            ("match.cache_hit:" ^ p.Pattern.id)
+            1;
+          s
       | None ->
-          let s = search_uncached ?budget p epdg in
+          let s = search_traced ?budget p epdg in
+          Trace.count (Trace.current ())
+            ("match.cache_miss:" ^ p.Pattern.id)
+            1;
           Hashtbl.add c key s;
           s)
 

@@ -24,9 +24,21 @@ type verdict =
   | Fail of { case : string; reason : string }
 
 let run_case ?budget suite prog (c : case) =
-  Interp.run ?budget
-    ~config:{ Interp.files = c.files; max_steps = suite.max_steps }
-    prog ~entry:suite.entry ~args:c.args
+  (* One [interp] span per executed test case; the reference runs that
+     produce expected outputs trace the same way, nested under whatever
+     stage invoked them. *)
+  let tr = Jfeed_trace.Trace.current () in
+  Jfeed_trace.Trace.span tr "interp" (fun () ->
+      let out =
+        Interp.run ?budget
+          ~config:{ Interp.files = c.files; max_steps = suite.max_steps }
+          prog ~entry:suite.entry ~args:c.args
+      in
+      if Jfeed_trace.Trace.enabled tr then begin
+        Jfeed_trace.Trace.add_attr tr "case" c.label;
+        Jfeed_trace.Trace.add_attr tr "steps" (string_of_int out.Interp.steps)
+      end;
+      out)
 
 (** Outputs of the reference solution, one per case.  Raises
     [Invalid_argument] if the reference itself fails — a harness bug, not

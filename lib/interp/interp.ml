@@ -637,7 +637,13 @@ let run ?budget ?(config = default_config) (prog : Ast.program) ~entry ~args
       trace_sink = None;
     }
   in
-  finish ctx entry args
+  let out = finish ctx entry args in
+  (* Executed-step counter for the tracing layer: a no-op unless the
+     ambient trace is enabled, and a single counter bump per run (never
+     per step) when it is. *)
+  Jfeed_trace.Trace.count (Jfeed_trace.Trace.current ()) "interp.steps"
+    out.steps;
+  out
 
 let run_source ?budget ?config src ~entry ~args =
   run ?budget ?config (Parser.parse_program src) ~entry ~args

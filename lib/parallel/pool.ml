@@ -18,8 +18,16 @@ let chunks ~n ~jobs =
     go 0 []
   end
 
-let map ~jobs ~f a =
+let map ?(trace = Jfeed_trace.Trace.disabled) ~jobs ~f a =
   let n = Array.length a in
+  (* The [pool] span lives in the calling domain's tracer; workers run
+     with their own per-domain ambient tracers and never touch this
+     one, so recording here is race-free. *)
+  Jfeed_trace.Trace.span trace "pool" @@ fun () ->
+  if Jfeed_trace.Trace.enabled trace then begin
+    Jfeed_trace.Trace.add_attr trace "jobs" (string_of_int jobs);
+    Jfeed_trace.Trace.add_attr trace "items" (string_of_int n)
+  end;
   if jobs <= 1 || n <= 1 then Array.map f a
   else begin
     let workers = min jobs n in

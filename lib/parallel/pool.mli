@@ -21,10 +21,22 @@ val chunks : n:int -> jobs:int -> (int * int) list
     function of [(n, jobs)]: the decomposition never depends on timing.
     Empty iff [n = 0]. *)
 
-val map : jobs:int -> f:('a -> 'b) -> 'a array -> 'b array
+val map :
+  ?trace:Jfeed_trace.Trace.t ->
+  jobs:int ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b array
 (** [map ~jobs ~f a] = [Array.map f a], computed on [min jobs (length a)]
     domains ([jobs <= 1] runs in the calling domain, no spawns).  Slots
     are filled by index, so the result — and any output derived from it
     — is identical at every [jobs] value.  If [f] raises, the first
     exception in {e index} order (not completion order) is re-raised
-    after all workers have been joined. *)
+    after all workers have been joined.
+
+    [?trace] (default disabled) records one [pool] span — with [jobs]
+    and [items] attributes — in the {e calling} domain's tracer.  Worker
+    domains keep their own ambient tracers
+    ({!Jfeed_trace.Trace.with_current} inside [f]); the pool itself
+    never writes to a worker's buffer, so the merge stays race-free and
+    deterministic. *)

@@ -256,7 +256,24 @@ let of_method (m : Ast.meth) =
   }
 
 let of_program (p : Ast.program) =
-  List.map (fun m -> (m.Ast.m_name, of_method m)) p.methods
+  (* The EPDG-build stage of the grading pipeline; attrs record how big
+     the dependence graphs came out, which is what drives matcher cost. *)
+  let tr = Jfeed_trace.Trace.current () in
+  Jfeed_trace.Trace.span tr "epdg" (fun () ->
+      let graphs = List.map (fun m -> (m.Ast.m_name, of_method m)) p.methods in
+      if Jfeed_trace.Trace.enabled tr then begin
+        let nodes, edges =
+          List.fold_left
+            (fun (n, e) (_, g) ->
+              (n + G.node_count g.graph, e + G.edge_count g.graph))
+            (0, 0) graphs
+        in
+        Jfeed_trace.Trace.add_attr tr "methods"
+          (string_of_int (List.length graphs));
+        Jfeed_trace.Trace.add_attr tr "nodes" (string_of_int nodes);
+        Jfeed_trace.Trace.add_attr tr "edges" (string_of_int edges)
+      end;
+      graphs)
 
 let of_source src = of_program (Parser.parse_program src)
 
@@ -298,3 +315,28 @@ let to_string t =
         (Printf.sprintf "  v%d -%s-> v%d\n" s (string_of_edge_type e) d))
     (G.edges t.graph);
   Buffer.contents buf
+
+let to_json t =
+  let esc = Jfeed_trace.Trace.json_escape in
+  let nodes =
+    List.map
+      (fun v ->
+        let info = G.label t.graph v in
+        Printf.sprintf {|{"id":%d,"type":"%s","text":"%s"}|} v
+          (string_of_node_type info.n_type)
+          (esc info.n_text))
+      (G.nodes t.graph)
+  in
+  let edges =
+    List.map
+      (fun (s, d, e) ->
+        Printf.sprintf {|{"src":%d,"dst":%d,"type":"%s"}|} s d
+          (string_of_edge_type e))
+      (G.edges t.graph)
+  in
+  Printf.sprintf {|{"method":"%s","params":[%s],"nodes":[%s],"edges":[%s]}|}
+    (esc t.method_name)
+    (String.concat ","
+       (List.map (fun p -> {|"|} ^ esc p ^ {|"|}) t.param_names))
+    (String.concat "," nodes)
+    (String.concat "," edges)

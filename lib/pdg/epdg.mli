@@ -68,3 +68,9 @@ val to_dot : t -> string
 
 val to_string : t -> string
 (** Text dump: one line per node ([v3: Assign "i = 0"]) then one per edge. *)
+
+val to_json : t -> string
+(** One JSON object:
+    [{"method":…,"params":[…],"nodes":[{"id":…,"type":…,"text":…},…],
+    "edges":[{"src":…,"dst":…,"type":…},…]}] — node ids are the [v]
+    numbers of {!to_string}/{!to_dot}, insertion order throughout. *)

@@ -77,11 +77,19 @@ let tests_to_json = function
       Printf.sprintf {|{"failed":%s}|} (json_string case)
   | Tests_not_run -> {|"not-run"|}
 
-let to_json ?file ?(comments = false) t =
+let to_json ?file ?(comments = false)
+    ?(trace = Jfeed_trace.Trace.disabled) t =
   let prefix =
     match file with
     | Some f -> Printf.sprintf {|"file":%s,|} (json_string f)
     | None -> ""
+  in
+  (* The per-stage trace summary rides along only when a live tracer
+     was supplied — untraced output stays byte-identical. *)
+  let trace_field =
+    if Jfeed_trace.Trace.enabled trace then
+      {|,"trace":|} ^ Jfeed_trace.Trace.summary_json trace
+    else ""
   in
   match t with
   | Graded r | Degraded (r, _) ->
@@ -104,7 +112,7 @@ let to_json ?file ?(comments = false) t =
         else ""
       in
       Printf.sprintf
-        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s%s}|}
+        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s%s%s}|}
         prefix
         (json_string (classify t))
         r.grading.Grader.score
@@ -112,7 +120,8 @@ let to_json ?file ?(comments = false) t =
         (tests_to_json r.tests)
         (String.concat ","
            (List.map (fun x -> json_string (string_of_reason x)) (reasons t)))
-        diag_fields comment_field
+        diag_fields comment_field trace_field
   | Rejected d ->
-      Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s}|} prefix
-        (json_string d.stage) (json_string d.message)
+      Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s%s}|}
+        prefix
+        (json_string d.stage) (json_string d.message) trace_field

@@ -76,7 +76,8 @@ val report : t -> report option
 val reasons : t -> reason list
 (** Degradation reasons; empty for [Graded] and [Rejected]. *)
 
-val to_json : ?file:string -> ?comments:bool -> t -> string
+val to_json :
+  ?file:string -> ?comments:bool -> ?trace:Jfeed_trace.Trace.t -> t -> string
 (** One submission's outcome as a single-line JSON object with stable
     field order: [file] (when given), [outcome], then per-outcome
     fields — [score]/[max]/[tests]/[reasons]/[diags] for graded and
@@ -84,4 +85,9 @@ val to_json : ?file:string -> ?comments:bool -> t -> string
     count; [?comments] (default off, preserving the batch summary's
     one-line-per-submission shape) additionally appends the full
     [diagnostics] array and the instantiated feedback comments as a
-    [comments] array — the serving tier's full payload. *)
+    [comments] array — the serving tier's full payload.  [?trace]
+    (default {!Jfeed_trace.Trace.disabled}) appends a compact [trace]
+    object ({!Jfeed_trace.Trace.summary_json}: per-stage span counts
+    and total milliseconds, plus counters) when — and only when — the
+    tracer is live, so untraced output is byte-identical with or
+    without the argument. *)

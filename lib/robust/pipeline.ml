@@ -6,6 +6,7 @@ open Jfeed_java
 module Budget = Jfeed_budget.Budget
 module Bundles = Jfeed_kb.Bundles
 module Runner = Jfeed_ftest.Runner
+module Trace = Jfeed_trace.Trace
 
 (* Convert any escaping exception into an error string.  Stack_overflow
    and Out_of_memory are named explicitly — they are the expected
@@ -22,6 +23,7 @@ let protect f =
   | exception e -> Error (Printexc.to_string e)
 
 let parse_stage src =
+  Trace.span (Trace.current ()) "parse" @@ fun () ->
   match Parser.parse_program_located src with
   | prog, srcmap -> Ok (prog, srcmap)
   | exception Parser.Parse_error (msg, line, col) ->
@@ -112,6 +114,7 @@ let outcome_of ~tests ~diags grading reasons =
    nothing: a crash here yields an empty diagnostic list, never a
    changed outcome. *)
 let analyze_stage (prog, srcmap) =
+  Trace.span (Trace.current ()) "analysis" @@ fun () ->
   match
     protect (fun () -> Jfeed_analysis.Passes.analyze_program ~srcmap prog)
   with
@@ -132,6 +135,7 @@ let grade_guarded ?budget ?normalize ?use_variants ?inline_helpers spec src =
    a normal graded outcome; only an unrunnable suite or fuel exhaustion
    mid-test degrades. *)
 let run_tests ?budget (b : Bundles.t) prog =
+  Trace.span (Trace.current ()) "tests" @@ fun () ->
   match
     protect (fun () ->
         let reference =
@@ -166,7 +170,12 @@ let assess ?budget ?normalize ?use_variants ?inline_helpers
 (* ------------------------------------------------------------------ *)
 (* Batch driver                                                        *)
 
-type item = { file : string; outcome : Outcome.t; fuel_spent : int }
+type item = {
+  file : string;
+  outcome : Outcome.t;
+  fuel_spent : int;
+  trace : Trace.t;
+}
 
 type summary = {
   assignment : string;
@@ -179,7 +188,7 @@ type summary = {
 }
 
 let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
-    (b : Bundles.t) src =
+    ?(trace = Trace.disabled) (b : Bundles.t) src =
   (* The single-submission serving entry: a fresh budget per call — the
      same per-submission isolation the batch driver gives each item —
      and total even against bugs in the pipeline itself.  The KB bundle
@@ -191,24 +200,36 @@ let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
     | _ -> Budget.create ?fuel ?deadline_s ()
   in
   let outcome =
-    match protect (fun () -> assess ~budget ?with_tests b src) with
-    | Ok o -> o
-    | Error e -> Outcome.Rejected { Outcome.stage = "internal"; message = e }
+    Trace.with_current trace (fun () ->
+        match protect (fun () -> assess ~budget ?with_tests b src) with
+        | Ok o -> o
+        | Error e ->
+            Outcome.Rejected { Outcome.stage = "internal"; message = e })
   in
-  { file = name; outcome; fuel_spent = Budget.spent budget }
+  if Trace.enabled trace then
+    List.iter
+      (fun (stage, n) -> Trace.count trace ("fuel." ^ stage) n)
+      (Budget.spent_by budget);
+  { file = name; outcome; fuel_spent = Budget.spent budget; trace }
 
-let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) (b : Bundles.t)
-    sources =
+let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
+    (b : Bundles.t) sources =
   let grade_one (file, src) =
+    (* One fresh tracer per submission, created inside the worker so
+       each Domain fills only its own buffers; the merge below is by
+       input index (Pool.map's contract), hence deterministic. *)
+    let trace = if traced then Trace.create () else Trace.disabled in
     match src with
     | Error e ->
         {
           file;
           outcome = Outcome.Rejected { Outcome.stage = "read"; message = e };
           fuel_spent = 0;
+          trace;
         }
     | Ok src ->
-        grade_submission ?fuel ?deadline_s ?with_tests ~name:file b src
+        grade_submission ?fuel ?deadline_s ?with_tests ~name:file ~trace b
+          src
   in
   let items =
     Array.to_list
@@ -228,7 +249,7 @@ let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) (b : Bundles.t)
     items;
   }
 
-let summary_to_json s =
+let summary_to_json ?(traces = true) s =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
@@ -243,7 +264,8 @@ let summary_to_json s =
     (fun i it ->
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf "\n  ";
-      let line = Outcome.to_json ~file:it.file it.outcome in
+      let trace = if traces then it.trace else Jfeed_trace.Trace.disabled in
+      let line = Outcome.to_json ~file:it.file ~trace it.outcome in
       (* Splice the per-item fuel in only under a finite budget, so
          unbudgeted output is byte-stable. *)
       match s.fuel_limit with

@@ -53,6 +53,9 @@ type item = {
   file : string;
   outcome : Outcome.t;
   fuel_spent : int;  (** fuel this submission consumed *)
+  trace : Jfeed_trace.Trace.t;
+      (** this submission's tracer; {!Jfeed_trace.Trace.disabled} unless
+          the caller asked for tracing *)
 }
 
 val grade_submission :
@@ -60,6 +63,7 @@ val grade_submission :
   ?deadline_s:float ->
   ?with_tests:bool ->
   ?name:string ->
+  ?trace:Jfeed_trace.Trace.t ->
   Jfeed_kb.Bundles.t ->
   string ->
   item
@@ -69,7 +73,15 @@ val grade_submission :
     outcome rather than an exception.  This is the persistent grading
     service's entry point ({!Jfeed_service.Server}): the bundle is a
     static value, so nothing is re-loaded per request.  [?name] (default
-    ["<submission>"]) fills the item's [file] field. *)
+    ["<submission>"]) fills the item's [file] field.
+
+    [?trace] (default disabled) is installed as the ambient tracer for
+    the whole assessment ({!Jfeed_trace.Trace.with_current}), so every
+    instrumented stage — [parse], [epdg], [match:<pattern>], [pairing],
+    [interp], [analysis], [tests] — records into it; afterwards the
+    per-stage fuel breakdown ({!Jfeed_budget.Budget.spent_by}) is added
+    as [fuel.matcher] / [fuel.pairing] / [fuel.interp] counters.  The
+    tracer is returned in the item's [trace] field. *)
 
 type summary = {
   assignment : string;
@@ -86,6 +98,7 @@ val run_batch :
   ?deadline_s:float ->
   ?with_tests:bool ->
   ?jobs:int ->
+  ?traced:bool ->
   Jfeed_kb.Bundles.t ->
   (string * (string, string) result) list ->
   summary
@@ -104,14 +117,25 @@ val run_batch :
     results merge by input index, not completion order.  A
     [?deadline_s] budget reads the process-wide CPU clock, which
     several domains advance together, so deadline-bounded output is
-    only reproducible at a fixed [jobs] value. *)
+    only reproducible at a fixed [jobs] value.
 
-val summary_to_json : summary -> string
+    [?traced] (default off) gives every submission a fresh live tracer
+    ({!Jfeed_trace.Trace.create}), created {e inside} the worker so each
+    domain writes only its own buffers; traces merge deterministically
+    by submission index like every other item field. *)
+
+val summary_to_json : ?traces:bool -> summary -> string
 (** Stable field order, one submission per line:
     [{"assignment":…,"total":…,"graded":…,"degraded":…,"rejected":…,
     ("fuel":…,)"submissions":[…]}].  The per-submission [fuel] field
     appears only when a fuel limit was set, so unbudgeted output is
-    byte-stable across runs. *)
+    byte-stable across runs.  When the batch ran with [~traced:true]
+    and [?traces] (default [true]) is not turned off, each submission
+    line additionally carries its [trace] summary (see
+    {!Outcome.to_json}); span timings vary run to run, the rest of the
+    line does not.  [~traces:false] lets a caller that only wants the
+    Chrome trace files ([jfeed batch --trace-dir] without [--trace])
+    keep stdout byte-identical to an untraced run. *)
 
 val exit_code : summary -> int
 (** [0] when every submission graded cleanly, [1] when any was degraded

@@ -1,6 +1,14 @@
 (** Serving statistics.  See metrics.mli. *)
 
 let reservoir_cap = 4096
+let slowlog_cap = 10
+
+(* Fixed histogram bucket upper bounds, milliseconds.  Frozen: the
+   exposition's {le="…"} label set is part of the cram-pinned surface,
+   and Prometheus forbids a histogram's buckets changing between
+   scrapes anyway. *)
+let latency_buckets =
+  [| 0.5; 1.0; 2.5; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0 |]
 
 type t = {
   mutable requests : int;
@@ -18,6 +26,10 @@ type t = {
          replays count — the client received those diagnostics too *)
   lat : float array;  (* ring of the last [reservoir_cap] grade latencies *)
   mutable lat_n : int;  (* total latencies ever recorded *)
+  lat_hist : int array;  (* per-bucket counts, + one overflow slot *)
+  mutable lat_sum : float;  (* total milliseconds ever recorded *)
+  mutable slow : Proto.slow_entry list;
+      (* the [slowlog_cap] slowest grades, slowest first *)
 }
 
 let create () =
@@ -35,6 +47,9 @@ let create () =
     diag_counts = Hashtbl.create 8;
     lat = Array.make reservoir_cap 0.0;
     lat_n = 0;
+    lat_hist = Array.make (Array.length latency_buckets + 1) 0;
+    lat_sum = 0.0;
+    slow = [];
   }
 
 let record_request t = t.requests <- t.requests + 1
@@ -50,7 +65,26 @@ let record_grade t ~outcome ~hit ~ms =
   | "degraded" -> t.degraded <- t.degraded + 1
   | _ -> t.rejected <- t.rejected + 1);
   t.lat.(t.lat_n mod reservoir_cap) <- ms;
-  t.lat_n <- t.lat_n + 1
+  t.lat_n <- t.lat_n + 1;
+  t.lat_sum <- t.lat_sum +. ms;
+  (* non-cumulative per-bucket counts; the exposition accumulates *)
+  let rec slot i =
+    if i >= Array.length latency_buckets then i
+    else if ms <= latency_buckets.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  t.lat_hist.(i) <- t.lat_hist.(i) + 1
+
+let record_slow t (e : Proto.slow_entry) =
+  let sorted =
+    List.stable_sort
+      (fun (a : Proto.slow_entry) b -> compare b.s_ms a.s_ms)
+      (e :: t.slow)
+  in
+  t.slow <- List.filteri (fun i _ -> i < slowlog_cap) sorted
+
+let slowlog t = t.slow
 
 let record_diags t counts =
   List.iter
@@ -110,3 +144,77 @@ let to_stats t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
     p50_ms = percentile t 0.50;
     p95_ms = percentile t 0.95;
   }
+
+(* Prometheus text exposition.  Line set and order are fixed; only the
+   sample values vary, so a cram test can pin every [# TYPE] line and
+   every bucket bound.  Ends with the OpenMetrics [# EOF] marker —
+   that's also how the JSONL client finds the end of this multi-line
+   response. *)
+let to_prometheus t ~cache_size ~cache_cap:_ ~queue_depth ~queue_cap:_ =
+  let b = Buffer.create 2048 in
+  let counter name help value =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s counter\n%s %d\n" name help
+         name name value)
+  in
+  let gauge name help value =
+    Buffer.add_string b
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %d\n" name help
+         name name value)
+  in
+  counter "jfeed_requests_total" "Request lines handled, any op." t.requests;
+  counter "jfeed_grades_total" "Grade requests answered (cached or not)."
+    t.grades;
+  counter "jfeed_errors_total" "Error responses emitted." t.errors;
+  Buffer.add_string b
+    "# HELP jfeed_outcomes_total Grade responses by outcome class.\n\
+     # TYPE jfeed_outcomes_total counter\n";
+  List.iter
+    (fun (cls, n) ->
+      Buffer.add_string b
+        (Printf.sprintf "jfeed_outcomes_total{class=%S} %d\n" cls n))
+    [ ("graded", t.graded); ("degraded", t.degraded);
+      ("rejected", t.rejected) ];
+  counter "jfeed_cache_hits_total"
+    "Result-cache hits, in-flight duplicates included." t.cache_hits;
+  counter "jfeed_cache_misses_total" "Result-cache misses." t.cache_misses;
+  gauge "jfeed_cache_entries" "Result-cache occupancy." cache_size;
+  gauge "jfeed_queue_depth" "Grade requests queued when scraped."
+    queue_depth;
+  gauge "jfeed_queue_depth_max" "Deepest grade queue observed."
+    t.queue_max;
+  Buffer.add_string b
+    "# HELP jfeed_diagnostics_total Static-analysis findings delivered, by \
+     pass.\n\
+     # TYPE jfeed_diagnostics_total counter\n";
+  List.iter
+    (fun pass ->
+      let n =
+        match Hashtbl.find_opt t.diag_counts pass with
+        | Some n -> n
+        | None -> 0
+      in
+      Buffer.add_string b
+        (Printf.sprintf "jfeed_diagnostics_total{pass=%S} %d\n" pass n))
+    Jfeed_analysis.Passes.pass_ids;
+  Buffer.add_string b
+    "# HELP jfeed_grade_latency_ms Grade service time, milliseconds.\n\
+     # TYPE jfeed_grade_latency_ms histogram\n";
+  let cum = ref 0 in
+  Array.iteri
+    (fun i bound ->
+      cum := !cum + t.lat_hist.(i);
+      Buffer.add_string b
+        (Printf.sprintf "jfeed_grade_latency_ms_bucket{le=%S} %d\n"
+           (Printf.sprintf "%g" bound)
+           !cum))
+    latency_buckets;
+  Buffer.add_string b
+    (Printf.sprintf "jfeed_grade_latency_ms_bucket{le=\"+Inf\"} %d\n"
+       t.lat_n);
+  Buffer.add_string b
+    (Printf.sprintf "jfeed_grade_latency_ms_sum %.6g\n" t.lat_sum);
+  Buffer.add_string b
+    (Printf.sprintf "jfeed_grade_latency_ms_count %d\n" t.lat_n);
+  Buffer.add_string b "# EOF";
+  Buffer.contents b

@@ -12,6 +12,14 @@ val create : unit -> t
 val reservoir_cap : int
 (** Latency samples kept (4096). *)
 
+val slowlog_cap : int
+(** Slowlog entries kept (10). *)
+
+val latency_buckets : float array
+(** The latency histogram's upper bounds (ms), strictly increasing.
+    Frozen: the exposition's [le] label set is cram-pinned, and
+    Prometheus semantics forbid per-scrape bucket changes. *)
+
 (** {2 Recording} *)
 
 val record_request : t -> unit
@@ -33,6 +41,11 @@ val record_diags : t -> (string * int) list -> unit
     on cache hits and in-flight duplicates too — the client received
     those diagnostics all the same. *)
 
+val record_slow : t -> Proto.slow_entry -> unit
+(** Offer one grade request to the slowlog; kept iff it ranks among the
+    {!slowlog_cap} slowest seen so far (ties keep the older entry
+    first). *)
+
 val observe_queue_depth : t -> int -> unit
 (** Track the high-water mark of the grade queue. *)
 
@@ -47,6 +60,9 @@ val percentile : t -> float -> float
     the latency reservoir in milliseconds; [0.0] before the first
     grade. *)
 
+val slowlog : t -> Proto.slow_entry list
+(** Slowest grades first, at most {!slowlog_cap}. *)
+
 val to_stats :
   t ->
   cache_size:int ->
@@ -55,3 +71,22 @@ val to_stats :
   queue_cap:int ->
   Proto.stats
 (** Snapshot for a [stats] response. *)
+
+val to_prometheus :
+  t ->
+  cache_size:int ->
+  cache_cap:int ->
+  queue_depth:int ->
+  queue_cap:int ->
+  string
+(** The same snapshot as Prometheus text exposition: counters
+    ([jfeed_requests_total], [jfeed_grades_total], [jfeed_errors_total],
+    [jfeed_outcomes_total{class=…}], cache hit/miss totals,
+    [jfeed_diagnostics_total{pass=…}] over the five fixed pass ids),
+    gauges (cache occupancy, queue depth and high-water mark), and a
+    [jfeed_grade_latency_ms] histogram over {!latency_buckets} with
+    cumulative bucket counts, [_sum] and [_count].  The line set, order
+    and every [le] bound are fixed — only sample values vary — and the
+    block ends with [# EOF] (no trailing newline).
+    [jfeed_grades_total] always equals the [stats] response's [grades]
+    field: both read the same counter. *)

@@ -252,6 +252,8 @@ type request =
       with_tests : bool option;
     }
   | Stats of { id : string option }
+  | Metrics of { id : string option }
+  | Slowlog of { id : string option }
   | Shutdown of { id : string option }
 
 let string_field j k =
@@ -308,6 +310,8 @@ let request_of_line line =
                           { id; assignment; source; fuel; deadline_s;
                             with_tests }))
           | Some (Str "stats") -> Ok (Stats { id })
+          | Some (Str "metrics") -> Ok (Metrics { id })
+          | Some (Str "slowlog") -> Ok (Slowlog { id })
           | Some (Str "shutdown") -> Ok (Shutdown { id })
           | Some (Str op) -> Error (id, Printf.sprintf "unknown op %S" op)
           | Some _ -> Error (id, "field \"op\" must be a string")
@@ -359,11 +363,36 @@ let stats_response ?id s =
          (fun (pass, n) -> Printf.sprintf {|"%s":%d|} (esc pass) n)
          s.diag_counts)
   in
+  (* %.3g: three significant digits whatever the magnitude — a 40 µs
+     p50 renders as 0.0412, not the 0.000 that fixed-point %.3f gave. *)
   Printf.sprintf
-    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d},"latency_ms":{"p50":%.3f,"p95":%.3f}}|}
+    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d},"latency_ms":{"p50":%.3g,"p95":%.3g}}|}
     (id_prefix id) s.requests s.grades s.stats_reqs s.errors s.cache_hits
     s.cache_misses s.cache_size s.cache_cap s.graded s.degraded s.rejected
     diagnostics s.queue_depth s.queue_max s.queue_cap s.p50_ms s.p95_ms
+
+type slow_entry = {
+  s_assignment : string;
+  s_ms : float;
+  s_outcome : string;
+  s_stages : (string * float) list;
+}
+
+let slowlog_response ?id entries =
+  let entry e =
+    let stages =
+      String.concat ","
+        (List.map
+           (fun (stage, ms) ->
+             Printf.sprintf {|"%s":%.3g|} (esc stage) ms)
+           e.s_stages)
+    in
+    Printf.sprintf {|{"assignment":"%s","ms":%.3g,"outcome":"%s","stages":{%s}}|}
+      (esc e.s_assignment) e.s_ms (esc e.s_outcome) stages
+  in
+  Printf.sprintf {|{%s"op":"slowlog","n":%d,"slowest":[%s]}|} (id_prefix id)
+    (List.length entries)
+    (String.concat "," (List.map entry entries))
 
 let shutdown_response ?id () =
   Printf.sprintf {|{%s"op":"shutdown","ok":true}|} (id_prefix id)

@@ -4,17 +4,24 @@
     order.  The grammar (DESIGN.md §9):
 
     {v
-    request  := grade | stats | shutdown
+    request  := grade | stats | metrics | slowlog | shutdown
     grade    := { "op":"grade", "assignment":string, "source":string,
                   "id"?:string, "fuel"?:int, "deadline_s"?:number,
                   "with_tests"?:bool }
     stats    := { "op":"stats", "id"?:string }
+    metrics  := { "op":"metrics", "id"?:string }
+    slowlog  := { "op":"slowlog", "id"?:string }
     shutdown := { "op":"shutdown", "id"?:string }
     v}
 
     Unknown object fields are ignored (forward compatibility); a missing
     or ill-typed required field, malformed JSON, or an unknown ["op"]
     yields one [error] response line and the daemon keeps serving.
+
+    [metrics] is the protocol's one non-JSON response: the reply is a
+    Prometheus text-exposition block — several lines, terminated by a
+    [# EOF] line (OpenMetrics convention) so a JSONL client knows where
+    the block ends.  All other responses stay one JSON line each.
 
     The module is also the service's only JSON {e reader} — the rest of
     the repository only prints JSON — so the hand-rolled parser lives
@@ -49,6 +56,8 @@ type request =
       with_tests : bool option;  (** overrides the server default *)
     }
   | Stats of { id : string option }
+  | Metrics of { id : string option }  (** Prometheus exposition *)
+  | Slowlog of { id : string option }  (** N slowest grade requests *)
   | Shutdown of { id : string option }
 
 val request_of_line :
@@ -96,6 +105,24 @@ type stats = {
 }
 
 val stats_response : ?id:string -> stats -> string
+(** Latency percentiles render with [%.3g] — three {e significant}
+    digits — so sub-millisecond service times survive (a 41 µs p50 is
+    [0.0412], where fixed-point [%.3f] flattened it to [0.000]). *)
+
+(** One slowlog entry: a slow grade request with its per-stage
+    breakdown, stage names from {!Jfeed_trace.Trace.rollup} ([parse],
+    [epdg], [match], [pairing], [interp], [tests], [analysis]…),
+    milliseconds each. *)
+type slow_entry = {
+  s_assignment : string;
+  s_ms : float;  (** total service time *)
+  s_outcome : string;  (** taxonomy class *)
+  s_stages : (string * float) list;  (** stage → total ms, rollup order *)
+}
+
+val slowlog_response : ?id:string -> slow_entry list -> string
+(** [{"op":"slowlog","n":…,"slowest":[{"assignment":…,"ms":…,
+    "outcome":…,"stages":{…}},…]}], slowest first; all times [%.3g]. *)
 
 val shutdown_response : ?id:string -> unit -> string
 

@@ -146,14 +146,23 @@ type miss = {
   m_req : grade_req;
 }
 
-let now_ms () = 1000.0 *. Unix.gettimeofday ()
+(* Monotonic, nanosecond-backed: wall-clock steps (NTP, suspend) can
+   no longer produce negative or wildly wrong latencies, and the
+   sub-millisecond service times the percentiles now render with three
+   significant digits are actually measured, not rounded away. *)
+let now_ms () = Int64.to_float (Jfeed_trace.Trace.now_ns ()) /. 1e6
 
 let grade_miss (m : miss) =
   let r = m.m_req in
   let t0 = now_ms () in
+  (* Every miss runs traced so the slowlog can show where a slow
+     request spent its time.  The tracer is created here, inside the
+     worker domain (Pool.map contract: one writer per buffer). *)
+  let trace = Jfeed_trace.Trace.create () in
   let item =
     Pipeline.grade_submission ?fuel:r.g_fuel ?deadline_s:r.g_deadline
-      ~with_tests:r.g_with_tests ~name:"<request>" m.m_bundle r.g_source
+      ~with_tests:r.g_with_tests ~name:"<request>" ~trace m.m_bundle
+      r.g_source
   in
   let ms = now_ms () -. t0 in
   let entry =
@@ -171,7 +180,18 @@ let grade_miss (m : miss) =
       result_json = Outcome.to_json ~comments:true item.Pipeline.outcome;
     }
   in
-  (entry, ms)
+  let slow =
+    {
+      Proto.s_assignment = r.g_assignment;
+      s_ms = ms;
+      s_outcome = entry.outcome_class;
+      s_stages =
+        List.map
+          (fun (stage, (_n, ns)) -> (stage, Int64.to_float ns /. 1e6))
+          (Jfeed_trace.Trace.rollup trace);
+    }
+  in
+  (entry, ms, slow)
 
 let process_batch st oc (batch : grade_req list) =
   Metrics.observe_queue_depth st.metrics (List.length batch);
@@ -226,20 +246,23 @@ let process_batch st oc (batch : grade_req list) =
             Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
               e.result_json
         | Miss i ->
-            let entry, ms = results.(i) in
+            let entry, ms, slow = results.(i) in
             Cache.add st.cache miss_arr.(i).m_key entry;
             Metrics.record_grade st.metrics ~outcome:entry.outcome_class
               ~hit:false ~ms;
+            Metrics.record_slow st.metrics slow;
             Metrics.record_diags st.metrics entry.diag_counts;
             Proto.grade_response ?id:r.g_id ~cached:false
               ~fuel:entry.fuel_spent entry.result_json
         | Dup i ->
             (* Served from an in-flight computation of this very batch:
                a hit in every observable way, it just wasn't stored yet
-               when the lookup ran. *)
-            let entry, _ = results.(i) in
+               when the lookup ran.  The requester still waited for that
+               grading, so its service time — not zero — is what lands
+               in the latency reservoir. *)
+            let entry, ms, _ = results.(i) in
             Metrics.record_grade st.metrics ~outcome:entry.outcome_class
-              ~hit:true ~ms:0.0;
+              ~hit:true ~ms;
             Metrics.record_diags st.metrics entry.diag_counts;
             Proto.grade_response ?id:r.g_id ~cached:true
               ~fuel:entry.fuel_spent entry.result_json
@@ -317,6 +340,26 @@ let serve_connection st r oc =
         | Ok (Proto.Stats { id }) ->
             Metrics.record_stats_req st.metrics;
             output_string oc (stats_line st ?id ~queue_depth:0 ());
+            output_char oc '\n';
+            flush oc;
+            loop ()
+        | Ok (Proto.Metrics { id = _ }) ->
+            (* The one multi-line response: a Prometheus exposition
+               block, "# EOF"-terminated (see Proto).  Counted as a
+               stats-class request. *)
+            Metrics.record_stats_req st.metrics;
+            output_string oc
+              (Metrics.to_prometheus st.metrics
+                 ~cache_size:(Cache.size st.cache)
+                 ~cache_cap:st.config.cache_cap ~queue_depth:0
+                 ~queue_cap:st.config.queue_cap);
+            output_char oc '\n';
+            flush oc;
+            loop ()
+        | Ok (Proto.Slowlog { id }) ->
+            Metrics.record_stats_req st.metrics;
+            output_string oc
+              (Proto.slowlog_response ?id (Metrics.slowlog st.metrics));
             output_char oc '\n';
             flush oc;
             loop ()

@@ -44,6 +44,43 @@ dry (matcher, pairing, interp).
   ]}
   [1]
 
+Under --trace every submission line grows a trace summary: per-stage
+span counts and milliseconds, per-pattern matcher counters (nodes, fuel,
+cache misses), interpreter steps and the fuel split.  Timings vary run
+to run, so they are masked; everything else is deterministic.
+
+  $ jfeed batch assignment1 clean --trace | sed -E 's/"ms":[0-9.]+/"ms":MS/g'
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0,"trace":{"stages":{"parse":{"n":1,"ms":MS},"analysis":{"n":1,"ms":MS},"pass":{"n":5,"ms":MS},"epdg":{"n":1,"ms":MS},"pairing":{"n":1,"ms":MS},"match":{"n":6,"ms":MS},"tests":{"n":1,"ms":MS},"interp":{"n":10,"ms":MS}},"counters":{"match.nodes:p_param_decl":2,"match.fuel:p_param_decl":2,"match.cache_miss:p_param_decl":1,"match.nodes:p_odd_access":48,"match.fuel:p_odd_access":48,"match.cache_miss:p_odd_access":1,"match.nodes:p_even_access":48,"match.fuel:p_even_access":48,"match.cache_miss:p_even_access":1,"match.nodes:p_cond_accum_add":36,"match.fuel:p_cond_accum_add":36,"match.cache_miss:p_cond_accum_add":1,"match.nodes:p_cond_accum_mul":36,"match.fuel:p_cond_accum_mul":36,"match.cache_miss:p_cond_accum_mul":1,"match.nodes:p_print_var":28,"match.fuel:p_print_var":28,"match.cache_miss:p_print_var":1,"interp.steps":250,"fuel.matcher":198,"fuel.pairing":1,"fuel.interp":125}}}
+  ]}
+
+--trace-dir writes one Chrome trace_event file per submission plus an
+aggregate summary, while stdout stays byte-identical to an untraced run:
+
+  $ jfeed batch assignment1 clean --trace-dir tdir
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0}
+  ]}
+  $ ls tdir
+  ref.java.trace.json
+  summary.json
+
+The per-submission file is a Chrome trace_event array — complete ("X")
+events for the spans and one final counter ("C") event:
+
+  $ head -c1 tdir/ref.java.trace.json; echo
+  [
+  $ grep -c '"ph":"X"' tdir/ref.java.trace.json
+  26
+  $ grep -c '"ph":"C"' tdir/ref.java.trace.json
+  1
+
+The aggregate ranks patterns by matcher fuel and reports per-stage
+p50/p95 (masked: timings):
+
+  $ sed -E 's/"p(50|95)_ms":[0-9.]+/"p\1_ms":MS/g' tdir/summary.json
+  {"submissions":1,"stages":{"parse":{"p50_ms":MS,"p95_ms":MS},"analysis":{"p50_ms":MS,"p95_ms":MS},"pass":{"p50_ms":MS,"p95_ms":MS},"epdg":{"p50_ms":MS,"p95_ms":MS},"pairing":{"p50_ms":MS,"p95_ms":MS},"match":{"p50_ms":MS,"p95_ms":MS},"tests":{"p50_ms":MS,"p95_ms":MS},"interp":{"p50_ms":MS,"p95_ms":MS}},"top_patterns":[{"pattern":"p_even_access","fuel":48},{"pattern":"p_odd_access","fuel":48},{"pattern":"p_cond_accum_add","fuel":36},{"pattern":"p_cond_accum_mul","fuel":36},{"pattern":"p_print_var","fuel":28}]}
+
 Usage errors are exit 2:
 
   $ jfeed batch assignment1 /no/such/dir

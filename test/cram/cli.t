@@ -63,7 +63,7 @@ The dependence graph of a method (the paper's Fig. 3 for this shape):
   >     System.out.println(s);
   > }
   > JAVA
-  $ jfeed graph tiny.java
+  $ jfeed graph assignment1 tiny.java
   method f
     v0: Decl   int k
     v1: Assign s = 0
@@ -78,6 +78,39 @@ The dependence graph of a method (the paper's Fig. 3 for this shape):
     v2 -Ctrl-> v3
     v2 -Ctrl-> v4
     v3 -Data-> v5
+
+The same graph as machine-readable JSON (structured attrs, not string
+concatenation):
+
+  $ jfeed graph assignment1 tiny.java --json
+  {"assignment":"assignment1","methods":[{"method":"f","params":["k"],"nodes":[{"id":0,"type":"Decl","text":"int k"},{"id":1,"type":"Assign","text":"s = 0"},{"id":2,"type":"Cond","text":"k > 0"},{"id":3,"type":"Assign","text":"s += k % 10"},{"id":4,"type":"Assign","text":"k = k / 10"},{"id":5,"type":"Call","text":"System.out.println(s)"}],"edges":[{"src":0,"dst":2,"type":"Data"},{"src":0,"dst":3,"type":"Data"},{"src":0,"dst":4,"type":"Data"},{"src":1,"dst":3,"type":"Data"},{"src":2,"dst":3,"type":"Ctrl"},{"src":2,"dst":4,"type":"Ctrl"},{"src":3,"dst":5,"type":"Data"}]}]}
+
+Graphviz output escapes label text properly — a string literal carrying
+quotes and a newline escape survives as a valid DOT label:
+
+  $ cat > quoted.java <<'JAVA'
+  > void f(int k) {
+  >     System.out.println("he said \"hi\" and\nleft");
+  > }
+  > JAVA
+  $ jfeed graph assignment1 quoted.java --dot
+  digraph g {
+    n0 [label="v0: Decl\nint k", shape=box];
+    n1 [label="v1: Call\nSystem.out.println(\"he said \\\"hi\\\" and\\nleft\")", shape=box];
+  }
+
+The two machine formats are mutually exclusive:
+
+  $ jfeed graph assignment1 tiny.java --dot --json
+  jfeed graph: --dot and --json are exclusive
+  [2]
+
+The build identifies itself: tool version, the digest of the compiled-in
+knowledge base (two builds with equal digests grade identically), and the
+feature set (the digest varies with the KB, so it is masked here):
+
+  $ jfeed version | sed 's/"kb_revision":"[0-9a-f]*"/"kb_revision":"MASKED"/'
+  {"version":"1.0.0","kb_revision":"MASKED","features":["normalize","variants","inline-helpers","strategies","analysis","parallel","serve-cache","trace"]}
 
 Unknown assignments are rejected with the available ids:
 

@@ -30,7 +30,7 @@ and the identical-output check).  The schema is pinned — a key rename
 must show up here as a diff:
 
   $ jfeed-bench micro --json --sample 2 --jobs 2 > /dev/null
-  $ grep -c '"schema":"jfeed-bench-grading/1"' BENCH_grading.json
+  $ grep -c '"schema":"jfeed-bench-grading/2"' BENCH_grading.json
   1
   $ grep -o '"[a-z_]*":' BENCH_grading.json | sort -u
   "assignments":
@@ -46,6 +46,14 @@ must show up here as a diff:
   "sequential_s":
   "speedup":
   "submissions":
+  "trace_overhead_pct":
+
+The identical-output check now also covers tracing: the traced pass must
+reproduce the untraced grades byte-for-byte before its overhead is
+reported.
+
+  $ grep -o '"identical":true' BENCH_grading.json
+  "identical":true
 
 The serving trajectory: `bench serve` replays a generated corpus — half
 α-renamed duplicates by default — through an in-process `jfeed serve`

@@ -74,6 +74,88 @@ counted (latencies are wall-clock, so they are masked here):
   $ sed -n 6p responses.jsonl
   {"id":"bye","op":"shutdown","ok":true}
 
+A scrape session: one good grade, one parse reject, then the Prometheus
+exposition and the slowlog.  The metrics response is the protocol's one
+multi-line answer, terminated by "# EOF":
+
+  $ cat > msession.jsonl <<'EOF'
+  > {"op":"grade","id":"g1","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] poly) { double[] deriv = new double[poly.length - 1]; for (int i = 1; i < poly.length; i = i + 1) { deriv[i - 1] = poly[i] * i; } return deriv; } }"}
+  > {"op":"grade","id":"g2","assignment":"mitx-derivatives","source":"broken ("}
+  > {"op":"metrics","id":"m"}
+  > {"op":"slowlog","id":"sl"}
+  > {"op":"shutdown","id":"bye"}
+  > EOF
+  $ jfeed serve < msession.jsonl > mresponses.txt
+
+The line set, order and every bucket bound are fixed; only the
+latency-dependent samples (finite buckets and the sum) are masked:
+
+  $ sed -n '/^# HELP jfeed_requests_total/,/^# EOF/p' mresponses.txt \
+  >   | sed -E 's/^(jfeed_grade_latency_ms_bucket\{le="[0-9.]+"\}) [0-9]+$/\1 N/' \
+  >   | sed -E 's/^(jfeed_grade_latency_ms_sum) [0-9.e+-]+$/\1 S/'
+  # HELP jfeed_requests_total Request lines handled, any op.
+  # TYPE jfeed_requests_total counter
+  jfeed_requests_total 3
+  # HELP jfeed_grades_total Grade requests answered (cached or not).
+  # TYPE jfeed_grades_total counter
+  jfeed_grades_total 2
+  # HELP jfeed_errors_total Error responses emitted.
+  # TYPE jfeed_errors_total counter
+  jfeed_errors_total 0
+  # HELP jfeed_outcomes_total Grade responses by outcome class.
+  # TYPE jfeed_outcomes_total counter
+  jfeed_outcomes_total{class="graded"} 1
+  jfeed_outcomes_total{class="degraded"} 0
+  jfeed_outcomes_total{class="rejected"} 1
+  # HELP jfeed_cache_hits_total Result-cache hits, in-flight duplicates included.
+  # TYPE jfeed_cache_hits_total counter
+  jfeed_cache_hits_total 0
+  # HELP jfeed_cache_misses_total Result-cache misses.
+  # TYPE jfeed_cache_misses_total counter
+  jfeed_cache_misses_total 2
+  # HELP jfeed_cache_entries Result-cache occupancy.
+  # TYPE jfeed_cache_entries gauge
+  jfeed_cache_entries 2
+  # HELP jfeed_queue_depth Grade requests queued when scraped.
+  # TYPE jfeed_queue_depth gauge
+  jfeed_queue_depth 0
+  # HELP jfeed_queue_depth_max Deepest grade queue observed.
+  # TYPE jfeed_queue_depth_max gauge
+  jfeed_queue_depth_max 2
+  # HELP jfeed_diagnostics_total Static-analysis findings delivered, by pass.
+  # TYPE jfeed_diagnostics_total counter
+  jfeed_diagnostics_total{pass="use-before-init"} 0
+  jfeed_diagnostics_total{pass="dead-store"} 0
+  jfeed_diagnostics_total{pass="unreachable"} 0
+  jfeed_diagnostics_total{pass="missing-return"} 0
+  jfeed_diagnostics_total{pass="suspicious-loop"} 0
+  # HELP jfeed_grade_latency_ms Grade service time, milliseconds.
+  # TYPE jfeed_grade_latency_ms histogram
+  jfeed_grade_latency_ms_bucket{le="0.5"} N
+  jfeed_grade_latency_ms_bucket{le="1"} N
+  jfeed_grade_latency_ms_bucket{le="2.5"} N
+  jfeed_grade_latency_ms_bucket{le="5"} N
+  jfeed_grade_latency_ms_bucket{le="10"} N
+  jfeed_grade_latency_ms_bucket{le="25"} N
+  jfeed_grade_latency_ms_bucket{le="50"} N
+  jfeed_grade_latency_ms_bucket{le="100"} N
+  jfeed_grade_latency_ms_bucket{le="250"} N
+  jfeed_grade_latency_ms_bucket{le="500"} N
+  jfeed_grade_latency_ms_bucket{le="1000"} N
+  jfeed_grade_latency_ms_bucket{le="+Inf"} 2
+  jfeed_grade_latency_ms_sum S
+  jfeed_grade_latency_ms_count 2
+  # EOF
+
+The slowlog ranks both grades with per-stage breakdowns; milliseconds
+are wall-clock, so every number after a colon is masked — the rejected
+submission's entry visibly stops at its parse stage:
+
+  $ grep '"op":"slowlog"' mresponses.txt | sed -E 's/:[0-9][0-9.e+-]*/:N/g'
+  {"id":"sl","op":"slowlog","n":N,"slowest":[{"assignment":"mitx-derivatives","ms":N,"outcome":"graded","stages":{"parse":N,"analysis":N,"pass":N,"epdg":N,"pairing":N,"match":N,"tests":N,"interp":N}},{"assignment":"mitx-derivatives","ms":N,"outcome":"rejected","stages":{"parse":N}}]}
+  $ grep -c '"op":"slowlog","n":2' mresponses.txt
+  1
+
 Usage errors are caught before the daemon starts:
 
   $ jfeed serve --jobs 0 < /dev/null

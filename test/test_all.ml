@@ -9,4 +9,5 @@ let () =
       ("strategies", Test_strategies.suite);
       ("stmt-roundtrip", Test_stmt_roundtrip.suite);
       ("robust", Test_robust.suite); ("parallel", Test_parallel.suite);
-      ("service", Test_service.suite); ("analysis", Test_analysis.suite) ]
+      ("service", Test_service.suite); ("analysis", Test_analysis.suite);
+      ("trace", Test_trace.suite) ]
