@@ -386,6 +386,281 @@ let serve_json ~requests ~dup_pct ~jobs ~seed () =
     !grades dup_pct throughput hit_rate
 
 (* ------------------------------------------------------------------ *)
+(* load: the open-loop overload benchmark (BENCH_load.json)            *)
+
+(* Drive the {e concurrent} socket daemon with an open-loop arrival
+   process — requests fire on schedule whether or not earlier ones were
+   answered, the deadline-night model — across a sweep of arrival
+   rates, and record per-rate completions, sheds, degraded admissions,
+   cache hits and latency percentiles.  Latency is measured from each
+   request's {e intended} arrival time, so queueing delay is charged to
+   the server (no coordinated omission). *)
+
+let nearest_rank sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let load_json ~rates ~requests ~dup_pct ~conns ~jobs ~queue_cap ~watermark
+    ~shed_fuel ~seed () =
+  let module Server = Jfeed_service.Server in
+  let module Proto = Jfeed_service.Proto in
+  let module Sysx = Jfeed_service.Sysx in
+  let b = Bundles.assignment1 in
+  let spec = b.Bundles.gen in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jfeed-load-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      Server.default_config with
+      jobs;
+      with_tests = false;
+      queue_cap;
+      watermark = Some watermark;
+      shed_fuel = Some shed_fuel;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.serve_socket config path) in
+  let rec wait_sock n =
+    if n = 0 then failwith "load: daemon socket never appeared"
+    else if Sys.file_exists path then ()
+    else begin
+      Sysx.sleep 0.02;
+      wait_sock (n - 1)
+    end
+  in
+  wait_sock 250;
+  let fds =
+    Array.init conns (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        Unix.set_nonblock fd;
+        fd)
+  in
+  let parts = Array.init conns (fun _ -> Buffer.create 4096) in
+  (* Pull whatever the socket has and hand complete lines to [k];
+     partial tails wait in [parts] for the next readable event. *)
+  let read_lines i k =
+    let buf = Bytes.create 65536 in
+    let rec pull () =
+      match Sysx.read fds.(i) buf 0 (Bytes.length buf) with
+      | `Read 0 -> ()
+      | `Read n ->
+          Buffer.add_subbytes parts.(i) buf 0 n;
+          pull ()
+      | `Again -> ()
+    in
+    pull ();
+    let s = Buffer.contents parts.(i) in
+    let rec split start =
+      match String.index_from_opt s start '\n' with
+      | Some nl ->
+          k (String.sub s start (nl - start));
+          split (nl + 1)
+      | None ->
+          Buffer.clear parts.(i);
+          Buffer.add_substring parts.(i) s start (String.length s - start)
+    in
+    split 0
+  in
+  let send_all fd s =
+    let bytes = Bytes.unsafe_of_string s in
+    let len = Bytes.length bytes in
+    let pos = ref 0 in
+    while !pos < len do
+      match Sysx.write fd bytes !pos (len - !pos) with
+      | `Wrote n -> pos := !pos + n
+      | `Again -> ignore (Sysx.select [] [ fd ] [] 0.1)
+    done
+  in
+  let jnum j fields =
+    let rec walk j = function
+      | [] -> ( match j with Proto.Num n -> n | _ -> 0.0)
+      | f :: rest -> (
+          match Proto.member f j with
+          | Some j' -> walk j' rest
+          | None -> 0.0)
+    in
+    walk j fields
+  in
+  let get_stats () =
+    send_all fds.(0) "{\"op\":\"stats\",\"id\":\"bench-stats\"}\n";
+    let result = ref None in
+    while !result = None do
+      ignore (Sysx.select [ fds.(0) ] [] [] 1.0);
+      read_lines 0 (fun line ->
+          match Proto.parse_json line with
+          | Ok j when Proto.member "op" j = Some (Proto.Str "stats") ->
+              result := Some j
+          | _ -> ())
+    done;
+    Option.get !result
+  in
+  let prev_degraded = ref 0.0 in
+  let round idx rate =
+    let n_unique = max 1 (requests * (100 - dup_pct) / 100) in
+    let rseed = seed + (idx * 7919) in
+    let uniques =
+      Array.of_list
+        (List.map
+           (Jfeed_gen.Spec.source_of_index spec)
+           (Jfeed_gen.Spec.sample_indices spec ~n:n_unique ~seed:rseed))
+    in
+    let n_unique = Array.length uniques in
+    let source_of i =
+      if i < n_unique then uniques.(i)
+      else
+        Jfeed_gen.Mutate.alpha_rename ~seed:(rseed + i)
+          uniques.(i mod n_unique)
+    in
+    let line_of i =
+      Printf.sprintf
+        {|{"op":"grade","id":"q%d","assignment":"%s","source":"%s"}|} i
+        b.Bundles.grading.Grader.a_id
+        (Jfeed_core.Feedback.json_escape (source_of i))
+      ^ "\n"
+    in
+    let outq = Array.init conns (fun _ -> Queue.create ()) in
+    let off = Array.make conns 0 in
+    let interval = 1.0 /. rate in
+    let t0 = Unix.gettimeofday () in
+    let sent = ref 0 and received = ref 0 in
+    let shed = ref 0 and cached = ref 0 in
+    let lats = ref [] in
+    let t_last = ref t0 in
+    while !received < requests do
+      let now = Unix.gettimeofday () in
+      (* Open loop: enqueue every request whose scheduled arrival has
+         passed, even if the loop fell behind — bursts and all. *)
+      while
+        !sent < requests
+        && now >= t0 +. (float_of_int !sent *. interval)
+      do
+        Queue.push (line_of !sent) outq.(!sent mod conns);
+        incr sent
+      done;
+      let wrs = ref [] in
+      Array.iteri
+        (fun i fd -> if not (Queue.is_empty outq.(i)) then wrs := fd :: !wrs)
+        fds;
+      let timeout =
+        if !sent < requests then
+          max 0.0005 (t0 +. (float_of_int !sent *. interval) -. now)
+        else 0.25
+      in
+      let rready, wready, _ =
+        Sysx.select (Array.to_list fds) !wrs [] timeout
+      in
+      Array.iteri
+        (fun i fd ->
+          if List.mem fd wready then begin
+            let blocked = ref false in
+            while (not !blocked) && not (Queue.is_empty outq.(i)) do
+              let head = Queue.peek outq.(i) in
+              let len = String.length head - off.(i) in
+              match
+                Sysx.write fd (Bytes.unsafe_of_string head) off.(i) len
+              with
+              | `Wrote n ->
+                  if n = len then begin
+                    ignore (Queue.pop outq.(i));
+                    off.(i) <- 0
+                  end
+                  else begin
+                    off.(i) <- off.(i) + n;
+                    blocked := true
+                  end
+              | `Again -> blocked := true
+            done
+          end)
+        fds;
+      Array.iteri
+        (fun i fd ->
+          if List.mem fd rready then
+            read_lines i (fun line ->
+                match Proto.parse_json line with
+                | Ok j -> (
+                    match Proto.member "id" j with
+                    | Some (Proto.Str id)
+                      when String.length id > 1 && id.[0] = 'q' -> (
+                        match
+                          int_of_string_opt
+                            (String.sub id 1 (String.length id - 1))
+                        with
+                        | Some k ->
+                            incr received;
+                            t_last := Unix.gettimeofday ();
+                            (match Proto.member "rejected" j with
+                            | Some (Proto.Str "overloaded") -> incr shed
+                            | _ ->
+                                (match Proto.member "cached" j with
+                                | Some (Proto.Bool true) -> incr cached
+                                | _ -> ());
+                                lats :=
+                                  ((!t_last
+                                   -. (t0 +. (float_of_int k *. interval)))
+                                  *. 1000.0)
+                                  :: !lats)
+                        | None -> ())
+                    | _ -> ())
+                | Error _ -> ()))
+        fds
+    done;
+    let stats = get_stats () in
+    let cum_degraded = jnum stats [ "admission"; "degraded" ] in
+    let degraded = int_of_float (cum_degraded -. !prev_degraded) in
+    prev_degraded := cum_degraded;
+    let wall = !t_last -. t0 in
+    let sorted = Array.of_list !lats in
+    Array.sort compare sorted;
+    let completed = requests - !shed in
+    let achieved =
+      if wall > 0.0 then float_of_int completed /. wall else 0.0
+    in
+    Printf.printf
+      "  rate %7.1f req/s: %d/%d completed, %d shed, %d degraded, %d \
+       cached, p99 %.1f ms\n\
+       %!"
+      rate completed requests !shed degraded !cached
+      (nearest_rank sorted 0.99);
+    Printf.sprintf
+      {|{"rate_rps":%g,"requests":%d,"completed":%d,"shed":%d,"degraded":%d,"cached":%d,"p50_ms":%.3g,"p95_ms":%.3g,"p99_ms":%.3g,"achieved_rps":%.2f,"wall_s":%.4f}|}
+      rate requests completed !shed degraded !cached
+      (nearest_rank sorted 0.50)
+      (nearest_rank sorted 0.95)
+      (nearest_rank sorted 0.99)
+      achieved wall
+  in
+  Printf.printf "open-loop load sweep (%d conns, queue cap %d):\n%!" conns
+    queue_cap;
+  let rows = List.mapi round rates in
+  let final = get_stats () in
+  let total_shed = int_of_float (jnum final [ "admission"; "shed" ]) in
+  send_all fds.(0) "{\"op\":\"shutdown\"}\n";
+  Domain.join server;
+  Array.iter (fun fd -> try Unix.close fd with _ -> ()) fds;
+  let json =
+    Printf.sprintf
+      {|{"schema":"jfeed-bench-load/1","conns":%d,"queue_cap":%d,"watermark":%d,"shed_fuel":%d,"requests_per_rate":%d,"duplicate_ratio":%.2f,"jobs":%d,"sweep":[%s],"total_shed":%d}|}
+      conns queue_cap watermark shed_fuel requests
+      (float_of_int dup_pct /. 100.0)
+      jobs
+      (String.concat ",\n " rows)
+      total_shed
+  in
+  let oc = open_out "BENCH_load.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "BENCH_load.json written: %d rates x %d requests, %d shed \
+                 in total\n"
+    (List.length rates) requests total_shed
+
+(* ------------------------------------------------------------------ *)
 (* §VI-C comparison                                                    *)
 
 let fig8_reference =
@@ -732,6 +1007,14 @@ let () =
     in
     go args
   in
+  let str_opt name default =
+    let rec go = function
+      | a :: b :: _ when a = name -> b
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
   let sample = opt "--sample" 150 in
   let seed = opt "--seed" 42 in
   let jobs = opt "--jobs" 4 in
@@ -745,6 +1028,23 @@ let () =
         ~requests:(opt "--requests" 60)
         ~dup_pct:(opt "--dup" 50)
         ~jobs ~seed ()
+  | _ :: "load" :: _ ->
+      (* The default sweep straddles the single-node service rate so the
+         committed record shows all three admission regimes: under
+         capacity, degraded admission, hard shedding. *)
+      let rates =
+        List.filter_map float_of_string_opt
+          (String.split_on_char ',' (str_opt "--rates" "500,2000,8000"))
+      in
+      load_json ~rates
+        ~requests:(opt "--requests" 200)
+        ~dup_pct:(opt "--dup" 50)
+        ~conns:(opt "--conns" 4)
+        ~jobs
+        ~queue_cap:(opt "--queue-cap" 16)
+        ~watermark:(opt "--watermark" 8)
+        ~shed_fuel:(opt "--shed-fuel" 20000)
+        ~seed ()
   | _ :: "compare" :: _ -> compare ()
   | _ :: "ablation" :: _ -> ablation ~sample ~seed ()
   | _ :: "scaling" :: _ -> scaling ()

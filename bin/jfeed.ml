@@ -457,7 +457,7 @@ let serve_cmd =
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
             "Listen on a Unix-domain socket at $(docv) instead of \
-             stdin/stdout; connections are served sequentially and share \
+             stdin/stdout; connections are served concurrently and share \
              the cache.")
   in
   let cache_cap =
@@ -504,7 +504,53 @@ let serve_cmd =
       & info [ "no-tests" ]
           ~doc:"Skip the functional-test stage by default.")
   in
-  let run socket cache_cap queue_cap jobs fuel deadline no_tests =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Make the result cache durable: append every fresh grade to a \
+             checksummed log under $(docv) and replay it into a warm cache \
+             on startup (crash-safe; a torn tail is truncated).")
+  in
+  let backlog =
+    Arg.(
+      value
+      & opt int Jfeed_service.Server.default_config.backlog
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"listen(2) backlog for --socket mode.")
+  in
+  let shards =
+    Arg.(
+      value
+      & opt int Jfeed_service.Server.default_config.shards
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Result-cache shard count.  Lookups are shard-count-invariant; \
+             this only tunes lock granularity.")
+  in
+  let watermark =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Queue depth from which grade requests are admitted on the \
+             degraded --shed-fuel budget instead of their own (socket \
+             mode; requires --shed-fuel).")
+  in
+  let shed_fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shed-fuel" ] ~docv:"N"
+          ~doc:
+            "Fuel clamp for degraded admission past --watermark: admitted \
+             requests keep the smaller of their own budget and $(docv).")
+  in
+  let run socket cache_cap queue_cap jobs fuel deadline no_tests cache_dir
+      backlog shards watermark shed_fuel =
     if jobs < 1 then begin
       Printf.eprintf "jfeed serve: --jobs must be at least 1 (got %d)\n" jobs;
       2
@@ -512,6 +558,16 @@ let serve_cmd =
     else if queue_cap < 1 then begin
       Printf.eprintf "jfeed serve: --queue-cap must be at least 1 (got %d)\n"
         queue_cap;
+      2
+    end
+    else if shards < 1 then begin
+      Printf.eprintf "jfeed serve: --shards must be at least 1 (got %d)\n"
+        shards;
+      2
+    end
+    else if backlog < 1 then begin
+      Printf.eprintf "jfeed serve: --backlog must be at least 1 (got %d)\n"
+        backlog;
       2
     end
     else begin
@@ -523,23 +579,120 @@ let serve_cmd =
           fuel;
           deadline_s = deadline;
           with_tests = not no_tests;
+          shards;
+          cache_dir;
+          backlog;
+          watermark;
+          shed_fuel;
         }
       in
-      (match socket with
-      | None -> Jfeed_service.Server.serve_stdio config
-      | Some path -> Jfeed_service.Server.serve_socket config path);
-      0
+      match
+        (* [Failure] here is the durable store refusing to double-open a
+           locked cache directory — a usage error, not a crash. *)
+        try
+          Ok
+            (match socket with
+            | None -> Jfeed_service.Server.serve_stdio config
+            | Some path -> Jfeed_service.Server.serve_socket config path)
+        with Failure msg -> Error msg
+      with
+      | Ok () -> 0
+      | Error msg ->
+          Printf.eprintf "jfeed serve: %s\n" msg;
+          1
     end
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the persistent grading daemon: newline-delimited JSON \
-          requests (grade/stats/shutdown) on stdin or a Unix socket, one \
-          response line per request, α-renaming-aware result cache")
+          requests (grade/stats/shutdown) on stdin or a Unix socket \
+          (concurrent connections, admission control, optional durable \
+          cache), one response line per request, α-renaming-aware result \
+          cache")
     Term.(
       const run $ socket $ cache_cap $ queue_cap $ jobs $ fuel $ deadline
-      $ no_tests)
+      $ no_tests $ cache_dir $ backlog $ shards $ watermark $ shed_fuel)
+
+let client_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"The daemon's Unix-domain socket.")
+  in
+  (* A protocol-agnostic pump so shell scripts (and the cram suite) can
+     drive a socket daemon without netcat: stdin bytes go to the
+     socket, socket bytes come back on stdout, stdin EOF half-closes
+     the connection (the daemon answers everything sent, then closes),
+     socket EOF ends the pump.  Both directions are multiplexed, so a
+     large request set can't deadlock against a large response set. *)
+  let run path =
+    let module Sysx = Jfeed_service.Sysx in
+    (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
+    | () -> ()
+    | exception _ -> ());
+    try
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let buf = Bytes.create 65536 in
+      let pending = ref Bytes.empty in
+      let off = ref 0 in
+      let unsent () = Bytes.length !pending - !off in
+      let stdin_open = ref true in
+      let sock_open = ref true in
+      while !sock_open do
+        let rds =
+          (if !stdin_open && unsent () = 0 then [ Unix.stdin ] else [])
+          @ [ sock ]
+        in
+        let wrs = if unsent () > 0 then [ sock ] else [] in
+        let r, w, _ = Sysx.select rds wrs [] (-1.0) in
+        if List.mem Unix.stdin r then begin
+          match Sysx.read Unix.stdin buf 0 (Bytes.length buf) with
+          | `Read 0 ->
+              stdin_open := false;
+              if unsent () = 0 then Unix.shutdown sock Unix.SHUTDOWN_SEND
+          | `Read n ->
+              pending := Bytes.sub buf 0 n;
+              off := 0
+          | `Again -> ()
+        end;
+        if List.mem sock w && unsent () > 0 then begin
+          match Sysx.write sock !pending !off (unsent ()) with
+          | `Wrote n ->
+              off := !off + n;
+              if unsent () = 0 then begin
+                pending := Bytes.empty;
+                off := 0;
+                if not !stdin_open then
+                  Unix.shutdown sock Unix.SHUTDOWN_SEND
+              end
+          | `Again -> ()
+        end;
+        if List.mem sock r then begin
+          match Sysx.read sock buf 0 (Bytes.length buf) with
+          | `Read 0 -> sock_open := false
+          | `Read n ->
+              print_string (Bytes.sub_string buf 0 n);
+              flush stdout
+          | `Again -> ()
+        end
+      done;
+      (try Unix.close sock with _ -> ());
+      0
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "jfeed client: %s: %s\n" path (Unix.error_message e);
+      1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Pump stdin to a serve daemon's Unix socket and its responses \
+          back to stdout (stdin EOF half-closes; exits when the daemon \
+          has answered everything)")
+    Term.(const run $ socket)
 
 let analyze_cmd =
   let json =
@@ -726,6 +879,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
-            batch_cmd; strategies_cmd; serve_cmd; assignments_cmd;
-            analyze_cmd; lint_kb_cmd; version_cmd;
+            batch_cmd; strategies_cmd; serve_cmd; client_cmd;
+            assignments_cmd; analyze_cmd; lint_kb_cmd; version_cmd;
           ]))

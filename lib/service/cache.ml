@@ -60,6 +60,13 @@ let evict_over_cap t =
         Hashtbl.remove t.tbl lru.key
   done
 
+let fold_lru f t init =
+  let rec go acc = function
+    | None -> acc
+    | Some n -> go (f n.key n.value acc) n.prev
+  in
+  go init t.tail
+
 let add t k v =
   if t.capacity > 0 then begin
     (match Hashtbl.find_opt t.tbl k with

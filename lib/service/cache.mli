@@ -27,3 +27,10 @@ val add : 'v t -> string -> 'v -> unit
 
 val mem : 'v t -> string -> bool
 (** Membership without touching recency. *)
+
+val fold_lru : (string -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+(** Fold in recency order, least-recently-used first, without touching
+    recency — replaying the result through {!add} calls in fold order
+    reconstructs the same recency list (the durable store's compaction
+    writes entries in this order so a reload preserves eviction
+    priority). *)

@@ -20,6 +20,8 @@ type t = {
   mutable graded : int;
   mutable degraded : int;
   mutable rejected : int;
+  mutable shed : int;
+  mutable degraded_admission : int;
   mutable queue_max : int;
   diag_counts : (string, int) Hashtbl.t;
       (* static-analysis findings delivered, keyed by pass id; cached
@@ -43,6 +45,8 @@ let create () =
     graded = 0;
     degraded = 0;
     rejected = 0;
+    shed = 0;
+    degraded_admission = 0;
     queue_max = 0;
     diag_counts = Hashtbl.create 8;
     lat = Array.make reservoir_cap 0.0;
@@ -55,6 +59,13 @@ let create () =
 let record_request t = t.requests <- t.requests + 1
 let record_error t = t.errors <- t.errors + 1
 let record_stats_req t = t.stats_reqs <- t.stats_reqs + 1
+let record_shed t = t.shed <- t.shed + 1
+
+let record_degraded_admission t =
+  t.degraded_admission <- t.degraded_admission + 1
+
+let shed t = t.shed
+let degraded_admission t = t.degraded_admission
 
 let record_grade t ~outcome ~hit ~ms =
   t.grades <- t.grades + 1;
@@ -116,7 +127,7 @@ let percentile t p =
     a.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let to_stats t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
+let to_stats ?ext t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
   {
     Proto.requests = t.requests;
     grades = t.grades;
@@ -143,14 +154,27 @@ let to_stats t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
         Jfeed_analysis.Passes.pass_ids;
     p50_ms = percentile t 0.50;
     p95_ms = percentile t 0.95;
+    ext;
   }
+
+type extended = {
+  x_shard_counters : (int * int) array;
+  x_conns : int;
+  x_store : (int * int * int * int) option;
+}
 
 (* Prometheus text exposition.  Line set and order are fixed; only the
    sample values vary, so a cram test can pin every [# TYPE] line and
    every bucket bound.  Ends with the OpenMetrics [# EOF] marker —
    that's also how the JSONL client finds the end of this multi-line
-   response. *)
-let to_prometheus t ~cache_size ~cache_cap:_ ~queue_depth ~queue_cap:_ =
+   response.
+
+   The serving-tier families ([?extended]) are PREPENDED: the cram
+   golden pins the block from [# HELP jfeed_requests_total] to [# EOF],
+   so anything added before that anchor extends the exposition without
+   touching the pinned bytes. *)
+let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
+    ~queue_cap:_ =
   let b = Buffer.create 2048 in
   let counter name help value =
     Buffer.add_string b
@@ -162,6 +186,48 @@ let to_prometheus t ~cache_size ~cache_cap:_ ~queue_depth ~queue_cap:_ =
       (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %d\n" name help
          name name value)
   in
+  (match extended with
+  | None -> ()
+  | Some x ->
+      counter "jfeed_shed_total"
+        "Grade requests refused by admission control." t.shed;
+      counter "jfeed_admission_degraded_total"
+        "Grade requests admitted past the watermark on the degraded \
+         budget."
+        t.degraded_admission;
+      gauge "jfeed_connections_active" "Open client connections."
+        x.x_conns;
+      Buffer.add_string b
+        "# HELP jfeed_cache_shard_hits_total Result-cache hits, per \
+         shard.\n\
+         # TYPE jfeed_cache_shard_hits_total counter\n";
+      Array.iteri
+        (fun i (h, _) ->
+          Buffer.add_string b
+            (Printf.sprintf "jfeed_cache_shard_hits_total{shard=\"%d\"} %d\n"
+               i h))
+        x.x_shard_counters;
+      Buffer.add_string b
+        "# HELP jfeed_cache_shard_misses_total Result-cache misses, per \
+         shard.\n\
+         # TYPE jfeed_cache_shard_misses_total counter\n";
+      Array.iteri
+        (fun i (_, m) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "jfeed_cache_shard_misses_total{shard=\"%d\"} %d\n" i m))
+        x.x_shard_counters;
+      (match x.x_store with
+      | None -> ()
+      | Some (recovered, dropped, appended, compactions) ->
+          gauge "jfeed_store_recovered_records"
+            "Durable-store records replayed at boot." recovered;
+          gauge "jfeed_store_dropped_bytes"
+            "Torn-tail bytes truncated at boot." dropped;
+          counter "jfeed_store_appended_total"
+            "Records appended to the durable store this run." appended;
+          counter "jfeed_store_compactions_total"
+            "Durable-store compactions this run." compactions));
   counter "jfeed_requests_total" "Request lines handled, any op." t.requests;
   counter "jfeed_grades_total" "Grade requests answered (cached or not)."
     t.grades;

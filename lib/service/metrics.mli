@@ -29,6 +29,16 @@ val record_error : t -> unit
 
 val record_stats_req : t -> unit
 
+val record_shed : t -> unit
+(** One grade request refused by admission control (queue full or
+    queue-wait deadline exceeded).  Shed requests never reach
+    {!record_grade} — they are refusals, not outcomes. *)
+
+val record_degraded_admission : t -> unit
+(** One grade request admitted past the watermark with the degraded
+    [shed_fuel] budget.  The request still reaches {!record_grade}
+    with whatever outcome the shrunken budget produced. *)
+
 val record_grade : t -> outcome:string -> hit:bool -> ms:float -> unit
 (** One grade response: [outcome] is the taxonomy class
     (["graded"] / ["degraded"] / ["rejected"]), [hit] whether it was
@@ -54,6 +64,8 @@ val observe_queue_depth : t -> int -> unit
 val hits : t -> int
 val misses : t -> int
 val queue_max : t -> int
+val shed : t -> int
+val degraded_admission : t -> int
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [[0, 1]]: nearest-rank percentile of
@@ -64,15 +76,32 @@ val slowlog : t -> Proto.slow_entry list
 (** Slowest grades first, at most {!slowlog_cap}. *)
 
 val to_stats :
+  ?ext:Proto.stats_ext ->
   t ->
   cache_size:int ->
   cache_cap:int ->
   queue_depth:int ->
   queue_cap:int ->
   Proto.stats
-(** Snapshot for a [stats] response. *)
+(** Snapshot for a [stats] response.  [ext] carries the concurrent
+    daemon's serving-tier figures; omitted, the rendered stats line is
+    byte-identical to the historical shape (the stdio path's pinned
+    golden). *)
+
+(** Serving-tier figures for the extended exposition, supplied by the
+    socket daemon (the [t] counters don't know about shards,
+    connections or the durable store). *)
+type extended = {
+  x_shard_counters : (int * int) array;
+      (** per-shard (hits, misses), {!Shards.counters} *)
+  x_conns : int;  (** open client connections *)
+  x_store : (int * int * int * int) option;
+      (** (recovered, dropped_bytes, appended, compactions); [None]
+          when serving memory-only *)
+}
 
 val to_prometheus :
+  ?extended:extended ->
   t ->
   cache_size:int ->
   cache_cap:int ->
@@ -89,4 +118,11 @@ val to_prometheus :
     and every [le] bound are fixed — only sample values vary — and the
     block ends with [# EOF] (no trailing newline).
     [jfeed_grades_total] always equals the [stats] response's [grades]
-    field: both read the same counter. *)
+    field: both read the same counter.
+
+    With [extended], the serving-tier families ([jfeed_shed_total],
+    [jfeed_admission_degraded_total], [jfeed_connections_active],
+    per-shard cache hit/miss counters, and — when a durable store is
+    attached — its recovery/append/compaction figures) are
+    {e prepended} before [jfeed_requests_total], so the historical
+    block from that anchor to [# EOF] keeps its exact line set. *)

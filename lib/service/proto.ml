@@ -336,6 +336,25 @@ let grade_response ?id ~cached ~fuel result_json =
   Printf.sprintf {|{%s"op":"grade","cached":%b%s,"result":%s}|}
     (id_prefix id) cached fuel_field result_json
 
+let overloaded_response ?id ?(reason = "admission queue full; retry later")
+    () =
+  (* Load shedding's explicit refusal: still an [op:"grade"] line (the
+     client asked for a grade and gets exactly one answer), with the
+     machine-checkable marker ["rejected":"overloaded"] and a rejected
+     Outcome in the result slot so uniform clients parse it like any
+     other grade. *)
+  Printf.sprintf
+    {|{%s"op":"grade","rejected":"overloaded","result":{"outcome":"rejected","stage":"admission","error":"%s"}}|}
+    (id_prefix id) (esc reason)
+
+type stats_ext = {
+  shed : int;
+  degraded_admission : int;
+  shards : int;
+  conns : int;
+  store : (int * int * int * int) option;
+}
+
 type stats = {
   requests : int;
   grades : int;
@@ -354,6 +373,7 @@ type stats = {
   diag_counts : (string * int) list;
   p50_ms : float;
   p95_ms : float;
+  ext : stats_ext option;
 }
 
 let stats_response ?id s =
@@ -363,13 +383,32 @@ let stats_response ?id s =
          (fun (pass, n) -> Printf.sprintf {|"%s":%d|} (esc pass) n)
          s.diag_counts)
   in
+  (* The serving-tier extension renders only when present, so the
+     legacy (stdio) stats line stays byte-identical. *)
+  let ext_fields =
+    match s.ext with
+    | None -> ""
+    | Some e ->
+        let store =
+          match e.store with
+          | None -> ""
+          | Some (recovered, dropped, appended, compactions) ->
+              Printf.sprintf
+                {|,"store":{"recovered":%d,"dropped_bytes":%d,"appended":%d,"compactions":%d}|}
+                recovered dropped appended compactions
+        in
+        Printf.sprintf
+          {|,"admission":{"shed":%d,"degraded":%d},"shards":%d,"conns":%d%s|}
+          e.shed e.degraded_admission e.shards e.conns store
+  in
   (* %.3g: three significant digits whatever the magnitude — a 40 µs
      p50 renders as 0.0412, not the 0.000 that fixed-point %.3f gave. *)
   Printf.sprintf
-    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d},"latency_ms":{"p50":%.3g,"p95":%.3g}}|}
+    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d}%s,"latency_ms":{"p50":%.3g,"p95":%.3g}}|}
     (id_prefix id) s.requests s.grades s.stats_reqs s.errors s.cache_hits
     s.cache_misses s.cache_size s.cache_cap s.graded s.degraded s.rejected
-    diagnostics s.queue_depth s.queue_max s.queue_cap s.p50_ms s.p95_ms
+    diagnostics s.queue_depth s.queue_max s.queue_cap ext_fields s.p50_ms
+    s.p95_ms
 
 type slow_entry = {
   s_assignment : string;

@@ -81,6 +81,32 @@ val grade_response :
     under a finite fuel budget, mirroring the batch summary's
     byte-stable shape. *)
 
+val overloaded_response : ?id:string -> ?reason:string -> unit -> string
+(** Load shedding's refusal: one [op:"grade"] line carrying the marker
+    field ["rejected":"overloaded"] and a rejected Outcome with
+    [stage:"admission"] in the result slot, so clients that only parse
+    grade responses still get a total answer.  The optional [reason]
+    replaces the default ["admission queue full; retry later"] (the
+    queue-wait deadline path says so instead).  Shed responses are
+    never cached and never enter the outcome taxonomy — they are
+    counted by the [admission.shed] counter alone. *)
+
+(** Serving-tier extension of the stats payload: admission control,
+    sharding and durable-store figures.  Present only when the
+    concurrent socket daemon answers ([None] keeps the legacy stats
+    line byte-identical for the stdio path and its pinned goldens). *)
+type stats_ext = {
+  shed : int;  (** grade requests refused by admission control *)
+  degraded_admission : int;
+      (** grade requests admitted past the watermark with the
+          degraded [shed_fuel] budget *)
+  shards : int;  (** result-cache shard count *)
+  conns : int;  (** open client connections right now *)
+  store : (int * int * int * int) option;
+      (** (recovered, dropped_bytes, appended, compactions) of the
+          durable store; [None] when serving memory-only *)
+}
+
 type stats = {
   requests : int;  (** request lines parsed, any op *)
   grades : int;  (** grade requests answered (cached or not) *)
@@ -102,12 +128,16 @@ type stats = {
           order, so the rendered object is byte-stable *)
   p50_ms : float;  (** grade latency percentiles, 0 when no grades yet *)
   p95_ms : float;
+  ext : stats_ext option;  (** concurrent-daemon figures, see above *)
 }
 
 val stats_response : ?id:string -> stats -> string
 (** Latency percentiles render with [%.3g] — three {e significant}
     digits — so sub-millisecond service times survive (a 41 µs p50 is
-    [0.0412], where fixed-point [%.3f] flattened it to [0.000]). *)
+    [0.0412], where fixed-point [%.3f] flattened it to [0.000]).  When
+    [ext] is present, [,"admission":{…},"shards":N,"conns":N[,"store":{…}]]
+    is spliced between the [queue] and [latency_ms] objects; when
+    absent the line is byte-identical to the historical shape. *)
 
 (** One slowlog entry: a slow grade request with its per-stage
     breakdown, stage names from {!Jfeed_trace.Trace.rollup} ([parse],

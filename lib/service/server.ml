@@ -12,6 +12,11 @@ type config = {
   fuel : int option;
   deadline_s : float option;
   with_tests : bool;
+  shards : int;
+  cache_dir : string option;
+  backlog : int;
+  watermark : int option;
+  shed_fuel : int option;
 }
 
 let default_config =
@@ -22,6 +27,11 @@ let default_config =
     fuel = None;
     deadline_s = None;
     with_tests = true;
+    shards = 8;
+    cache_dir = None;
+    backlog = 16;
+    watermark = None;
+    shed_fuel = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -51,15 +61,36 @@ let compact r =
   if r.len = Bytes.length r.buf then
     r.buf <- Bytes.extend r.buf 0 (Bytes.length r.buf)
 
-(* One [read(2)]; false when the descriptor hit end of input. *)
-let fill r =
+(* One [read(2)]; false when the descriptor hit end of input.  Blocking
+   descriptors only (the stdio path); [`Again] can't happen there, but
+   if it ever did the select-wait turns it into a retry, not a spin. *)
+let rec fill r =
   compact r;
-  let n = Unix.read r.fd r.buf (r.start + r.len) (Bytes.length r.buf - r.start - r.len) in
-  if n = 0 then r.eof <- true else r.len <- r.len + n;
-  n > 0
+  match Sysx.read r.fd r.buf (r.start + r.len) (Bytes.length r.buf - r.start - r.len) with
+  | `Read 0 ->
+      r.eof <- true;
+      false
+  | `Read n ->
+      r.len <- r.len + n;
+      true
+  | `Again ->
+      ignore (Sysx.select [ r.fd ] [] [] (-1.0));
+      fill r
+
+(* The event loop's fill: one non-blocking read, never waits. *)
+let fill_nb r =
+  compact r;
+  match Sysx.read r.fd r.buf (r.start + r.len) (Bytes.length r.buf - r.start - r.len) with
+  | `Read 0 ->
+      r.eof <- true;
+      `Eof
+  | `Read n ->
+      r.len <- r.len + n;
+      `Data
+  | `Again -> `Again
 
 let readable_now fd =
-  match Unix.select [ fd ] [] [] 0.0 with
+  match Sysx.select [ fd ] [] [] 0.0 with
   | [ _ ], _, _ -> true
   | _ -> false
 
@@ -114,15 +145,104 @@ type entry = {
   result_json : string;
 }
 
+(* The durable store's value bytes.  Header lines (class, fuel, diag
+   count, one diag per line), then the result JSON raw to the end —
+   self-delimiting because everything before it is newline-framed and
+   pass ids contain neither spaces nor newlines. *)
+let encode_entry e =
+  let b = Buffer.create (String.length e.result_json + 64) in
+  Buffer.add_string b e.outcome_class;
+  Buffer.add_char b '\n';
+  Buffer.add_string b
+    (match e.fuel_spent with Some n -> string_of_int n | None -> "-");
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (List.length e.diag_counts));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (pass, n) ->
+      Buffer.add_string b pass;
+      Buffer.add_char b ' ';
+      Buffer.add_string b (string_of_int n);
+      Buffer.add_char b '\n')
+    e.diag_counts;
+  Buffer.add_string b e.result_json;
+  Buffer.contents b
+
+let decode_entry s =
+  let ( let* ) = Option.bind in
+  let* e1 = String.index_opt s '\n' in
+  let outcome_class = String.sub s 0 e1 in
+  let* e2 = String.index_from_opt s (e1 + 1) '\n' in
+  let fuel_field = String.sub s (e1 + 1) (e2 - e1 - 1) in
+  let* fuel_spent =
+    if fuel_field = "-" then Some None
+    else Option.map Option.some (int_of_string_opt fuel_field)
+  in
+  let* e3 = String.index_from_opt s (e2 + 1) '\n' in
+  let* ndiags = int_of_string_opt (String.sub s (e2 + 1) (e3 - e2 - 1)) in
+  if ndiags < 0 then None
+  else
+    let rec diags i k acc =
+      if k = 0 then Some (List.rev acc, i)
+      else
+        let* e = String.index_from_opt s i '\n' in
+        let* sp = String.index_from_opt s i ' ' in
+        if sp >= e then None
+        else
+          let* n = int_of_string_opt (String.sub s (sp + 1) (e - sp - 1)) in
+          diags (e + 1) (k - 1) ((String.sub s i (sp - i), n) :: acc)
+    in
+    let* diag_counts, i = diags (e3 + 1) ndiags [] in
+    Some
+      {
+        outcome_class;
+        fuel_spent;
+        diag_counts;
+        result_json = String.sub s i (String.length s - i);
+      }
+
 type state = {
   config : config;
-  cache : entry Cache.t;
+  cache : entry Shards.t;
+  store : Store.t option;
   metrics : Metrics.t;
 }
 
 let make_state config =
-  { config; cache = Cache.create ~cap:config.cache_cap;
-    metrics = Metrics.create () }
+  let cache = Shards.create ~shards:config.shards ~cap:config.cache_cap in
+  let store =
+    match config.cache_dir with
+    | None -> None
+    | Some dir ->
+        (* Boot-time replay: every valid record becomes a warm cache
+           entry (via the pure-memory [Shards.add], so nothing is
+           re-appended); a record whose value fails to decode — an
+           older format, a manual edit — is skipped, not fatal. *)
+        let t, _recovery =
+          Store.open_dir dir ~f:(fun ~key ~value ->
+              match decode_entry value with
+              | Some e -> Shards.add cache key e
+              | None -> ())
+        in
+        Some t
+  in
+  { config; cache; store; metrics = Metrics.create () }
+
+(* Graceful close: compact first when the log carries dead weight
+   (evicted or superseded records), so restarts replay only the live
+   set.  [kill -9] skips this — recovery replays the raw append log. *)
+let close_state st =
+  Option.iter
+    (fun s ->
+      let r = Store.recovery s in
+      if r.Store.recovered + Store.appended s > Shards.size st.cache then
+        Store.compact s
+          (List.rev
+             (Shards.fold_lru
+                (fun key e acc -> (key, encode_entry e) :: acc)
+                st.cache []));
+      Store.close s)
+    st.store
 
 type grade_req = {
   g_id : string option;
@@ -193,7 +313,11 @@ let grade_miss (m : miss) =
   in
   (entry, ms, slow)
 
-let process_batch st oc (batch : grade_req list) =
+(* Grade one batch against the cache + pool; one response line per
+   request, in request order.  Shared by the stdio loop (which prints
+   the lines) and the socket event loop (which queues them onto each
+   connection's output buffer). *)
+let grade_batch st (batch : grade_req list) : string list =
   Metrics.observe_queue_depth st.metrics (List.length batch);
   let misses = ref [] in
   let n_misses = ref 0 in
@@ -215,7 +339,7 @@ let process_batch st oc (batch : grade_req list) =
                 ~deadline_s:r.g_deadline ~with_tests:r.g_with_tests
                 r.g_source
             in
-            (match Cache.find st.cache key with
+            (match Shards.find st.cache key with
             | Some e -> (r, Hit (e, now_ms () -. t0))
             | None -> (
                 match Hashtbl.find_opt inflight key with
@@ -232,51 +356,103 @@ let process_batch st oc (batch : grade_req list) =
   (* The parallel part: only genuine cache misses reach the pool, each
      with its own fresh budget (jobs-invariant, like the batch CLI). *)
   let results = Pool.map ~jobs:st.config.jobs ~f:grade_miss miss_arr in
-  List.iter
+  List.map
     (fun (r, res) ->
-      let line =
-        match res with
-        | Err msg ->
-            Metrics.record_error st.metrics;
-            Proto.error_response ?id:r.g_id msg
-        | Hit (e, ms) ->
-            Metrics.record_grade st.metrics ~outcome:e.outcome_class
-              ~hit:true ~ms;
-            Metrics.record_diags st.metrics e.diag_counts;
-            Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
-              e.result_json
-        | Miss i ->
-            let entry, ms, slow = results.(i) in
-            Cache.add st.cache miss_arr.(i).m_key entry;
-            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
-              ~hit:false ~ms;
-            Metrics.record_slow st.metrics slow;
-            Metrics.record_diags st.metrics entry.diag_counts;
-            Proto.grade_response ?id:r.g_id ~cached:false
-              ~fuel:entry.fuel_spent entry.result_json
-        | Dup i ->
-            (* Served from an in-flight computation of this very batch:
-               a hit in every observable way, it just wasn't stored yet
-               when the lookup ran.  The requester still waited for that
-               grading, so its service time — not zero — is what lands
-               in the latency reservoir. *)
-            let entry, ms, _ = results.(i) in
-            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
-              ~hit:true ~ms;
-            Metrics.record_diags st.metrics entry.diag_counts;
-            Proto.grade_response ?id:r.g_id ~cached:true
-              ~fuel:entry.fuel_spent entry.result_json
-      in
+      match res with
+      | Err msg ->
+          Metrics.record_error st.metrics;
+          Proto.error_response ?id:r.g_id msg
+      | Hit (e, ms) ->
+          Metrics.record_grade st.metrics ~outcome:e.outcome_class
+            ~hit:true ~ms;
+          Metrics.record_diags st.metrics e.diag_counts;
+          Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
+            e.result_json
+      | Miss i ->
+          let entry, ms, slow = results.(i) in
+          Shards.add st.cache miss_arr.(i).m_key entry;
+          (* Fresh results — and only fresh results — reach the durable
+             log; replayed or duplicate hits are already on disk. *)
+          Option.iter
+            (fun s ->
+              Store.append s ~key:miss_arr.(i).m_key
+                ~value:(encode_entry entry))
+            st.store;
+          Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+            ~hit:false ~ms;
+          Metrics.record_slow st.metrics slow;
+          Metrics.record_diags st.metrics entry.diag_counts;
+          Proto.grade_response ?id:r.g_id ~cached:false
+            ~fuel:entry.fuel_spent entry.result_json
+      | Dup i ->
+          (* Served from an in-flight computation of this very batch:
+             a hit in every observable way, it just wasn't stored yet
+             when the lookup ran.  The requester still waited for that
+             grading, so its service time — not zero — is what lands
+             in the latency reservoir. *)
+          let entry, ms, _ = results.(i) in
+          Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+            ~hit:true ~ms;
+          Metrics.record_diags st.metrics entry.diag_counts;
+          Proto.grade_response ?id:r.g_id ~cached:true
+            ~fuel:entry.fuel_spent entry.result_json)
+    resolved
+
+let process_batch st oc (batch : grade_req list) =
+  List.iter
+    (fun line ->
       output_string oc line;
       output_char oc '\n')
-    resolved;
+    (grade_batch st batch);
   flush oc
 
-let stats_line st ?id ~queue_depth () =
+(* The socket daemon's serving-tier stats extension; the stdio path
+   passes no [ext] and keeps its historical byte shape. *)
+let stats_ext st ~conns =
+  {
+    Proto.shed = Metrics.shed st.metrics;
+    degraded_admission = Metrics.degraded_admission st.metrics;
+    shards = Shards.shard_count st.cache;
+    conns;
+    store =
+      Option.map
+        (fun s ->
+          let r = Store.recovery s in
+          ( r.Store.recovered,
+            r.Store.dropped_bytes,
+            Store.appended s,
+            Store.compactions s ))
+        st.store;
+  }
+
+let stats_line st ?id ?ext ~queue_depth () =
   Proto.stats_response ?id
-    (Metrics.to_stats st.metrics ~cache_size:(Cache.size st.cache)
+    (Metrics.to_stats ?ext st.metrics ~cache_size:(Shards.size st.cache)
        ~cache_cap:st.config.cache_cap ~queue_depth
        ~queue_cap:st.config.queue_cap)
+
+let prometheus_block ?conns st ~queue_depth =
+  let extended =
+    Option.map
+      (fun conns ->
+        {
+          Metrics.x_shard_counters = Shards.counters st.cache;
+          x_conns = conns;
+          x_store =
+            Option.map
+              (fun s ->
+                let r = Store.recovery s in
+                ( r.Store.recovered,
+                  r.Store.dropped_bytes,
+                  Store.appended s,
+                  Store.compactions s ))
+              st.store;
+        })
+      conns
+  in
+  Metrics.to_prometheus ?extended st.metrics
+    ~cache_size:(Shards.size st.cache) ~cache_cap:st.config.cache_cap
+    ~queue_depth ~queue_cap:st.config.queue_cap
 
 (* Request fields override the server defaults; an absent field means
    "whatever the daemon was started with". *)
@@ -339,6 +515,10 @@ let serve_connection st r oc =
             loop ()
         | Ok (Proto.Stats { id }) ->
             Metrics.record_stats_req st.metrics;
+            (* Stats is a barrier: every earlier grade was answered
+               before this line is reached, so the truthful queue depth
+               here is zero by construction — the live depths show up on
+               the socket daemon, where stats overtakes queued work. *)
             output_string oc (stats_line st ?id ~queue_depth:0 ());
             output_char oc '\n';
             flush oc;
@@ -348,11 +528,7 @@ let serve_connection st r oc =
                block, "# EOF"-terminated (see Proto).  Counted as a
                stats-class request. *)
             Metrics.record_stats_req st.metrics;
-            output_string oc
-              (Metrics.to_prometheus st.metrics
-                 ~cache_size:(Cache.size st.cache)
-                 ~cache_cap:st.config.cache_cap ~queue_depth:0
-                 ~queue_cap:st.config.queue_cap);
+            output_string oc (prometheus_block st ~queue_depth:0);
             output_char oc '\n';
             flush oc;
             loop ()
@@ -380,36 +556,329 @@ let serve_connection st r oc =
   in
   try loop () with Sys_error _ -> `Eof
 
-let serve_fd config fd oc = serve_connection (make_state config) (reader_of_fd fd) oc
+let serve_fd config fd oc =
+  let st = make_state config in
+  let outcome = serve_connection st (reader_of_fd fd) oc in
+  close_state st;
+  outcome
 
 let serve_stdio config =
   ignore (serve_fd config Unix.stdin stdout)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent socket daemon.
+
+   One select(2) event loop multiplexes the listener and every open
+   connection; grading still runs in bounded synchronous rounds through
+   {!grade_batch} (the pool is the parallelism — the loop's job is to
+   keep one slow or bursty client from wedging the rest):
+
+   - Per-connection response order is kept by a FIFO of slots: a slot
+     is either a finished line (errors, stats, shed refusals) or a
+     ticket awaiting its grading round.  Slots drain front-to-back, so
+     a stats response never overtakes an earlier grade response on the
+     same connection, while grading rounds batch tickets across
+     connections freely.
+   - Admission control bounds memory: at most [queue_cap] tickets are
+     pending at once; a grade line past that is refused on the spot
+     with a [rejected:"overloaded"] response.  Past [watermark] (when
+     set, with [shed_fuel]), requests are still admitted but on the
+     degraded fuel budget — the PR-1 ladder applied at the front door.
+     The fuel override is part of the cache key, so degraded results
+     never impersonate full-budget ones.
+   - A ticket that waited longer than its own deadline is shed when its
+     round starts, not graded with a stale budget: grading it anyway
+     would poison the cache with a result keyed as full-budget but
+     computed after the requester gave up.
+   - Flow control: a connection whose output backlog exceeds
+     {!out_highwater} stops being read (and so stops being admitted)
+     until the client drains; its kernel-buffered input just waits.
+   - SIGINT/SIGTERM set a stop flag (checked every loop turn; the
+     finite select timeout bounds the latency): the listener closes,
+     reads stop, admitted tickets finish, output drains (with a grace
+     period), the durable store is compacted + fsynced, the socket
+     path unlinked. *)
+
+let out_highwater = 4 * 1024 * 1024
+let drain_grace_s = 5.0
+
+type slot = Done of string | Wait of int
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_rd : reader;
+  c_slots : slot Queue.t;
+  c_out : string Queue.t;  (* response bytes not yet written *)
+  mutable c_off : int;  (* written prefix of the head string *)
+  mutable c_out_len : int;  (* total unwritten bytes *)
+  mutable c_dead : bool;
+}
+
+type ticket = { t_req : grade_req; t_enq_ms : float }
+
+let push_out c line =
+  Queue.push (line ^ "\n") c.c_out;
+  c.c_out_len <- c.c_out_len + String.length line + 1
+
+(* Move every leading resolved slot onto the output queue. *)
+let promote tickets c =
+  let rec go () =
+    match Queue.peek_opt c.c_slots with
+    | Some (Done line) ->
+        ignore (Queue.pop c.c_slots);
+        push_out c line;
+        go ()
+    | Some (Wait id) -> (
+        match Hashtbl.find_opt tickets id with
+        | Some line ->
+            ignore (Queue.pop c.c_slots);
+            Hashtbl.remove tickets id;
+            push_out c line;
+            go ()
+        | None -> ())
+    | None -> ()
+  in
+  go ()
+
+let rec write_conn c =
+  match Queue.peek_opt c.c_out with
+  | None -> ()
+  | Some head -> (
+      let len = String.length head - c.c_off in
+      match Sysx.write c.c_fd (Bytes.unsafe_of_string head) c.c_off len with
+      | `Wrote n ->
+          c.c_out_len <- c.c_out_len - n;
+          if n = len then begin
+            ignore (Queue.pop c.c_out);
+            c.c_off <- 0;
+            write_conn c
+          end
+          else c.c_off <- c.c_off + n
+      | `Again -> ()
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+          c.c_dead <- true)
 
 let serve_socket config path =
   (match Sys.set_signal Sys.sigpipe Sys.Signal_ignore with
   | () -> ()
   | exception _ -> ());
+  let stop = ref false in
+  let install s =
+    try Sys.set_signal s (Sys.Signal_handle (fun _ -> stop := true))
+    with _ -> ()
+  in
+  install Sys.sigint;
+  install Sys.sigterm;
   if Sys.file_exists path then Sys.remove path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock sock;
+  let conns = ref [] in
   let cleanup () =
+    List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) !conns;
     (try Unix.close sock with _ -> ());
     try Sys.remove path with _ -> ()
   in
   (try
      Unix.bind sock (Unix.ADDR_UNIX path);
-     Unix.listen sock 16
+     Unix.listen sock config.backlog
    with e ->
      cleanup ();
      raise e);
   (* One state for the daemon's lifetime: the cache and the stats span
      connections, which is the whole point of a persistent service. *)
   let st = make_state config in
-  let rec accept_loop () =
-    let fd, _ = Unix.accept sock in
-    let oc = Unix.out_channel_of_descr fd in
-    let outcome = serve_connection st (reader_of_fd fd) oc in
-    (try flush oc with _ -> ());
-    (try Unix.close fd with _ -> ());
-    match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+  let pending : (int * ticket) Queue.t = Queue.create () in
+  let tickets : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let next_ticket = ref 0 in
+  let handle_line c line =
+    if String.trim line <> "" then begin
+      Metrics.record_request st.metrics;
+      let depth = Queue.length pending in
+      match Proto.request_of_line line with
+      | Error (id, msg) ->
+          Metrics.record_error st.metrics;
+          Queue.push (Done (Proto.error_response ?id msg)) c.c_slots
+      | Ok (Proto.Stats { id }) ->
+          Metrics.record_stats_req st.metrics;
+          Queue.push
+            (Done
+               (stats_line st ?id
+                  ~ext:(stats_ext st ~conns:(List.length !conns))
+                  ~queue_depth:depth ()))
+            c.c_slots
+      | Ok (Proto.Metrics { id = _ }) ->
+          Metrics.record_stats_req st.metrics;
+          Queue.push
+            (Done
+               (prometheus_block st ~conns:(List.length !conns)
+                  ~queue_depth:depth))
+            c.c_slots
+      | Ok (Proto.Slowlog { id }) ->
+          Metrics.record_stats_req st.metrics;
+          Queue.push
+            (Done (Proto.slowlog_response ?id (Metrics.slowlog st.metrics)))
+            c.c_slots
+      | Ok (Proto.Shutdown { id }) ->
+          Queue.push (Done (Proto.shutdown_response ?id ())) c.c_slots;
+          stop := true
+      | Ok (Proto.Grade g) ->
+          let req =
+            grade_req_of st.config ~id:g.id ~assignment:g.assignment
+              ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
+              ~with_tests:g.with_tests
+          in
+          if depth >= st.config.queue_cap then begin
+            (* Hard shed: answer now, never queue, never grade. *)
+            Metrics.record_shed st.metrics;
+            Queue.push (Done (Proto.overloaded_response ?id:g.id ()))
+              c.c_slots
+          end
+          else begin
+            let req =
+              match (st.config.watermark, st.config.shed_fuel) with
+              | Some w, Some sf when depth >= w ->
+                  (* Degraded admission: still served, on the shed
+                     budget.  The clamped fuel is part of the cache
+                     key, so this can't poison full-budget entries. *)
+                  Metrics.record_degraded_admission st.metrics;
+                  {
+                    req with
+                    g_fuel =
+                      Some
+                        (match req.g_fuel with
+                        | Some f -> min f sf
+                        | None -> sf);
+                  }
+              | _ -> req
+            in
+            let id = !next_ticket in
+            incr next_ticket;
+            Queue.push (id, { t_req = req; t_enq_ms = now_ms () }) pending;
+            Metrics.observe_queue_depth st.metrics (Queue.length pending);
+            Queue.push (Wait id) c.c_slots
+          end
+    end
   in
-  Fun.protect ~finally:cleanup accept_loop
+  let read_conn c =
+    let rec drain () =
+      match fill_nb c.c_rd with
+      | `Data -> drain ()
+      | `Again | `Eof -> ()
+    in
+    drain ();
+    let rec lines () =
+      match take_buffered_line c.c_rd with
+      | Some l ->
+          handle_line c l;
+          lines ()
+      | None -> ()
+    in
+    lines ()
+  in
+  let run_pending () =
+    if not (Queue.is_empty pending) then begin
+      let items = List.of_seq (Queue.to_seq pending) in
+      Queue.clear pending;
+      let now = now_ms () in
+      let live, expired =
+        List.partition
+          (fun (_, t) ->
+            match t.t_req.g_deadline with
+            | Some d -> (now -. t.t_enq_ms) /. 1000.0 < d
+            | None -> true)
+          items
+      in
+      (* Queue-expired requests are shed, not graded: the requester's
+         deadline already passed, and grading on the leftover budget
+         would cache a result keyed as if it ran on the full one. *)
+      List.iter
+        (fun (id, t) ->
+          Metrics.record_shed st.metrics;
+          Hashtbl.replace tickets id
+            (Proto.overloaded_response ?id:t.t_req.g_id
+               ~reason:"deadline exceeded while queued" ()))
+        expired;
+      let lines = grade_batch st (List.map (fun (_, t) -> t.t_req) live) in
+      List.iter2
+        (fun (id, _) line -> Hashtbl.replace tickets id line)
+        live lines
+    end
+  in
+  let drain_deadline = ref infinity in
+  let rec loop () =
+    if !stop && !drain_deadline = infinity then
+      drain_deadline := now_ms () +. (drain_grace_s *. 1000.0);
+    let rds =
+      if !stop then []
+      else
+        sock
+        :: List.filter_map
+             (fun c ->
+               if (not c.c_rd.eof) && c.c_out_len < out_highwater then
+                 Some c.c_fd
+               else None)
+             !conns
+    in
+    let wrs =
+      List.filter_map
+        (fun c -> if c.c_out_len > 0 then Some c.c_fd else None)
+        !conns
+    in
+    let rready, wready, _ = Sysx.select rds wrs [] 0.2 in
+    if (not !stop) && List.mem sock rready then begin
+      let rec accept_all () =
+        match Sysx.accept sock with
+        | `Conn (fd, _) ->
+            Unix.set_nonblock fd;
+            conns :=
+              {
+                c_fd = fd;
+                c_rd = reader_of_fd fd;
+                c_slots = Queue.create ();
+                c_out = Queue.create ();
+                c_off = 0;
+                c_out_len = 0;
+                c_dead = false;
+              }
+              :: !conns;
+            accept_all ()
+        | `Again -> ()
+      in
+      accept_all ()
+    end;
+    if not !stop then
+      List.iter
+        (fun c -> if List.mem c.c_fd rready then read_conn c)
+        !conns;
+    run_pending ();
+    List.iter
+      (fun c ->
+        promote tickets c;
+        if c.c_out_len > 0 && (List.mem c.c_fd wready || !stop) then
+          write_conn c)
+      !conns;
+    (* Reap: write-errored connections, and cleanly finished ones (the
+       client hung up and owes/awaits nothing). *)
+    let dead, alive =
+      List.partition
+        (fun c ->
+          c.c_dead
+          || (c.c_rd.eof && Queue.is_empty c.c_slots && c.c_out_len = 0))
+        !conns
+    in
+    List.iter (fun c -> try Unix.close c.c_fd with _ -> ()) dead;
+    conns := alive;
+    let drained =
+      Queue.is_empty pending
+      && List.for_all
+           (fun c -> c.c_out_len = 0 && Queue.is_empty c.c_slots)
+           !conns
+    in
+    if !stop && (drained || now_ms () > !drain_deadline) then ()
+    else loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      cleanup ();
+      close_state st)
+    loop

@@ -1,8 +1,10 @@
 (** The persistent grading daemon ([jfeed serve]).
 
-    A single-threaded request loop over newline-delimited JSON
-    ({!Proto}), with the expensive part — grading — fanned out to a
-    {!Jfeed_parallel.Pool} of domains per batch:
+    Two serving modes share one request-handling core:
+
+    {b Stdio / single descriptor} ({!serve_fd}, {!serve_stdio}) — the
+    historical blocking loop, drivable from cram tests and shell
+    pipelines:
 
     + read one request line (blocking);
     + if it is a [grade], drain further {e immediately available} grade
@@ -10,17 +12,34 @@
       beyond that stay in the kernel pipe buffer — backpressure without
       an unbounded heap);
     + resolve each queued request against the content-addressed result
-      cache ({!Normalize} keys into {!Cache}); duplicates {e within} the
-      batch collapse onto one computation too;
+      cache ({!Normalize} keys into the sharded {!Shards} LRU);
+      duplicates {e within} the batch collapse onto one computation too;
     + grade the remaining misses on the pool, one fresh per-request
       budget each ({!Jfeed_robust.Pipeline.grade_submission});
     + emit one response line per request, in request order.
 
     [stats] and [shutdown] requests are barriers: they are answered
     after every earlier grade response.  A malformed line costs one
-    [error] response, never the daemon.  The KB is compiled in and every
-    per-assignment structure is a static value, so a fresh daemon
-    serves its first request without a warm-up phase. *)
+    [error] response, never the daemon.
+
+    {b Socket daemon} ({!serve_socket}) — a select(2) event loop
+    serving many connections at once.  Per-connection response order is
+    kept by slot FIFOs while grading rounds batch requests across
+    connections; a slow reader only stalls itself (its output backlog
+    trips flow control and its input waits in the kernel buffer).
+    Admission control sheds load past [queue_cap] with an explicit
+    [rejected:"overloaded"] line, optionally admitting on a degraded
+    fuel budget between [watermark] and the cap; SIGINT/SIGTERM drain
+    in-flight work, flush the durable store and unlink the socket.
+
+    With [cache_dir] set, the result cache is durable: every fresh
+    grade is appended to a checksummed log ({!Store}) the moment it is
+    computed, and a restart — even after [kill -9] — replays the log
+    into a warm cache whose hits answer [cached:true], byte-identical.
+
+    The KB is compiled in and every per-assignment structure is a
+    static value, so a fresh daemon serves its first request without a
+    warm-up phase. *)
 
 type config = {
   cache_cap : int;  (** result-cache entries; [0] disables caching *)
@@ -29,16 +48,53 @@ type config = {
   fuel : int option;  (** default per-request budget; request may override *)
   deadline_s : float option;
   with_tests : bool;  (** default; request may override *)
+  shards : int;  (** result-cache shard count ({!Shards}) *)
+  cache_dir : string option;
+      (** durable-store directory; [None] serves memory-only *)
+  backlog : int;  (** [listen(2)] backlog for {!serve_socket} *)
+  watermark : int option;
+      (** queue depth from which grade requests are admitted on the
+          degraded budget; needs [shed_fuel] to take effect *)
+  shed_fuel : int option;
+      (** the degraded-admission fuel clamp (requests keep the smaller
+          of their own budget and this) *)
 }
 
 val default_config : config
-(** cache 10000, queue 64, jobs 1, no budget, tests on. *)
+(** cache 10000 over 8 shards, queue 64, jobs 1, no budget, tests on,
+    memory-only, backlog 16, no degraded-admission tier. *)
+
+(** {2 Cache entry codec}
+
+    What the cache stores per key — everything needed to replay a
+    response byte-for-byte (minus the envelope's [id]/[cached]
+    fields) — and its durable-store value encoding.  Exposed so the
+    test suite can check the codec round-trips. *)
+
+type entry = {
+  outcome_class : string;  (** taxonomy class of the stored outcome *)
+  fuel_spent : int option;  (** response [fuel] field, when budgeted *)
+  diag_counts : (string * int) list;  (** per-pass analysis findings *)
+  result_json : string;  (** serialized Outcome, spliced verbatim *)
+}
+
+val encode_entry : entry -> string
+(** Newline-framed header (class, fuel or [-], diagnostic count, one
+    [pass n] line each) followed by the raw result JSON. *)
+
+val decode_entry : string -> entry option
+(** Total inverse of {!encode_entry}; [None] on any malformed input
+    (boot-time replay skips such records rather than failing). *)
+
+(** {2 Serving} *)
 
 val serve_fd :
   config -> Unix.file_descr -> out_channel -> [ `Eof | `Shutdown ]
 (** Serve one connection with fresh state: read requests from the
     descriptor, write responses to the channel (flushed after every
-    batch).  Returns on end of input or on a [shutdown] request. *)
+    batch).  Returns on end of input or on a [shutdown] request.  With
+    [cache_dir] set, the durable store is replayed on entry and
+    compacted + closed on return. *)
 
 val serve_stdio : config -> unit
 (** [serve_fd] over stdin/stdout — the [jfeed serve] default, drivable
@@ -46,7 +102,9 @@ val serve_stdio : config -> unit
 
 val serve_socket : config -> string -> unit
 (** Listen on a Unix-domain socket at the given path (unlinked first if
-    stale, removed on exit) and serve connections sequentially,
-    {e sharing} cache and metrics across them — connection n+1 hits the
-    results connection n computed.  A [shutdown] request stops the whole
-    daemon; a client hangup only ends its connection. *)
+    stale, removed on exit) and serve connections {e concurrently}
+    through the event loop, sharing cache and metrics across them —
+    connection n+1 hits the results connection n computed.  A
+    [shutdown] request or SIGINT/SIGTERM stops the daemon gracefully:
+    admitted work finishes, output drains, the durable store is
+    compacted and fsynced.  A client hangup only ends its connection. *)

@@ -1,0 +1,166 @@
+(** Append-only checksummed record log.  See store.mli. *)
+
+type recovery = { recovered : int; dropped_bytes : int }
+
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr;
+  mutable appended : int;
+  mutable compactions : int;
+  boot : recovery;
+}
+
+let file_name = "cache.jfl"
+let header_len = 4 + 16 (* length field + MD5 of the payload *)
+
+(* A length field beyond this is treated as corruption, not a record:
+   it bounds what recovery will try to allocate from a damaged file. *)
+let max_payload = 64 * 1024 * 1024
+
+let put_u32 b off n =
+  Bytes.set b off (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b (off + 2) (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b (off + 3) (Char.chr (n land 0xff))
+
+let get_u32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let encode_record ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let plen = 4 + klen + vlen in
+  let b = Bytes.create (header_len + plen) in
+  put_u32 b 0 plen;
+  put_u32 b header_len klen;
+  Bytes.blit_string key 0 b (header_len + 4) klen;
+  Bytes.blit_string value 0 b (header_len + 4 + klen) vlen;
+  let digest = Digest.subbytes b header_len plen in
+  Bytes.blit_string digest 0 b 4 16;
+  b
+
+let really_write fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Sysx.write fd b off (n - off) with
+      | `Wrote w -> go (off + w)
+      | `Again ->
+          (* blocking descriptor: only reachable if someone marked the
+             log non-blocking; yield and retry *)
+          ignore (Sysx.select [] [ fd ] [] 0.05);
+          go off
+  in
+  go 0
+
+(* [really_read fd b] — false when EOF arrived first. *)
+let really_read fd b =
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match Sysx.read fd b off (n - off) with
+      | `Read 0 -> false
+      | `Read r -> go (off + r)
+      | `Again ->
+          ignore (Sysx.select [ fd ] [] [] 0.05);
+          go off
+  in
+  go 0
+
+(* Scan the log from the start; [f] sees each valid record.  Returns
+   (valid records, offset of the first invalid byte). *)
+let scan fd ~size ~f =
+  let header = Bytes.create header_len in
+  let rec go count off =
+    if off + header_len > size then (count, off)
+    else if not (really_read fd header) then (count, off)
+    else begin
+      let plen = get_u32 header 0 in
+      if plen < 4 || plen > max_payload || off + header_len + plen > size
+      then (count, off)
+      else begin
+        let payload = Bytes.create plen in
+        if not (really_read fd payload) then (count, off)
+        else if
+          Digest.bytes payload <> Bytes.sub_string header 4 16
+        then (count, off)
+        else begin
+          let klen = get_u32 payload 0 in
+          if klen < 0 || klen > plen - 4 then (count, off)
+          else begin
+            f
+              ~key:(Bytes.sub_string payload 4 klen)
+              ~value:(Bytes.sub_string payload (4 + klen) (plen - 4 - klen));
+            go (count + 1) (off + header_len + plen)
+          end
+        end
+      end
+    end
+  in
+  go 0 0
+
+let lock_or_fail fd dir =
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      raise
+        (Failure
+           (Printf.sprintf
+              "cache directory %S is locked by another jfeed serve" dir))
+
+let open_dir dir ~f =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    raise (Failure (Printf.sprintf "--cache-dir %S is not a directory" dir));
+  let path = Filename.concat dir file_name in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  lock_or_fail fd dir;
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let recovered, valid_end = scan fd ~size ~f in
+  (* Drop the torn tail so appends continue from a clean prefix. *)
+  if valid_end < size then Unix.ftruncate fd valid_end;
+  ignore (Unix.lseek fd valid_end Unix.SEEK_SET);
+  let boot = { recovered; dropped_bytes = size - valid_end } in
+  ({ dir; fd; appended = 0; compactions = 0; boot }, boot)
+
+let append t ~key ~value =
+  really_write t.fd (encode_record ~key ~value);
+  t.appended <- t.appended + 1
+
+let appended t = t.appended
+let compactions t = t.compactions
+let recovery t = t.boot
+
+let sync t = try Unix.fsync t.fd with Unix.Unix_error _ -> ()
+
+let compact t entries =
+  let path = Filename.concat t.dir file_name in
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ]
+      0o644
+  in
+  List.iter
+    (fun (key, value) -> really_write fd (encode_record ~key ~value))
+    entries;
+  (try Unix.fsync fd with Unix.Unix_error _ -> ());
+  Unix.close fd;
+  (* rename is atomic: a crash here leaves the old log or the new one *)
+  Unix.rename tmp path;
+  (* our descriptor still names the old inode; swap to the new log and
+     re-take the single-writer lock *)
+  Unix.close t.fd;
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 in
+  lock_or_fail fd t.dir;
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  t.fd <- fd;
+  t.compactions <- t.compactions + 1
+
+let close t =
+  sync t;
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,40 @@
+(** EINTR-safe system calls.  See sysx.mli. *)
+
+let rec read fd buf pos len =
+  match Unix.read fd buf pos len with
+  | n -> `Read n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+
+let rec write fd buf pos len =
+  match Unix.write fd buf pos len with
+  | n -> `Wrote n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write fd buf pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+
+let rec accept fd =
+  match Unix.accept fd with
+  | conn -> `Conn conn
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept fd
+  | exception
+      Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+      `Again
+
+let select r w e timeout =
+  match Unix.select r w e timeout with
+  | ready -> ready
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+
+let sleep s =
+  let t0 = Unix.gettimeofday () in
+  let rec go remaining =
+    if remaining > 0.0 then
+      match Unix.sleepf remaining with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          go (s -. (Unix.gettimeofday () -. t0))
+  in
+  go s

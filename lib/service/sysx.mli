@@ -1,0 +1,38 @@
+(** EINTR-safe system calls for the serving tier.
+
+    Every blocking syscall the daemon issues can be interrupted by a
+    signal delivery ([EINTR]) — under the graceful-shutdown handlers
+    this is routine, not exceptional — so the server never calls
+    [Unix.read]/[accept]/[select]/[write] directly: these wrappers
+    retry the call until it completes or fails for a real reason.
+
+    [EAGAIN]/[EWOULDBLOCK] (a non-blocking descriptor with nothing to
+    do) is {e not} swallowed: the event loop needs to see it, and the
+    wrappers that can meet it return it as a variant instead of an
+    exception so no call site can forget to handle it. *)
+
+val read : Unix.file_descr -> Bytes.t -> int -> int -> [ `Read of int | `Again ]
+(** [read fd buf pos len] — [`Read 0] is end of input; [`Again] only on
+    a non-blocking descriptor with no data ready. *)
+
+val write : Unix.file_descr -> Bytes.t -> int -> int -> [ `Wrote of int | `Again ]
+(** Partial writes are normal; the caller advances by the returned
+    count. *)
+
+val accept : Unix.file_descr -> [ `Conn of Unix.file_descr * Unix.sockaddr | `Again ]
+(** One pending connection, or [`Again] on a non-blocking listener with
+    an empty backlog (also returned when the kernel reports the
+    connection aborted between readiness and accept). *)
+
+val select :
+  Unix.file_descr list ->
+  Unix.file_descr list ->
+  Unix.file_descr list ->
+  float ->
+  Unix.file_descr list * Unix.file_descr list * Unix.file_descr list
+(** Like [Unix.select], but an [EINTR] (e.g. the shutdown signal
+    arriving mid-wait) returns empty ready sets instead of raising, so
+    the event loop falls through to its stop-flag check. *)
+
+val sleep : float -> unit
+(** [sleepf] that completes the full duration across interruptions. *)

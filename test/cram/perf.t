@@ -78,3 +78,42 @@ The duplicate fraction of the stream really lands in the cache:
 
   $ grep -o '"cache_hit_rate":0.5000' BENCH_service.json
   "cache_hit_rate":0.5000
+
+The overload trajectory: `bench load` drives the concurrent socket
+daemon with an open-loop arrival sweep (latencies measured from the
+intended arrival time, so coordinated omission cannot flatter the
+tail) and writes BENCH_load.json — completions, sheds, degraded
+admissions, p50/p95/p99 per rate.  Same pinning discipline:
+
+  $ jfeed-bench load --rates 50,4000 --requests 10 --conns 2 --queue-cap 4 --watermark 2 > /dev/null
+  $ grep -c '"schema":"jfeed-bench-load/1"' BENCH_load.json
+  1
+  $ grep -o '"[a-z0-9_]*":' BENCH_load.json | sort -u
+  "achieved_rps":
+  "cached":
+  "completed":
+  "conns":
+  "degraded":
+  "duplicate_ratio":
+  "jobs":
+  "p50_ms":
+  "p95_ms":
+  "p99_ms":
+  "queue_cap":
+  "rate_rps":
+  "requests":
+  "requests_per_rate":
+  "schema":
+  "shed":
+  "shed_fuel":
+  "sweep":
+  "total_shed":
+  "wall_s":
+  "watermark":
+
+One sweep row per requested rate, and the daemon answered every
+request — graded or explicitly shed, never silently dropped:
+
+  $ grep -o '"rate_rps":' BENCH_load.json | wc -l
+  2
+

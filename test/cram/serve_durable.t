@@ -1,0 +1,91 @@
+Durable serving: with --cache-dir the result cache is an append-only
+checksummed log that survives restarts.  First boot, one fresh grade:
+
+  $ cat > req1.jsonl <<'EOF'
+  > {"op":"grade","id":"first","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] poly) { double[] deriv = new double[poly.length - 1]; for (int i = 1; i < poly.length; i = i + 1) { deriv[i - 1] = poly[i] * i; } return deriv; } }"}
+  > {"op":"shutdown","id":"bye"}
+  > EOF
+  $ jfeed serve --cache-dir store < req1.jsonl > r1.jsonl
+  $ grep -c '^{"id":"first","op":"grade","cached":false' r1.jsonl
+  1
+  $ test -s store/cache.jfl && echo the-log-has-bytes
+  the-log-has-bytes
+
+A restart replays the log into a warm cache: an α-renamed twin of the
+submission answers cached:true without any recomputation,
+
+  $ cat > req2.jsonl <<'EOF'
+  > {"op":"grade","id":"renamed","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] qq) { double[] zz = new double[qq.length - 1]; for (int k = 1; k < qq.length; k = k + 1) { zz[k - 1] = qq[k] * k; } return zz; } }"}
+  > {"op":"shutdown","id":"bye"}
+  > EOF
+  $ jfeed serve --cache-dir store < req2.jsonl > r2.jsonl
+  $ grep -c '^{"id":"renamed","op":"grade","cached":true' r2.jsonl
+  1
+
+and its feedback payload is byte-identical to the pre-restart answer:
+
+  $ awk 'NR==1 {print substr($0, index($0, "\"result\":"))}' r1.jsonl > p1
+  $ awk 'NR==1 {print substr($0, index($0, "\"result\":"))}' r2.jsonl > p2
+  $ cmp p1 p2 && echo identical-across-restart
+  identical-across-restart
+
+A crash mid-append leaves a torn tail.  Recovery keeps the valid
+prefix, truncates the garbage, and still serves the cached result:
+
+  $ cp store/cache.jfl intact
+  $ printf 'torn tail a crash left behind' >> store/cache.jfl
+  $ jfeed serve --cache-dir store < req2.jsonl > r3.jsonl
+  $ grep -c '^{"id":"renamed","op":"grade","cached":true' r3.jsonl
+  1
+  $ cmp intact store/cache.jfl && echo truncated-to-valid-prefix
+  truncated-to-valid-prefix
+
+The log is single-writer: a daemon holds an advisory lock, so a second
+serve on the same directory is refused before it can interleave writes.
+Exercised below with the socket daemon, which also shows kill -9
+crash-safety end to end.  Start it, wait for the socket:
+
+  $ jfeed serve --socket d.sock --cache-dir store2 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 100); do test -S d.sock && break; sleep 0.1; done
+  $ test -S d.sock && echo listening
+  listening
+  $ jfeed serve --cache-dir store2 < /dev/null
+  jfeed serve: cache directory "store2" is locked by another jfeed serve
+  [1]
+
+Grade through `jfeed client` (stdin EOF half-closes; the client exits
+once the daemon has answered everything):
+
+  $ grep '"id":"first"' req1.jsonl | jfeed client --socket d.sock > c1.jsonl
+  $ grep -c '^{"id":"first","op":"grade","cached":false' c1.jsonl
+  1
+
+kill -9: no drain, no compaction, no fsync beyond the append itself —
+the entry must already be on disk:
+
+  $ kill -9 $SERVE_PID
+  $ wait $SERVE_PID 2> /dev/null
+  [137]
+
+Restart on the same directory (the stale socket file is replaced) and
+replay: the pre-crash computation answers cached:true:
+
+  $ jfeed serve --socket d.sock --cache-dir store2 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 100); do test -S d.sock && break; sleep 0.1; done
+  $ grep '"id":"renamed"' req2.jsonl | jfeed client --socket d.sock > c2.jsonl
+  $ grep -c '^{"id":"renamed","op":"grade","cached":true' c2.jsonl
+  1
+  $ awk 'NR==1 {print substr($0, index($0, "\"result\":"))}' c1.jsonl > cp1
+  $ awk 'NR==1 {print substr($0, index($0, "\"result\":"))}' c2.jsonl > cp2
+  $ cmp cp1 cp2 && echo identical-across-crash
+  identical-across-crash
+
+SIGTERM is the graceful path: in-flight work drains, the store is
+synced, and the socket file is unlinked on the way out:
+
+  $ kill $SERVE_PID
+  $ wait $SERVE_PID
+  $ test -S d.sock || echo socket-unlinked
+  socket-unlinked
