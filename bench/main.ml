@@ -194,6 +194,8 @@ let micro () =
    tests are skipped: the file tracks matching throughput (column M's
    operational headline), not interpreter speed. *)
 let micro_json ~sample ~seed ~jobs () =
+  let searches0 = Jfeed_core.Plan.searches () in
+  let rejects0 = Jfeed_core.Plan.prefilter_rejects () in
   let rows =
     List.map
       (fun (b : Bundles.t) ->
@@ -206,10 +208,13 @@ let micro_json ~sample ~seed ~jobs () =
                 Ok (Jfeed_gen.Spec.source_of_index spec idx) ))
             indices
         in
+        (* Sampled indices are pairwise distinct sources, so dedup could
+           only add fingerprint overhead here: it is off, keeping the
+           per-assignment ms/submission a pure match-plan measurement. *)
         let run ?traced j =
           time (fun () ->
               Jfeed_robust.Pipeline.run_batch ~with_tests:false ~jobs:j
-                ?traced b sources)
+                ?traced ~dedup:false b sources)
         in
         let seq_summary, seq_s = run 1 in
         let par_summary, par_s = run jobs in
@@ -229,6 +234,72 @@ let micro_json ~sample ~seed ~jobs () =
          traced_s, identical))
       Bundles.all
   in
+  let searches = Jfeed_core.Plan.searches () - searches0 in
+  let rejects = Jfeed_core.Plan.prefilter_rejects () - rejects0 in
+  let prefilter_reject_rate =
+    if searches > 0 then float_of_int rejects /. float_of_int searches
+    else 0.0
+  in
+  (* The dedup trajectory: a MOOC-realistic duplicate-heavy corpus —
+     every unique submission resubmitted once under α-renaming — through
+     the heaviest-matching assignment, graded with dedup on vs off.  The
+     speedup must exceed 1 and the outcomes must be byte-identical
+     modulo the summary's own dedup counters. *)
+  let strip_dedup s =
+    match
+      let marker = {|,"dedup":{|} in
+      let m = String.length marker and n = String.length s in
+      let rec find i =
+        if i + m > n then None
+        else if String.sub s i m = marker then Some i
+        else find (i + 1)
+      in
+      find 0
+    with
+    | None -> s
+    | Some i ->
+        let j = String.index_from s (i + 1) '}' in
+        String.sub s 0 i ^ String.sub s (j + 1) (String.length s - j - 1)
+  in
+  let dedup_row =
+    let b =
+      List.find
+        (fun (b : Bundles.t) ->
+          b.Bundles.grading.Grader.a_id = "rit-all-g-medals")
+        Bundles.all
+    in
+    let spec = b.Bundles.gen in
+    let n_unique = max 1 (sample / 2) in
+    let uniques =
+      List.map
+        (Jfeed_gen.Spec.source_of_index spec)
+        (Jfeed_gen.Spec.sample_indices spec ~n:n_unique ~seed)
+    in
+    let sources =
+      List.concat
+        (List.mapi
+           (fun i src ->
+             [
+               (Printf.sprintf "s%06d.java" i, Ok src);
+               ( Printf.sprintf "d%06d.java" i,
+                 Ok (Jfeed_gen.Mutate.alpha_rename ~seed:(seed + i) src) );
+             ])
+           uniques)
+    in
+    let run dedup =
+      time (fun () ->
+          Jfeed_robust.Pipeline.run_batch ~with_tests:false ~jobs:1 ~dedup b
+            sources)
+    in
+    let without_summary, without_s = run false in
+    let with_summary, with_s = run true in
+    let identical =
+      strip_dedup (Jfeed_robust.Pipeline.summary_to_json with_summary)
+      = Jfeed_robust.Pipeline.summary_to_json without_summary
+    in
+    let speedup = if with_s > 0.0 then without_s /. with_s else 0.0 in
+    (List.length sources, without_s, with_s, speedup, identical)
+  in
   let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
   let seq_total = sum (fun (_, _, s, _, _, _) -> s) in
   let par_total = sum (fun (_, _, _, p, _, _) -> p) in
@@ -246,7 +317,7 @@ let micro_json ~sample ~seed ~jobs () =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"schema":"jfeed-bench-grading/2","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
+       {|{"schema":"jfeed-bench-grading/3","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
        sample seed jobs);
   List.iteri
     (fun i (id, n, seq_s, par_s, _, _) ->
@@ -259,11 +330,16 @@ let micro_json ~sample ~seed ~jobs () =
            (1000.0 *. seq_s /. float_of_int (max 1 n))
            seq_s par_s))
     rows;
+  let dd_subs, dd_without_s, dd_with_s, dedup_speedup, dd_identical =
+    dedup_row
+  in
   Buffer.add_string buf
     (Printf.sprintf
        "\n\
-        ],\"batch\":{\"submissions\":%d,\"sequential_s\":%.4f,\"parallel_s\":%.4f,\"speedup\":%.3f,\"trace_overhead_pct\":%.1f,\"identical\":%b}}"
-       submissions seq_total par_total speedup trace_overhead_pct identical);
+        ],\"batch\":{\"submissions\":%d,\"sequential_s\":%.4f,\"parallel_s\":%.4f,\"speedup\":%.3f,\"trace_overhead_pct\":%.1f,\"prefilter_reject_rate\":%.4f,\"identical\":%b},\"dedup\":{\"submissions\":%d,\"duplicate_ratio\":0.50,\"no_dedup_s\":%.4f,\"dedup_s\":%.4f,\"dedup_speedup\":%.3f,\"identical\":%b}}"
+       submissions seq_total par_total speedup trace_overhead_pct
+       prefilter_reject_rate identical dd_subs dd_without_s dd_with_s
+       dedup_speedup dd_identical);
   let json = Buffer.contents buf in
   let oc = open_out "BENCH_grading.json" in
   output_string oc json;
@@ -271,8 +347,11 @@ let micro_json ~sample ~seed ~jobs () =
   close_out oc;
   Printf.printf
     "BENCH_grading.json written: %d submissions, sequential %.3fs, --jobs \
-     %d %.3fs, speedup %.2fx, trace overhead %.1f%%, output identical: %b\n"
-    submissions seq_total jobs par_total speedup trace_overhead_pct identical
+     %d %.3fs, speedup %.2fx, trace overhead %.1f%%, prefilter reject rate \
+     %.2f, dedup speedup %.2fx, output identical: %b\n"
+    submissions seq_total jobs par_total speedup trace_overhead_pct
+    prefilter_reject_rate dedup_speedup
+    (identical && dd_identical)
 
 (* ------------------------------------------------------------------ *)
 (* serve --json: the serving-tier trajectory (BENCH_service.json)      *)

@@ -322,13 +322,21 @@ let write_trace_dir dir (summary : Jfeed_robust.Pipeline.summary) =
            Printf.sprintf {|{"pattern":"%s","fuel":%d}|}
              (Feedback.json_escape p) n)
   in
+  let dedup =
+    match summary.dedup with
+    | Some d ->
+        Printf.sprintf {|,"dedup":{"classes":%d,"replayed":%d}|}
+          d.Jfeed_robust.Pipeline.classes d.Jfeed_robust.Pipeline.replayed
+    | None -> ""
+  in
   write_file
     (Filename.concat dir "summary.json")
     (Printf.sprintf
-       {|{"submissions":%d,"stages":{%s},"top_patterns":[%s]}|}
+       {|{"submissions":%d,"stages":{%s},"top_patterns":[%s]%s}|}
        summary.total
        (String.concat "," stages)
-       (String.concat "," top_patterns))
+       (String.concat "," top_patterns)
+       dedup)
 
 let batch_cmd =
   let fuel =
@@ -381,13 +389,23 @@ let batch_cmd =
              Perfetto), plus an aggregate summary.json with per-stage \
              p50/p95 and the patterns costing the most matcher fuel.")
   in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Grade every submission independently instead of grading one \
+             representative per α-equivalence class and replaying it for \
+             the duplicates; also drops the summary's \"dedup\" field, \
+             restoring the exact pre-dedup output bytes.")
+  in
   let dir_pos =
     Arg.(
       required
       & pos 1 (some string) None
       & info [] ~docv:"DIR" ~doc:"Directory of submission files.")
   in
-  let run b fuel deadline no_tests jobs trace trace_dir dir =
+  let run b fuel deadline no_tests jobs trace trace_dir no_dedup dir =
     if jobs < 1 then begin
       Printf.eprintf "jfeed batch: --jobs must be at least 1 (got %d)\n" jobs;
       2
@@ -413,7 +431,7 @@ let batch_cmd =
         Jfeed_robust.Pipeline.run_batch ?fuel ?deadline_s:deadline
           ~with_tests:(not no_tests) ~jobs
           ~traced:(trace || trace_dir <> None)
-          b sources
+          ~dedup:(not no_dedup) b sources
       in
       (match trace_dir with
       | None -> ()
@@ -433,7 +451,7 @@ let batch_cmd =
           error)")
     Term.(
       const run $ assignment_pos $ fuel $ deadline $ no_tests $ jobs
-      $ trace $ trace_dir $ dir_pos)
+      $ trace $ trace_dir $ no_dedup $ dir_pos)
 
 let assignments_cmd =
   let run () =

@@ -48,11 +48,13 @@ exception Cut
 (* Unwinds the backtracking search when the fuel budget or the embedding
    cap is exhausted; the results accumulated so far are kept. *)
 
-(** All embeddings of pattern [p] in EPDG [epdg] (Definition 7 plus
-    correctness marks).  Deduplicated: at most one embedding per
-    (ι, γ) pair.  Every candidate-extension step — a graph node tried
-    for a pattern node, or a variable added to an injective mapping —
-    spends one unit of [budget] fuel; when the fuel or the
+(** Run a backtracking search along a prepared step array (one step per
+    pattern node: the node to bind, its check list against already-bound
+    nodes, its candidate set).  All embeddings of the pattern in the EPDG
+    (Definition 7 plus correctness marks), deduplicated: at most one
+    embedding per (ι, γ) pair.  Every candidate-extension step — a graph
+    node tried for a pattern node, or a variable added to an injective
+    mapping — spends one unit of [budget] fuel; when the fuel or the
     {!max_embeddings} backstop runs out the search stops and the partial
     result is tagged [exhausted] instead of being silently truncated.
 
@@ -61,34 +63,13 @@ exception Cut
     per-pattern backtracking cost, counted whether or not a budget or a
     trace is present (one integer increment per step, which the bench
     gate holds within its <5% overhead allowance). *)
-let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
+let run_steps ?budget (p : Pattern.t) (plan : Plan.t) (epdg : Epdg.t)
+    (steps : Plan.step array) =
   let g = epdg.Epdg.graph in
   let n = Array.length p.Pattern.nodes in
-  (* Search space Φ: graph nodes compatible with each pattern node's
-     type — an index lookup per pattern node, not an O(V) filter; the
-     index preserves insertion order, so the search visits candidates in
-     exactly the order the filter produced. *)
-  let phi =
-    Array.map
-      (fun (pn : Pattern.pnode) ->
-        match pn.Pattern.pn_type with
-        | None -> G.nodes g
-        | Some t -> Epdg.nodes_of_type epdg t)
-      p.Pattern.nodes
-  in
-  (* Pattern edges incident to each pattern node, precomputed once —
-     [pick_next] and [edges_consistent] no longer rescan [p.edges] at
-     every extension step.  Edges not incident to [u] are vacuously
-     consistent, so restricting both loops to [incident.(u)] is exact. *)
-  let incident = Array.make (max 1 n) [] in
-  List.iter
-    (fun ((s, d, _) as e) ->
-      incident.(s) <- e :: incident.(s);
-      if d <> s then incident.(d) <- e :: incident.(d))
-    p.Pattern.edges;
   let iota = Array.make n (-1) in
   let marks = Array.make n Exact in
-  let used = Hashtbl.create 16 in
+  let used = Bytes.make (max 1 (G.node_count g)) '\000' in
   let results = ref [] in
   let count = ref 0 in
   let exhausted = ref false in
@@ -108,21 +89,183 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
     in
     { iota = pairs; gamma = List.rev gamma }
   in
-  (* Pick the next pattern node: prefer nodes adjacent to already-matched
-     ones (their edge checks prune immediately), tie-break on the smaller
-     candidate set. *)
+  let rec search matched gamma =
+    if !count >= max_embeddings then begin
+      exhausted := true;
+      raise Cut
+    end;
+    if matched = n then begin
+      incr count;
+      results := snapshot gamma :: !results
+    end
+    else begin
+      let step = steps.(matched) in
+      let u = step.Plan.s_u in
+      let pn = p.Pattern.nodes.(u) in
+      (* The plan resolved direction and edge type at compile time, so a
+         candidate is validated with [mem_edge] lookups only — no rescan
+         of the pattern's edge list, and only edges to bound nodes. *)
+      let checks_ok v =
+        List.for_all
+          (fun (c : Plan.check) ->
+            if c.Plan.c_outgoing then
+              G.mem_edge g v iota.(c.Plan.c_other) c.Plan.c_ty
+            else G.mem_edge g iota.(c.Plan.c_other) v c.Plan.c_ty)
+          step.Plan.s_checks
+      in
+      List.iter
+        (fun v ->
+          tick ();
+          if Bytes.unsafe_get used v = '\000' && checks_ok v then begin
+            iota.(u) <- v;
+            Bytes.unsafe_set used v '\001';
+            let c = Epdg.node_text epdg v in
+            let xs =
+              List.filter
+                (fun x -> not (List.mem_assoc x gamma))
+                (Plan.template_vars plan u)
+            in
+            let ys =
+              List.filter
+                (fun y -> not (List.exists (fun (_, y') -> y' = y) gamma))
+                (Epdg.node_vars epdg v)
+            in
+            let try_injection z =
+              (* γ's keys are unique (xs excludes the domain, injection
+                 excludes the range), so the assoc lookups inside
+                 [Template.matches] are order-insensitive — no need to
+                 re-sort the accumulator into binding order here. *)
+              let gamma' = List.rev_append z gamma in
+              if Template.matches pn.Pattern.exact ~gamma:gamma' c then begin
+                marks.(u) <- Exact;
+                search (matched + 1) gamma'
+              end
+              else
+                match pn.Pattern.approx with
+                | Some a when Template.matches a ~gamma:gamma' c ->
+                    marks.(u) <- Approx;
+                    search (matched + 1) gamma'
+                | _ -> ()
+            in
+            (* Enumerate the injective mappings of xs into ys lazily —
+               materializing them first would itself be the factorial
+               blowup the budget exists to bound — in the same
+               lexicographic order the eager enumeration produced. *)
+            let rec inject xs ys acc =
+              match xs with
+              | [] -> try_injection (List.rev acc)
+              | x :: rest ->
+                  List.iter
+                    (fun y ->
+                      tick ();
+                      let ys' = List.filter (fun y' -> y' <> y) ys in
+                      inject rest ys' ((x, y) :: acc))
+                    ys
+            in
+            Fun.protect
+              ~finally:(fun () ->
+                Bytes.unsafe_set used v '\000';
+                iota.(u) <- -1)
+              (fun () -> inject xs ys [])
+          end)
+        step.Plan.s_cands
+    end
+  in
+  (try search 0 [] with Cut -> ());
+  (* Deduplicate: distinct variable-injection orders can reach the same
+     (ι, γ). *)
+  let tbl = Hashtbl.create 16 in
+  let found =
+    List.filter
+      (fun m ->
+        let key = (m.iota, List.sort compare m.gamma) in
+        if Hashtbl.mem tbl key then false
+        else begin
+          Hashtbl.add tbl key ();
+          true
+        end)
+      (List.rev !results)
+  in
+  ({ found; exhausted = !exhausted }, !nsteps)
+
+(** The plan-driven search: memoized plan lookup, fingerprint prefilter,
+    then {!run_steps} along the selectivity join order.  Returns
+    ((search, ticks), prefilter_rejected). *)
+let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
+  let plan = Plan.of_pattern p in
+  Plan.note_search ();
+  if not (Plan.prefilter plan epdg) then begin
+    Plan.note_reject ();
+    (({ found = []; exhausted = false }, 0), true)
+  end
+  else begin
+    let r = run_steps ?budget p plan epdg (Plan.steps plan epdg) in
+    Plan.note_steps (snd r);
+    (r, false)
+  end
+
+(** Order-naive reference search: everything the plan precomputes is
+    recomputed from scratch at every search-tree node — the join order
+    (same selectivity key, re-ranked over the unbound nodes each step),
+    the edge checks (a rescan of the pattern's incident lists), the
+    template variables — and no fingerprint prefilter runs.  The qcheck
+    equivalence property pits the plan path against this: identical
+    embeddings and [exhausted] flag, which fails if compilation hoists
+    anything incorrectly (including an unsound prefilter).  Not used on
+    the grading path. *)
+let embeddings_reference ?budget (p : Pattern.t) (epdg : Epdg.t) =
+  let g = epdg.Epdg.graph in
+  let n = Array.length p.Pattern.nodes in
+  let phi =
+    Array.map
+      (fun (pn : Pattern.pnode) ->
+        match pn.Pattern.pn_type with
+        | None -> G.nodes g
+        | Some t -> Epdg.nodes_of_type epdg t)
+      p.Pattern.nodes
+  in
+  let incident = Array.make (max 1 n) [] in
+  List.iter
+    (fun ((s, d, _) as e) ->
+      incident.(s) <- e :: incident.(s);
+      if d <> s then incident.(d) <- e :: incident.(d))
+    p.Pattern.edges;
+  let iota = Array.make n (-1) in
+  let marks = Array.make n Exact in
+  let used = Hashtbl.create 16 in
+  let results = ref [] in
+  let count = ref 0 in
+  let exhausted = ref false in
+  let tick () =
+    match budget with
+    | Some b when not (Jfeed_budget.Budget.spend b Jfeed_budget.Budget.Matcher 1)
+      ->
+        exhausted := true;
+        raise Cut
+    | _ -> ()
+  in
+  let snapshot gamma =
+    let pairs = List.init n (fun u -> (u, (iota.(u), marks.(u)))) in
+    { iota = pairs; gamma = List.rev gamma }
+  in
+  (* The plan's selectivity key, evaluated dynamically: adjacency to the
+     bound set, fewest candidates, static degree, lowest index. *)
   let pick_next () =
-    let adjacency u =
-      List.fold_left
-        (fun k (s, d, _) ->
-          if (s = u && iota.(d) >= 0) || (d = u && iota.(s) >= 0) then k + 1
-          else k)
-        0 incident.(u)
-    in
-    let best = ref (-1) and best_key = ref (min_int, min_int) in
+    let best = ref (-1)
+    and best_key = ref (min_int, min_int, min_int, 0) in
     for u = 0 to n - 1 do
       if iota.(u) < 0 then begin
-        let key = (adjacency u, -List.length phi.(u)) in
+        let adjacency =
+          List.fold_left
+            (fun k (s, d, _) ->
+              if (s = u && iota.(d) >= 0) || (d = u && iota.(s) >= 0) then
+                k + 1
+              else k)
+            0 incident.(u)
+        in
+        let key =
+          (adjacency, -List.length phi.(u), List.length incident.(u), -u)
+        in
         if !best < 0 || key > !best_key then begin
           best := u;
           best_key := key
@@ -184,10 +327,6 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
                     search (matched + 1) gamma'
                 | _ -> ()
             in
-            (* Enumerate the injective mappings of xs into ys lazily —
-               materializing them first would itself be the factorial
-               blowup the budget exists to bound — in the same
-               lexicographic order the eager enumeration produced. *)
             let rec inject xs ys acc =
               match xs with
               | [] -> try_injection (List.rev acc)
@@ -209,8 +348,6 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
     end
   in
   (try search 0 [] with Cut -> ());
-  (* Deduplicate: distinct variable-injection orders can reach the same
-     (ι, γ). *)
   let tbl = Hashtbl.create 16 in
   let found =
     List.filter
@@ -223,7 +360,7 @@ let search_uncached ?budget (p : Pattern.t) (epdg : Epdg.t) =
         end)
       (List.rev !results)
   in
-  ({ found; exhausted = !exhausted }, !nsteps)
+  { found; exhausted = !exhausted }
 
 (** Embedding memo cache, keyed by (pattern id, EPDG uid).  One grading
     call examines the same (pattern, method) pair once per method-pairing
@@ -246,7 +383,7 @@ end
    free of any of this — no span, no string building, no clock read. *)
 let search_traced ?budget p epdg =
   let tr = Trace.current () in
-  if not (Trace.enabled tr) then fst (search_uncached ?budget p epdg)
+  if not (Trace.enabled tr) then fst (fst (search_uncached ?budget p epdg))
   else
     let id = p.Pattern.id in
     Trace.span tr ("match:" ^ id) (fun () ->
@@ -255,7 +392,7 @@ let search_traced ?budget p epdg =
           | Some b -> Jfeed_budget.Budget.spent b
           | None -> 0
         in
-        let s, nodes = search_uncached ?budget p epdg in
+        let (s, nodes), rejected = search_uncached ?budget p epdg in
         let fuel =
           (match budget with
           | Some b -> Jfeed_budget.Budget.spent b
@@ -266,8 +403,15 @@ let search_traced ?budget p epdg =
         Trace.add_attr tr "fuel" (string_of_int fuel);
         Trace.add_attr tr "found" (string_of_int (List.length s.found));
         if s.exhausted then Trace.add_attr tr "exhausted" "true";
-        Trace.count tr ("match.nodes:" ^ id) nodes;
-        Trace.count tr ("match.fuel:" ^ id) fuel;
+        if rejected then begin
+          Trace.add_attr tr "prefilter" "reject";
+          Trace.count tr ("plan.prefilter_reject:" ^ id) 1
+        end
+        else begin
+          Trace.count tr ("match.nodes:" ^ id) nodes;
+          Trace.count tr ("match.fuel:" ^ id) fuel;
+          Trace.count tr ("plan.steps:" ^ id) nodes
+        end;
         s)
 
 let embeddings_budgeted ?budget ?cache (p : Pattern.t) (epdg : Epdg.t) =

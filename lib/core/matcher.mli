@@ -68,6 +68,21 @@ val embeddings_budgeted :
     the memoized result (including its [exhausted] tag) without running
     or spending fuel. *)
 
+val embeddings_reference :
+  ?budget:Jfeed_budget.Budget.t ->
+  Pattern.t ->
+  Jfeed_pdg.Epdg.t ->
+  search
+(** Order-naive reference search: everything {!Jfeed_core.Plan}
+    precomputes is recomputed from scratch at every search-tree node —
+    the join order (same selectivity key, re-ranked over the unbound
+    nodes each step), the edge checks, the template variables — and no
+    fingerprint prefilter runs.  The qcheck equivalence property pits
+    {!embeddings_budgeted} against it: unbudgeted, the two must agree on
+    the embeddings and the [exhausted] flag, which fails if plan
+    compilation hoists anything incorrectly (including an unsound
+    prefilter).  Not used on the grading path. *)
+
 val embeddings :
   ?budget:Jfeed_budget.Budget.t ->
   Pattern.t ->

@@ -1,6 +1,14 @@
 type piece = Lit of string  (** already regex text *) | Placeholder of string
 
-type t = { pieces : piece list; vars : string list; source : string }
+type t = {
+  pieces : piece list;
+  vars : string list;
+  source : string;
+  raw_pieces : piece list option;
+      (* [exact_of] only: the same pieces with *unquoted* literals.  A
+         fully-bound exact template is a literal string — matching it is
+         string equality, no regex build, memo probe or execution. *)
+}
 
 let vars t = t.vars
 let source t = t.source
@@ -70,17 +78,18 @@ let check_syntax pieces source =
 
 let exact_of text =
   let pieces, vars = split ~quote:Re.Pcre.quote text in
-  { pieces; vars; source = text }
+  let raw_pieces, _ = split ~quote:Fun.id text in
+  { pieces; vars; source = text; raw_pieces = Some raw_pieces }
 
 let regex_of text =
   let pieces, vars = split ~quote:Fun.id text in
   check_syntax pieces text;
-  { pieces; vars; source = text }
+  { pieces; vars; source = text; raw_pieces = None }
 
 let contains_of text =
   let pieces, vars = split ~quote:Re.Pcre.quote text in
   let pieces = (Lit {|(.*[^A-Za-z0-9_$])?|} :: pieces) @ [ Lit {|([^A-Za-z0-9_$].*)?|} ] in
-  { pieces; vars; source = ".*" ^ text ^ ".*" }
+  { pieces; vars; source = ".*" ^ text ^ ".*"; raw_pieces = None }
 
 (* A placeholder with no binding matches any single identifier. *)
 let any_identifier = {|[A-Za-z_$][A-Za-z0-9_$]*|}
@@ -110,7 +119,39 @@ let compiled regex_text =
       Hashtbl.add memo regex_text re;
       re
 
+(* Fast path for the matcher's hottest call: an exact template with every
+   placeholder bound is a literal string, and Re's anchored [lit$] accepts
+   exactly that string (plus a trailing-newline variant [$] tolerates,
+   which cannot arise when [c] is newline-free — node texts are
+   single-line, but the guard keeps the fallback authoritative). *)
+let matches_literal raw_pieces ~gamma c =
+  if String.contains c '\n' then None
+  else
+    let buf = Buffer.create (String.length c) in
+    let bound =
+      List.for_all
+        (function
+          | Lit s ->
+              Buffer.add_string buf s;
+              true
+          | Placeholder x -> (
+              match List.assoc_opt x gamma with
+              | Some y ->
+                  Buffer.add_string buf y;
+                  true
+              | None -> false))
+        raw_pieces
+    in
+    if bound then Some (String.equal (Buffer.contents buf) c) else None
+
 let matches t ~gamma c =
+  match
+    match t.raw_pieces with
+    | Some rp -> matches_literal rp ~gamma c
+    | None -> None
+  with
+  | Some r -> r
+  | None ->
   let regex_text =
     String.concat ""
       (List.map

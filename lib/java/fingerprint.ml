@@ -1,0 +1,35 @@
+(** Submission fingerprint: the α-rename + canonical-print hash.
+
+    The digest of the canonically α-renamed
+    ({!Jfeed_java.Normalize.alpha_rename}), canonically pretty-printed
+    ({!Jfeed_java.Pretty.program}) AST — two submissions share it exactly
+    when they differ only by consistent variable renamings, whitespace,
+    and comments, which is precisely the variation that cannot change a
+    grade's structure.  When the source does not parse, the digest falls
+    back to the raw bytes ([ast = false]): unparseable inputs are
+    rejected with a diagnostic that quotes exact line/column positions,
+    so only a byte-identical resubmission may share that outcome.
+
+    Both dedup consumers build on this one definition: the serving
+    tier's result cache ({!Jfeed_service.Normalize} scopes it by
+    assignment, KB revision and budget) and batch-level submission dedup
+    ({!Jfeed_robust.Pipeline.run_batch} groups a batch into equivalence
+    classes and grades one representative per class). *)
+
+type t = {
+  ast : bool;  (** true: α-normalized AST digest; false: raw-bytes digest *)
+  digest : string;  (** hex *)
+}
+
+let of_source src =
+  match Parser.parse_program src with
+  | prog ->
+      let canonical = Pretty.program (Normalize.alpha_rename prog) in
+      { ast = true; digest = Digest.to_hex (Digest.string canonical) }
+  | exception _ ->
+      { ast = false; digest = Digest.to_hex (Digest.string src) }
+
+(** The fingerprint as one string, ["ast:<hex>"] or ["raw:<hex>"] —
+    distinct namespaces, so an AST digest can never collide with a
+    raw-bytes digest. *)
+let to_string fp = (if fp.ast then "ast:" else "raw:") ^ fp.digest

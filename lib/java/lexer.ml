@@ -26,7 +26,12 @@ let keywords =
     "while"; "true"; "false"; "null";
   ]
 
-let is_keyword s = List.mem s keywords
+let keyword_set =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace tbl k ()) keywords;
+  tbl
+
+let is_keyword s = Hashtbl.mem keyword_set s
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
 let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
 let is_digit c = c >= '0' && c <= '9'
@@ -53,12 +58,12 @@ let peek2 st =
   if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
 
 let advance st =
-  (match peek st with
-  | Some '\n' ->
-      st.line <- st.line + 1;
-      st.col <- 1
-  | Some _ -> st.col <- st.col + 1
-  | None -> ());
+  if st.pos < String.length st.src then
+    (match String.unsafe_get st.src st.pos with
+    | '\n' ->
+        st.line <- st.line + 1;
+        st.col <- 1
+    | _ -> st.col <- st.col + 1);
   st.pos <- st.pos + 1
 
 let error st msg = raise (Lex_error (msg, st.line, st.col))
@@ -197,10 +202,29 @@ let lex_ident st =
 
 let matches_at st p =
   let n = String.length p in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = p
+  st.pos + n <= String.length st.src
+  &&
+  let rec eq k =
+    k = n
+    || String.unsafe_get st.src (st.pos + k) = String.unsafe_get p k
+       && eq (k + 1)
+  in
+  eq 0
+
+(* Dispatch on the first character so each punct token probes only the
+   (longest-first) punctuators that could start with it, not all 48. *)
+let puncts_by_char =
+  let a = Array.make 256 [] in
+  List.iter
+    (fun p ->
+      let i = Char.code p.[0] in
+      a.(i) <- a.(i) @ [ p ])
+    puncts;
+  a
 
 let lex_punct st =
-  match List.find_opt (matches_at st) puncts with
+  let candidates = puncts_by_char.(Char.code st.src.[st.pos]) in
+  match List.find_opt (matches_at st) candidates with
   | Some p ->
       String.iter (fun _ -> advance st) p;
       Punct p

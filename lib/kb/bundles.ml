@@ -999,6 +999,24 @@ let all =
 let find id =
   List.find_opt (fun b -> b.grading.Grader.a_id = id) all
 
+(* Pre-compile every shipped pattern — primaries and variants alike —
+   into its match plan at bundle load, so on the main domain
+   [Plan.of_pattern] on the grading path is a memo lookup, never a
+   compile. *)
+let () =
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (q : Grader.method_spec) ->
+          List.iter
+            (fun (p, _) -> ignore (Plan.of_pattern p))
+            q.Grader.q_patterns;
+          List.iter
+            (fun (_, vs) -> List.iter (fun p -> ignore (Plan.of_pattern p)) vs)
+            q.Grader.q_variants)
+        b.grading.Grader.a_methods)
+    all
+
 (* ------------------------------------------------------------------ *)
 (* KB revision fingerprint.
 

@@ -3,7 +3,15 @@ open Jfeed_java
 type node_type = Assign | Break | Call | Cond | Decl | Return
 type edge_type = Ctrl | Data
 
-type node_info = { n_type : node_type; n_expr : Ast.expr; n_text : string }
+type node_info = {
+  n_type : node_type;
+  n_expr : Ast.expr;
+  n_text : string;
+  n_vars : string list;
+      (* [Ast.vars_of_expr n_expr], hoisted to construction: the matcher
+         reads it once per surviving candidate instead of re-walking the
+         expression *)
+}
 
 type t = {
   graph : (node_info, edge_type) Jfeed_graph.Digraph.t;
@@ -11,6 +19,8 @@ type t = {
   param_names : string list;
   uid : int;
   by_type : Jfeed_graph.Digraph.node list array;
+  type_counts : int array;
+  deg_desc : int array;
 }
 
 module G = Jfeed_graph.Digraph
@@ -41,6 +51,19 @@ let build_type_index g =
   Array.map List.rev acc
 
 let nodes_of_type t ty = t.by_type.(int_of_node_type ty)
+let count_of_type t ty = t.type_counts.(int_of_node_type ty)
+let degrees_desc t = t.deg_desc
+
+(* Total (in + out) degree of every node, sorted descending — the graph
+   side of the matcher's fingerprint prefilter.  O(V) at construction:
+   the digraph maintains degree counters at edge insertion. *)
+let build_deg_desc g =
+  let a =
+    Array.of_list
+      (List.map (fun v -> G.out_degree g v + G.in_degree g v) (G.nodes g))
+  in
+  Array.sort (fun x y -> compare y x) a;
+  a
 
 let string_of_node_type = function
   | Assign -> "Assign"
@@ -69,7 +92,11 @@ type builder = {
 
 let mk_node b typ ~parent ?text expr =
   let text = match text with Some t -> t | None -> Pretty.expr expr in
-  let v = G.add_node b.g { n_type = typ; n_expr = expr; n_text = text } in
+  let v =
+    G.add_node b.g
+      { n_type = typ; n_expr = expr; n_text = text;
+        n_vars = Ast.vars_of_expr expr }
+  in
   (match parent with Some p -> G.add_edge b.g p v Ctrl | None -> ());
   v
 
@@ -247,12 +274,15 @@ let of_method (m : Ast.meth) =
       b.env <- Env.add p.p_name [ v ] b.env)
     m.m_params;
   List.iter (walk_stmt b ~parent:None) m.m_body;
+  let by_type = build_type_index b.g in
   {
     graph = b.g;
     method_name = m.m_name;
     param_names = List.map (fun (p : Ast.param) -> p.p_name) m.m_params;
     uid = Atomic.fetch_and_add uid_counter 1;
-    by_type = build_type_index b.g;
+    by_type;
+    type_counts = Array.map List.length by_type;
+    deg_desc = build_deg_desc b.g;
   }
 
 let of_program (p : Ast.program) =
@@ -280,6 +310,7 @@ let of_source src = of_program (Parser.parse_program src)
 let node_text t v = (G.label t.graph v).n_text
 let node_type t v = (G.label t.graph v).n_type
 let node_expr t v = (G.label t.graph v).n_expr
+let node_vars t v = (G.label t.graph v).n_vars
 
 let to_dot t =
   (* Labels go in raw — [Digraph.to_dot] escapes quotes, backslashes and

@@ -21,6 +21,9 @@ type node_info = {
   n_type : node_type;
   n_expr : Jfeed_java.Ast.expr;  (** the operation's expression [c] *)
   n_text : string;  (** canonical rendering of [n_expr], cached *)
+  n_vars : string list;
+      (** [Ast.vars_of_expr n_expr], cached — the matcher's γ candidate
+          pool for this node *)
 }
 
 type t = {
@@ -38,6 +41,13 @@ type t = {
           [nodes_of_type t ty] equals
           [Digraph.filter_nodes t.graph ~f:(fun _ i -> i.n_type = ty)],
           in the same (insertion) order. *)
+  type_counts : int array;
+      (** per-type node counts — [Array.map List.length by_type], cached
+          so match-plan selectivity ranking is an array read; read it
+          through {!count_of_type}. *)
+  deg_desc : int array;
+      (** every node's total (in + out) degree, sorted descending — the
+          graph side of {!Jfeed_core.Plan}'s fingerprint prefilter. *)
 }
 
 val string_of_node_type : node_type -> string
@@ -59,9 +69,19 @@ val nodes_of_type : t -> node_type -> Jfeed_graph.Digraph.node list
     into the precomputed index, not an O(V) filter.  Agrees exactly with
     [Digraph.filter_nodes] on the type predicate (see {!t.by_type}). *)
 
+val count_of_type : t -> node_type -> int
+(** [List.length (nodes_of_type t ty)], precomputed. *)
+
+val degrees_desc : t -> int array
+(** Total degrees of all nodes, descending (see {!t.deg_desc}).  Callers
+    must not mutate the returned array. *)
+
 val node_text : t -> Jfeed_graph.Digraph.node -> string
 val node_type : t -> Jfeed_graph.Digraph.node -> node_type
 val node_expr : t -> Jfeed_graph.Digraph.node -> Jfeed_java.Ast.expr
+
+val node_vars : t -> Jfeed_graph.Digraph.node -> string list
+(** [Ast.vars_of_expr (node_expr t v)], precomputed at construction. *)
 
 val to_dot : t -> string
 (** Graphviz rendering: data edges solid, control edges dashed (Fig. 3). *)

@@ -177,6 +177,19 @@ type item = {
   trace : Trace.t;
 }
 
+type dedup_stats = { classes : int; replayed : int }
+
+(* Process-wide dedup counters (monotone atomics), read by the serve
+   metrics exposition alongside the plan counters. *)
+let n_dedup_classes = Atomic.make 0
+let n_dedup_replayed = Atomic.make 0
+let dedup_classes () = Atomic.get n_dedup_classes
+let dedup_replayed () = Atomic.get n_dedup_replayed
+
+let note_dedup ~classes ~replayed =
+  ignore (Atomic.fetch_and_add n_dedup_classes classes);
+  ignore (Atomic.fetch_and_add n_dedup_replayed replayed)
+
 type summary = {
   assignment : string;
   total : int;
@@ -184,6 +197,7 @@ type summary = {
   degraded : int;
   rejected : int;
   fuel_limit : int option;
+  dedup : dedup_stats option;
   items : item list;
 }
 
@@ -212,8 +226,33 @@ let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
       (Budget.spent_by budget);
   { file = name; outcome; fuel_spent = Budget.spent budget; trace }
 
+(* Replay a representative's item for another member of its equivalence
+   class.  The grading report, test verdict, degradation reasons and
+   fuel count are α-invariant — the matcher's search is structural, so
+   two α-equivalent programs take the same steps to the same verdict —
+   but analysis diagnostics quote source positions and variable names,
+   which consistent renaming and reformatting *do* change.  So the
+   member keeps the representative's grading/tests wholesale and re-runs
+   only the (cheap, total) parse + analysis stages on its own bytes.
+   Raw-fingerprint classes contain byte-identical sources only, so a
+   [Rejected] outcome (whose diagnostic quotes exact positions) replays
+   verbatim. *)
+let replay_item ~file ~src (r : item) =
+  let member_diags () =
+    match parse_stage src with Ok parsed -> analyze_stage parsed | Error _ -> []
+  in
+  let outcome =
+    match r.outcome with
+    | Outcome.Rejected _ -> r.outcome
+    | Outcome.Graded rep ->
+        Outcome.Graded { rep with Outcome.diags = member_diags () }
+    | Outcome.Degraded (rep, reasons) ->
+        Outcome.Degraded ({ rep with Outcome.diags = member_diags () }, reasons)
+  in
+  { r with file; outcome }
+
 let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
-    (b : Bundles.t) sources =
+    ?(dedup = true) (b : Bundles.t) sources =
   let grade_one (file, src) =
     (* One fresh tracer per submission, created inside the worker so
        each Domain fills only its own buffers; the merge below is by
@@ -231,10 +270,63 @@ let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
         grade_submission ?fuel ?deadline_s ?with_tests ~name:file ~trace b
           src
   in
-  let items =
-    Array.to_list
-      (Jfeed_parallel.Pool.map ~jobs ~f:grade_one (Array.of_list sources))
+  let srcs = Array.of_list sources in
+  let n = Array.length srcs in
+  let items, dedup_stats =
+    if not dedup then
+      ( Array.to_list (Jfeed_parallel.Pool.map ~jobs ~f:grade_one srcs),
+        None )
+    else begin
+      (* Group the batch into α-equivalence classes by the same
+         fingerprint the serve cache keys on, grade the first member of
+         each class (fuel charged once, under that representative's own
+         fresh budget), and replay everyone else.  The work list is
+         fixed before any grading starts and results merge by input
+         index, so the dedup path is jobs-invariant like the plain
+         one. *)
+      let rep = Array.init n (fun i -> i) in
+      let tbl = Hashtbl.create (2 * n) in
+      Array.iteri
+        (fun i (_, src) ->
+          match src with
+          | Error _ -> ()
+          | Ok s ->
+              let fp =
+                Jfeed_java.Fingerprint.(to_string (of_source s))
+              in
+              (match Hashtbl.find_opt tbl fp with
+              | Some j -> rep.(i) <- j
+              | None -> Hashtbl.add tbl fp i))
+        srcs;
+      let work =
+        Array.of_list
+          (List.filter (fun i -> rep.(i) = i) (List.init n Fun.id))
+      in
+      let graded =
+        Jfeed_parallel.Pool.map ~jobs ~f:(fun i -> grade_one srcs.(i)) work
+      in
+      let by_idx = Hashtbl.create (2 * Array.length work) in
+      Array.iteri (fun k i -> Hashtbl.add by_idx i graded.(k)) work;
+      let replayed = ref 0 in
+      let items =
+        List.init n (fun i ->
+            if rep.(i) = i then Hashtbl.find by_idx i
+            else begin
+              incr replayed;
+              let file, src = srcs.(i) in
+              let src = match src with Ok s -> s | Error e -> e in
+              replay_item ~file ~src (Hashtbl.find by_idx rep.(i))
+            end)
+      in
+      (items, Some { classes = Hashtbl.length tbl; replayed = !replayed })
+    end
   in
+  (match dedup_stats with
+  | Some d ->
+      Trace.count (Trace.current ()) "dedup.classes" d.classes;
+      Trace.count (Trace.current ()) "dedup.replayed" d.replayed;
+      note_dedup ~classes:d.classes ~replayed:d.replayed
+  | None -> ());
   let count cls =
     List.length
       (List.filter (fun it -> Outcome.classify it.outcome = cls) items)
@@ -246,6 +338,7 @@ let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
     degraded = count "degraded";
     rejected = count "rejected";
     fuel_limit = fuel;
+    dedup = dedup_stats;
     items;
   }
 
@@ -258,6 +351,12 @@ let summary_to_json ?(traces = true) s =
        s.total s.graded s.degraded s.rejected);
   (match s.fuel_limit with
   | Some f -> Buffer.add_string buf (Printf.sprintf {|,"fuel":%d|} f)
+  | None -> ());
+  (match s.dedup with
+  | Some d ->
+      Buffer.add_string buf
+        (Printf.sprintf {|,"dedup":{"classes":%d,"replayed":%d}|} d.classes
+           d.replayed)
   | None -> ());
   Buffer.add_string buf {|,"submissions":[|};
   List.iteri

@@ -83,6 +83,13 @@ val grade_submission :
     as [fuel.matcher] / [fuel.pairing] / [fuel.interp] counters.  The
     tracer is returned in the item's [trace] field. *)
 
+type dedup_stats = {
+  classes : int;
+      (** α-equivalence classes among the readable submissions *)
+  replayed : int;
+      (** submissions answered by replaying their class representative *)
+}
+
 type summary = {
   assignment : string;
   total : int;
@@ -90,8 +97,15 @@ type summary = {
   degraded : int;
   rejected : int;
   fuel_limit : int option;  (** per-submission allowance, when bounded *)
+  dedup : dedup_stats option;  (** [None] when dedup was turned off *)
   items : item list;  (** input order *)
 }
+
+val dedup_classes : unit -> int
+val dedup_replayed : unit -> int
+(** Process-wide dedup totals (monotone atomics, summed over every
+    {!run_batch} call) — read by the serve metrics exposition alongside
+    the {!Jfeed_core.Plan} counters. *)
 
 val run_batch :
   ?fuel:int ->
@@ -99,6 +113,7 @@ val run_batch :
   ?with_tests:bool ->
   ?jobs:int ->
   ?traced:bool ->
+  ?dedup:bool ->
   Jfeed_kb.Bundles.t ->
   (string * (string, string) result) list ->
   summary
@@ -122,14 +137,33 @@ val run_batch :
     [?traced] (default off) gives every submission a fresh live tracer
     ({!Jfeed_trace.Trace.create}), created {e inside} the worker so each
     domain writes only its own buffers; traces merge deterministically
-    by submission index like every other item field. *)
+    by submission index like every other item field.
+
+    [?dedup] (default on) first groups the batch into α-equivalence
+    classes by the serve cache's fingerprint
+    ({!Jfeed_java.Fingerprint}: α-rename + canonical-print hash, raw
+    bytes for unparseable input), grades only the {e first} member of
+    each class — fuel is charged once, under that representative's own
+    fresh budget — and replays the representative's item for every other
+    member.  The grading report, test verdict, degradation reasons,
+    fuel count and trace are α-invariant, so each replayed line is
+    byte-identical to what independent grading would have produced,
+    except analysis diagnostics (which quote member positions and
+    variable names) — those are re-computed from the member's own bytes.
+    Unique submissions are unaffected, and the work list is fixed before
+    grading starts, so the dedup path is jobs-invariant like the plain
+    one.  Deadline budgets carry the same caveat as jobs-invariance:
+    wall-clock cut-offs are not reproducible, deduped or not.
+    [~dedup:false] restores strict per-submission grading (and drops the
+    summary's [dedup] field). *)
 
 val summary_to_json : ?traces:bool -> summary -> string
 (** Stable field order, one submission per line:
     [{"assignment":…,"total":…,"graded":…,"degraded":…,"rejected":…,
-    ("fuel":…,)"submissions":[…]}].  The per-submission [fuel] field
-    appears only when a fuel limit was set, so unbudgeted output is
-    byte-stable across runs.  When the batch ran with [~traced:true]
+    ("fuel":…,)("dedup":{"classes":…,"replayed":…},)"submissions":[…]}].
+    The per-submission [fuel] field appears only when a fuel limit was
+    set, so unbudgeted output is byte-stable across runs; the [dedup]
+    object appears unless the batch ran with [~dedup:false].  When the batch ran with [~traced:true]
     and [?traces] (default [true]) is not turned off, each submission
     line additionally carries its [trace] summary (see
     {!Outcome.to_json}); span timings vary run to run, the rest of the

@@ -228,6 +228,28 @@ let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
             "Records appended to the durable store this run." appended;
           counter "jfeed_store_compactions_total"
             "Durable-store compactions this run." compactions));
+  (* Match-plan and batch-dedup counters: process-wide atomics, not
+     per-server state — they move with every grading call in this
+     process.  Placed before the [jfeed_requests_total] anchor like the
+     extended families, so the cram-pinned block is untouched. *)
+  counter "jfeed_plan_searches_total"
+    "Plan-driven matcher searches started (prefilter rejections \
+     included)."
+    (Jfeed_core.Plan.searches ());
+  counter "jfeed_plan_prefilter_rejects_total"
+    "Matcher searches answered by the fingerprint prefilter without \
+     backtracking."
+    (Jfeed_core.Plan.prefilter_rejects ());
+  counter "jfeed_plan_steps_total"
+    "Candidate-extension steps taken by plan-driven searches."
+    (Jfeed_core.Plan.steps_spent ());
+  counter "jfeed_dedup_classes_total"
+    "Batch submission equivalence classes graded."
+    (Jfeed_robust.Pipeline.dedup_classes ());
+  counter "jfeed_dedup_replayed_total"
+    "Batch submissions answered by replaying their class \
+     representative."
+    (Jfeed_robust.Pipeline.dedup_replayed ());
   counter "jfeed_requests_total" "Request lines handled, any op." t.requests;
   counter "jfeed_grades_total" "Grade requests answered (cached or not)."
     t.grades;

@@ -1,18 +1,13 @@
 (** Submission → cache key.  See normalize.mli. *)
 
-open Jfeed_java
-
 type fingerprint = { ast : bool; digest : string }
 
+(* The α-rename + canonical-print hash itself lives in
+   {!Jfeed_java.Fingerprint} so batch dedup (lib/robust) shares the
+   exact definition without depending on the serving tier. *)
 let fingerprint src =
-  match Parser.parse_program src with
-  | prog ->
-      let canonical = Pretty.program (Normalize.alpha_rename prog) in
-      { ast = true; digest = Digest.to_hex (Digest.string canonical) }
-  | exception _ ->
-      (* Unparseable: only byte-identical resubmissions may share the
-         rejection (its diagnostic quotes exact positions). *)
-      { ast = false; digest = Digest.to_hex (Digest.string src) }
+  let fp = Jfeed_java.Fingerprint.of_source src in
+  { ast = fp.Jfeed_java.Fingerprint.ast; digest = fp.Jfeed_java.Fingerprint.digest }
 
 let cache_key ~assignment ~fuel ~deadline_s ~with_tests src =
   let fp = fingerprint src in

@@ -6,7 +6,7 @@ error).
   $ mkdir clean
   $ jfeed generate assignment1 --index 0 | tail -n +2 > clean/ref.java
   $ jfeed batch assignment1 clean
-  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"dedup":{"classes":1,"replayed":0},"submissions":[
     {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0}
   ]}
 
@@ -26,7 +26,7 @@ being graded.
   $ printf '\377\376' > mixed/garbage.java
   $ { printf 'void assignment1(int[] a) { int x = '; for i in $(seq 9000); do printf '('; done; printf '1'; for i in $(seq 9000); do printf ')'; done; printf '; }'; } > mixed/bomb.java
   $ jfeed batch assignment1 mixed
-  {"assignment":"assignment1","total":4,"graded":1,"degraded":0,"rejected":3,"submissions":[
+  {"assignment":"assignment1","total":4,"graded":1,"degraded":0,"rejected":3,"dedup":{"classes":4,"replayed":0},"submissions":[
     {"file":"bomb.java","outcome":"rejected","stage":"parse","error":"parse error at 1:536: nesting too deep"},
     {"file":"garbage.java","outcome":"rejected","stage":"lex","error":"lex error at 1:1: unexpected character '\\255'"},
     {"file":"good.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0},
@@ -39,7 +39,7 @@ grade is still produced, and every truncation names the stage that ran
 dry (matcher, pairing, interp).
 
   $ jfeed batch --fuel 100 assignment1 clean
-  {"assignment":"assignment1","total":1,"graded":0,"degraded":1,"rejected":0,"fuel":100,"submissions":[
+  {"assignment":"assignment1","total":1,"graded":0,"degraded":1,"rejected":0,"fuel":100,"dedup":{"classes":1,"replayed":0},"submissions":[
     {"file":"ref.java","outcome":"degraded","score":3,"max":10,"tests":{"failed":"small"},"reasons":["matcher:p_cond_accum_add","matcher:p_cond_accum_mul","matcher:p_print_var","interp"],"diags":0,"fuel":101}
   ]}
   [1]
@@ -50,15 +50,15 @@ cache misses), interpreter steps and the fuel split.  Timings vary run
 to run, so they are masked; everything else is deterministic.
 
   $ jfeed batch assignment1 clean --trace | sed -E 's/"ms":[0-9.]+/"ms":MS/g'
-  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
-    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0,"trace":{"stages":{"parse":{"n":1,"ms":MS},"analysis":{"n":1,"ms":MS},"pass":{"n":5,"ms":MS},"epdg":{"n":1,"ms":MS},"pairing":{"n":1,"ms":MS},"match":{"n":6,"ms":MS},"tests":{"n":1,"ms":MS},"interp":{"n":10,"ms":MS}},"counters":{"match.nodes:p_param_decl":2,"match.fuel:p_param_decl":2,"match.cache_miss:p_param_decl":1,"match.nodes:p_odd_access":48,"match.fuel:p_odd_access":48,"match.cache_miss:p_odd_access":1,"match.nodes:p_even_access":48,"match.fuel:p_even_access":48,"match.cache_miss:p_even_access":1,"match.nodes:p_cond_accum_add":36,"match.fuel:p_cond_accum_add":36,"match.cache_miss:p_cond_accum_add":1,"match.nodes:p_cond_accum_mul":36,"match.fuel:p_cond_accum_mul":36,"match.cache_miss:p_cond_accum_mul":1,"match.nodes:p_print_var":28,"match.fuel:p_print_var":28,"match.cache_miss:p_print_var":1,"interp.steps":250,"fuel.matcher":198,"fuel.pairing":1,"fuel.interp":125}}}
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"dedup":{"classes":1,"replayed":0},"submissions":[
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0,"trace":{"stages":{"parse":{"n":1,"ms":MS},"analysis":{"n":1,"ms":MS},"pass":{"n":5,"ms":MS},"epdg":{"n":1,"ms":MS},"pairing":{"n":1,"ms":MS},"match":{"n":6,"ms":MS},"tests":{"n":1,"ms":MS},"interp":{"n":10,"ms":MS}},"counters":{"match.nodes:p_param_decl":2,"match.fuel:p_param_decl":2,"plan.steps:p_param_decl":2,"match.cache_miss:p_param_decl":1,"match.nodes:p_odd_access":48,"match.fuel:p_odd_access":48,"plan.steps:p_odd_access":48,"match.cache_miss:p_odd_access":1,"match.nodes:p_even_access":48,"match.fuel:p_even_access":48,"plan.steps:p_even_access":48,"match.cache_miss:p_even_access":1,"match.nodes:p_cond_accum_add":36,"match.fuel:p_cond_accum_add":36,"plan.steps:p_cond_accum_add":36,"match.cache_miss:p_cond_accum_add":1,"match.nodes:p_cond_accum_mul":36,"match.fuel:p_cond_accum_mul":36,"plan.steps:p_cond_accum_mul":36,"match.cache_miss:p_cond_accum_mul":1,"match.nodes:p_print_var":28,"match.fuel:p_print_var":28,"plan.steps:p_print_var":28,"match.cache_miss:p_print_var":1,"interp.steps":250,"fuel.matcher":198,"fuel.pairing":1,"fuel.interp":125}}}
   ]}
 
 --trace-dir writes one Chrome trace_event file per submission plus an
 aggregate summary, while stdout stays byte-identical to an untraced run:
 
   $ jfeed batch assignment1 clean --trace-dir tdir
-  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"submissions":[
+  {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"dedup":{"classes":1,"replayed":0},"submissions":[
     {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0}
   ]}
   $ ls tdir
@@ -79,7 +79,40 @@ The aggregate ranks patterns by matcher fuel and reports per-stage
 p50/p95 (masked: timings):
 
   $ sed -E 's/"p(50|95)_ms":[0-9.]+/"p\1_ms":MS/g' tdir/summary.json
-  {"submissions":1,"stages":{"parse":{"p50_ms":MS,"p95_ms":MS},"analysis":{"p50_ms":MS,"p95_ms":MS},"pass":{"p50_ms":MS,"p95_ms":MS},"epdg":{"p50_ms":MS,"p95_ms":MS},"pairing":{"p50_ms":MS,"p95_ms":MS},"match":{"p50_ms":MS,"p95_ms":MS},"tests":{"p50_ms":MS,"p95_ms":MS},"interp":{"p50_ms":MS,"p95_ms":MS}},"top_patterns":[{"pattern":"p_even_access","fuel":48},{"pattern":"p_odd_access","fuel":48},{"pattern":"p_cond_accum_add","fuel":36},{"pattern":"p_cond_accum_mul","fuel":36},{"pattern":"p_print_var","fuel":28}]}
+  {"submissions":1,"stages":{"parse":{"p50_ms":MS,"p95_ms":MS},"analysis":{"p50_ms":MS,"p95_ms":MS},"pass":{"p50_ms":MS,"p95_ms":MS},"epdg":{"p50_ms":MS,"p95_ms":MS},"pairing":{"p50_ms":MS,"p95_ms":MS},"match":{"p50_ms":MS,"p95_ms":MS},"tests":{"p50_ms":MS,"p95_ms":MS},"interp":{"p50_ms":MS,"p95_ms":MS}},"top_patterns":[{"pattern":"p_even_access","fuel":48},{"pattern":"p_odd_access","fuel":48},{"pattern":"p_cond_accum_add","fuel":36},{"pattern":"p_cond_accum_mul","fuel":36},{"pattern":"p_print_var","fuel":28}],"dedup":{"classes":1,"replayed":0}}
+
+Batch dedup: α-equivalent submissions — same program modulo consistent
+renaming, whitespace and comments — are grouped into one equivalence
+class; only the first member is graded, the rest replay its outcome.
+The copies' lines are identical to the representative's except the file
+name (and analysis diagnostics, recomputed from each member's own
+bytes):
+
+  $ mkdir dupes
+  $ cp clean/ref.java dupes/a.java
+  $ sed 's/\bsum\b/total/g' clean/ref.java > dupes/b_renamed.java
+  $ { printf '// resubmission\n'; cat clean/ref.java; } > dupes/c_comment.java
+  $ jfeed generate assignment1 --index 1 | tail -n +2 > dupes/d_other.java
+  $ jfeed batch assignment1 dupes
+  {"assignment":"assignment1","total":4,"graded":4,"degraded":0,"rejected":0,"dedup":{"classes":2,"replayed":2},"submissions":[
+    {"file":"a.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0},
+    {"file":"b_renamed.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0},
+    {"file":"c_comment.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0},
+    {"file":"d_other.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0}
+  ]}
+
+--no-dedup grades every submission independently and drops the summary's
+dedup field; apart from that field the output is byte-identical, which
+the diff below checks (only the summary header line differs):
+
+  $ jfeed batch assignment1 dupes > with.json
+  $ jfeed batch assignment1 dupes --no-dedup > without.json
+  $ diff with.json without.json
+  1c1
+  < {"assignment":"assignment1","total":4,"graded":4,"degraded":0,"rejected":0,"dedup":{"classes":2,"replayed":2},"submissions":[
+  ---
+  > {"assignment":"assignment1","total":4,"graded":4,"degraded":0,"rejected":0,"submissions":[
+  [1]
 
 Usage errors are exit 2:
 

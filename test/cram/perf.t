@@ -26,20 +26,27 @@ A nonsensical width is a usage error (exit 2), like every other one:
 
 The benchmark trajectory: `bench micro --json` writes BENCH_grading.json
 (per-assignment ms/submission, sequential vs --jobs wall-clock, speedup,
-and the identical-output check).  The schema is pinned — a key rename
-must show up here as a diff:
+the match-plan prefilter reject rate, the duplicate-corpus dedup
+speedup, and the identical-output checks).  The schema is pinned — a
+key rename must show up here as a diff:
 
   $ jfeed-bench micro --json --sample 2 --jobs 2 > /dev/null
-  $ grep -c '"schema":"jfeed-bench-grading/2"' BENCH_grading.json
+  $ grep -c '"schema":"jfeed-bench-grading/3"' BENCH_grading.json
   1
   $ grep -o '"[a-z_]*":' BENCH_grading.json | sort -u
   "assignments":
   "batch":
+  "dedup":
+  "dedup_s":
+  "dedup_speedup":
+  "duplicate_ratio":
   "id":
   "identical":
   "jobs":
   "ms_per_submission":
+  "no_dedup_s":
   "parallel_s":
+  "prefilter_reject_rate":
   "sample":
   "schema":
   "seed":
@@ -48,11 +55,13 @@ must show up here as a diff:
   "submissions":
   "trace_overhead_pct":
 
-The identical-output check now also covers tracing: the traced pass must
-reproduce the untraced grades byte-for-byte before its overhead is
-reported.
+Two identical-output checks ride along: the traced and parallel passes
+must reproduce the sequential grades byte-for-byte, and the dedup pass
+must reproduce the no-dedup outcomes (modulo the summary's own dedup
+counters) on its duplicate-heavy corpus:
 
   $ grep -o '"identical":true' BENCH_grading.json
+  "identical":true
   "identical":true
 
 The serving trajectory: `bench serve` replays a generated corpus — half

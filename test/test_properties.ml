@@ -166,6 +166,97 @@ let prop_canonical_text_reparses =
             (G.nodes g.E.graph))
         (E.of_program prog))
 
+let bundle_patterns (b : Bundles.t) =
+  (* Primaries and variants — every pattern the grader can ever search. *)
+  List.map fst (Bundles.patterns b)
+  @ List.concat_map
+      (fun (q : Grader.method_spec) ->
+        List.concat_map snd q.Grader.q_variants)
+      b.Bundles.grading.Grader.a_methods
+
+let prop_plan_matches_naive =
+  (* The compiled-plan search must be a pure reordering of the naive
+     one: same embedding set, same exhaustion flag, on every pattern of
+     every bundle, both on generated submissions and on their
+     Mutate-corpus variants (consistent renames + reflow). *)
+  QCheck.Test.make ~count:60
+    ~name:"matcher: plan-driven ≡ order-naive"
+    QCheck.(pair arbitrary_submission small_nat)
+    (fun ((bi, idx), seed) ->
+      let b = List.nth Bundles.all bi in
+      let src = Jfeed_gen.Spec.source_of_index b.Bundles.gen idx in
+      let sources = [ src; Jfeed_gen.Mutate.rename_and_reflow ~seed src ] in
+      List.for_all
+        (fun s ->
+          let graphs = E.of_source s in
+          List.for_all
+            (fun p ->
+              List.for_all
+                (fun (_, g) ->
+                  (* γ is an assoc list in binding order; the join order
+                     permutes it without changing the mapping, so
+                     compare it as a set. *)
+                  let norm (m : Matcher.embedding) =
+                    (m.Matcher.iota, List.sort compare m.Matcher.gamma)
+                  in
+                  let plan = Matcher.embeddings_budgeted p g in
+                  let naive = Matcher.embeddings_reference p g in
+                  List.sort compare (List.map norm plan.Matcher.found)
+                  = List.sort compare (List.map norm naive.Matcher.found)
+                  && plan.Matcher.exhausted = naive.Matcher.exhausted)
+                graphs)
+            (bundle_patterns b))
+        sources)
+
+let strip_dedup s =
+  (* Remove the summary's [,"dedup":{…}] object, leaving the rest of
+     the bytes untouched. *)
+  let marker = {|,"dedup":{|} in
+  let mlen = String.length marker in
+  let rec find i =
+    if i + mlen > String.length s then None
+    else if String.sub s i mlen = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> s
+  | Some i ->
+      let j = String.index_from s (i + mlen) '}' in
+      String.sub s 0 i ^ String.sub s (j + 1) (String.length s - j - 1)
+
+let prop_dedup_byte_identity =
+  (* A duplicate-heavy batch — base, two α-equivalent mutants, one
+     distinct neighbour — graded with dedup must produce byte-identical
+     output at jobs 1 and 4, and byte-identical to independent grading
+     (--no-dedup) once the summary's dedup object is stripped.  Fuel is
+     bounded, so per-item fuel fields are present and compared too. *)
+  QCheck.Test.make ~count:8
+    ~name:"batch dedup: byte-identity vs no-dedup, jobs-invariant"
+    arbitrary_submission (fun (bi, idx) ->
+      let b = List.nth Bundles.all bi in
+      let size = Jfeed_gen.Spec.size b.Bundles.gen in
+      let src = Jfeed_gen.Spec.source_of_index b.Bundles.gen idx in
+      let other =
+        Jfeed_gen.Spec.source_of_index b.Bundles.gen ((idx + 1) mod size)
+      in
+      let sources =
+        [
+          ("s0.java", Ok src);
+          ("s1.java", Ok (Jfeed_gen.Mutate.alpha_rename ~seed:1 src));
+          ("s2.java", Ok (Jfeed_gen.Mutate.rename_and_reflow ~seed:2 src));
+          ("s3.java", Ok other);
+        ]
+      in
+      let json ~jobs ~dedup =
+        Jfeed_robust.Pipeline.summary_to_json
+          (Jfeed_robust.Pipeline.run_batch ~fuel:500_000 ~jobs ~dedup b
+             sources)
+      in
+      let base = json ~jobs:1 ~dedup:false in
+      let d1 = json ~jobs:1 ~dedup:true in
+      let d4 = json ~jobs:4 ~dedup:true in
+      d1 = d4 && strip_dedup d1 = base)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -178,4 +269,6 @@ let suite =
       prop_type_index_matches_filter;
       prop_interpreter_total;
       prop_canonical_text_reparses;
+      prop_plan_matches_naive;
+      prop_dedup_byte_identity;
     ]
