@@ -354,6 +354,120 @@ let micro_json ~sample ~seed ~jobs () =
     (identical && dd_identical)
 
 (* ------------------------------------------------------------------ *)
+(* repair: repair rate over the fault-injected mutant corpus
+   (BENCH_repair.json)                                                 *)
+
+(* Inject single edits from the shared error-model catalog into every
+   assignment's reference solution, keep the mutants that actually fail
+   the functional tests, and measure how often — and how quickly — the
+   repair search finds a passing fix.  The catalog is closed under
+   inverses, so the interesting numbers are the rate (does the search
+   reach the inverse within budget?) and the median candidates screened
+   (how well the KB-guided priority order front-loads it). *)
+let repair_json ~sample ~seed ~jobs () =
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let identical = ref true in
+  let rows =
+    List.map
+      (fun (b : Bundles.t) ->
+        let base = Jfeed_gen.Spec.reference b.Bundles.gen in
+        let mutants =
+          List.filter_map
+            (fun i -> Jfeed_gen.Mutate.fault_inject ~seed:(seed + i) base)
+            (List.init sample Fun.id)
+        in
+        let failing = ref 0 and repaired = ref 0 and tried = ref [] in
+        let _, wall_s =
+          time (fun () ->
+              List.iter
+                (fun (msrc, _fault) ->
+                  let o = Jfeed_repair.Repair.search ~jobs:1 b msrc in
+                  match o.Jfeed_repair.Repair.status with
+                  | Jfeed_repair.Repair.Already_passing
+                  | Jfeed_repair.Repair.Unrepairable _ ->
+                      (* the injected edit did not change observable
+                         behaviour (dead code, compensating tests) — not
+                         a failing mutant, so not part of the rate *)
+                      ()
+                  | Jfeed_repair.Repair.Repaired | Jfeed_repair.Repair.No_repair
+                    ->
+                      incr failing;
+                      (* jobs-invariance is part of the tracked record:
+                         the parallel search must reproduce the
+                         sequential outcome byte for byte *)
+                      if jobs > 1 then begin
+                        let oj = Jfeed_repair.Repair.search ~jobs b msrc in
+                        if
+                          Jfeed_repair.Repair.to_json oj
+                          <> Jfeed_repair.Repair.to_json o
+                        then identical := false
+                      end;
+                      (match o.Jfeed_repair.Repair.hint with
+                      | Some h ->
+                          incr repaired;
+                          tried := h.Jfeed_repair.Repair.h_rank :: !tried
+                      | None ->
+                          tried := o.Jfeed_repair.Repair.candidates :: !tried))
+                mutants)
+        in
+        ( b.Bundles.grading.Grader.a_id,
+          List.length mutants,
+          !failing,
+          !repaired,
+          median !tried,
+          wall_s ))
+      Bundles.all
+  in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let mutants = sum (fun (_, m, _, _, _, _) -> m) in
+  let failing = sum (fun (_, _, f, _, _, _) -> f) in
+  let repaired = sum (fun (_, _, _, r, _, _) -> r) in
+  let wall_total =
+    List.fold_left (fun acc (_, _, _, _, _, w) -> acc +. w) 0.0 rows
+  in
+  let rate num den =
+    if den > 0 then float_of_int num /. float_of_int den else 0.0
+  in
+  let medians =
+    List.concat_map (fun (_, _, f, _, med, _) -> if f > 0 then [ med ] else [])
+      rows
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"schema":"jfeed-bench-repair/1","sample":%d,"seed":%d,"jobs":%d,"assignments":[|}
+       sample seed jobs);
+  List.iteri
+    (fun i (id, m, f, r, med, w) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  \
+            {\"id\":\"%s\",\"mutants\":%d,\"failing\":%d,\"repaired\":%d,\"repair_rate\":%.4f,\"median_candidates\":%d,\"wall_s\":%.4f}"
+           id m f r (rate r f) med w))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n\
+        ],\"total\":{\"mutants\":%d,\"failing\":%d,\"repaired\":%d,\"repair_rate\":%.4f,\"median_candidates\":%d,\"identical\":%b,\"wall_s\":%.4f}}"
+       mutants failing repaired (rate repaired failing) (median medians)
+       !identical wall_total);
+  let json = Buffer.contents buf in
+  let oc = open_out "BENCH_repair.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "BENCH_repair.json written: %d mutants (%d failing), repaired %d (rate \
+     %.2f), median candidates %d, output identical across --jobs: %b\n"
+    mutants failing repaired (rate repaired failing) (median medians)
+    !identical
+
+(* ------------------------------------------------------------------ *)
 (* serve --json: the serving-tier trajectory (BENCH_service.json)      *)
 
 (* Replay a generated corpus through an in-process [jfeed serve] daemon
@@ -1102,6 +1216,11 @@ let () =
       table1 ~sample ~seed ~full:(has "--full") ~explain:(has "--explain") ()
   | _ :: "micro" :: _ when has "--json" -> micro_json ~sample ~seed ~jobs ()
   | _ :: "micro" :: _ -> micro ()
+  | _ :: "repair" :: _ ->
+      (* The corpus grows multiplicatively (assignments × mutants ×
+         candidate screenings), so the repair gate has its own, smaller
+         default sample. *)
+      repair_json ~sample:(opt "--sample" 8) ~seed ~jobs ()
   | _ :: "serve" :: _ ->
       serve_json
         ~requests:(opt "--requests" 60)

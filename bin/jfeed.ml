@@ -6,6 +6,8 @@
     - [graph]     — print the extended program dependence graph of a file
     - [generate]  — render synthetic submissions from an assignment space
     - [test]      — run an assignment's functional tests on a file
+    - [repair]    — search the single-edit space for a minimal change
+                    that makes the functional tests pass
     - [batch]     — grade a directory of submissions through the resilient
                     pipeline; JSON summary, never crashes on bad input
     - [serve]     — persistent grading daemon over newline-delimited JSON
@@ -860,6 +862,78 @@ let test_cmd =
     (Cmd.info "test" ~doc:"Run the assignment's functional tests on a file")
     Term.(const run $ assignment_pos $ file_pos 1)
 
+let repair_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the grading outcome JSON with the repair hint spliced \
+             in as its \"repair\" field.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Screen candidate edits on N parallel domains.  Output is \
+             byte-identical to --jobs 1 (candidates are charged against \
+             the budget in priority order whatever the evaluation \
+             order).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt int Jfeed_repair.Repair.default_fuel
+      & info [ "fuel" ] ~docv:"UNITS"
+          ~doc:"Total repair budget (interpreter steps across all \
+                candidate screenings).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"CPU-time bound on the search, checked between screening \
+                batches.")
+  in
+  let run b json jobs fuel deadline path =
+    if jobs < 1 then begin
+      Printf.eprintf "jfeed repair: --jobs must be at least 1 (got %d)\n" jobs;
+      2
+    end
+    else
+      match read_file path with
+      | exception Sys_error e ->
+          Printf.eprintf "jfeed repair: %s\n" e;
+          1
+      | src ->
+          let outcome =
+            Jfeed_repair.Repair.search ~fuel ?deadline_s:deadline ~jobs b src
+          in
+          if json then begin
+            let item =
+              Jfeed_robust.Pipeline.grade_submission ~name:path b src
+            in
+            print_endline
+              (Jfeed_robust.Outcome.to_json ~file:path
+                 ~repair:(Jfeed_repair.Repair.to_json outcome)
+                 item.Jfeed_robust.Pipeline.outcome)
+          end
+          else print_endline (Jfeed_repair.Repair.render outcome);
+          (match outcome.Jfeed_repair.Repair.status with
+          | Jfeed_repair.Repair.Already_passing -> 0
+          | _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:
+         "Search the single-edit space for a minimal change that makes \
+          the assignment's functional tests pass (exit 0: already \
+          passing; 1: a fix was needed — found or not; 2: usage error)")
+    Term.(
+      const run $ assignment_pos $ json $ jobs $ fuel $ deadline $ file_pos 1)
+
 let tool_version = "1.0.0"
 
 let version_cmd =
@@ -870,7 +944,7 @@ let version_cmd =
   let features =
     [
       "normalize"; "variants"; "inline-helpers"; "strategies"; "analysis";
-      "parallel"; "serve-cache"; "trace";
+      "parallel"; "serve-cache"; "trace"; "repair";
     ]
   in
   let run () =
@@ -897,6 +971,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
-            batch_cmd; strategies_cmd; serve_cmd; client_cmd;
+            repair_cmd; batch_cmd; strategies_cmd; serve_cmd; client_cmd;
             assignments_cmd; analyze_cmd; lint_kb_cmd; version_cmd;
           ]))

@@ -88,3 +88,49 @@ let run ?budget suite ~expected (prog : Ast.program) =
   go suite.cases expected
 
 let passes ?budget suite ~expected prog = run ?budget suite ~expected prog = Pass
+
+type report = {
+  rep_total : int;
+  rep_ran : int;
+  rep_passed : int;
+  rep_failures : (string * string) list;
+}
+
+let report ?budget ?(early_exit = false) suite ~expected prog =
+  let total = List.length suite.cases in
+  let finish ran passed fails =
+    { rep_total = total; rep_ran = ran; rep_passed = passed;
+      rep_failures = List.rev fails }
+  in
+  let rec go cases expects ran passed fails =
+    match (cases, expects) with
+    | [], [] -> finish ran passed fails
+    | c :: cs, want :: ws -> (
+        let out = run_case ?budget suite prog c in
+        let failed reason =
+          let fails = (c.label, reason) :: fails in
+          if early_exit then finish (ran + 1) passed fails
+          else go cs ws (ran + 1) passed fails
+        in
+        match out.Interp.error with
+        | Some e -> failed ("error: " ^ e)
+        | None ->
+            if out.Interp.stdout = want then go cs ws (ran + 1) (passed + 1) fails
+            else
+              failed
+                (Printf.sprintf "expected %S, got %S" want out.Interp.stdout))
+    | _ ->
+        (* Same totality rule as [run]: a malformed suite is a failing
+           entry on the pseudo-case ["<suite>"], never an exception. *)
+        finish ran passed
+          (( "<suite>",
+             Printf.sprintf
+               "expected-output count mismatch: %d cases, %d expected outputs"
+               (List.length suite.cases)
+               (List.length expected) )
+          :: fails)
+  in
+  go suite.cases expected 0 0 []
+
+let screen ?budget suite ~expected prog =
+  (report ?budget ~early_exit:true suite ~expected prog).rep_failures = []

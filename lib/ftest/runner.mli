@@ -49,3 +49,39 @@ val passes :
   expected:string list ->
   Jfeed_java.Ast.program ->
   bool
+
+type report = {
+  rep_total : int;  (** cases in the suite *)
+  rep_ran : int;  (** cases actually executed *)
+  rep_passed : int;
+  rep_failures : (string * string) list;
+      (** (case label, reason), in run order; the pseudo-case
+          ["<suite>"] reports a malformed expected-output list *)
+}
+
+val report :
+  ?budget:Jfeed_budget.Budget.t ->
+  ?early_exit:bool ->
+  suite ->
+  expected:string list ->
+  Jfeed_java.Ast.program ->
+  report
+(** Run the suite and account for every case.  By default all cases run
+    and every failure is collected; [~early_exit:true] stops at the
+    first failing case ([rep_ran < rep_total] then tells how far it
+    got) — the cheap screening mode of the repair search, where one
+    failure already disqualifies a candidate.  On a program that passes
+    every case the two modes return identical reports.  Total like
+    {!run}: a malformed suite yields a ["<suite>"] failure entry, never
+    an exception. *)
+
+val screen :
+  ?budget:Jfeed_budget.Budget.t ->
+  suite ->
+  expected:string list ->
+  Jfeed_java.Ast.program ->
+  bool
+(** [rep_failures = []] of an early-exit {!report}: does the program
+    pass the whole suite, stopping at the first failure?  Equivalent to
+    {!passes} but named for its role as the repair search's candidate
+    screen. *)

@@ -43,3 +43,39 @@ let whitespace ~seed src =
   Buffer.contents buf
 
 let rename_and_reflow ~seed src = whitespace ~seed (alpha_rename ~seed src)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: single semantics-breaking edits from the shared
+   error-model catalog (Edit).  Same vocabulary the repair search
+   enumerates, so every injected fault has an exact inverse among the
+   repair candidates. *)
+
+type fault = {
+  f_kind : Edit.kind;
+  f_meth : string;
+  f_pos : Srcmap.pos option;
+  f_before : string;
+  f_after : string;
+}
+
+let fault_of_site (s : Edit.site) =
+  {
+    f_kind = s.Edit.s_kind;
+    f_meth = s.Edit.s_meth;
+    f_pos = s.Edit.s_pos;
+    f_before = s.Edit.s_before;
+    f_after = s.Edit.s_after;
+  }
+
+let fault_sites src =
+  let prog, srcmap = Parser.parse_program_located src in
+  List.map fault_of_site (Edit.enumerate ~srcmap prog)
+
+let fault_inject ~seed src =
+  let prog, srcmap = Parser.parse_program_located src in
+  match Edit.enumerate ~srcmap prog with
+  | [] -> None
+  | sites ->
+      let rand = lcg seed in
+      let site = List.nth sites (rand (List.length sites)) in
+      Some (Pretty.program (Edit.apply prog site), fault_of_site site)

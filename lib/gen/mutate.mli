@@ -9,6 +9,13 @@
     generated corpora, and the knob the service benchmark's
     duplicate-ratio replay turns.
 
+    {!fault_inject} is the opposite family: a {e semantics-breaking}
+    single edit drawn from the shared error-model catalog
+    ({!Jfeed_java.Edit}) with structured metadata (edit kind, enclosing
+    method, srcmap position, before/after text) — the corpus the repair
+    search ({!Jfeed_repair}) is measured against, built from the same
+    vocabulary it searches.
+
     All mutators are deterministic in [(seed, source)]. *)
 
 val alpha_rename : seed:int -> string -> string
@@ -27,3 +34,29 @@ val whitespace : seed:int -> string -> string
 val rename_and_reflow : seed:int -> string -> string
 (** {!alpha_rename} then {!whitespace} — the strongest cache-equivalent
     mutant. *)
+
+(** {2 Fault injection — single edits from the shared error model} *)
+
+type fault = {
+  f_kind : Jfeed_java.Edit.kind;
+  f_meth : string;  (** enclosing method of the mutated node *)
+  f_pos : Jfeed_java.Srcmap.pos option;
+      (** position of the enclosing statement/declarator in the
+          {e original} source *)
+  f_before : string;  (** canonical rendering of the original node *)
+  f_after : string;  (** canonical rendering of the injected node *)
+}
+
+val fault_sites : string -> fault list
+(** Metadata for every single edit the catalog can inject into [src], in
+    {!Jfeed_java.Edit.enumerate} order.  Raises
+    {!Jfeed_java.Parser.Parse_error} / {!Jfeed_java.Lexer.Lex_error} on
+    unparseable input. *)
+
+val fault_inject : seed:int -> string -> (string * fault) option
+(** Pick one edit site uniformly with the seeded LCG, apply it, and
+    pretty-print: a single-edit mutant plus the metadata describing the
+    injected fault.  [None] when the program offers no edit site.
+    Deterministic in [(seed, source)].  The mutant parses by
+    construction but is {e not} semantics-preserving — most (not all)
+    injected faults change behaviour on the assignment's test suite. *)

@@ -1,0 +1,257 @@
+(** Single-edit vocabulary.  See edit.mli. *)
+
+open Ast
+
+type kind =
+  | Cmp_flip
+  | Const_tweak
+  | Arith_swap
+  | Logic_swap
+  | Assign_swap
+  | Incdec_flip
+  | Cond_negate
+
+let kind_slug = function
+  | Cmp_flip -> "cmp-flip"
+  | Const_tweak -> "const-tweak"
+  | Arith_swap -> "arith-swap"
+  | Logic_swap -> "logic-swap"
+  | Assign_swap -> "assign-swap"
+  | Incdec_flip -> "incdec-flip"
+  | Cond_negate -> "cond-negate"
+
+type site = {
+  s_id : int;
+  s_kind : kind;
+  s_meth : string;
+  s_pos : Srcmap.pos option;
+  s_before : string;
+  s_after : string;
+  s_node : int;
+  s_repl : Ast.expr;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The catalog: alternatives of a single node                          *)
+
+let binop_swaps = function
+  | Add -> [ (Arith_swap, Sub) ]
+  | Sub -> [ (Arith_swap, Add) ]
+  | Mul -> [ (Arith_swap, Div) ]
+  | Div -> [ (Arith_swap, Mul) ]
+  | Lt -> [ (Cmp_flip, Le); (Cmp_flip, Gt) ]
+  | Le -> [ (Cmp_flip, Lt); (Cmp_flip, Ge) ]
+  | Gt -> [ (Cmp_flip, Ge); (Cmp_flip, Lt) ]
+  | Ge -> [ (Cmp_flip, Gt); (Cmp_flip, Le) ]
+  | Eq -> [ (Cmp_flip, Ne) ]
+  | Ne -> [ (Cmp_flip, Eq) ]
+  | And -> [ (Logic_swap, Or) ]
+  | Or -> [ (Logic_swap, And) ]
+  | Mod | Bit_and | Bit_or | Bit_xor | Shl | Shr | Ushr -> []
+
+let assign_swaps = function
+  | Add_eq -> [ (Assign_swap, Sub_eq) ]
+  | Sub_eq -> [ (Assign_swap, Add_eq) ]
+  | Mul_eq -> [ (Assign_swap, Div_eq) ]
+  | Div_eq -> [ (Assign_swap, Mul_eq) ]
+  | Set | Mod_eq -> []
+
+let incdec_flip = function
+  | Pre_incr -> Pre_decr
+  | Pre_decr -> Pre_incr
+  | Post_incr -> Post_decr
+  | Post_decr -> Post_incr
+
+(* Parsed code never holds a negative [Int_lit] — [-1] is
+   [Unary (Neg, Int_lit 1)] — so a tweak below zero must build that
+   form, or the edited tree would not survive the pretty/parse round
+   trip. *)
+let int_lit n = if n < 0 then Unary (Neg, Int_lit (-n)) else Int_lit n
+
+(* Replacements for one node; [guard] marks the top node of an
+   if/while/do/for/ternary condition, the only place condition negation
+   applies. *)
+let alternatives ~guard e =
+  let swaps =
+    match e with
+    | Binary (op, a, b) ->
+        List.map (fun (k, op') -> (k, Binary (op', a, b))) (binop_swaps op)
+    | Int_lit n -> [ (Const_tweak, int_lit (n + 1)); (Const_tweak, int_lit (n - 1)) ]
+    | Assign (op, lhs, rhs) ->
+        List.map (fun (k, op') -> (k, Assign (op', lhs, rhs))) (assign_swaps op)
+    | Incdec (d, t) -> [ (Incdec_flip, Incdec (incdec_flip d, t)) ]
+    | _ -> []
+  in
+  if not guard then swaps
+  else
+    swaps
+    @ [
+        (match e with
+        | Unary (Not, inner) -> (Cond_negate, inner)
+        | _ -> (Cond_negate, Unary (Not, e)));
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared pre-order walk                                               *)
+
+let rec expr_size e =
+  1
+  +
+  match e with
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+  | Var _ ->
+      0
+  | Field (b, _) | Unary (_, b) | Incdec (_, b) | Cast (_, b) -> expr_size b
+  | Index (a, i) -> expr_size a + expr_size i
+  | Call (recv, _, args) ->
+      (match recv with None -> 0 | Some r -> expr_size r)
+      + List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | New (_, args) | New_array (_, args) | Array_lit args ->
+      List.fold_left (fun acc a -> acc + expr_size a) 0 args
+  | Binary (_, a, b) | Assign (_, a, b) -> expr_size a + expr_size b
+  | Ternary (a, b, c) -> expr_size a + expr_size b + expr_size c
+
+(* One traversal serves both enumeration and application: [visit] sees
+   every expression node with its pre-order index, enclosing method and
+   position, and guard flag.  Returning [Some r] replaces the node
+   (children are not descended into; the counter still advances past the
+   original subtree, so indices of later nodes are unchanged). *)
+let map_program ?srcmap ~visit prog =
+  let n = ref 0 in
+  let rec ex meth pos ~guard e =
+    let i = !n in
+    incr n;
+    match visit i ~meth ~pos ~guard e with
+    | Some r ->
+        n := i + expr_size e;
+        r
+    | None -> (
+        let sub = ex meth pos ~guard:false in
+        match e with
+        | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _
+        | Null_lit | Var _ ->
+            e
+        | Field (b, f) -> Field (sub b, f)
+        | Index (a, ix) ->
+            let a = sub a in
+            Index (a, sub ix)
+        | Call (recv, name, args) ->
+            let recv = Option.map sub recv in
+            Call (recv, name, List.map sub args)
+        | New (t, args) -> New (t, List.map sub args)
+        | New_array (t, dims) -> New_array (t, List.map sub dims)
+        | Array_lit elts -> Array_lit (List.map sub elts)
+        | Unary (op, b) -> Unary (op, sub b)
+        | Incdec (d, b) -> Incdec (d, sub b)
+        | Binary (op, a, b) ->
+            let a = sub a in
+            Binary (op, a, sub b)
+        | Assign (op, lhs, rhs) ->
+            let lhs = sub lhs in
+            Assign (op, lhs, sub rhs)
+        | Ternary (c, t, f) ->
+            let c = ex meth pos ~guard:true c in
+            let t = sub t in
+            Ternary (c, t, sub f)
+        | Cast (t, b) -> Cast (t, sub b))
+  in
+  let stmt_pos s inherited =
+    match srcmap with
+    | None -> inherited
+    | Some m -> (
+        match Srcmap.stmt_pos m s with Some p -> Some p | None -> inherited)
+  in
+  let decl_pos d inherited =
+    match srcmap with
+    | None -> inherited
+    | Some m -> (
+        match Srcmap.decl_pos m d with Some p -> Some p | None -> inherited)
+  in
+  let map_decl meth inherited d =
+    let pos = decl_pos d inherited in
+    { d with d_init = Option.map (ex meth pos ~guard:false) d.d_init }
+  in
+  let rec st meth inherited s =
+    let pos = stmt_pos s inherited in
+    match s with
+    | Sdecl decls -> Sdecl (List.map (map_decl meth pos) decls)
+    | Sexpr e -> Sexpr (ex meth pos ~guard:false e)
+    | Sif (c, t, e) ->
+        let c = ex meth pos ~guard:true c in
+        let t = st meth pos t in
+        Sif (c, t, Option.map (st meth pos) e)
+    | Swhile (c, b) ->
+        let c = ex meth pos ~guard:true c in
+        Swhile (c, st meth pos b)
+    | Sdo (b, c) ->
+        let b = st meth pos b in
+        Sdo (b, ex meth pos ~guard:true c)
+    | Sfor (init, cond, upd, body) ->
+        let init =
+          match init with
+          | None -> None
+          | Some (For_decl decls) ->
+              Some (For_decl (List.map (map_decl meth pos) decls))
+          | Some (For_exprs es) ->
+              Some (For_exprs (List.map (ex meth pos ~guard:false) es))
+        in
+        let cond = Option.map (ex meth pos ~guard:true) cond in
+        let upd = List.map (ex meth pos ~guard:false) upd in
+        Sfor (init, cond, upd, st meth pos body)
+    | Sswitch (scrut, cases) ->
+        let scrut = ex meth pos ~guard:false scrut in
+        Sswitch
+          ( scrut,
+            List.map
+              (fun c ->
+                {
+                  case_label =
+                    Option.map (ex meth pos ~guard:false) c.case_label;
+                  case_body = List.map (st meth pos) c.case_body;
+                })
+              cases )
+    | Sreturn e -> Sreturn (Option.map (ex meth pos ~guard:false) e)
+    | Sblock body -> Sblock (List.map (st meth pos) body)
+    | Sbreak | Scontinue | Sempty -> s
+  in
+  {
+    methods =
+      List.map
+        (fun m ->
+          let inherited =
+            match srcmap with None -> None | Some sm -> Srcmap.meth_pos sm m
+          in
+          { m with m_body = List.map (st m.m_name inherited) m.m_body })
+        prog.methods;
+  }
+
+let enumerate ?srcmap prog =
+  let sites = ref [] in
+  let next = ref 0 in
+  let visit i ~meth ~pos ~guard e =
+    List.iter
+      (fun (k, repl) ->
+        sites :=
+          {
+            s_id = !next;
+            s_kind = k;
+            s_meth = meth;
+            s_pos = pos;
+            s_before = Pretty.expr e;
+            s_after = Pretty.expr repl;
+            s_node = i;
+            s_repl = repl;
+          }
+          :: !sites;
+        incr next)
+      (alternatives ~guard e);
+    None
+  in
+  ignore (map_program ?srcmap ~visit prog);
+  List.rev !sites
+
+let apply prog site =
+  let visit i ~meth:_ ~pos:_ ~guard:_ _ =
+    if i = site.s_node then Some site.s_repl else None
+  in
+  map_program ~visit prog

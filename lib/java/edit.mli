@@ -1,0 +1,64 @@
+(** The single-edit vocabulary: the error-model catalog shared by fault
+    injection ({!Jfeed_gen.Mutate}) and automated repair
+    ({!Jfeed_repair.Repair}).
+
+    Each {!site} is one candidate rewrite of one expression node — an
+    operator swap, an off-by-one constant tweak, a comparison-direction
+    flip, a condition negation — the classic introductory-programming
+    error model (Singh et al., {i Automated Feedback Generation for
+    Introductory Programming Assignments}).  The catalog is closed under
+    inverses: every edit it can inject, it can also undo, which is what
+    lets the repair search re-find the fix for a single-edit mutant.
+
+    Enumeration walks expression nodes in a fixed pre-order (methods in
+    program order, statements top to bottom, subexpressions left to
+    right), so site ids and the order of the returned list are a pure
+    function of the AST — the determinism the repair search's
+    jobs-invariance contract leans on.  {!apply} rebuilds the program
+    with exactly one node replaced; everything else is shared, and the
+    result re-parses from its canonical rendering to the same tree
+    ({!Pretty}). *)
+
+type kind =
+  | Cmp_flip  (** [<] ↔ [<=], [>] ↔ [>=], [<] ↔ [>], [==] ↔ [!=] *)
+  | Const_tweak  (** integer literal ±1 — the off-by-one family *)
+  | Arith_swap  (** [+] ↔ [-], [*] ↔ [/] *)
+  | Logic_swap  (** [&&] ↔ [||] *)
+  | Assign_swap  (** [+=] ↔ [-=], [*=] ↔ [/=] *)
+  | Incdec_flip  (** [++] ↔ [--], pre and post *)
+  | Cond_negate
+      (** negate (or un-negate) the guard of an [if] / [while] / [do] /
+          [for] / ternary *)
+
+val kind_slug : kind -> string
+(** Stable dashed identifier: ["cmp-flip"], ["const-tweak"],
+    ["arith-swap"], ["logic-swap"], ["assign-swap"], ["incdec-flip"],
+    ["cond-negate"] — the vocabulary used in repair JSON and fault
+    metadata. *)
+
+type site = {
+  s_id : int;  (** position in enumeration order, 0-based *)
+  s_kind : kind;
+  s_meth : string;  (** enclosing method name *)
+  s_pos : Srcmap.pos option;
+      (** position of the enclosing statement or declarator, when the
+          program was parsed with {!Parser.parse_program_located} and
+          its srcmap was passed to {!enumerate} *)
+  s_before : string;  (** canonical rendering of the original node *)
+  s_after : string;  (** canonical rendering of the replacement *)
+  s_node : int;  (** pre-order index of the rewritten expression node *)
+  s_repl : Ast.expr;  (** the replacement node, children shared *)
+}
+
+val enumerate : ?srcmap:Srcmap.t -> Ast.program -> site list
+(** Every candidate single edit of the program, in deterministic
+    pre-order.  [Cond_negate] sites are generated only at guard
+    positions; a guard that is already a negation [!e] gets the
+    un-negation [e] instead of double negation.  [Mod], [%=], bitwise
+    and shift operators have no alternative — swapping them is outside
+    the introductory error model. *)
+
+val apply : Ast.program -> site -> Ast.program
+(** The program with the site's node replaced by [s_repl] and nothing
+    else changed.  Total for sites produced by {!enumerate} on the same
+    program. *)

@@ -77,15 +77,20 @@ let tests_to_json = function
       Printf.sprintf {|{"failed":%s}|} (json_string case)
   | Tests_not_run -> {|"not-run"|}
 
-let to_json ?file ?(comments = false)
+let to_json ?file ?(comments = false) ?repair
     ?(trace = Jfeed_trace.Trace.disabled) t =
   let prefix =
     match file with
     | Some f -> Printf.sprintf {|"file":%s,|} (json_string f)
     | None -> ""
   in
-  (* The per-stage trace summary rides along only when a live tracer
-     was supplied — untraced output stays byte-identical. *)
+  (* The repair hint and the per-stage trace summary ride along only
+     when supplied — output without them stays byte-identical.  The
+     hint arrives pre-rendered so this module stays repair-agnostic
+     (the repair subsystem depends on grading, not the reverse). *)
+  let repair_field =
+    match repair with Some r -> {|,"repair":|} ^ r | None -> ""
+  in
   let trace_field =
     if Jfeed_trace.Trace.enabled trace then
       {|,"trace":|} ^ Jfeed_trace.Trace.summary_json trace
@@ -112,7 +117,7 @@ let to_json ?file ?(comments = false)
         else ""
       in
       Printf.sprintf
-        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s%s%s}|}
+        {|{%s"outcome":%s,"score":%g,"max":%d,"tests":%s,"reasons":[%s]%s%s%s%s}|}
         prefix
         (json_string (classify t))
         r.grading.Grader.score
@@ -120,8 +125,8 @@ let to_json ?file ?(comments = false)
         (tests_to_json r.tests)
         (String.concat ","
            (List.map (fun x -> json_string (string_of_reason x)) (reasons t)))
-        diag_fields comment_field trace_field
+        diag_fields comment_field repair_field trace_field
   | Rejected d ->
-      Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s%s}|}
+      Printf.sprintf {|{%s"outcome":"rejected","stage":%s,"error":%s%s%s}|}
         prefix
-        (json_string d.stage) (json_string d.message) trace_field
+        (json_string d.stage) (json_string d.message) repair_field trace_field

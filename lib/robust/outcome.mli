@@ -77,7 +77,12 @@ val reasons : t -> reason list
 (** Degradation reasons; empty for [Graded] and [Rejected]. *)
 
 val to_json :
-  ?file:string -> ?comments:bool -> ?trace:Jfeed_trace.Trace.t -> t -> string
+  ?file:string ->
+  ?comments:bool ->
+  ?repair:string ->
+  ?trace:Jfeed_trace.Trace.t ->
+  t ->
+  string
 (** One submission's outcome as a single-line JSON object with stable
     field order: [file] (when given), [outcome], then per-outcome
     fields — [score]/[max]/[tests]/[reasons]/[diags] for graded and
@@ -85,7 +90,11 @@ val to_json :
     count; [?comments] (default off, preserving the batch summary's
     one-line-per-submission shape) additionally appends the full
     [diagnostics] array and the instantiated feedback comments as a
-    [comments] array — the serving tier's full payload.  [?trace]
+    [comments] array — the serving tier's full payload.  [?repair]
+    (default absent) splices a pre-rendered repair-hint object
+    ({!Jfeed_repair.Repair.to_json} upstream) in as a [repair] field, so
+    output without the option is byte-identical — the same stability
+    rule as tracing.  [?trace]
     (default {!Jfeed_trace.Trace.disabled}) appends a compact [trace]
     object ({!Jfeed_trace.Trace.summary_json}: per-stage span counts
     and total milliseconds, plus counters) when — and only when — the

@@ -250,6 +250,18 @@ let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
     "Batch submissions answered by replaying their class \
      representative."
     (Jfeed_robust.Pipeline.dedup_replayed ());
+  (* Repair-search counters: process-wide like the plan/dedup families,
+     moved by every [Repair.search] in this process.  Same prepend zone,
+     same reason. *)
+  counter "jfeed_repair_candidates_total"
+    "Candidate edits screened by repair searches."
+    (Jfeed_repair.Repair.candidates_total ());
+  counter "jfeed_repair_found_total"
+    "Repair searches that found a passing fix."
+    (Jfeed_repair.Repair.found_total ());
+  counter "jfeed_repair_fuel_total"
+    "Interpreter fuel spent screening repair candidates."
+    (Jfeed_repair.Repair.fuel_total ());
   counter "jfeed_requests_total" "Request lines handled, any op." t.requests;
   counter "jfeed_grades_total" "Grade requests answered (cached or not)."
     t.grades;

@@ -126,3 +126,32 @@ request — graded or explicitly shed, never silently dropped:
   $ grep -o '"rate_rps":' BENCH_load.json | wc -l
   2
 
+The repair trajectory: `bench repair` injects single-edit faults into
+each assignment's reference solution, runs the search on every mutant,
+and writes BENCH_repair.json (repair rate, candidates screened before
+the fix, jobs-invariance check).  Same pinning discipline:
+
+  $ jfeed-bench repair --sample 1 --jobs 2 > /dev/null
+  $ grep -c '"schema":"jfeed-bench-repair/1"' BENCH_repair.json
+  1
+  $ grep -o '"[a-z0-9_]*":' BENCH_repair.json | sort -u
+  "assignments":
+  "failing":
+  "id":
+  "identical":
+  "jobs":
+  "median_candidates":
+  "mutants":
+  "repair_rate":
+  "repaired":
+  "sample":
+  "schema":
+  "seed":
+  "total":
+  "wall_s":
+
+The parallel search reproduced the sequential hints byte-for-byte:
+
+  $ grep -o '"identical":true' BENCH_repair.json
+  "identical":true
+

@@ -1,0 +1,91 @@
+Automated repair: search the single-edit error-model space for a
+minimal change that makes the assignment's functional tests pass.
+
+  $ jfeed generate assignment1 --index 0 | tail -n +2 > ref.java
+  $ sed 's/i < a.length/i <= a.length/' ref.java > bug.java
+
+A failing submission gets a concrete, positioned hint.  The exit code
+follows the analyze contract — nonzero means the submission needed
+changing (whether or not a fix was found); 0 means nothing to do:
+
+  $ jfeed repair assignment1 bug.java
+  repair found: change `i <= a.length` to `i < a.length` at line 4 in assignment1 [cmp-flip]
+  minimal fix at edit distance 1; screened 24 of 24 candidate edits (1 passing)
+  [1]
+
+  $ jfeed repair assignment1 ref.java
+  already passing: the submission passes all functional tests; nothing to repair
+
+--json splices the hint into the grading outcome line as its "repair"
+field, srcmap position and rewritten expression text included:
+
+  $ jfeed repair assignment1 --json bug.java
+  {"file":"bug.java","outcome":"graded","score":9,"max":10,"tests":{"failed":"small"},"reasons":[],"diags":0,"repair":{"status":"repaired","kind":"cmp-flip","method":"assignment1","line":4,"col":5,"before":"i <= a.length","after":"i < a.length","distance":1,"rank":1,"candidates":24,"sites":24,"passing":1,"exhausted":false,"fuel":768}}
+  [1]
+
+The JSON schema keys are pinned — a rename must show up here as a diff:
+
+  $ jfeed repair assignment1 --json bug.java | grep -o '"[a-z_]*":' | sort -u
+  "after":
+  "before":
+  "candidates":
+  "col":
+  "diags":
+  "distance":
+  "exhausted":
+  "failed":
+  "file":
+  "fuel":
+  "kind":
+  "line":
+  "max":
+  "method":
+  "outcome":
+  "passing":
+  "rank":
+  "reasons":
+  "repair":
+  "score":
+  "sites":
+  "status":
+  "tests":
+
+The search is deterministic at any --jobs width: candidates are charged
+against the budget in priority order whatever the evaluation order, so
+the parallel output is byte-identical to the sequential one:
+
+  $ jfeed repair assignment1 --json bug.java > seq.json
+  [1]
+  $ jfeed repair assignment1 --json --jobs 4 bug.java > par.json
+  [1]
+  $ cmp seq.json par.json && echo identical
+  identical
+
+Budget exhaustion degrades, never hangs: a starved search reports how
+far it got and that the budget cut it short:
+
+  $ jfeed repair assignment1 --fuel 0 bug.java
+  no repair found within budget: screened 0 of 24 candidate edits (budget exhausted)
+  [1]
+
+And the priority order earns its keep — the KB points at the buggy
+method and the error model ranks comparison flips first, so a budget of
+one single candidate already finds this fix:
+
+  $ jfeed repair assignment1 --fuel 1 bug.java
+  repair found: change `i <= a.length` to `i < a.length` at line 4 in assignment1 [cmp-flip]
+  minimal fix at edit distance 1; screened 1 of 24 candidate edits (1 passing)
+  [1]
+
+Unreadable or unparseable input is reported, not crashed on:
+
+  $ printf 'void oops(' > bad.java
+  $ jfeed repair assignment1 bad.java
+  cannot repair: parse error at 1:11: expected a type but found end of input
+  [1]
+
+A nonsensical width is a usage error (exit 2), like every other one:
+
+  $ jfeed repair --jobs 0 assignment1 bug.java
+  jfeed repair: --jobs must be at least 1 (got 0)
+  [2]
