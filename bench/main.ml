@@ -468,6 +468,111 @@ let repair_json ~sample ~seed ~jobs () =
     !identical
 
 (* ------------------------------------------------------------------ *)
+(* analyze: the static-analysis trajectory (BENCH_analysis.json)       *)
+
+(* Run the full ten-pass analysis — the flow passes plus the interval
+   abstract interpretation — over a deterministic sample of every
+   assignment, with each reference solution as the efficiency oracle,
+   and track both the cost and the yield: analysis ms/submission,
+   findings per pass, and the fraction of loops whose iteration bound
+   the engine classifies (the bound-inference hit rate). *)
+let analyze_json ~sample ~seed () =
+  let module P = Jfeed_absint.Passes in
+  let rows =
+    List.map
+      (fun (b : Bundles.t) ->
+        let spec = b.Bundles.gen in
+        let indices = Jfeed_gen.Spec.sample_indices spec ~n:sample ~seed in
+        let oracle_degrees =
+          P.method_degrees
+            (Jfeed_java.Parser.parse_program (Jfeed_gen.Spec.reference spec))
+        in
+        let progs =
+          List.map
+            (fun idx ->
+              Jfeed_java.Parser.parse_program
+                (Jfeed_gen.Spec.source_of_index spec idx))
+            indices
+        in
+        let loops = ref 0 and bounded = ref 0 in
+        List.iter
+          (fun prog ->
+            let l, c = P.bound_stats prog in
+            loops := !loops + l;
+            bounded := !bounded + c)
+          progs;
+        let diags, wall_s =
+          time (fun () ->
+              List.concat_map (fun p -> P.analyze_program ~oracle_degrees p)
+                progs)
+        in
+        ( b.Bundles.grading.Grader.a_id,
+          List.length indices,
+          wall_s,
+          P.count_by_pass diags,
+          !loops,
+          !bounded ))
+      Bundles.all
+  in
+  let diags_json counts =
+    String.concat ","
+      (List.map (fun (p, n) -> Printf.sprintf {|{"pass":"%s","n":%d}|} p n)
+         counts)
+  in
+  let rate num den =
+    if den > 0 then float_of_int num /. float_of_int den else 0.0
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"schema":"jfeed-bench-analysis/1","sample":%d,"seed":%d,"assignments":[|}
+       sample seed);
+  List.iteri
+    (fun i (id, n, wall_s, counts, loops, bounded) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  \
+            {\"id\":\"%s\",\"submissions\":%d,\"ms_per_submission\":%.4f,\"loops\":%d,\"bounded\":%d,\"bound_hit_rate\":%.4f,\"diags\":[%s]}"
+           id n
+           (1000.0 *. wall_s /. float_of_int (max 1 n))
+           loops bounded (rate bounded loops) (diags_json counts)))
+    rows;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  let submissions = sum (fun (_, n, _, _, _, _) -> n) in
+  let loops = sum (fun (_, _, _, _, l, _) -> l) in
+  let bounded = sum (fun (_, _, _, _, _, c) -> c) in
+  let wall_total =
+    List.fold_left (fun acc (_, _, w, _, _, _) -> acc +. w) 0.0 rows
+  in
+  let totals =
+    List.map
+      (fun pass ->
+        ( pass,
+          sum (fun (_, _, _, counts, _, _) ->
+              Option.value ~default:0 (List.assoc_opt pass counts)) ))
+      P.all_pass_ids
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\n\
+        ],\"total\":{\"submissions\":%d,\"ms_per_submission\":%.4f,\"loops\":%d,\"bounded\":%d,\"bound_hit_rate\":%.4f,\"diags\":[%s]}}"
+       submissions
+       (1000.0 *. wall_total /. float_of_int (max 1 submissions))
+       loops bounded (rate bounded loops) (diags_json totals));
+  let json = Buffer.contents buf in
+  let oc = open_out "BENCH_analysis.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "BENCH_analysis.json written: %d submissions, %.4f ms/submission, \
+     bound hit rate %.2f (%d/%d loops)\n"
+    submissions
+    (1000.0 *. wall_total /. float_of_int (max 1 submissions))
+    (rate bounded loops) bounded loops
+
+(* ------------------------------------------------------------------ *)
 (* serve --json: the serving-tier trajectory (BENCH_service.json)      *)
 
 (* Replay a generated corpus through an in-process [jfeed serve] daemon
@@ -1221,6 +1326,7 @@ let () =
          candidate screenings), so the repair gate has its own, smaller
          default sample. *)
       repair_json ~sample:(opt "--sample" 8) ~seed ~jobs ()
+  | _ :: "analyze" :: _ -> analyze_json ~sample:(opt "--sample" 50) ~seed ()
   | _ :: "serve" :: _ ->
       serve_json
         ~requests:(opt "--requests" 60)

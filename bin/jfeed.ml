@@ -729,57 +729,119 @@ let analyze_cmd =
             "Analyze files on N parallel domains.  Output is byte-identical \
              to --jobs 1 (deterministic merge).")
   in
+  let only =
+    Arg.(
+      value & opt (some string) None
+      & info [ "only" ] ~docv:"PASS[,PASS…]"
+          ~doc:
+            "Report only these passes' diagnostics (parse/read errors are \
+             always reported).  Mutually exclusive with --except.")
+  in
+  let except =
+    Arg.(
+      value & opt (some string) None
+      & info [ "except" ] ~docv:"PASS[,PASS…]"
+          ~doc:"Suppress these passes' diagnostics.")
+  in
+  let oracle =
+    Arg.(
+      value & opt (some string) None
+      & info [ "oracle" ] ~docv:"FILE"
+          ~doc:
+            "Reference solution; arms the efficiency pass, which flags \
+             methods whose inferred loop-nest degree exceeds the \
+             same-named oracle method's.")
+  in
   let files_pos =
     Arg.(
       non_empty & pos_all string []
       & info [] ~docv:"FILE" ~doc:"Java submission files.")
   in
-  let run json jobs files =
-    if jobs < 1 then begin
-      Printf.eprintf "jfeed analyze: --jobs must be at least 1 (got %d)\n"
-        jobs;
-      2
-    end
-    else begin
-      let module D = Jfeed_analysis.Diagnostic in
-      let module P = Jfeed_analysis.Passes in
-      let analyze_file path =
-        match read_file path with
-        | exception Sys_error e ->
-            [ D.make ~pass:"read" ~severity:D.Error e ]
-        | src -> P.analyze_source src
-      in
-      let render path diags =
-        if json then
-          Printf.sprintf {|{"file":"%s","diagnostics":[%s]}|}
-            (Feedback.json_escape path)
-            (String.concat "," (List.map D.to_json diags))
-        else
-          String.concat ""
-            (List.map
-               (fun d -> Printf.sprintf "%s:%s\n" path (D.render d))
-               diags)
-      in
-      let results =
-        Jfeed_parallel.Pool.map ~jobs
-          ~f:(fun path ->
-            let diags = analyze_file path in
-            (render path diags, diags <> []))
-          (Array.of_list files)
-      in
-      Array.iter
-        (fun (text, _) -> if json then print_endline text else print_string text)
-        results;
-      if Array.exists snd results then 1 else 0
-    end
+  let run json jobs only except oracle files =
+    let module D = Jfeed_analysis.Diagnostic in
+    let module P = Jfeed_absint.Passes in
+    let usage fmt = Printf.ksprintf (fun m ->
+        Printf.eprintf "jfeed analyze: %s\n" m; Error 2) fmt
+    in
+    (* Pass-filter satellite: validated against the ten known ids; the
+       [parse]/[read] pseudo-passes are never filtered out. *)
+    let parse_passes s =
+      let ids = List.filter (fun p -> p <> "") (String.split_on_char ',' s) in
+      match List.find_opt (fun p -> not (List.mem p P.all_pass_ids)) ids with
+      | Some bad ->
+          usage "unknown pass '%s' (known: %s)" bad
+            (String.concat ", " P.all_pass_ids)
+      | None -> Ok ids
+    in
+    let filter =
+      if jobs < 1 then usage "--jobs must be at least 1 (got %d)" jobs
+      else
+        match (only, except) with
+        | Some _, Some _ -> usage "--only and --except are mutually exclusive"
+        | Some s, None ->
+            Result.map
+              (fun ids (d : D.t) ->
+                List.mem d.pass ids || not (List.mem d.pass P.all_pass_ids))
+              (parse_passes s)
+        | None, Some s ->
+            Result.map
+              (fun ids (d : D.t) -> not (List.mem d.pass ids))
+              (parse_passes s)
+        | None, None -> Ok (fun _ -> true)
+    in
+    let oracle_degrees =
+      match oracle with
+      | None -> Ok None
+      | Some path -> (
+          match read_file path with
+          | exception Sys_error e -> usage "--oracle: %s" e
+          | src -> (
+              match Jfeed_java.Parser.parse_program src with
+              | prog -> Ok (Some (P.method_degrees prog))
+              | exception _ -> usage "--oracle: %s does not parse" path))
+    in
+    match (filter, oracle_degrees) with
+    | Error c, _ | _, Error c -> c
+    | Ok keep, Ok oracle_degrees ->
+        let analyze_file path =
+          match read_file path with
+          | exception Sys_error e ->
+              [ D.make ~pass:"read" ~severity:D.Error e ]
+          | src -> P.analyze_source ?oracle_degrees src
+        in
+        let render path diags =
+          if json then
+            Printf.sprintf {|{"file":"%s","diagnostics":[%s]}|}
+              (Feedback.json_escape path)
+              (String.concat "," (List.map D.to_json diags))
+          else
+            String.concat ""
+              (List.map
+                 (fun d -> Printf.sprintf "%s:%s\n" path (D.render d))
+                 diags)
+        in
+        let results =
+          Jfeed_parallel.Pool.map ~jobs
+            ~f:(fun path ->
+              let diags = List.filter keep (analyze_file path) in
+              (render path diags, diags <> []))
+            (Array.of_list files)
+        in
+        Array.iter
+          (fun (text, _) ->
+            if json then print_endline text else print_string text)
+          results;
+        if Array.exists snd results then 1 else 0
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Run the static analysis passes (use-before-init, dead-store, \
-          unreachable, missing-return, suspicious-loop) over submission \
-          files (exit 0: clean; 1: diagnostics; 2: usage error)")
-    Term.(const run $ json $ jobs $ files_pos)
+          unreachable, missing-return, suspicious-loop, div-by-zero, \
+          array-out-of-bounds, constant-condition, unused-range, \
+          efficiency) over submission files (exit 0: clean; 1: \
+          diagnostics; 2: usage error)")
+    Term.(const run $ json $ jobs $ only $ except $ oracle $ files_pos)
 
 let lint_kb_cmd =
   let json =
@@ -944,7 +1006,7 @@ let version_cmd =
   let features =
     [
       "normalize"; "variants"; "inline-helpers"; "strategies"; "analysis";
-      "parallel"; "serve-cache"; "trace"; "repair";
+      "absint"; "parallel"; "serve-cache"; "trace"; "repair";
     ]
   in
   let run () =

@@ -1,0 +1,79 @@
+(** Abstract domain signature for the fixpoint engine.
+
+    A domain abstracts the values of Java [int]-typed expressions (and,
+    through a 0/1 encoding, booleans).  {!Env.Make} lifts a domain to a
+    non-relational environment lattice; {!Engine.Make} runs the fixpoint
+    over method bodies.  {!Interval} is the shipped instance; parity or
+    congruence domains drop in by implementing {!S} — nothing in the env
+    or engine functors mentions intervals.
+
+    Domains here have no bottom element: the unreachable state is
+    represented one level up (an [Env.state] is an [env option], [None]
+    = unreachable), so the only partiality a domain exposes is
+    {!S.meet}/{!S.assume} returning [None] for an empty result. *)
+
+(** Three-valued verdict of an abstract comparison. *)
+type truth = True | False | Unknown
+
+let not3 = function True -> False | False -> True | Unknown -> Unknown
+
+let and3 a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let or3 a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+module type S = sig
+  type t
+
+  val name : string
+  (** e.g. ["interval"] — used in trace span labels and demos. *)
+
+  val top : t
+  val is_top : t -> bool
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  val meet : t -> t -> t option
+  (** [None] when the intersection is empty. *)
+
+  val widen : t -> t -> t
+  (** [widen old next]: extrapolate an ascending chain; must reach a
+      fixed point in finitely many steps (the engine's termination
+      argument, qcheck-verified over the Mutate corpus). *)
+
+  val narrow : t -> t -> t
+  (** [narrow wide refined]: recover precision after widening without
+      descending below any sound approximation. *)
+
+  val const : int -> t
+  val of_bool : bool -> t
+
+  val of_truth : truth -> t
+  (** [True]/[False] map through {!of_bool}; [Unknown] is their join. *)
+
+  val unop : Jfeed_java.Ast.unop -> t -> t
+  val binop : Jfeed_java.Ast.binop -> t -> t -> t
+
+  val truth : Jfeed_java.Ast.binop -> t -> t -> truth
+  (** Verdict of a comparison ([Lt]..[Ne]); [Unknown] for any other
+      operator. *)
+
+  val truth_of_value : t -> truth
+  (** Boolean reading of an abstract value under the 0/1 encoding:
+      definitely zero = [False], definitely nonzero = [True]. *)
+
+  val assume : Jfeed_java.Ast.binop -> t -> t -> (t * t) option
+  (** [assume cmp a b]: refine both sides under the assumption that the
+      comparison holds; [None] when it cannot.  Identity for operators
+      the domain cannot refine. *)
+
+  val is_const : t -> int option
+  val to_string : t -> string
+end

@@ -1,0 +1,309 @@
+(** The fixpoint engine: abstract execution of method bodies.
+
+    For every method the engine computes a stable abstract environment
+    *before* each statement (keyed by the statement's physical identity,
+    like {!Jfeed_java.Srcmap}) and at each loop's guard test.  Loops run
+    to a post-fixpoint: plain joins for a few unrolled iterations, then
+    widening (so infinite-height domains like intervals still settle),
+    then a bounded narrowing descent, then one refresh pass so recorded
+    body states agree with the settled loop head.
+
+    Totality: every statement execution costs one unit of fuel; an
+    exhausted engine abandons the method and reports nothing — recorded
+    states from an unfinished ascent are below the invariant and
+    therefore must not be consulted, so degradation is to "no
+    information" (⊤ everywhere), never to an unsound table. *)
+
+open Jfeed_java.Ast
+
+(* Iterations of plain join before widening kicks in, and the cap on
+   widened iterations (2 per endpoint suffices for intervals; the cap
+   guards domains with slower-converging widenings and, qcheck-pinned,
+   the engine's termination). *)
+let unroll = 3
+let widen_cap = 16
+let narrow_steps = 2
+let default_fuel = 50_000
+
+exception Out_of_fuel
+
+module Make (D : Domain.S) = struct
+  module E = Env.Make (D)
+
+  type result = {
+    pre : (stmt, E.env) Hashtbl.t;
+        (** stable abstract env before each reachable statement *)
+    head : (stmt, E.env) Hashtbl.t;
+        (** for loop statements: stable env at the guard test *)
+    ret : D.t option;  (** join over the values of all [return e] *)
+    steps : int;  (** fuel consumed *)
+    widenings : int;
+    exhausted : bool;  (** true: tables are empty, analysis declined *)
+  }
+
+  (* The constant constructors Sbreak/Scontinue/Sempty are physically
+     shared atoms (see srcmap.mli); recording them would alias every
+     occurrence.  They carry no expressions, so the passes never need
+     their states anyway. *)
+  let shareable = function Sbreak | Scontinue | Sempty -> true | _ -> false
+
+  type ctx = {
+    mutable fuel : int;
+    mutable spent : int;
+    mutable widened : int;
+    res_pre : (stmt, E.env) Hashtbl.t;
+    res_head : (stmt, E.env) Hashtbl.t;
+    mutable res_ret : D.t option;
+  }
+
+  let tick ctx =
+    if ctx.fuel <= 0 then raise Out_of_fuel;
+    ctx.fuel <- ctx.fuel - 1;
+    ctx.spent <- ctx.spent + 1
+
+  (* Abstract control flow out of a statement. *)
+  type flow = {
+    normal : E.state;
+    brk : E.state;
+    cont : E.state;
+    returned : bool;  (* purely informational; ret value is in ctx *)
+  }
+
+  let pure normal = { normal; brk = None; cont = None; returned = false }
+
+  let join_flow a b =
+    {
+      normal = E.join_state a.normal b.normal;
+      brk = E.join_state a.brk b.brk;
+      cont = E.join_state a.cont b.cont;
+      returned = a.returned || b.returned;
+    }
+
+  let note_ret ctx v =
+    ctx.res_ret <-
+      (match ctx.res_ret with None -> Some v | Some w -> Some (D.join v w))
+
+  (* Join-record: a statement's table entry accumulates every state it
+     was ever executed under.  The final refresh pass of each loop runs
+     under the settled (post-fixpoint) head, so the join dominates a
+     sound invariant whatever intermediate ascent/descent states also
+     landed here — and a do-while body keeps its first-iteration entry
+     alongside the continuing ones. *)
+  let record ctx s env =
+    if not (shareable s) then
+      match Hashtbl.find_opt ctx.res_pre s with
+      | None -> Hashtbl.replace ctx.res_pre s env
+      | Some prev -> Hashtbl.replace ctx.res_pre s (E.join prev env)
+
+  let rec exec ctx (st : E.state) (s : stmt) : flow =
+    match st with
+    | None -> pure None
+    | Some env ->
+        tick ctx;
+        record ctx s env;
+        exec_live ctx env s
+
+  and exec_seq ctx st stmts =
+    List.fold_left
+      (fun acc s ->
+        let f = exec ctx acc.normal s in
+        {
+          normal = f.normal;
+          brk = E.join_state acc.brk f.brk;
+          cont = E.join_state acc.cont f.cont;
+          returned = acc.returned || f.returned;
+        })
+      (pure st) stmts
+
+  and exec_decls env ds =
+    List.fold_left
+      (fun env (d : var_decl) ->
+        match d.d_init with
+        | Some e ->
+            let env, v = E.eval env e in
+            E.store env (Var d.d_name) v
+        | None -> E.havoc_var env d.d_name)
+      env ds
+
+  and exec_live ctx env (s : stmt) : flow =
+    match s with
+    | Sempty -> pure (Some env)
+    | Sexpr e -> pure (Some (fst (E.eval env e)))
+    | Sdecl ds -> pure (Some (exec_decls env ds))
+    | Sreturn e ->
+        (match e with
+        | Some e ->
+            let _, v = E.eval env e in
+            note_ret ctx v.E.v
+        | None -> ());
+        { normal = None; brk = None; cont = None; returned = true }
+    | Sbreak -> { normal = None; brk = Some env; cont = None; returned = false }
+    | Scontinue ->
+        { normal = None; brk = None; cont = Some env; returned = false }
+    | Sblock b -> exec_seq ctx (Some env) b
+    | Sif (c, t, f) ->
+        let ft = exec ctx (E.assume env c true) t in
+        let ff =
+          match f with
+          | Some f -> exec ctx (E.assume env c false) f
+          | None -> pure (E.assume env c false)
+        in
+        join_flow ft ff
+    | Swhile (c, body) -> loop ctx env ~cond:(Some c) ~update:[] ~body s
+    | Sfor (init, cond, update, body) ->
+        let env =
+          match init with
+          | None -> env
+          | Some (For_decl ds) -> exec_decls env ds
+          | Some (For_exprs es) ->
+              List.fold_left (fun env e -> fst (E.eval env e)) env es
+        in
+        loop ctx env ~cond ~update ~body s
+    | Sdo (body, c) ->
+        (* at least one execution of the body, then a while loop *)
+        let first = exec ctx (Some env) body in
+        let after_first =
+          E.join_state first.normal first.cont
+        in
+        let rest =
+          match after_first with
+          | None -> pure None
+          | Some env -> loop ctx env ~cond:(Some c) ~update:[] ~body s
+        in
+        {
+          normal = E.join_state rest.normal first.brk;
+          brk = rest.brk;
+          cont = None;
+          returned = first.returned || rest.returned;
+        }
+    | Sswitch (scrut, cases) ->
+        let env = fst (E.eval env scrut) in
+        (* No refinement on labels; fallthrough chains the cases.  A
+           missing default means the whole switch may be skipped — and
+           matching a non-default case is never certain either, so the
+           entry state always joins the exit. *)
+        let fall, out =
+          List.fold_left
+            (fun (fall, out) (c : switch_case) ->
+              let entry = E.join_state (Some env) fall in
+              let f = exec_seq ctx entry c.case_body in
+              (f.normal, join_flow out { f with normal = None }))
+            (None, pure None) cases
+        in
+        {
+          normal = E.join_state (E.join_state (Some env) fall) out.brk;
+          brk = None;
+          cont = out.cont;
+          returned = out.returned;
+        }
+
+  (* Shared loop solver for while/for (and the tail of do-while).
+     [s] is the loop statement itself — the key under which the stable
+     guard-test environment is recorded. *)
+  and loop ctx entry_env ~cond ~update ~body s : flow =
+    let assume_cond env want =
+      match cond with
+      | None -> if want then Some env else None
+      | Some c -> E.assume env c want
+    in
+    let run_update st =
+      match st with
+      | None -> None
+      | Some env ->
+          Some (List.fold_left (fun env e -> fst (E.eval env e)) env update)
+    in
+    (* one abstract iteration from a guard-test state: body, continue
+       joins back in, then the for-update *)
+    let iterate head_env =
+      let f = exec ctx (assume_cond head_env true) body in
+      let back = run_update (E.join_state f.normal f.cont) in
+      (back, f)
+    in
+    let rec settle i head =
+      tick ctx;
+      let back, _ = iterate head in
+      let next =
+        match E.join_state (Some entry_env) back with
+        | Some e -> e
+        | None -> entry_env
+      in
+      if E.equal next head then head
+      else if i >= unroll + widen_cap then
+        (* Safety net for a domain whose widening fails to converge
+           within the cap: the all-top environment is trivially a
+           post-fixpoint — degrade to ⊤ rather than iterate on. *)
+        E.empty
+      else if i >= unroll then begin
+        ctx.widened <- ctx.widened + 1;
+        settle (i + 1) (E.widen head next)
+      end
+      else settle (i + 1) next
+    in
+    let head = settle 0 entry_env in
+    (* Bounded narrowing descent.  Each candidate is re-checked to still
+       be a post-fixpoint before adoption, so the head handed to the
+       passes is always verified stable — narrowing can only sharpen,
+       never desynchronize. *)
+    let rec descend k head =
+      if k = 0 then head
+      else
+        let back, _ = iterate head in
+        match E.join_state (Some entry_env) back with
+        | None -> head
+        | Some next ->
+            let n = E.narrow head next in
+            if E.equal n head then head
+            else
+              let back2, _ = iterate n in
+              let stable =
+                match E.join_state (Some entry_env) back2 with
+                | None -> true
+                | Some chk -> E.leq chk n
+              in
+              if stable then descend (k - 1) n else head
+    in
+    let head = descend narrow_steps head in
+    if not (shareable s) then Hashtbl.replace ctx.res_head s head;
+    (* refresh pass: re-record body states against the settled head *)
+    let _, f = iterate head in
+    let exit = assume_cond head false in
+    {
+      normal = E.join_state exit f.brk;
+      brk = None;
+      cont = None;
+      returned = f.returned;
+    }
+
+  let analyze_meth ?(fuel = default_fuel) (m : meth) : result =
+    let ctx =
+      {
+        fuel;
+        spent = 0;
+        widened = 0;
+        res_pre = Hashtbl.create 64;
+        res_head = Hashtbl.create 8;
+        res_ret = None;
+      }
+    in
+    (* Parameters are unknown; so are array-parameter lengths.  [empty]
+       maps everything to top already. *)
+    match exec_seq ctx (Some E.empty) m.m_body with
+    | _ ->
+        {
+          pre = ctx.res_pre;
+          head = ctx.res_head;
+          ret = ctx.res_ret;
+          steps = ctx.spent;
+          widenings = ctx.widened;
+          exhausted = false;
+        }
+    | exception Out_of_fuel ->
+        {
+          pre = Hashtbl.create 0;
+          head = Hashtbl.create 0;
+          ret = None;
+          steps = ctx.spent;
+          widenings = ctx.widened;
+          exhausted = true;
+        }
+end

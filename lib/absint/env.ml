@@ -1,0 +1,312 @@
+(** Non-relational abstract environments over a {!Domain.S}.
+
+    An environment maps variable names to abstract values and array
+    variables to abstract *lengths* (Java array lengths are immutable,
+    so a tracked length survives method calls that receive the array).
+    Absent bindings mean top — environments are kept normalized so that
+    structural equality of the maps is lattice equality, which is what
+    the engine's fixpoint test needs.
+
+    Expression evaluation threads the environment left-to-right (Java
+    evaluation order), so embedded assignments and increments land
+    before later reads of the same expression. *)
+
+module SM = Map.Make (String)
+
+module Make (D : Domain.S) = struct
+  type env = { vars : D.t SM.t; lens : D.t SM.t }
+
+  type state = env option
+  (** [None] = unreachable. *)
+
+  let empty = { vars = SM.empty; lens = SM.empty }
+
+  (* Normalized insert: a top binding is the same as no binding. *)
+  let set_var env x v =
+    if Jfeed_java.Ast.is_class_name x then env
+    else if D.is_top v then { env with vars = SM.remove x env.vars }
+    else { env with vars = SM.add x v env.vars }
+
+  let set_len env x v =
+    if D.is_top v then { env with lens = SM.remove x env.lens }
+    else { env with lens = SM.add x v env.lens }
+
+  let var env x = match SM.find_opt x env.vars with Some v -> v | None -> D.top
+  let len env x = SM.find_opt x env.lens
+
+  let havoc_var env x =
+    { vars = SM.remove x env.vars; lens = SM.remove x env.lens }
+
+  let equal a b = SM.equal D.equal a.vars b.vars && SM.equal D.equal a.lens b.lens
+
+  (* [a ⊑ b] in the pointwise order (absent = top).  Every binding of
+     [b] must dominate [a]'s value there; [a]'s extra bindings are below
+     the top [b] implies. *)
+  let leq a b =
+    let sub bm am =
+      SM.for_all
+        (fun x bv ->
+          match SM.find_opt x am with
+          | Some av -> D.equal (D.join av bv) bv
+          | None -> false)
+        bm
+    in
+    sub b.vars a.vars && sub b.lens a.lens
+
+  (* Pointwise merge; a key missing on either side is top, and top
+     results are dropped to keep the normal form. *)
+  let merge_with f a b =
+    SM.merge
+      (fun _ x y ->
+        match (x, y) with
+        | Some x, Some y ->
+            let v = f x y in
+            if D.is_top v then None else Some v
+        | _ -> None)
+      a b
+
+  let join a b =
+    { vars = merge_with D.join a.vars b.vars;
+      lens = merge_with D.join a.lens b.lens }
+
+  let widen old next =
+    { vars = merge_with D.widen old.vars next.vars;
+      lens = merge_with D.widen old.lens next.lens }
+
+  let narrow wide refined =
+    (* Narrowing may re-tighten a binding that widening dropped to top
+       (= removed), so the refined side's extra keys are kept. *)
+    let nar w r =
+      SM.merge
+        (fun _ x y ->
+          match (x, y) with
+          | Some x, Some y ->
+              let v = D.narrow x y in
+              if D.is_top v then None else Some v
+          | None, Some y -> Some y
+          | Some _, None | None, None -> None)
+        w r
+    in
+    { vars = nar wide.vars refined.vars; lens = nar wide.lens refined.lens }
+
+  let join_state a b =
+    match (a, b) with
+    | None, s | s, None -> s
+    | Some a, Some b -> Some (join a b)
+
+  (* ---------------------------------------------------------------- *)
+  (* Evaluation                                                        *)
+
+  open Jfeed_java.Ast
+
+  type aval = { v : D.t; alen : D.t option }
+  (** Abstract value plus, for array-typed expressions, the abstract
+      length riding along so [a = new int[n]] and [b = a] track it. *)
+
+  let scalar v = { v; alen = None }
+
+  let rec eval env e : env * aval =
+    match e with
+    | Int_lit n -> (env, scalar (D.const n))
+    | Char_lit c -> (env, scalar (D.const (Char.code c)))
+    | Bool_lit b -> (env, scalar (D.of_bool b))
+    | Double_lit _ | Str_lit _ | Null_lit -> (env, scalar D.top)
+    | Var x -> (env, { v = var env x; alen = len env x })
+    | Field (b, "length") ->
+        let env, bv = eval env b in
+        let v = match bv.alen with Some l -> l | None -> D.top in
+        (env, scalar v)
+    | Field (b, _) ->
+        let env, _ = eval env b in
+        (env, scalar D.top)
+    | Index (a, i) ->
+        let env, _ = eval env a in
+        let env, _ = eval env i in
+        (env, scalar D.top)
+    | Call (recv, _, args) ->
+        (* Calls cannot rebind the caller's locals, and array lengths
+           are immutable, so the environment survives; the result is
+           unknown. *)
+        let env = match recv with Some r -> fst (eval env r) | None -> env in
+        let env = List.fold_left (fun env a -> fst (eval env a)) env args in
+        (env, scalar D.top)
+    | New (_, args) ->
+        let env = List.fold_left (fun env a -> fst (eval env a)) env args in
+        (env, scalar D.top)
+    | New_array (_, dims) -> (
+        match dims with
+        | d0 :: rest ->
+            let env, l = eval env d0 in
+            let env =
+              List.fold_left (fun env a -> fst (eval env a)) env rest
+            in
+            (env, { v = D.top; alen = Some l.v })
+        | [] -> (env, scalar D.top))
+    | Array_lit elts ->
+        let env =
+          List.fold_left (fun env a -> fst (eval env a)) env elts
+        in
+        (env, { v = D.top; alen = Some (D.const (List.length elts)) })
+    | Unary (op, a) ->
+        let env, av = eval env a in
+        (env, scalar (D.unop op av.v))
+    | Cast (Tprim ("int" | "long"), a) ->
+        let env, av = eval env a in
+        (env, scalar av.v)
+    | Cast (_, a) ->
+        let env, _ = eval env a in
+        (env, scalar D.top)
+    | Incdec (k, target) -> (
+        let env, tv = eval env target in
+        let delta = match k with
+          | Pre_incr | Post_incr -> D.const 1
+          | Pre_decr | Post_decr -> D.const (-1)
+        in
+        let after = D.binop Add tv.v delta in
+        let env = store env target (scalar after) in
+        match k with
+        | Pre_incr | Pre_decr -> (env, scalar after)
+        | Post_incr | Post_decr -> (env, scalar tv.v))
+    | Binary (And, a, b) -> (
+        (* short-circuit: b evaluates only when a holds *)
+        let env, av = eval env a in
+        match D.truth_of_value av.v with
+        | Domain.False -> (env, scalar (D.of_bool false))
+        | t ->
+            let env, bv = eval env b in
+            (env, scalar (D.of_truth (Domain.and3 t (D.truth_of_value bv.v)))))
+    | Binary (Or, a, b) -> (
+        let env, av = eval env a in
+        match D.truth_of_value av.v with
+        | Domain.True -> (env, scalar (D.of_bool true))
+        | t ->
+            let env, bv = eval env b in
+            (env, scalar (D.of_truth (Domain.or3 t (D.truth_of_value bv.v)))))
+    | Binary (op, a, b) ->
+        let env, av = eval env a in
+        let env, bv = eval env b in
+        (env, scalar (D.binop op av.v bv.v))
+    | Ternary (c, t, f) ->
+        let env, cv = eval env c in
+        (match D.truth_of_value cv.v with
+        | Domain.True -> eval env t
+        | Domain.False -> eval env f
+        | Domain.Unknown ->
+            let envt, tv = eval env t in
+            let envf, fv = eval env f in
+            ( join envt envf,
+              {
+                v = D.join tv.v fv.v;
+                alen =
+                  (match (tv.alen, fv.alen) with
+                  | Some a, Some b -> Some (D.join a b)
+                  | _ -> None);
+              } ))
+    | Assign (Set, lhs, rhs) ->
+        let env =
+          (* index/receiver subexpressions of the target are evaluated *)
+          match lhs with Var _ -> env | _ -> fst (eval env lhs)
+        in
+        let env, rv = eval env rhs in
+        (store env lhs rv, rv)
+    | Assign (op, lhs, rhs) ->
+        let bop =
+          match op with
+          | Add_eq -> Add
+          | Sub_eq -> Sub
+          | Mul_eq -> Mul
+          | Div_eq -> Div
+          | Mod_eq -> Mod
+          | Set -> assert false
+        in
+        let env, lv = eval env lhs in
+        let env, rv = eval env rhs in
+        let nv = scalar (D.binop bop lv.v rv.v) in
+        (store env lhs nv, nv)
+
+  and store env lhs rv =
+    match lhs with
+    | Var x ->
+        let env = set_var env x rv.v in
+        set_len env x (match rv.alen with Some l -> l | None -> D.top)
+    | Index (a, _) -> (
+        (* element stores don't move the array variable or its length *)
+        match a with Var _ -> env | _ -> env)
+    | Field _ -> env
+    | _ -> env
+
+  (* ---------------------------------------------------------------- *)
+  (* Guard truth and refinement                                        *)
+
+  let rec truth_of env e : Domain.truth =
+    match e with
+    | Bool_lit b -> if b then Domain.True else Domain.False
+    | Unary (Not, a) -> Domain.not3 (truth_of env a)
+    | Binary (And, a, b) -> Domain.and3 (truth_of env a) (truth_of env b)
+    | Binary (Or, a, b) -> Domain.or3 (truth_of env a) (truth_of env b)
+    | Binary (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) ->
+        let env, av = eval env a in
+        let _, bv = eval env b in
+        D.truth op av.v bv.v
+    | _ ->
+        let _, v = eval env e in
+        D.truth_of_value v.v
+
+  let negate_cmp = function
+    | Lt -> Ge
+    | Le -> Gt
+    | Gt -> Le
+    | Ge -> Lt
+    | Eq -> Ne
+    | Ne -> Eq
+    | op -> op
+
+  (* [assume env e want]: the environment refined under "e evaluates to
+     [want]"; [None] when that is impossible.  Refinement writes back
+     through plain variables and through [arr.length] reads. *)
+  let rec assume env e want : state =
+    match e with
+    | Bool_lit b -> if b = want then Some env else None
+    | Unary (Not, a) -> assume env a (not want)
+    | Binary (And, a, b) when want -> (
+        match assume env a true with
+        | None -> None
+        | Some env -> assume env b true)
+    | Binary (Or, a, b) when not want -> (
+        match assume env a false with
+        | None -> None
+        | Some env -> assume env b false)
+    | Binary (And, a, b) ->
+        (* ¬(a ∧ b): either side may fail *)
+        join_state (assume env a false)
+          (match assume env a true with
+          | None -> None
+          | Some env -> assume env b false)
+    | Binary (Or, a, b) ->
+        join_state (assume env a true)
+          (match assume env a false with
+          | None -> None
+          | Some env -> assume env b true)
+    | Binary (((Lt | Le | Gt | Ge | Eq | Ne) as op), a, b) -> (
+        let op = if want then op else negate_cmp op in
+        let env, av = eval env a in
+        let env, bv = eval env b in
+        match D.assume op av.v bv.v with
+        | None -> None
+        | Some (ra, rb) ->
+            let refine env side r =
+              match side with
+              | Var x -> set_var env x r
+              | Field (Var arr, "length") -> set_len env arr r
+              | _ -> env
+            in
+            Some (refine (refine env a ra) b rb))
+    | Var x -> (
+        let r = D.meet (var env x) (D.of_bool want) in
+        match r with None -> None | Some r -> Some (set_var env x r))
+    | _ -> (
+        let env, v = eval env e in
+        match (D.truth_of_value v.v, want) with
+        | Domain.True, false | Domain.False, true -> None
+        | _ -> Some env)
+end

@@ -1,0 +1,254 @@
+(** Interval domain.  See interval.mli. *)
+
+open Jfeed_java.Ast
+
+let min32 = -0x80000000
+let max32 = 0x7fffffff
+
+type bound = Ninf | Pinf | Fin of int
+type t = { lo : bound; hi : bound }
+
+let name = "interval"
+let top = { lo = Ninf; hi = Pinf }
+let is_top v = v.lo = Ninf && v.hi = Pinf
+
+(* Bound comparisons.  [Fin] payloads are always within the 32-bit
+   range, so Ninf/Pinf never collide with a finite value. *)
+let blt a b =
+  match (a, b) with
+  | Ninf, Ninf | Pinf, Pinf -> false
+  | Ninf, _ | _, Pinf -> true
+  | Pinf, _ | _, Ninf -> false
+  | Fin x, Fin y -> x < y
+
+let bmin a b = if blt b a then b else a
+let bmax a b = if blt a b then b else a
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+(* Constructor: any endpoint outside the 32-bit range means the value
+   set may have wrapped, so the whole axis is possible. *)
+let mk lo hi =
+  let out = function Fin n -> n < min32 || n > max32 | Ninf | Pinf -> false in
+  if out lo || out hi then top else { lo; hi }
+
+let range lo hi =
+  if lo > hi then invalid_arg "Interval.range";
+  mk (Fin lo) (Fin hi)
+
+let const n = if n < min32 || n > max32 then top else { lo = Fin n; hi = Fin n }
+let of_bool b = const (if b then 1 else 0)
+
+let of_truth = function
+  | Domain.True -> of_bool true
+  | Domain.False -> of_bool false
+  | Domain.Unknown -> { lo = Fin 0; hi = Fin 1 }
+
+let join a b = { lo = bmin a.lo b.lo; hi = bmax a.hi b.hi }
+
+let meet a b =
+  let lo = bmax a.lo b.lo and hi = bmin a.hi b.hi in
+  if blt hi lo then None else Some { lo; hi }
+
+(* Standard interval widening: an endpoint that moved jumps to its
+   infinity, so any ascending chain stabilizes in at most two steps per
+   endpoint. *)
+let widen old next =
+  {
+    lo = (if blt next.lo old.lo then Ninf else old.lo);
+    hi = (if blt old.hi next.hi then Pinf else old.hi);
+  }
+
+(* Narrowing refines only the endpoints widening blew to infinity. *)
+let narrow wide refined =
+  {
+    lo = (if wide.lo = Ninf then refined.lo else wide.lo);
+    hi = (if wide.hi = Pinf then refined.hi else wide.hi);
+  }
+
+let lo_int v = match v.lo with Fin n -> Some n | _ -> None
+let hi_int v = match v.hi with Fin n -> Some n | _ -> None
+
+let is_const v =
+  match (v.lo, v.hi) with
+  | Fin a, Fin b when a = b -> Some a
+  | _ -> None
+
+let mem n v =
+  (match v.lo with Ninf -> true | Fin l -> l <= n | Pinf -> false)
+  && match v.hi with Pinf -> true | Fin h -> n <= h | Ninf -> false
+
+let to_string v =
+  let b = function
+    | Ninf -> "-inf"
+    | Pinf -> "+inf"
+    | Fin n -> string_of_int n
+  in
+  match is_const v with
+  | Some n -> Printf.sprintf "[%d]" n
+  | None -> Printf.sprintf "[%s, %s]" (b v.lo) (b v.hi)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic.  Finite corner arithmetic is done in Int64 — products of
+   32-bit values reach 2^62, the edge of OCaml's native int — and any
+   corner outside 32-bit range collapses to top (see mli).              *)
+
+let badd a b =
+  match (a, b) with
+  | Ninf, Pinf | Pinf, Ninf -> assert false
+  | Ninf, _ | _, Ninf -> Ninf
+  | Pinf, _ | _, Pinf -> Pinf
+  | Fin x, Fin y -> Fin (x + y)
+
+let bneg = function Ninf -> Pinf | Pinf -> Ninf | Fin n -> Fin (-n)
+
+let add a b = mk (badd a.lo b.lo) (badd a.hi b.hi)
+let neg a = mk (bneg a.hi) (bneg a.lo)
+let sub a b = add a (neg b)
+
+(* Corner evaluation over a monotone-in-each-argument (or at least
+   corner-extremal) operation: used for multiplication and for division
+   by a sign-definite divisor. *)
+let corners f a b =
+  let fin = function Fin n -> Some (Int64.of_int n) | _ -> None in
+  match (fin a.lo, fin a.hi, fin b.lo, fin b.hi) with
+  | Some al, Some ah, Some bl, Some bh ->
+      let vs = [ f al bl; f al bh; f ah bl; f ah bh ] in
+      let lo = List.fold_left min (List.hd vs) (List.tl vs) in
+      let hi = List.fold_left max (List.hd vs) (List.tl vs) in
+      if
+        lo < Int64.of_int min32
+        || hi > Int64.of_int max32
+      then top
+      else mk (Fin (Int64.to_int lo)) (Fin (Int64.to_int hi))
+  | _ -> top
+
+let mul a b = corners Int64.mul a b
+
+(* Division: Java truncates toward zero ([Int64.div] agrees).  Only a
+   sign-definite, zero-free divisor keeps corner evaluation exact; a
+   divisor that may be zero (a potential runtime error — flagged by the
+   div-by-zero pass separately) or spans zero answers top. *)
+let div a b =
+  match (b.lo, b.hi) with
+  | Fin l, _ when l >= 1 -> corners Int64.div a b
+  | _, Fin h when h <= -1 -> corners Int64.div a b
+  | _ -> top
+
+(* Remainder: sign follows the dividend, magnitude stays below the
+   divisor's. *)
+let rem a b =
+  let mag =
+    match (b.lo, b.hi) with
+    | Fin l, Fin h when l >= 1 || h <= -1 -> Some (max (abs l) (abs h) - 1)
+    | _ -> None
+  in
+  match mag with
+  | None -> top
+  | Some m ->
+      let lo =
+        match a.lo with
+        | Fin l when l >= 0 -> Fin 0
+        | Fin l -> Fin (max l (-m))
+        | _ -> Fin (-m)
+      in
+      let hi =
+        match a.hi with
+        | Fin h when h <= 0 -> Fin 0
+        | Fin h -> Fin (min h m)
+        | _ -> Fin m
+      in
+      mk lo hi
+
+let unop op v =
+  match op with
+  | Neg -> neg v
+  | Uplus -> v
+  | Not -> (
+      (* boolean 0/1 encoding *)
+      match is_const v with
+      | Some 0 -> of_bool true
+      | Some _ -> of_bool false
+      | None -> of_truth Domain.Unknown)
+  | Bit_not -> top
+
+let truth op a b =
+  let open Domain in
+  match op with
+  | Lt ->
+      if blt a.hi b.lo then True
+      else if not (blt a.lo b.hi) then False
+      else Unknown
+  | Le ->
+      if not (blt b.lo a.hi) then True
+      else if blt b.hi a.lo then False
+      else Unknown
+  | Gt ->
+      if blt b.hi a.lo then True
+      else if not (blt b.lo a.hi) then False
+      else Unknown
+  | Ge ->
+      if not (blt a.lo b.hi) then True
+      else if blt a.hi b.lo then False
+      else Unknown
+  | Eq -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> if x = y then True else False
+      | _ -> if meet a b = None then False else Unknown)
+  | Ne -> (
+      match (is_const a, is_const b) with
+      | Some x, Some y -> if x <> y then True else False
+      | _ -> if meet a b = None then True else Unknown)
+  | _ -> Unknown
+
+let truth_of_value v =
+  match is_const v with
+  | Some 0 -> Domain.False
+  | Some _ -> Domain.True
+  | None -> if mem 0 v then Domain.Unknown else Domain.True
+
+let binop op a b =
+  match op with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> div a b
+  | Mod -> rem a b
+  | Lt | Le | Gt | Ge | Eq | Ne -> of_truth (truth op a b)
+  | And -> of_truth (Domain.and3 (truth_of_value a) (truth_of_value b))
+  | Or -> of_truth (Domain.or3 (truth_of_value a) (truth_of_value b))
+  | Bit_and | Bit_or | Bit_xor | Shl | Shr | Ushr -> top
+
+(* Bound nudges for strict comparisons; saturate instead of wrapping. *)
+let bpred = function Fin n when n > min32 -> Fin (n - 1) | b -> b
+let bsucc = function Fin n when n < max32 -> Fin (n + 1) | b -> b
+
+let assume op a b =
+  let pair ao bo = match (ao, bo) with Some a, Some b -> Some (a, b) | _ -> None in
+  match op with
+  | Lt ->
+      pair
+        (meet a { lo = Ninf; hi = bpred b.hi })
+        (meet b { lo = bsucc a.lo; hi = Pinf })
+  | Le ->
+      pair (meet a { lo = Ninf; hi = b.hi }) (meet b { lo = a.lo; hi = Pinf })
+  | Gt ->
+      pair
+        (meet a { lo = bsucc b.lo; hi = Pinf })
+        (meet b { lo = Ninf; hi = bpred a.hi })
+  | Ge ->
+      pair (meet a { lo = b.lo; hi = Pinf }) (meet b { lo = Ninf; hi = a.hi })
+  | Eq -> (
+      match meet a b with Some m -> Some (m, m) | None -> None)
+  | Ne -> (
+      (* only a singleton on the other side sharpens an endpoint *)
+      let chip v w =
+        match is_const w with
+        | Some n ->
+            if v.lo = Fin n && v.hi = Fin n then None
+            else if v.lo = Fin n then meet v { lo = bsucc v.lo; hi = v.hi }
+            else if v.hi = Fin n then meet v { lo = v.lo; hi = bpred v.hi }
+            else Some v
+        | None -> Some v
+      in
+      pair (chip a b) (chip b a))
+  | _ -> Some (a, b)

@@ -1,0 +1,32 @@
+(** The interval domain: machine-integer ranges with widening/narrowing.
+
+    Values abstract Java [int]s, which wrap at 32 bits in the concrete
+    interpreter ({!Jfeed_interp.Interp}); every transfer function that
+    could leave the 32-bit range answers {!top} instead of modelling the
+    wrap, so the soundness invariant (the concrete value lies inside the
+    inferred interval) holds without tracking modular arithmetic.
+
+    Beyond {!Domain.S}, the interval exposes its bounds — the loop-bound
+    inference in {!Passes} needs the endpoints to turn a counter range
+    and a guard into an iteration count. *)
+
+type bound = Ninf | Pinf | Fin of int
+
+type t = private { lo : bound; hi : bound }
+(** Invariant: [lo <= hi], both within (or beyond) the 32-bit range;
+    never empty — emptiness is signalled by [meet]/[assume] returning
+    [None]. *)
+
+include Domain.S with type t := t
+
+val range : int -> int -> t
+(** [range lo hi]; clamped to {!top} when it leaves 32-bit range.
+    Raises [Invalid_argument] if [lo > hi]. *)
+
+val lo_int : t -> int option
+(** The finite lower bound, if any. *)
+
+val hi_int : t -> int option
+
+val mem : int -> t -> bool
+(** Concrete membership — the soundness oracle's check. *)

@@ -1,0 +1,692 @@
+(** The abstract-interpretation diagnostic passes.  See passes.mli. *)
+
+open Jfeed_java
+open Ast
+module Diagnostic = Jfeed_analysis.Diagnostic
+module AI = Engine.Make (Interval)
+module E = AI.E
+
+let pass_ids =
+  [ "div-by-zero"; "array-out-of-bounds"; "constant-condition";
+    "unused-range"; "efficiency" ]
+
+let all_pass_ids = Jfeed_analysis.Passes.pass_ids @ pass_ids
+let quote x = "'" ^ x ^ "'"
+let stmt_pos srcmap s = Option.bind srcmap (fun m -> Srcmap.stmt_pos m s)
+
+(* ------------------------------------------------------------------ *)
+(* Walking statements with their inferred states                       *)
+
+(* Every subexpression, the node itself included. *)
+let rec iter_expr f e =
+  f e;
+  match e with
+  | Int_lit _ | Double_lit _ | Bool_lit _ | Char_lit _ | Str_lit _ | Null_lit
+  | Var _ ->
+      ()
+  | Field (e, _) | Unary (_, e) | Incdec (_, e) | Cast (_, e) -> iter_expr f e
+  | Index (a, b) | Binary (_, a, b) | Assign (_, a, b) ->
+      iter_expr f a;
+      iter_expr f b
+  | Call (recv, _, args) ->
+      Option.iter (iter_expr f) recv;
+      List.iter (iter_expr f) args
+  | New (_, es) | New_array (_, es) | Array_lit es -> List.iter (iter_expr f) es
+  | Ternary (a, b, c) ->
+      iter_expr f a;
+      iter_expr f b;
+      iter_expr f c
+
+(* Purely syntactic statement traversal. *)
+let rec iter_stmt f s =
+  f s;
+  match s with
+  | Sblock b -> List.iter (iter_stmt f) b
+  | Sif (_, t, fo) ->
+      iter_stmt f t;
+      Option.iter (iter_stmt f) fo
+  | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) -> iter_stmt f b
+  | Sswitch (_, cs) ->
+      List.iter (fun c -> List.iter (iter_stmt f) c.case_body) cs
+  | _ -> ()
+
+(* Visit each statement the engine found reachable, with its stable
+   pre-state. *)
+let iter_reachable (r : AI.result) body ~f =
+  iter_stmt
+    (fun s ->
+      match Hashtbl.find_opt r.AI.pre s with
+      | Some env -> f s env
+      | None -> ())
+    (Sblock body)
+
+(* A statement's own expressions paired with the environment they are
+   evaluated under: loop guards and for-updates run under the settled
+   loop-head state, everything else under the statement's pre-state.
+   (Within one statement this is an entry-state approximation — sound
+   enough for the definite-error passes, which only fire on constants.) *)
+let stmt_exprs (r : AI.result) s env =
+  let head () = Hashtbl.find_opt r.AI.head s in
+  let at_head e = match head () with Some h -> [ (h, e) ] | None -> [] in
+  let decl_inits ds =
+    List.filter_map (fun d -> Option.map (fun e -> (env, e)) d.d_init) ds
+  in
+  match s with
+  | Sexpr e -> [ (env, e) ]
+  | Sdecl ds -> decl_inits ds
+  | Sreturn (Some e) -> [ (env, e) ]
+  | Sreturn None | Sbreak | Scontinue | Sempty | Sblock _ -> []
+  | Sif (c, _, _) -> [ (env, c) ]
+  | Sswitch (scrut, cases) ->
+      (env, scrut)
+      :: List.filter_map
+           (fun c -> Option.map (fun l -> (env, l)) c.case_label)
+           cases
+  | Swhile (c, _) -> at_head c
+  | Sdo (_, c) -> at_head c
+  | Sfor (init, cond, update, _) ->
+      let inits =
+        match init with
+        | Some (For_decl ds) -> decl_inits ds
+        | Some (For_exprs es) -> List.map (fun e -> (env, e)) es
+        | None -> []
+      in
+      inits
+      @ (match cond with Some c -> at_head c | None -> [])
+      @ List.concat_map at_head update
+
+let each_site r m ~f =
+  iter_reachable r m.m_body ~f:(fun s env ->
+      List.iter
+        (fun (env, e) -> iter_expr (f s env) e)
+        (stmt_exprs r s env))
+
+(* ------------------------------------------------------------------ *)
+(* Pass: div-by-zero                                                   *)
+
+let div_by_zero ?srcmap (r : AI.result) (m : meth) =
+  let diags = ref [] in
+  let site s env e =
+    let check word d =
+      let _, dv = E.eval env d in
+      if Interval.is_const dv.E.v = Some 0 then
+        diags :=
+          Diagnostic.make ~pass:"div-by-zero" ~severity:Error ~meth:m.m_name
+            ?pos:(stmt_pos srcmap s)
+            (Printf.sprintf "%s by zero: %s is always 0" word
+               (quote (Pretty.expr d)))
+          :: !diags
+    in
+    match e with
+    | Binary (Div, _, d) | Assign (Div_eq, _, d) -> check "division" d
+    | Binary (Mod, _, d) | Assign (Mod_eq, _, d) -> check "modulo" d
+    | _ -> ()
+  in
+  each_site r m ~f:site;
+  List.sort_uniq Diagnostic.compare !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass: array-out-of-bounds (definite errors only)                    *)
+
+let array_oob ?srcmap (r : AI.result) (m : meth) =
+  let diags = ref [] in
+  let site s env e =
+    match e with
+    | Index (a, i) -> (
+        let env', av = E.eval env a in
+        let _, iv = E.eval env' i in
+        let emit msg =
+          diags :=
+            Diagnostic.make ~pass:"array-out-of-bounds" ~severity:Error
+              ~meth:m.m_name
+              ?pos:(stmt_pos srcmap s)
+              msg
+            :: !diags
+        in
+        match Interval.hi_int iv.E.v with
+        | Some h when h < 0 ->
+            emit
+              (Printf.sprintf "array index %s is always negative (index %s)"
+                 (quote (Pretty.expr i))
+                 (Interval.to_string iv.E.v))
+        | _ -> (
+            match (av.E.alen, Interval.lo_int iv.E.v) with
+            | Some len, Some ilo -> (
+                match Interval.hi_int len with
+                | Some lh when ilo >= lh ->
+                    emit
+                      (Printf.sprintf
+                         "array index %s is always out of bounds (index %s, \
+                          length %s)"
+                         (quote (Pretty.expr i))
+                         (Interval.to_string iv.E.v)
+                         (Interval.to_string len))
+                | _ -> ())
+            | _ -> ()))
+    | _ -> ()
+  in
+  each_site r m ~f:site;
+  List.sort_uniq Diagnostic.compare !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass: constant-condition                                            *)
+
+(* Can control leave the loop whose body this is?  [break] binds to the
+   innermost loop or switch, [return] escapes everything. *)
+let rec has_return s =
+  match s with
+  | Sreturn _ -> true
+  | Sblock b -> List.exists has_return b
+  | Sif (_, t, f) ->
+      has_return t || (match f with Some f -> has_return f | None -> false)
+  | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) -> has_return b
+  | Sswitch (_, cs) ->
+      List.exists (fun c -> List.exists has_return c.case_body) cs
+  | _ -> false
+
+let rec escapes s =
+  match s with
+  | Sreturn _ | Sbreak -> true
+  | Sblock b -> List.exists escapes b
+  | Sif (_, t, f) ->
+      escapes t || (match f with Some f -> escapes f | None -> false)
+  | Swhile (_, b) | Sdo (b, _) | Sfor (_, _, _, b) -> has_return b
+  | Sswitch (_, cs) ->
+      List.exists (fun c -> List.exists has_return c.case_body) cs
+  | _ -> false
+
+type guard_kind = Gif of bool (* has else *) | Gloop of stmt | Gdo of stmt
+
+let constant_condition ?srcmap (r : AI.result) (m : meth) =
+  let diags = ref [] in
+  let emit s msg =
+    diags :=
+      Diagnostic.make ~pass:"constant-condition" ~severity:Warning
+        ~meth:m.m_name
+        ?pos:(stmt_pos srcmap s)
+        msg
+      :: !diags
+  in
+  let check s kind c envo =
+    match envo with
+    | None -> ()
+    | Some env ->
+        (* a guard with no variables is syntactically constant — that is
+           the [unreachable] pass's business, not a dataflow fact *)
+        if vars_of_expr c <> [] then (
+          match E.truth_of env c with
+          | Domain.Unknown -> ()
+          | Domain.True -> (
+              match kind with
+              | Gif has_else ->
+                  emit s
+                    (Printf.sprintf "condition %s is always true%s"
+                       (quote (Pretty.expr c))
+                       (if has_else then " — the else branch never runs"
+                        else ""))
+              | Gloop body | Gdo body ->
+                  emit s
+                    (Printf.sprintf "loop condition %s is always true%s"
+                       (quote (Pretty.expr c))
+                       (if escapes body then "" else " — likely infinite loop")))
+          | Domain.False -> (
+              match kind with
+              | Gif _ ->
+                  emit s
+                    (Printf.sprintf
+                       "condition %s is always false — the branch never runs"
+                       (quote (Pretty.expr c)))
+              | Gloop _ ->
+                  emit s
+                    (Printf.sprintf
+                       "loop condition %s is always false — the body never \
+                        runs"
+                       (quote (Pretty.expr c)))
+              | Gdo _ -> (* a do-while body runs once regardless *) ()))
+  in
+  iter_reachable r m.m_body ~f:(fun s env ->
+      match s with
+      | Sif (c, _, f) -> check s (Gif (Option.is_some f)) c (Some env)
+      | Swhile (c, body) ->
+          check s (Gloop body) c (Hashtbl.find_opt r.AI.head s)
+      | Sfor (_, Some c, _, body) ->
+          check s (Gloop body) c (Hashtbl.find_opt r.AI.head s)
+      | Sdo (body, c) -> check s (Gdo body) c (Hashtbl.find_opt r.AI.head s)
+      | _ -> ());
+  List.sort_uniq Diagnostic.compare !diags
+
+(* ------------------------------------------------------------------ *)
+(* Pass: unused-range                                                  *)
+
+(* Comparison leaves of a boolean guard. *)
+let rec cmp_leaves e =
+  match e with
+  | Binary ((And | Or), a, b) -> cmp_leaves a @ cmp_leaves b
+  | Unary (Not, a) -> cmp_leaves a
+  | Binary ((Lt | Le | Gt | Ge | Eq | Ne), _, _) -> [ e ]
+  | _ -> []
+
+let unused_range ?srcmap (r : AI.result) (m : meth) =
+  let diags = ref [] in
+  let check s c envo =
+    match (envo, c) with
+    | Some env, Binary ((And | Or), _, _)
+      when E.truth_of env c = Domain.Unknown ->
+        List.iter
+          (fun leaf ->
+            match E.truth_of env leaf with
+            | Domain.Unknown -> ()
+            | t -> (
+                let consts =
+                  List.filter_map
+                    (fun x ->
+                      Option.map
+                        (fun n -> (x, n))
+                        (Interval.is_const (E.var env x)))
+                    (vars_of_expr leaf)
+                in
+                match consts with
+                | (x, n) :: _ ->
+                    diags :=
+                      Diagnostic.make ~pass:"unused-range" ~severity:Warning
+                        ~meth:m.m_name
+                        ?pos:(stmt_pos srcmap s)
+                        (Printf.sprintf
+                           "redundant test %s: %s is always %d, so the test \
+                            always %s"
+                           (quote (Pretty.expr leaf))
+                           (quote x) n
+                           (if t = Domain.True then "holds" else "fails"))
+                      :: !diags
+                | [] -> ()))
+          (cmp_leaves c)
+    | _ -> ()
+  in
+  iter_reachable r m.m_body ~f:(fun s env ->
+      match s with
+      | Sif (c, _, _) -> check s c (Some env)
+      | Swhile (c, _) | Sdo (_, c) -> check s c (Hashtbl.find_opt r.AI.head s)
+      | Sfor (_, Some c, _, _) -> check s c (Hashtbl.find_opt r.AI.head s)
+      | _ -> ());
+  List.sort_uniq Diagnostic.compare !diags
+
+(* ------------------------------------------------------------------ *)
+(* Loop-bound inference and static cost signatures                     *)
+
+type bound = Bconst | Blinear of string | Bunknown
+type cost = Known of int | Unknown_cost
+
+let rec const_of = function
+  | Int_lit n -> Some n
+  | Char_lit c -> Some (Char.code c)
+  | Unary (Neg, e) -> Option.map (fun n -> -n) (const_of e)
+  | Unary (Uplus, e) -> const_of e
+  | _ -> None
+
+(* An expression node that bumps [i] by a compile-time constant. *)
+let step_of i e =
+  match e with
+  | Incdec ((Pre_incr | Post_incr), Var x) when x = i -> Some 1
+  | Incdec ((Pre_decr | Post_decr), Var x) when x = i -> Some (-1)
+  | Assign (Add_eq, Var x, k) when x = i -> const_of k
+  | Assign (Sub_eq, Var x, k) when x = i ->
+      Option.map (fun n -> -n) (const_of k)
+  | Assign (Set, Var x, Binary (Add, Var y, k)) when x = i && y = i ->
+      const_of k
+  | Assign (Set, Var x, Binary (Add, k, Var y)) when x = i && y = i ->
+      const_of k
+  | Assign (Set, Var x, Binary (Sub, Var y, k)) when x = i && y = i ->
+      Option.map (fun n -> -n) (const_of k)
+  | _ -> None
+
+let base_var e =
+  let rec go = function
+    | Var x -> Some x
+    | Index (b, _) | Field (b, _) -> go b
+    | _ -> None
+  in
+  go e
+
+(* Does this expression node write [i] at all? *)
+let node_writes i = function
+  | Assign (_, lhs, _) -> base_var lhs = Some i
+  | Incdec (_, tgt) -> base_var tgt = Some i
+  | _ -> false
+
+(* All expressions of a statement tree, nested statements included. *)
+let deep_exprs body update =
+  let acc = ref update in
+  let stmt s =
+    let add e = acc := e :: !acc in
+    match s with
+    | Sexpr e -> add e
+    | Sdecl ds -> List.iter (fun d -> Option.iter add d.d_init) ds
+    | Sreturn (Some e) -> add e
+    | Sif (c, _, _) -> add c
+    | Swhile (c, _) | Sdo (_, c) -> add c
+    | Sfor (init, cond, up, _) ->
+        (match init with
+        | Some (For_decl ds) -> List.iter (fun d -> Option.iter add d.d_init) ds
+        | Some (For_exprs es) -> List.iter add es
+        | None -> ());
+        Option.iter add cond;
+        List.iter add up
+    | Sswitch (scrut, cs) ->
+        add scrut;
+        List.iter (fun c -> Option.iter add c.case_label) cs
+    | _ -> ()
+  in
+  iter_stmt stmt body;
+  !acc
+
+(* [continue] (binding to this loop, i.e. not inside a nested loop)
+   makes any body update site conditional. *)
+let rec has_continue s =
+  match s with
+  | Scontinue -> true
+  | Sblock b -> List.exists has_continue b
+  | Sif (_, t, f) ->
+      has_continue t
+      || (match f with Some f -> has_continue f | None -> false)
+  | Sswitch (_, cs) ->
+      List.exists (fun c -> List.exists has_continue c.case_body) cs
+  | _ -> false
+
+(* The counter discipline: every write to [i] anywhere in the loop is a
+   constant step of one consistent direction, and at least one step site
+   runs unconditionally each iteration (the for-update, or a top-level
+   body statement with no [continue] that could skip it). *)
+let counter_ok i ~dir ~unit_only body update =
+  let exprs = deep_exprs body update in
+  let sites = ref [] in
+  let bad = ref false in
+  List.iter
+    (iter_expr (fun e ->
+         if node_writes i e then
+           match step_of i e with
+           | Some k when k <> 0 -> sites := k :: !sites
+           | _ -> bad := true))
+    exprs;
+  (not !bad) && !sites <> []
+  && (let sgn = if List.hd !sites > 0 then 1 else -1 in
+      List.for_all (fun k -> (if k > 0 then 1 else -1) = sgn) !sites
+      && (dir = 0 || sgn = dir)
+      && ((not unit_only) || List.for_all (fun k -> abs k = 1) !sites))
+  &&
+  let unconditional_update =
+    List.exists (fun e -> step_of i e <> None) update
+  in
+  let top_level =
+    let stmts = match body with Sblock b -> b | s -> [ s ] in
+    List.exists
+      (fun s -> match s with Sexpr e -> step_of i e <> None | _ -> false)
+      stmts
+    && not (has_continue body)
+  in
+  unconditional_update || top_level
+
+let rec conjuncts e =
+  match e with Binary (And, a, b) -> conjuncts a @ conjuncts b | e -> [ e ]
+
+let flip = function Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le | op -> op
+
+(* Symbolic classification of a loop's iteration bound. *)
+let classify (r : AI.result) s cond update body =
+  let assigned =
+    List.fold_left
+      (fun acc e -> assigned_vars e @ acc)
+      [] (deep_exprs body update)
+  in
+  let limit_bound limit =
+    match limit with
+    | Var v when not (List.mem v assigned) -> Blinear v
+    | Field (Var a, "length") when not (List.mem a assigned) ->
+        Blinear (a ^ ".length")
+    | _ -> Bunknown
+  in
+  let candidate op ctr limit =
+    match ctr with
+    | Var i when not (List.mem i (vars_of_expr limit)) ->
+        let dir, unit_only =
+          match op with
+          | Lt | Le -> (1, false)
+          | Gt | Ge -> (-1, false)
+          | Ne -> (0, true)
+          | _ -> (0, false)
+        in
+        if counter_ok i ~dir ~unit_only body update then
+          (* A finite interval for the counter at the settled loop head
+             bounds the trip count outright (the counter moves by a
+             nonzero constant every iteration). *)
+          let finite_head =
+            match Hashtbl.find_opt r.AI.head s with
+            | Some h ->
+                let v = E.var h i in
+                Interval.lo_int v <> None && Interval.hi_int v <> None
+            | None -> false
+          in
+          if finite_head then Bconst else limit_bound limit
+        else Bunknown
+    | _ -> Bunknown
+  in
+  match cond with
+  | None -> Bunknown
+  | Some cond ->
+      let try_conjunct e =
+        match e with
+        | Binary (((Lt | Le | Gt | Ge | Ne) as op), a, b) -> (
+            match candidate op a b with
+            | Bunknown -> candidate (flip op) b a
+            | bd -> bd)
+        | _ -> Bunknown
+      in
+      List.fold_left
+        (fun acc c ->
+          match acc with Bunknown -> try_conjunct c | _ -> acc)
+        Bunknown (conjuncts cond)
+
+let classify_loop (r : AI.result) s =
+  match s with
+  | Swhile (cond, body) -> classify r s (Some cond) [] body
+  | Sfor (_, cond, update, body) -> classify r s cond update body
+  | Sdo (body, cond) -> classify r s (Some cond) [] body
+  | _ -> Bunknown
+
+(* Static cost: the polynomial degree of the deepest classified loop
+   nest, with the outermost degree-raising loop as witness.  Any
+   unclassifiable loop taints the whole method — better no efficiency
+   verdict than a wrong one. *)
+let rec cost_stmt (r : AI.result) s : cost * stmt option =
+  match s with
+  | Swhile (_, body) | Sdo (body, _) | Sfor (_, _, _, body) -> (
+      match classify_loop r s with
+      | Bunknown -> (Unknown_cost, None)
+      | b -> (
+          match cost_block r [ body ] with
+          | Unknown_cost, _ -> (Unknown_cost, None)
+          | Known d, w ->
+              let linear = match b with Blinear _ -> true | _ -> false in
+              let d' = if linear then d + 1 else d in
+              let w' = if linear then Some s else w in
+              (Known d', if d' = 0 then None else w')))
+  | Sif (_, t, f) ->
+      cost_max (cost_stmt r t)
+        (match f with Some f -> cost_stmt r f | None -> (Known 0, None))
+  | Sblock b -> cost_block r b
+  | Sswitch (_, cs) ->
+      List.fold_left
+        (fun acc c -> cost_max acc (cost_block r c.case_body))
+        (Known 0, None) cs
+  | _ -> (Known 0, None)
+
+and cost_block r stmts =
+  List.fold_left (fun acc s -> cost_max acc (cost_stmt r s)) (Known 0, None)
+    stmts
+
+and cost_max (a, wa) (b, wb) =
+  match (a, b) with
+  | Unknown_cost, _ | _, Unknown_cost -> (Unknown_cost, None)
+  | Known x, Known y -> if y > x then (b, wb) else (a, wa)
+
+let method_cost ?fuel (m : meth) =
+  let r = AI.analyze_meth ?fuel m in
+  if r.AI.exhausted then (Unknown_cost, None) else cost_block r m.m_body
+
+let method_degrees ?fuel (p : program) =
+  List.filter_map
+    (fun m ->
+      match method_cost ?fuel m with
+      | Known d, _ -> Some (m.m_name, d)
+      | Unknown_cost, _ -> None)
+    p.methods
+
+let degree_str = function
+  | 0 -> "O(1)"
+  | 1 -> "O(n)"
+  | d -> Printf.sprintf "O(n^%d)" d
+
+(* ------------------------------------------------------------------ *)
+(* Pass: efficiency (submission cost vs the oracle's)                  *)
+
+let efficiency_meth ?srcmap (r : AI.result) ~oracle_degrees (m : meth) =
+  match List.assoc_opt m.m_name oracle_degrees with
+  | None -> []
+  | Some od -> (
+      match cost_block r m.m_body with
+      | Known sd, Some w when sd > od ->
+          [
+            Diagnostic.make ~pass:"efficiency" ~severity:Warning
+              ~meth:m.m_name
+              ?pos:(stmt_pos srcmap w)
+              (Printf.sprintf
+                 "this loop makes the method run in %s, but the reference \
+                  solution is %s"
+                 (degree_str sd) (degree_str od));
+          ]
+      | _ -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let guard pass meth_name f =
+  match f () with
+  | diags -> diags
+  | exception e ->
+      [
+        Diagnostic.make ~pass ~severity:Error ~meth:meth_name
+          (Printf.sprintf "analysis failed: %s" (Printexc.to_string e));
+      ]
+
+let analyze_method ?srcmap ?fuel ?(oracle_degrees = []) (m : meth) =
+  let tr = Jfeed_trace.Trace.current () in
+  (* span names stay in the [pass:] namespace so the slowlog/stage
+     rollups keep their frozen stage set (everything truncates to
+     "pass") *)
+  let sp id = if Jfeed_trace.Trace.enabled tr then "pass:" ^ id else "pass" in
+  let r =
+    Jfeed_trace.Trace.span tr (sp Interval.name) (fun () ->
+        AI.analyze_meth ?fuel m)
+  in
+  Jfeed_trace.Trace.count tr "absint.steps" r.AI.steps;
+  Jfeed_trace.Trace.count tr "absint.widenings" r.AI.widenings;
+  let runs =
+    [
+      ("div-by-zero", fun () -> div_by_zero ?srcmap r m);
+      ("array-out-of-bounds", fun () -> array_oob ?srcmap r m);
+      ("constant-condition", fun () -> constant_condition ?srcmap r m);
+      ("unused-range", fun () -> unused_range ?srcmap r m);
+      ("efficiency", fun () -> efficiency_meth ?srcmap r ~oracle_degrees m);
+    ]
+  in
+  List.concat_map
+    (fun (id, f) ->
+      Jfeed_trace.Trace.span tr (sp id) (fun () ->
+          let diags = guard id m.m_name f in
+          Jfeed_trace.Trace.add_attr tr "diags"
+            (string_of_int (List.length diags));
+          diags))
+    runs
+  |> List.sort Diagnostic.compare
+
+(* Satellite: a suspicious-loop and a constant-condition diagnostic on
+   the same guard describe one problem; collapse them into a single
+   merged constant-condition entry.  Positionless diagnostics (no
+   srcmap) are never merged — a (meth, 0, 0) key could alias distinct
+   loops. *)
+let merge_overlaps diags =
+  let key (d : Diagnostic.t) = (d.meth, d.line, d.col) in
+  let sl_at k =
+    List.find_opt
+      (fun (d : Diagnostic.t) -> d.pass = "suspicious-loop" && key d = k)
+      diags
+  in
+  let cc_keys =
+    List.filter_map
+      (fun (d : Diagnostic.t) ->
+        if d.pass = "constant-condition" && d.line > 0 then Some (key d)
+        else None)
+      diags
+  in
+  List.filter_map
+    (fun (d : Diagnostic.t) ->
+      if d.pass = "suspicious-loop" && d.line > 0 && List.mem (key d) cc_keys
+      then None
+      else if d.pass = "constant-condition" && d.line > 0 then
+        match sl_at (key d) with
+        | Some sl -> Some { d with message = d.message ^ "; " ^ sl.message }
+        | None -> Some d
+      else Some d)
+    diags
+
+let analyze_program ?srcmap ?fuel ?oracle ?oracle_degrees (p : program) =
+  let oracle_degrees =
+    match (oracle_degrees, oracle) with
+    | Some ds, _ -> ds
+    | None, Some o -> method_degrees ?fuel o
+    | None, None -> []
+  in
+  let base = Jfeed_analysis.Passes.analyze_program ?srcmap p in
+  let ai =
+    List.concat_map (analyze_method ?srcmap ?fuel ~oracle_degrees) p.methods
+  in
+  merge_overlaps (base @ ai) |> List.sort Diagnostic.compare
+
+let analyze_source ?fuel ?oracle ?oracle_degrees src =
+  match Parser.parse_program_located src with
+  | prog, srcmap -> analyze_program ~srcmap ?fuel ?oracle ?oracle_degrees prog
+  | exception _ ->
+      (* delegate: the base analyzer renders lex/parse failures as the
+         canonical [parse] diagnostic *)
+      Jfeed_analysis.Passes.analyze_source src
+
+let bound_stats ?fuel (p : program) =
+  let loops = ref 0 and known = ref 0 in
+  List.iter
+    (fun m ->
+      let r = AI.analyze_meth ?fuel m in
+      iter_stmt
+        (fun s ->
+          match s with
+          | Swhile _ | Sdo _ | Sfor _ ->
+              incr loops;
+              if classify_loop r s <> Bunknown then incr known
+          | _ -> ())
+        (Sblock m.m_body))
+    p.methods;
+  (!loops, !known)
+
+let count_by_pass diags =
+  let counts = Hashtbl.create 16 in
+  let extra = ref [] in
+  List.iter
+    (fun (d : Diagnostic.t) ->
+      match Hashtbl.find_opt counts d.pass with
+      | None ->
+          Hashtbl.add counts d.pass 1;
+          if not (List.mem d.pass all_pass_ids) then extra := d.pass :: !extra
+      | Some n -> Hashtbl.replace counts d.pass (n + 1))
+    diags;
+  let of_id id =
+    (id, match Hashtbl.find_opt counts id with Some n -> n | None -> 0)
+  in
+  List.map of_id all_pass_ids @ List.rev_map of_id !extra

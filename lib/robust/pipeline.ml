@@ -112,13 +112,30 @@ let outcome_of ~tests ~diags grading reasons =
 
 (* The analysis passes are total by contract, but the pipeline trusts
    nothing: a crash here yields an empty diagnostic list, never a
-   changed outcome. *)
-let analyze_stage (prog, srcmap) =
+   changed outcome.  [oracle_degrees] (the reference solution's static
+   cost signature) arms the efficiency pass; without it the
+   abstract-interpretation passes still run but no efficiency verdicts
+   are possible. *)
+let analyze_stage ?oracle_degrees (prog, srcmap) =
   Trace.span (Trace.current ()) "analysis" @@ fun () ->
   match
-    protect (fun () -> Jfeed_analysis.Passes.analyze_program ~srcmap prog)
+    protect (fun () ->
+        Jfeed_absint.Passes.analyze_program ~srcmap ?oracle_degrees prog)
   with
   | Ok diags -> diags
+  | Error _ -> []
+
+(* The per-method polynomial degrees of the bundle's reference solution.
+   Recomputed per assessment like the expected test outputs — the
+   fixpoint over a reference method costs microseconds — so workers
+   share no state. *)
+let oracle_degrees (b : Bundles.t) =
+  match
+    protect (fun () ->
+        Jfeed_absint.Passes.method_degrees
+          (Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)))
+  with
+  | Ok ds -> ds
   | Error _ -> []
 
 let grade_guarded ?budget ?normalize ?use_variants ?inline_helpers spec src =
@@ -156,7 +173,9 @@ let assess ?budget ?normalize ?use_variants ?inline_helpers
   match parse_stage src with
   | Error d -> Outcome.Rejected d
   | Ok ((prog, _) as parsed) ->
-      let diags = analyze_stage parsed in
+      let diags =
+        analyze_stage ~oracle_degrees:(oracle_degrees b) parsed
+      in
       let grading, reasons =
         grade_prog ?budget ?normalize ?use_variants ?inline_helpers
           b.Bundles.grading prog
@@ -237,9 +256,11 @@ let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
    Raw-fingerprint classes contain byte-identical sources only, so a
    [Rejected] outcome (whose diagnostic quotes exact positions) replays
    verbatim. *)
-let replay_item ~file ~src (r : item) =
+let replay_item ?oracle_degrees ~file ~src (r : item) =
   let member_diags () =
-    match parse_stage src with Ok parsed -> analyze_stage parsed | Error _ -> []
+    match parse_stage src with
+    | Ok parsed -> analyze_stage ?oracle_degrees parsed
+    | Error _ -> []
   in
   let outcome =
     match r.outcome with
@@ -308,6 +329,7 @@ let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
       let by_idx = Hashtbl.create (2 * Array.length work) in
       Array.iteri (fun k i -> Hashtbl.add by_idx i graded.(k)) work;
       let replayed = ref 0 in
+      let od = oracle_degrees b in
       let items =
         List.init n (fun i ->
             if rep.(i) = i then Hashtbl.find by_idx i
@@ -315,7 +337,8 @@ let run_batch ?fuel ?deadline_s ?with_tests ?(jobs = 1) ?(traced = false)
               incr replayed;
               let file, src = srcs.(i) in
               let src = match src with Ok s -> s | Error e -> e in
-              replay_item ~file ~src (Hashtbl.find by_idx rep.(i))
+              replay_item ~oracle_degrees:od ~file ~src
+                (Hashtbl.find by_idx rep.(i))
             end)
       in
       (items, Some { classes = Hashtbl.length tbl; replayed = !replayed })

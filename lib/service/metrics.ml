@@ -152,6 +152,15 @@ let to_stats ?ext t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
             | Some n -> n
             | None -> 0 ))
         Jfeed_analysis.Passes.pass_ids;
+    (* same discipline for the abstract-interpretation passes *)
+    absint_counts =
+      List.map
+        (fun pass ->
+          ( pass,
+            match Hashtbl.find_opt t.diag_counts pass with
+            | Some n -> n
+            | None -> 0 ))
+        Jfeed_absint.Passes.pass_ids;
     p50_ms = percentile t 0.50;
     p95_ms = percentile t 0.95;
     ext;
@@ -262,6 +271,23 @@ let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
   counter "jfeed_repair_fuel_total"
     "Interpreter fuel spent screening repair candidates."
     (Jfeed_repair.Repair.fuel_total ());
+  (* Abstract-interpretation findings, by pass — prepend zone for the
+     same reason as the families above. *)
+  Buffer.add_string b
+    "# HELP jfeed_absint_diagnostics_total Abstract-interpretation \
+     findings delivered, by pass.\n\
+     # TYPE jfeed_absint_diagnostics_total counter\n";
+  List.iter
+    (fun pass ->
+      let n =
+        match Hashtbl.find_opt t.diag_counts pass with
+        | Some n -> n
+        | None -> 0
+      in
+      Buffer.add_string b
+        (Printf.sprintf "jfeed_absint_diagnostics_total{pass=%S} %d\n" pass
+           n))
+    Jfeed_absint.Passes.pass_ids;
   counter "jfeed_requests_total" "Request lines handled, any op." t.requests;
   counter "jfeed_grades_total" "Grade requests answered (cached or not)."
     t.grades;

@@ -371,6 +371,7 @@ type stats = {
   queue_max : int;
   queue_cap : int;
   diag_counts : (string * int) list;
+  absint_counts : (string * int) list;
   p50_ms : float;
   p95_ms : float;
   ext : stats_ext option;
@@ -401,14 +402,23 @@ let stats_response ?id s =
           {|,"admission":{"shed":%d,"degraded":%d},"shards":%d,"conns":%d%s|}
           e.shed e.degraded_admission e.shards e.conns store
   in
+  (* The abstract-interpretation pass counts render after latency_ms —
+     the frozen cram golden masks the stats line from ["latency_ms":]
+     on, so appending there extends the response without repinning. *)
+  let absint =
+    String.concat ","
+      (List.map
+         (fun (pass, n) -> Printf.sprintf {|"%s":%d|} (esc pass) n)
+         s.absint_counts)
+  in
   (* %.3g: three significant digits whatever the magnitude — a 40 µs
      p50 renders as 0.0412, not the 0.000 that fixed-point %.3f gave. *)
   Printf.sprintf
-    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d}%s,"latency_ms":{"p50":%.3g,"p95":%.3g}}|}
+    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d}%s,"latency_ms":{"p50":%.3g,"p95":%.3g},"absint":{%s}}|}
     (id_prefix id) s.requests s.grades s.stats_reqs s.errors s.cache_hits
     s.cache_misses s.cache_size s.cache_cap s.graded s.degraded s.rejected
     diagnostics s.queue_depth s.queue_max s.queue_cap ext_fields s.p50_ms
-    s.p95_ms
+    s.p95_ms absint
 
 type slow_entry = {
   s_assignment : string;

@@ -126,6 +126,10 @@ type stats = {
       (** static-analysis findings delivered, per pass id; the five
           standard passes always present, in {!Jfeed_analysis.Passes.pass_ids}
           order, so the rendered object is byte-stable *)
+  absint_counts : (string * int) list;
+      (** abstract-interpretation findings, per pass id; rendered as a
+          trailing ["absint"] object after [latency_ms] so the frozen
+          stats golden (masked from [latency_ms] on) is untouched *)
   p50_ms : float;  (** grade latency percentiles, 0 when no grades yet *)
   p95_ms : float;
   ext : stats_ext option;  (** concurrent-daemon figures, see above *)

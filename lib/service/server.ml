@@ -295,7 +295,7 @@ let grade_miss (m : miss) =
       diag_counts =
         (match Outcome.report item.Pipeline.outcome with
         | Some rep ->
-            Jfeed_analysis.Passes.count_by_pass rep.Outcome.diags
+            Jfeed_absint.Passes.count_by_pass rep.Outcome.diags
         | None -> []);
       result_json = Outcome.to_json ~comments:true item.Pipeline.outcome;
     }

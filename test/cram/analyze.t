@@ -1,6 +1,7 @@
-The static-analysis CLI: `jfeed analyze` runs the five submission
-passes over Java sources and cites method:line:col positions; a clean
-file is silent and exits 0.
+The static-analysis CLI: `jfeed analyze` runs the ten submission
+passes — five flow passes plus five interval abstract-interpretation
+passes — over Java sources and cites method:line:col positions; a
+clean file is silent and exits 0.
 
   $ cat > clean.java <<'EOF'
   > int sum(int n) {
@@ -67,6 +68,89 @@ way perf.t pins the benchmark schemas — a key rename must diff here:
   "method":
   "pass":
   "severity":
+
+The interval passes: division by a provable zero, an index provably
+outside the tracked array length, a redundant comparison leaf inside a
+compound guard, and a constant loop guard.  The last one overlaps the
+flow layer's suspicious-loop on the same guard — the driver delivers
+ONE merged diagnostic there, interval verdict first, flow explanation
+appended:
+
+  $ cat > ivals.java <<'EOF'
+  > int stats(int n) {
+  >     int zero = 0;
+  >     int[] b = new int[3];
+  >     int total = b[3];
+  >     int bad = total / zero;
+  >     if (zero == 0 && n > 5) {
+  >         total = total + 1;
+  >     }
+  >     int k = 3;
+  >     while (k > 0) {
+  >         total = total + bad;
+  >     }
+  >     return total;
+  > }
+  > EOF
+  $ jfeed analyze ivals.java
+  ivals.java:stats:4:5: error [array-out-of-bounds] array index '3' is always out of bounds (index [3], length [3])
+  ivals.java:stats:5:5: error [div-by-zero] division by zero: 'zero' is always 0
+  ivals.java:stats:6:5: warning [unused-range] redundant test 'zero == 0': 'zero' is always 0, so the test always holds
+  ivals.java:stats:10:5: warning [constant-condition] loop condition 'k > 0' is always true — likely infinite loop; loop condition only reads 'k', which the loop body never updates
+  [1]
+
+--only and --except filter by pass id (parse failures always get
+through); the exit-code contract is unchanged — 1 when any diagnostic
+survives the filter, 0 when none does:
+
+  $ jfeed analyze --only div-by-zero ivals.java
+  ivals.java:stats:5:5: error [div-by-zero] division by zero: 'zero' is always 0
+  [1]
+  $ jfeed analyze --only efficiency ivals.java
+  $ jfeed analyze --except div-by-zero,array-out-of-bounds,constant-condition,unused-range ivals.java
+
+An unknown pass id, or combining the two filters, is a usage error
+(exit 2, like every other one):
+
+  $ jfeed analyze --only bogus ivals.java
+  jfeed analyze: unknown pass 'bogus' (known: use-before-init, dead-store, unreachable, missing-return, suspicious-loop, div-by-zero, array-out-of-bounds, constant-condition, unused-range, efficiency)
+  [2]
+  $ jfeed analyze --only div-by-zero --except unused-range ivals.java
+  jfeed analyze: --only and --except are mutually exclusive
+  [2]
+
+--oracle FILE turns on efficiency grading: loop-bound inference
+assigns each method a polynomial degree, and a submission whose degree
+exceeds the oracle solution's for the same-named method is flagged at
+the offending loop:
+
+  $ cat > lin.java <<'EOF'
+  > int sumAll(int[] a) {
+  >     int total = 0;
+  >     for (int i = 0; i < a.length; i++) {
+  >         total = total + a[i];
+  >     }
+  >     return total;
+  > }
+  > EOF
+  $ cat > quad.java <<'EOF'
+  > int sumAll(int[] a) {
+  >     int total = 0;
+  >     for (int i = 0; i < a.length; i++) {
+  >         for (int j = 0; j <= i; j++) {
+  >             if (j == i) { total = total + a[i]; }
+  >         }
+  >     }
+  >     return total;
+  > }
+  > EOF
+  $ jfeed analyze --oracle lin.java quad.java
+  quad.java:sumAll:3:5: warning [efficiency] this loop makes the method run in O(n^2), but the reference solution is O(n)
+  [1]
+  $ jfeed analyze --oracle lin.java lin.java
+  $ jfeed analyze --oracle missing.java lin.java
+  jfeed analyze: --oracle: missing.java: No such file or directory
+  [2]
 
 Output is byte-identical at any worker-pool width, and a nonsensical
 width is a usage error:

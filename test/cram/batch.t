@@ -51,7 +51,7 @@ to run, so they are masked; everything else is deterministic.
 
   $ jfeed batch assignment1 clean --trace | sed -E 's/"ms":[0-9.]+/"ms":MS/g'
   {"assignment":"assignment1","total":1,"graded":1,"degraded":0,"rejected":0,"dedup":{"classes":1,"replayed":0},"submissions":[
-    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0,"trace":{"stages":{"parse":{"n":1,"ms":MS},"analysis":{"n":1,"ms":MS},"pass":{"n":5,"ms":MS},"epdg":{"n":1,"ms":MS},"pairing":{"n":1,"ms":MS},"match":{"n":6,"ms":MS},"tests":{"n":1,"ms":MS},"interp":{"n":10,"ms":MS}},"counters":{"match.nodes:p_param_decl":2,"match.fuel:p_param_decl":2,"plan.steps:p_param_decl":2,"match.cache_miss:p_param_decl":1,"match.nodes:p_odd_access":48,"match.fuel:p_odd_access":48,"plan.steps:p_odd_access":48,"match.cache_miss:p_odd_access":1,"match.nodes:p_even_access":48,"match.fuel:p_even_access":48,"plan.steps:p_even_access":48,"match.cache_miss:p_even_access":1,"match.nodes:p_cond_accum_add":36,"match.fuel:p_cond_accum_add":36,"plan.steps:p_cond_accum_add":36,"match.cache_miss:p_cond_accum_add":1,"match.nodes:p_cond_accum_mul":36,"match.fuel:p_cond_accum_mul":36,"plan.steps:p_cond_accum_mul":36,"match.cache_miss:p_cond_accum_mul":1,"match.nodes:p_print_var":28,"match.fuel:p_print_var":28,"plan.steps:p_print_var":28,"match.cache_miss:p_print_var":1,"interp.steps":250,"fuel.matcher":198,"fuel.pairing":1,"fuel.interp":125}}}
+    {"file":"ref.java","outcome":"graded","score":10,"max":10,"tests":"passed","reasons":[],"diags":0,"trace":{"stages":{"parse":{"n":1,"ms":MS},"analysis":{"n":1,"ms":MS},"pass":{"n":11,"ms":MS},"epdg":{"n":1,"ms":MS},"pairing":{"n":1,"ms":MS},"match":{"n":6,"ms":MS},"tests":{"n":1,"ms":MS},"interp":{"n":10,"ms":MS}},"counters":{"absint.steps":44,"absint.widenings":1,"match.nodes:p_param_decl":2,"match.fuel:p_param_decl":2,"plan.steps:p_param_decl":2,"match.cache_miss:p_param_decl":1,"match.nodes:p_odd_access":48,"match.fuel:p_odd_access":48,"plan.steps:p_odd_access":48,"match.cache_miss:p_odd_access":1,"match.nodes:p_even_access":48,"match.fuel:p_even_access":48,"plan.steps:p_even_access":48,"match.cache_miss:p_even_access":1,"match.nodes:p_cond_accum_add":36,"match.fuel:p_cond_accum_add":36,"plan.steps:p_cond_accum_add":36,"match.cache_miss:p_cond_accum_add":1,"match.nodes:p_cond_accum_mul":36,"match.fuel:p_cond_accum_mul":36,"plan.steps:p_cond_accum_mul":36,"match.cache_miss:p_cond_accum_mul":1,"match.nodes:p_print_var":28,"match.fuel:p_print_var":28,"plan.steps:p_print_var":28,"match.cache_miss:p_print_var":1,"interp.steps":250,"fuel.matcher":198,"fuel.pairing":1,"fuel.interp":125}}}
   ]}
 
 --trace-dir writes one Chrome trace_event file per submission plus an
@@ -71,7 +71,7 @@ events for the spans and one final counter ("C") event:
   $ head -c1 tdir/ref.java.trace.json; echo
   [
   $ grep -c '"ph":"X"' tdir/ref.java.trace.json
-  26
+  32
   $ grep -c '"ph":"C"' tdir/ref.java.trace.json
   1
 

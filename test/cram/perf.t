@@ -155,3 +155,35 @@ The parallel search reproduced the sequential hints byte-for-byte:
   $ grep -o '"identical":true' BENCH_repair.json
   "identical":true
 
+The analysis trajectory: `bench analyze` runs the full ten-pass
+analysis — each reference solution serving as the efficiency oracle —
+over a sample of every assignment and writes BENCH_analysis.json
+(analysis ms/submission, findings per pass, and the loop bound-
+inference hit rate).  Pass ids carry hyphens, so the per-pass counts
+ride in {"pass":…,"n":…} objects and the key pin stays hyphen-free:
+
+  $ jfeed-bench analyze --sample 2 > /dev/null
+  $ grep -c '"schema":"jfeed-bench-analysis/1"' BENCH_analysis.json
+  1
+  $ grep -o '"[a-z0-9_]*":' BENCH_analysis.json | sort -u
+  "assignments":
+  "bound_hit_rate":
+  "bounded":
+  "diags":
+  "id":
+  "loops":
+  "ms_per_submission":
+  "n":
+  "pass":
+  "sample":
+  "schema":
+  "seed":
+  "submissions":
+  "total":
+
+One diag-count object per pass, ten passes, twelve assignments plus
+the total row:
+
+  $ grep -o '"pass":' BENCH_analysis.json | wc -l
+  130
+

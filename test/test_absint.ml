@@ -1,0 +1,460 @@
+(** Abstract interpretation layer: interval lattice laws, widening
+    termination, engine soundness against the concrete interpreter on a
+    generated program corpus, the five absint diagnostic passes with the
+    merged suspicious-loop/constant-condition satellite, the efficiency
+    oracle comparison, and the same invariance battery the flow passes
+    pin — α-renaming, whitespace reflow, worker-pool width. *)
+
+open Jfeed_kb
+open Jfeed_java
+module I = Jfeed_absint.Interval
+module P = Jfeed_absint.Passes
+module AI = P.AI
+module E = AI.E
+module D = Jfeed_analysis.Diagnostic
+module Mutate = Jfeed_gen.Mutate
+module Pool = Jfeed_parallel.Pool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let of_pass pass src =
+  List.filter (fun d -> d.D.pass = pass) (P.analyze_source src)
+
+(* ------------------------------------------------------------------ *)
+(* Interval lattice laws (qcheck)                                      *)
+
+let arbitrary_interval =
+  let interesting =
+    [ -2147483648; -2147483647; -100; -7; -1; 0; 1; 7; 100; 2147483646;
+      2147483647 ]
+  in
+  let gen =
+    QCheck.Gen.(
+      let* k = int_bound 9 in
+      if k = 0 then return I.top
+      else if k = 1 then map I.const (oneofl interesting)
+      else
+        let* a = oneofl interesting in
+        let* b = oneofl interesting in
+        return (I.range (min a b) (max a b)))
+  in
+  QCheck.make ~print:I.to_string gen
+
+let leq a b = I.equal (I.join a b) b
+
+let prop_join_lattice =
+  QCheck.Test.make ~count:300 ~name:"interval join is a lub"
+    QCheck.(triple arbitrary_interval arbitrary_interval arbitrary_interval)
+    (fun (a, b, c) ->
+      I.equal (I.join a b) (I.join b a)
+      && I.equal (I.join a (I.join b c)) (I.join (I.join a b) c)
+      && I.equal (I.join a a) a
+      && leq a (I.join a b)
+      && leq b (I.join a b))
+
+let prop_meet_lower_bound =
+  QCheck.Test.make ~count:300 ~name:"interval meet is a lower bound"
+    QCheck.(pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) ->
+      match I.meet a b with
+      | None -> true (* disjoint: bottom, no interval to test *)
+      | Some m -> leq m a && leq m b)
+
+let prop_widen_covers =
+  QCheck.Test.make ~count:300 ~name:"widening covers both arguments"
+    QCheck.(pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) -> leq a (I.widen a b) && leq b (I.widen a b))
+
+let prop_widen_terminates =
+  (* Any widening chain stabilises: each step either fixes the state or
+     sends one endpoint to infinity, so four steps always suffice. *)
+  QCheck.Test.make ~count:200 ~name:"widening chains stabilise fast"
+    QCheck.(small_list arbitrary_interval)
+    (fun ys ->
+      let w = ref I.(const 0) and steps = ref 0 in
+      List.iter
+        (fun y ->
+          let next = I.widen !w (I.join !w y) in
+          if not (I.equal next !w) then incr steps;
+          w := next)
+        ys;
+      !steps <= 4)
+
+let prop_narrow_between =
+  QCheck.Test.make ~count:300
+    ~name:"narrowing refines without undershooting"
+    QCheck.(pair arbitrary_interval arbitrary_interval)
+    (fun (a, b) ->
+      if leq b a then
+        let n = I.narrow a b in
+        leq n a && leq b n
+      else true)
+
+let prop_const_mem =
+  QCheck.Test.make ~count:100 ~name:"const n contains n"
+    QCheck.(int_range (-1000) 1000)
+    (fun n -> I.mem n (I.const n) && I.is_const (I.const n) = Some n)
+
+(* ------------------------------------------------------------------ *)
+(* Engine soundness vs the concrete interpreter (qcheck)               *)
+
+(* Random straight-line-plus-structure programs over two int parameters:
+   a few assignments, an optional branch, an optional constant-bounded
+   accumulation loop.  The engine analyses the method with parameters
+   unconstrained, so every concrete run with specific arguments must
+   land inside the inferred return interval. *)
+let arbitrary_program =
+  let gen_expr vars =
+    QCheck.Gen.(
+      sized_size (int_bound 3)
+        (fix (fun self n ->
+             if n = 0 then
+               oneof
+                 [
+                   map string_of_int (int_range (-20) 20); oneofl vars;
+                 ]
+             else
+               let* op = oneofl [ "+"; "-"; "*"; "/"; "%" ] in
+               let* l = self (n - 1) in
+               let* r = self (n - 1) in
+               return (Printf.sprintf "(%s %s %s)" l op r))))
+  in
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 4 in
+      let rec assigns i scope acc =
+        if i = n then return (List.rev acc, scope)
+        else
+          let* e = gen_expr scope in
+          let v = Printf.sprintf "x%d" i in
+          assigns (i + 1) (v :: scope)
+            (Printf.sprintf "    int %s = %s;" v e :: acc)
+      in
+      let* body, scope = assigns 0 [ "a"; "b" ] [] in
+      let* branch =
+        let* yes = bool in
+        if not yes then return []
+        else
+          let* l = oneofl scope in
+          let* r = oneofl scope in
+          let* cmp = oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+          let* e1 = gen_expr scope in
+          let* e2 = gen_expr scope in
+          let t = List.hd scope in
+          return
+            [
+              Printf.sprintf "    if (%s %s %s) { %s = %s; } else { %s = %s; }"
+                l cmp r t e1 t e2;
+            ]
+      in
+      let* loop =
+        let* yes = bool in
+        if not yes then return []
+        else
+          let* k = int_range 0 5 in
+          let* e = gen_expr scope in
+          let t = List.hd scope in
+          return
+            [
+              Printf.sprintf
+                "    for (int i9 = 0; i9 < %d; i9++) { %s = %s + %s; }" k t t e;
+            ]
+      in
+      let* ret = oneofl scope in
+      let src =
+        Printf.sprintf "int f(int a, int b) {\n%s\n    return %s;\n}"
+          (String.concat "\n" (body @ branch @ loop))
+          ret
+      in
+      let* va = int_range (-100) 100 in
+      let* vb = int_range (-100) 100 in
+      return (src, va, vb))
+  in
+  QCheck.make ~print:(fun (src, va, vb) ->
+      Printf.sprintf "%s\n-- f(%d, %d)" src va vb)
+    gen
+
+let prop_ret_sound =
+  QCheck.Test.make ~count:300
+    ~name:"concrete return value lies in the inferred interval"
+    arbitrary_program
+    (fun (src, va, vb) ->
+      let prog = Parser.parse_program src in
+      let m = List.hd prog.Ast.methods in
+      let r = AI.analyze_meth m in
+      let o =
+        Jfeed_interp.Interp.run prog ~entry:"f"
+          ~args:[ Jfeed_interp.Value.Vint va; Jfeed_interp.Value.Vint vb ]
+      in
+      match o.Jfeed_interp.Interp.result with
+      | Some (Jfeed_interp.Value.Vint n) when not r.AI.exhausted -> (
+          match r.AI.ret with Some iv -> I.mem n iv | None -> false)
+      | _ -> true (* runtime error (e.g. /0) or exhausted engine: vacuous *))
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic passes (unit)                                            *)
+
+let test_div_by_zero () =
+  let src =
+    "int f(int n) {\n    int zero = 0;\n    return n / zero;\n}"
+  in
+  match of_pass "div-by-zero" src with
+  | [ d ] ->
+      check_bool "message names the divisor" true
+        (contains d.D.message "'zero' is always 0");
+      check_bool "severity error" true (d.D.severity = D.Error)
+  | ds -> Alcotest.failf "expected 1 div-by-zero, got %d" (List.length ds)
+
+let test_array_oob () =
+  let src =
+    "int f() {\n    int[] b = new int[3];\n    return b[3];\n}"
+  in
+  (match of_pass "array-out-of-bounds" src with
+  | [ d ] ->
+      check_bool "out of bounds message" true
+        (contains d.D.message "always out of bounds")
+  | ds -> Alcotest.failf "expected 1 oob, got %d" (List.length ds));
+  let neg = "int f(int[] a) {\n    return a[0 - 1];\n}" in
+  match of_pass "array-out-of-bounds" neg with
+  | [ d ] ->
+      check_bool "negative message" true
+        (contains d.D.message "always negative")
+  | ds -> Alcotest.failf "expected 1 negative oob, got %d" (List.length ds)
+
+let test_constant_condition_if () =
+  let src =
+    "int f(int n) {\n    int z = 0;\n    if (z > 0) { return 1; }\n\
+    \    return n;\n}"
+  in
+  match of_pass "constant-condition" src with
+  | [ d ] -> check_bool "always false" true (contains d.D.message "always false")
+  | ds -> Alcotest.failf "expected 1 constant-condition, got %d" (List.length ds)
+
+let test_unused_range () =
+  let src =
+    "int f(int n) {\n    int zero = 0;\n\
+    \    if (zero == 0 && n > 5) { return 1; }\n    return n;\n}"
+  in
+  match of_pass "unused-range" src with
+  | [ d ] ->
+      check_bool "redundant leaf named" true
+        (contains d.D.message "redundant test 'zero == 0'")
+  | ds -> Alcotest.failf "expected 1 unused-range, got %d" (List.length ds)
+
+(* The satellite: a constant-true loop guard the body never escapes
+   draws BOTH the flow pass (suspicious-loop) and the interval pass
+   (constant-condition) to the same position — the driver must deliver
+   exactly one merged diagnostic there. *)
+let test_merged_overlap () =
+  let src =
+    "int f(int n) {\n    int k = 3;\n    int t = 0;\n\
+    \    while (k > 0) { t = t + n; }\n    return t;\n}"
+  in
+  let ds = P.analyze_source src in
+  let at_loop = List.filter (fun d -> d.D.line = 4) ds in
+  (match at_loop with
+  | [ d ] ->
+      check_bool "merged pass id" true (d.D.pass = "constant-condition");
+      check_bool "interval half present" true
+        (contains d.D.message "always true");
+      check_bool "flow half appended" true
+        (contains d.D.message "; loop condition only reads 'k'")
+  | _ ->
+      Alcotest.failf "expected exactly 1 merged diagnostic at the loop, got %d"
+        (List.length at_loop));
+  check_bool "no separate suspicious-loop survives" true
+    (List.for_all (fun d -> d.D.pass <> "suspicious-loop") ds)
+
+(* ------------------------------------------------------------------ *)
+(* Loop bounds and the efficiency oracle                               *)
+
+let quadratic =
+  "int sumAll(int[] a) {\n    int total = 0;\n\
+  \    for (int i = 0; i < a.length; i++) {\n\
+  \        for (int j = 0; j <= i; j++) {\n\
+  \            if (j == i) { total = total + a[i]; }\n        }\n    }\n\
+  \    return total;\n}"
+
+let linear =
+  "int sumAll(int[] a) {\n    int total = 0;\n\
+  \    for (int i = 0; i < a.length; i++) {\n\
+  \        total = total + a[i];\n    }\n    return total;\n}"
+
+let test_method_degrees () =
+  let deg src =
+    P.method_degrees (Parser.parse_program src)
+  in
+  check_bool "linear is degree 1" true (deg linear = [ ("sumAll", 1) ]);
+  check_bool "quadratic is degree 2" true (deg quadratic = [ ("sumAll", 2) ]);
+  check_int "degree strings" 0
+    (compare
+       [ P.degree_str 0; P.degree_str 1; P.degree_str 2 ]
+       [ "O(1)"; "O(n)"; "O(n^2)" ])
+
+let test_efficiency_oracle () =
+  let oracle = Parser.parse_program linear in
+  let sub = Parser.parse_program quadratic in
+  (match
+     List.filter
+       (fun d -> d.D.pass = "efficiency")
+       (P.analyze_program ~oracle sub)
+   with
+  | [ d ] ->
+      check_bool "names both degrees" true
+        (contains d.D.message "O(n^2)" && contains d.D.message "O(n)");
+      check_bool "warning severity" true (d.D.severity = D.Warning)
+  | ds -> Alcotest.failf "expected 1 efficiency diag, got %d" (List.length ds));
+  check_bool "oracle against itself is silent" true
+    (List.for_all
+       (fun d -> d.D.pass <> "efficiency")
+       (P.analyze_program ~oracle oracle))
+
+let test_bound_stats () =
+  let loops, bounded = P.bound_stats (Parser.parse_program quadratic) in
+  check_int "two loops" 2 loops;
+  check_int "both classified" 2 bounded
+
+(* ------------------------------------------------------------------ *)
+(* The twelve oracles stay absint-diagnostic-free                      *)
+
+let test_oracles_clean () =
+  List.iter
+    (fun (b : Bundles.t) ->
+      let prog =
+        Parser.parse_program (Jfeed_gen.Spec.reference b.Bundles.gen)
+      in
+      let absint =
+        List.filter
+          (fun d -> List.mem d.D.pass P.pass_ids)
+          (P.analyze_program prog)
+      in
+      if absint <> [] then
+        Alcotest.failf "%s reference draws %d absint diagnostics"
+          b.Bundles.grading.Jfeed_core.Grader.a_id (List.length absint))
+    Bundles.all
+
+(* ------------------------------------------------------------------ *)
+(* Totality, widening budget and invariance over the mutated corpus    *)
+
+let arbitrary_mutant =
+  let gen =
+    QCheck.Gen.(
+      let* bi = int_bound (List.length Bundles.all - 1) in
+      let b = List.nth Bundles.all bi in
+      let* idx = int_bound (Jfeed_gen.Spec.size b.Bundles.gen - 1) in
+      let* seed = int_bound 1_000_000 in
+      return (bi, idx, seed))
+  in
+  let print (bi, idx, seed) =
+    let b = List.nth Bundles.all bi in
+    Printf.sprintf "%s #%d seed=%d" b.Bundles.grading.Jfeed_core.Grader.a_id
+      idx seed
+  in
+  QCheck.make ~print gen
+
+let source_of (bi, idx) =
+  let b = List.nth Bundles.all bi in
+  Jfeed_gen.Spec.source_of_index b.Bundles.gen idx
+
+let fingerprint ds =
+  List.sort compare (List.map (fun d -> (d.D.pass, d.D.meth, d.D.severity)) ds)
+
+let prop_engine_terminates =
+  QCheck.Test.make ~count:100
+    ~name:"engine settles within budget over the corpus" arbitrary_mutant
+    (fun (bi, idx, _) ->
+      let prog = Parser.parse_program (source_of (bi, idx)) in
+      List.for_all
+        (fun m ->
+          let r = AI.analyze_meth m in
+          (not r.AI.exhausted) && r.AI.steps <= 50_000 && r.AI.widenings <= 64)
+        prog.Ast.methods)
+
+let prop_total_on_mutants =
+  QCheck.Test.make ~count:100
+    ~name:"combined analysis is total over the mutated corpus"
+    arbitrary_mutant
+    (fun (bi, idx, seed) ->
+      let src = source_of (bi, idx) in
+      List.for_all
+        (fun s -> match P.analyze_source s with _ -> true)
+        [ src; Mutate.whitespace ~seed src; Mutate.alpha_rename ~seed src ])
+
+let prop_alpha_rename_invariant =
+  QCheck.Test.make ~count:100
+    ~name:"absint diagnostics invariant under alpha renaming"
+    arbitrary_mutant
+    (fun (bi, idx, seed) ->
+      let src = source_of (bi, idx) in
+      fingerprint (P.analyze_source src)
+      = fingerprint (P.analyze_source (Mutate.alpha_rename ~seed src)))
+
+let prop_whitespace_invariant =
+  QCheck.Test.make ~count:100
+    ~name:"absint diagnostics invariant under whitespace reflow"
+    arbitrary_mutant
+    (fun (bi, idx, seed) ->
+      let src = source_of (bi, idx) in
+      fingerprint (P.analyze_source src)
+      = fingerprint (P.analyze_source (Mutate.whitespace ~seed src)))
+
+let test_jobs_invariant () =
+  let srcs =
+    List.concat_map
+      (fun b ->
+        List.map
+          (fun i -> Jfeed_gen.Spec.source_of_index b.Bundles.gen i)
+          [ 0; 1; 2; 3 ])
+      [ List.nth Bundles.all 0; List.nth Bundles.all 7 ]
+  in
+  let arr = Array.of_list srcs in
+  let f src = List.map D.render (P.analyze_source src) in
+  let one = Pool.map ~jobs:1 ~f arr in
+  let four = Pool.map ~jobs:4 ~f arr in
+  check_bool "jobs 1 = jobs 4" true (one = four)
+
+let test_fuel_degrades_to_silence () =
+  (* A starved engine must neither raise nor invent findings that need
+     interval facts it could not compute. *)
+  let ds =
+    List.filter
+      (fun d -> List.mem d.D.pass P.pass_ids)
+      (P.analyze_source ~fuel:3 quadratic)
+  in
+  check_int "starved engine stays silent" 0 (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_join_lattice;
+    QCheck_alcotest.to_alcotest prop_meet_lower_bound;
+    QCheck_alcotest.to_alcotest prop_widen_covers;
+    QCheck_alcotest.to_alcotest prop_widen_terminates;
+    QCheck_alcotest.to_alcotest prop_narrow_between;
+    QCheck_alcotest.to_alcotest prop_const_mem;
+    QCheck_alcotest.to_alcotest prop_ret_sound;
+    Alcotest.test_case "div-by-zero" `Quick test_div_by_zero;
+    Alcotest.test_case "array-out-of-bounds" `Quick test_array_oob;
+    Alcotest.test_case "constant-condition" `Quick test_constant_condition_if;
+    Alcotest.test_case "unused-range" `Quick test_unused_range;
+    Alcotest.test_case "merged overlap diagnostic" `Quick test_merged_overlap;
+    Alcotest.test_case "method degrees" `Quick test_method_degrees;
+    Alcotest.test_case "efficiency oracle" `Quick test_efficiency_oracle;
+    Alcotest.test_case "bound stats" `Quick test_bound_stats;
+    Alcotest.test_case "oracle references are clean" `Quick test_oracles_clean;
+    Alcotest.test_case "fuel exhaustion degrades to silence" `Quick
+      test_fuel_degrades_to_silence;
+    Alcotest.test_case "diagnostics invariant under --jobs" `Quick
+      test_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_engine_terminates;
+    QCheck_alcotest.to_alcotest prop_total_on_mutants;
+    QCheck_alcotest.to_alcotest prop_alpha_rename_invariant;
+    QCheck_alcotest.to_alcotest prop_whitespace_invariant;
+  ]

@@ -10,4 +10,5 @@ let () =
       ("stmt-roundtrip", Test_stmt_roundtrip.suite);
       ("robust", Test_robust.suite); ("parallel", Test_parallel.suite);
       ("service", Test_service.suite); ("analysis", Test_analysis.suite);
-      ("trace", Test_trace.suite); ("repair", Test_repair.suite) ]
+      ("trace", Test_trace.suite); ("repair", Test_repair.suite);
+      ("absint", Test_absint.suite) ]
