@@ -708,11 +708,7 @@ let load_json ~rates ~requests ~dup_pct ~conns ~jobs ~queue_cap ~watermark
   let module Sysx = Jfeed_service.Sysx in
   let b = Bundles.assignment1 in
   let spec = b.Bundles.gen in
-  let path =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "jfeed-load-%d.sock" (Unix.getpid ()))
-  in
-  let config =
+  let base_config =
     {
       Server.default_config with
       jobs;
@@ -721,6 +717,16 @@ let load_json ~rates ~requests ~dup_pct ~conns ~jobs ~queue_cap ~watermark
       watermark = Some watermark;
       shed_fuel = Some shed_fuel;
     }
+  in
+  (* One full sweep against a fresh daemon.  Returns the per-rate JSON
+     rows, the daemon's cumulative shed count and the summed wall time
+     — the sweep runs twice, once bare and once with the event log +
+     tail sampling on, and the wall-clock ratio is the telemetry
+     overhead figure. *)
+  let run_sweep ~quiet ~tag config =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jfeed-load-%s-%d.sock" tag (Unix.getpid ()))
   in
   let server = Domain.spawn (fun () -> Server.serve_socket config path) in
   let rec wait_sock n =
@@ -919,36 +925,72 @@ let load_json ~rates ~requests ~dup_pct ~conns ~jobs ~queue_cap ~watermark
     let achieved =
       if wall > 0.0 then float_of_int completed /. wall else 0.0
     in
-    Printf.printf
-      "  rate %7.1f req/s: %d/%d completed, %d shed, %d degraded, %d \
-       cached, p99 %.1f ms\n\
-       %!"
-      rate completed requests !shed degraded !cached
-      (nearest_rank sorted 0.99);
-    Printf.sprintf
-      {|{"rate_rps":%g,"requests":%d,"completed":%d,"shed":%d,"degraded":%d,"cached":%d,"p50_ms":%.3g,"p95_ms":%.3g,"p99_ms":%.3g,"achieved_rps":%.2f,"wall_s":%.4f}|}
-      rate requests completed !shed degraded !cached
-      (nearest_rank sorted 0.50)
-      (nearest_rank sorted 0.95)
-      (nearest_rank sorted 0.99)
-      achieved wall
+    if not quiet then
+      Printf.printf
+        "  rate %7.1f req/s: %d/%d completed, %d shed, %d degraded, %d \
+         cached, p99 %.1f ms\n\
+         %!"
+        rate completed requests !shed degraded !cached
+        (nearest_rank sorted 0.99);
+    ( Printf.sprintf
+        {|{"rate_rps":%g,"requests":%d,"completed":%d,"shed":%d,"degraded":%d,"cached":%d,"p50_ms":%.3g,"p95_ms":%.3g,"p99_ms":%.3g,"achieved_rps":%.2f,"wall_s":%.4f}|}
+        rate requests completed !shed degraded !cached
+        (nearest_rank sorted 0.50)
+        (nearest_rank sorted 0.95)
+        (nearest_rank sorted 0.99)
+        achieved wall,
+      wall )
   in
-  Printf.printf "open-loop load sweep (%d conns, queue cap %d):\n%!" conns
-    queue_cap;
-  let rows = List.mapi round rates in
+  if not quiet then
+    Printf.printf "open-loop load sweep (%d conns, queue cap %d):\n%!" conns
+      queue_cap;
+  let rounds = List.mapi round rates in
+  let rows = List.map fst rounds in
+  let wall_sum = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 rounds in
   let final = get_stats () in
   let total_shed = int_of_float (jnum final [ "admission"; "shed" ]) in
   send_all fds.(0) "{\"op\":\"shutdown\"}\n";
   Domain.join server;
   Array.iter (fun fd -> try Unix.close fd with _ -> ()) fds;
+  (rows, total_shed, wall_sum)
+  in
+  let rows, total_shed, wall_base =
+    run_sweep ~quiet:false ~tag:"base" base_config
+  in
+  (* Same sweep with the full telemetry stack on: durable event log,
+     1-in-10 tail sampling, a 50 ms SLO.  Only its wall time matters. *)
+  let ev_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jfeed-load-events-%d" (Unix.getpid ()))
+  in
+  let ev_config =
+    {
+      base_config with
+      Server.event_log = Some ev_dir;
+      trace_sample = Some 10;
+      slo_ms = Some 50.0;
+    }
+  in
+  let _, _, wall_ev = run_sweep ~quiet:true ~tag:"events" ev_config in
+  List.iter
+    (fun f ->
+      try Sys.remove (Filename.concat ev_dir f) with Sys_error _ -> ())
+    [ "events.jsonl"; "events.jsonl.1" ];
+  (try Sys.rmdir ev_dir with Sys_error _ -> ());
+  let events_overhead_pct =
+    if wall_base > 0.0 then 100.0 *. (wall_ev -. wall_base) /. wall_base
+    else 0.0
+  in
+  Printf.printf "telemetry overhead: %.2f%% (wall %.3fs -> %.3fs)\n%!"
+    events_overhead_pct wall_base wall_ev;
   let json =
     Printf.sprintf
-      {|{"schema":"jfeed-bench-load/1","conns":%d,"queue_cap":%d,"watermark":%d,"shed_fuel":%d,"requests_per_rate":%d,"duplicate_ratio":%.2f,"jobs":%d,"sweep":[%s],"total_shed":%d}|}
+      {|{"schema":"jfeed-bench-load/2","conns":%d,"queue_cap":%d,"watermark":%d,"shed_fuel":%d,"requests_per_rate":%d,"duplicate_ratio":%.2f,"jobs":%d,"sweep":[%s],"total_shed":%d,"events_overhead_pct":%.2f}|}
       conns queue_cap watermark shed_fuel requests
       (float_of_int dup_pct /. 100.0)
       jobs
       (String.concat ",\n " rows)
-      total_shed
+      total_shed events_overhead_pct
   in
   let oc = open_out "BENCH_load.json" in
   output_string oc json;
@@ -957,6 +999,104 @@ let load_json ~rates ~requests ~dup_pct ~conns ~jobs ~queue_cap ~watermark
   Printf.printf "BENCH_load.json written: %d rates x %d requests, %d shed \
                  in total\n"
     (List.length rates) requests total_shed
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate: a fresh BENCH_*.json against the committed one     *)
+
+(* Pinned metrics where a higher current value is a regression… *)
+let diff_up_bad =
+  [
+    "ms_per_submission"; "p50_ms"; "p95_ms"; "p99_ms"; "sequential_s";
+    "parallel_s"; "dedup_s"; "no_dedup_s"; "median_candidates";
+    "events_overhead_pct"; "trace_overhead_pct";
+  ]
+
+(* …and where a lower one is. Everything else is informational. *)
+let diff_down_bad =
+  [
+    "speedup"; "dedup_speedup"; "prefilter_reject_rate"; "throughput_rps";
+    "cache_hit_rate"; "achieved_rps"; "repair_rate"; "bound_hit_rate";
+    "completed";
+  ]
+
+let diff_json ~base_path ~cur_path () =
+  let module Proto = Jfeed_service.Proto in
+  let parse p =
+    let j =
+      try
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Proto.parse_json (String.trim s)
+      with Sys_error e -> Error e
+    in
+    match j with
+    | Ok j -> j
+    | Error e ->
+        Printf.eprintf "jfeed-bench diff: %s: %s\n" p e;
+        exit 2
+  in
+  let base = parse base_path and cur = parse cur_path in
+  (match (Proto.member "schema" base, Proto.member "schema" cur) with
+  | Some (Proto.Str b), Some (Proto.Str c) when b = c -> ()
+  | b, c ->
+      let s = function Some (Proto.Str s) -> s | _ -> "<missing>" in
+      Printf.eprintf "jfeed-bench diff: schema mismatch: %s vs %s\n" (s b)
+        (s c);
+      exit 2);
+  let checked = ref 0 and regressions = ref 0 in
+  (* The metric name is the innermost object field on the path — array
+     indices (sweep rows, per-assignment entries) are positions, not
+     names. *)
+  let metric_key path =
+    List.find_opt (fun c -> int_of_string_opt c = None) path
+  in
+  let rec walk path b c =
+    match (b, c) with
+    | Proto.Obj bs, Proto.Obj cs ->
+        List.iter
+          (fun (k, bv) ->
+            match List.assoc_opt k cs with
+            | Some cv -> walk (k :: path) bv cv
+            | None -> ())
+          bs
+    | Proto.Arr bs, Proto.Arr cs ->
+        List.iteri
+          (fun i bv ->
+            match List.nth_opt cs i with
+            | Some cv -> walk (string_of_int i :: path) bv cv
+            | None -> ())
+          bs
+    | Proto.Num bn, Proto.Num cn -> (
+        match metric_key path with
+        | Some key
+          when List.mem key diff_up_bad || List.mem key diff_down_bad ->
+            if bn <> 0.0 then begin
+              incr checked;
+              let rel = (cn -. bn) /. Float.abs bn in
+              let bad =
+                if List.mem key diff_up_bad then rel > 0.10
+                else rel < -0.10
+              in
+              if bad then begin
+                incr regressions;
+                Printf.printf "REGRESSION %s: %g -> %g (%+.1f%%)\n"
+                  (String.concat "." (List.rev path))
+                  bn cn (100.0 *. rel)
+              end
+            end
+        | _ -> ())
+    | _ -> ()
+  in
+  walk [] base cur;
+  if !regressions = 0 then begin
+    Printf.printf
+      "ok: no pinned metric regressed more than 10%% (%d checked against \
+       %s)\n"
+      !checked base_path;
+    0
+  end
+  else 1
 
 (* ------------------------------------------------------------------ *)
 (* §VI-C comparison                                                    *)
@@ -1349,6 +1489,11 @@ let () =
         ~watermark:(opt "--watermark" 8)
         ~shed_fuel:(opt "--shed-fuel" 20000)
         ~seed ()
+  | _ :: "diff" :: base_path :: cur_path :: _ ->
+      exit (diff_json ~base_path ~cur_path ())
+  | _ :: "diff" :: _ ->
+      prerr_endline "usage: jfeed-bench diff BASELINE.json CURRENT.json";
+      exit 2
   | _ :: "compare" :: _ -> compare ()
   | _ :: "ablation" :: _ -> ablation ~sample ~seed ()
   | _ :: "scaling" :: _ -> scaling ()

@@ -569,8 +569,78 @@ let serve_cmd =
             "Fuel clamp for degraded admission past --watermark: admitted \
              requests keep the smaller of their own budget and $(docv).")
   in
+  let event_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "event-log" ] ~docv:"DIR"
+          ~doc:
+            "Write one checksummed JSONL line per request lifecycle event \
+             (admit, degrade, shed, cache hit/miss, grade, respond, \
+             write-out) under $(docv); size-rotated, crash-replayable.  \
+             Read it back with $(b,jfeed logs).")
+  in
+  let event_ring =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "event-ring" ] ~docv:"N"
+          ~doc:
+            "Event-log in-memory ring capacity in lines (default 4096); \
+             events past a full ring are counted as dropped, never block \
+             grading.")
+  in
+  let event_rotate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "event-rotate" ] ~docv:"BYTES"
+          ~doc:
+            "Rotate events.jsonl to events.jsonl.1 past $(docv) bytes \
+             (default 8 MiB); one rotated generation is kept.")
+  in
+  let trace_sample =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Tail-based sampling: retain the full span tree of every \
+             $(docv)th graded cache miss, on top of the always-retained \
+             slow, degraded and rejected requests.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Latency threshold above which a request's trace is retained \
+             (defaults to --slo-ms when that is set).")
+  in
+  let slo_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:
+            "Grade-latency objective: answers within $(docv) ms count \
+             good, slower ones (and sheds) bad; turns on SLO counters, \
+             burn-rate gauges and the stats \"slo\" object.")
+  in
+  let slo_target =
+    Arg.(
+      value
+      & opt float Jfeed_service.Server.default_config.slo_target
+      & info [ "slo-target" ] ~docv:"FRACTION"
+          ~doc:
+            "Availability objective: the fraction of requests meant to \
+             meet --slo-ms (default 0.999).  Burn rates divide by the \
+             error budget 1 - $(docv).")
+  in
   let run socket cache_cap queue_cap jobs fuel deadline no_tests cache_dir
-      backlog shards watermark shed_fuel =
+      backlog shards watermark shed_fuel event_log event_ring event_rotate
+      trace_sample slow_ms slo_ms slo_target =
     if jobs < 1 then begin
       Printf.eprintf "jfeed serve: --jobs must be at least 1 (got %d)\n" jobs;
       2
@@ -590,6 +660,20 @@ let serve_cmd =
         backlog;
       2
     end
+    else if (match trace_sample with Some n -> n < 1 | None -> false)
+    then begin
+      Printf.eprintf
+        "jfeed serve: --trace-sample must be at least 1 (got %d)\n"
+        (Option.get trace_sample);
+      2
+    end
+    else if not (slo_target > 0.0 && slo_target < 1.0) then begin
+      Printf.eprintf
+        "jfeed serve: --slo-target must be strictly between 0 and 1 (got \
+         %g)\n"
+        slo_target;
+      2
+    end
     else begin
       let config =
         {
@@ -604,6 +688,13 @@ let serve_cmd =
           backlog;
           watermark;
           shed_fuel;
+          event_log;
+          event_ring;
+          event_rotate;
+          trace_sample;
+          slow_ms;
+          slo_ms;
+          slo_target;
         }
       in
       match
@@ -632,7 +723,9 @@ let serve_cmd =
           cache")
     Term.(
       const run $ socket $ cache_cap $ queue_cap $ jobs $ fuel $ deadline
-      $ no_tests $ cache_dir $ backlog $ shards $ watermark $ shed_fuel)
+      $ no_tests $ cache_dir $ backlog $ shards $ watermark $ shed_fuel
+      $ event_log $ event_ring $ event_rotate $ trace_sample $ slow_ms
+      $ slo_ms $ slo_target)
 
 let client_cmd =
   let socket =
@@ -713,6 +806,240 @@ let client_cmd =
           back to stdout (stdin EOF half-closes; exits when the daemon \
           has answered everything)")
     Term.(const run $ socket)
+
+let logs_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "event-log" ] ~docv:"DIR"
+          ~doc:"The daemon's --event-log directory.")
+  in
+  let follow =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ]
+          ~doc:
+            "After replaying, keep polling the log and print events as the \
+             daemon writes them (like tail -f; rotation is followed).")
+  in
+  let rid =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rid" ] ~docv:"ID"
+          ~doc:
+            "Print only the named request's lifecycle — every event line \
+             whose \"rid\" equals $(docv).")
+  in
+  let run dir follow rid =
+    let module Events = Jfeed_trace.Events in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i =
+        i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+      in
+      nn = 0 || go 0
+    in
+    let wanted line =
+      match rid with
+      | None -> true
+      | Some r ->
+          contains line
+            (Printf.sprintf {|"rid":"%s"|}
+               (Jfeed_trace.Trace.json_escape r))
+    in
+    let show line = if wanted line then print_endline line in
+    (* Replay tolerates a live writer and a torn tail alike: only
+       checksummed, newline-terminated lines print; the first invalid
+       one ends the pass. *)
+    ignore (Events.replay_dir dir ~f:show);
+    flush stdout;
+    if not follow then 0
+    else begin
+      let count_current () =
+        let n = ref 0 in
+        ignore
+          (Events.replay_file (Events.current_path dir) ~f:(fun _ -> incr n));
+        !n
+      in
+      let seen = ref (count_current ()) in
+      while true do
+        Unix.sleepf 0.2;
+        let n = count_current () in
+        (* Fewer valid lines than last poll means the file rotated
+           underneath us; the new generation starts from scratch. *)
+        if n < !seen then seen := 0;
+        if n > !seen then begin
+          let i = ref 0 in
+          ignore
+            (Events.replay_file (Events.current_path dir) ~f:(fun line ->
+                 if !i >= !seen then show line;
+                 incr i));
+          flush stdout;
+          seen := n
+        end
+      done;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "logs"
+       ~doc:
+         "Replay a serve daemon's lifecycle event log (valid prefix only; \
+          torn tails are skipped), optionally filtered to one request id \
+          and optionally following the live file")
+    Term.(const run $ dir $ follow $ rid)
+
+let top_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"The daemon's Unix-domain socket.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period (default 2).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render one frame and exit, without clearing the screen — \
+             scriptable.")
+  in
+  let frames =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "frames" ] ~docv:"N" ~doc:"Stop after N frames.")
+  in
+  let run path interval once frames =
+    let module Proto = Jfeed_service.Proto in
+    try
+      let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr sock in
+      let oc = Unix.out_channel_of_descr sock in
+      (* One persistent connection; each frame asks for stats + slowlog
+         and reads exactly two lines back (the protocol answers in
+         request order). *)
+      let query () =
+        output_string oc "{\"op\":\"stats\"}\n{\"op\":\"slowlog\"}\n";
+        flush oc;
+        let s = input_line ic in
+        let sl = input_line ic in
+        (Proto.parse_json s, Proto.parse_json sl)
+      in
+      let jget j p =
+        List.fold_left
+          (fun acc k -> Option.bind acc (Proto.member k))
+          (Some j) p
+      in
+      let num j p = match jget j p with Some (Proto.Num f) -> f | _ -> 0.0 in
+      let str j p = match jget j p with Some (Proto.Str s) -> s | _ -> "-" in
+      let frames_wanted = if once then Some 1 else frames in
+      let prev_requests = ref 0.0 in
+      let frame = ref 0 in
+      let continue = ref true in
+      let rc = ref 0 in
+      while !continue do
+        (match query () with
+        | Ok stats, Ok slow ->
+            incr frame;
+            if not once then print_string "\027[2J\027[H";
+            let requests = num stats [ "requests" ] in
+            let rps =
+              if !frame = 1 then 0.0
+              else (requests -. !prev_requests) /. interval
+            in
+            prev_requests := requests;
+            let hits = num stats [ "cache"; "hits" ] in
+            let misses = num stats [ "cache"; "misses" ] in
+            let hit_rate =
+              if hits +. misses > 0.0 then
+                100.0 *. hits /. (hits +. misses)
+              else 0.0
+            in
+            Printf.printf "jfeed top — %s — frame %d\n" path !frame;
+            Printf.printf
+              "requests  total %.0f  (%.1f rps)   grades %.0f   errors %.0f\n"
+              requests rps
+              (num stats [ "grades" ])
+              (num stats [ "errors" ]);
+            Printf.printf
+              "cache     hits %.0f  misses %.0f  hit-rate %.1f%%  size \
+               %.0f/%.0f\n"
+              hits misses hit_rate
+              (num stats [ "cache"; "size" ])
+              (num stats [ "cache"; "cap" ]);
+            Printf.printf
+              "queue     depth %.0f  max %.0f  cap %.0f   conns %.0f\n"
+              (num stats [ "queue"; "depth" ])
+              (num stats [ "queue"; "max" ])
+              (num stats [ "queue"; "cap" ])
+              (num stats [ "conns" ]);
+            Printf.printf
+              "outcomes  graded %.0f  degraded %.0f  rejected %.0f\n"
+              (num stats [ "outcomes"; "graded" ])
+              (num stats [ "outcomes"; "degraded" ])
+              (num stats [ "outcomes"; "rejected" ]);
+            Printf.printf "admission shed %.0f  degraded %.0f\n"
+              (num stats [ "admission"; "shed" ])
+              (num stats [ "admission"; "degraded" ]);
+            Printf.printf "latency   p50 %.3g ms  p95 %.3g ms\n"
+              (num stats [ "latency_ms"; "p50" ])
+              (num stats [ "latency_ms"; "p95" ]);
+            (match jget stats [ "slo" ] with
+            | Some _ ->
+                Printf.printf
+                  "slo       good %.0f  bad %.0f  burn 1m %.3g  5m %.3g  \
+                   1h %.3g\n"
+                  (num stats [ "slo"; "good" ])
+                  (num stats [ "slo"; "bad" ])
+                  (num stats [ "slo"; "burn"; "1m" ])
+                  (num stats [ "slo"; "burn"; "5m" ])
+                  (num stats [ "slo"; "burn"; "1h" ])
+            | None -> ());
+            (match jget slow [ "slowest" ] with
+            | Some (Proto.Arr (first :: _)) ->
+                Printf.printf "slowest   %.3g ms  %s  %s\n"
+                  (num first [ "ms" ])
+                  (str first [ "assignment" ])
+                  (str first [ "outcome" ])
+            | _ -> ());
+            flush stdout
+        | _ ->
+            prerr_endline "jfeed top: malformed response";
+            rc := 1;
+            continue := false);
+        (match frames_wanted with
+        | Some n when !frame >= n -> continue := false
+        | _ -> ());
+        if !continue then Unix.sleepf interval
+      done;
+      (try Unix.close sock with _ -> ());
+      !rc
+    with
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "jfeed top: %s: %s\n" path (Unix.error_message e);
+        1
+    | End_of_file ->
+        Printf.eprintf "jfeed top: daemon closed the connection\n";
+        1
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live operator console for a serve daemon: rps, queue depth, \
+          shed/degraded rates, cache hit rate, latency percentiles, SLO \
+          burn — one plain-text frame per refresh")
+    Term.(const run $ socket $ interval $ once $ frames)
 
 let analyze_cmd =
   let json =
@@ -996,7 +1323,7 @@ let repair_cmd =
     Term.(
       const run $ assignment_pos $ json $ jobs $ fuel $ deadline $ file_pos 1)
 
-let tool_version = "1.0.0"
+let tool_version = Jfeed_service.Build.version
 
 let version_cmd =
   (* The build's identity on one JSON line: tool version, the digest of
@@ -1006,7 +1333,7 @@ let version_cmd =
   let features =
     [
       "normalize"; "variants"; "inline-helpers"; "strategies"; "analysis";
-      "absint"; "parallel"; "serve-cache"; "trace"; "repair";
+      "absint"; "parallel"; "serve-cache"; "trace"; "repair"; "events"; "slo";
     ]
   in
   let run () =
@@ -1034,5 +1361,6 @@ let () =
           [
             list_cmd; feedback_cmd; graph_cmd; generate_cmd; test_cmd;
             repair_cmd; batch_cmd; strategies_cmd; serve_cmd; client_cmd;
-            assignments_cmd; analyze_cmd; lint_kb_cmd; version_cmd;
+            logs_cmd; top_cmd; assignments_cmd; analyze_cmd; lint_kb_cmd;
+            version_cmd;
           ]))

@@ -220,8 +220,8 @@ type summary = {
   items : item list;
 }
 
-let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
-    ?(trace = Trace.disabled) (b : Bundles.t) src =
+let grade_submission ?fuel ?deadline_s ?rid ?with_tests
+    ?(name = "<submission>") ?(trace = Trace.disabled) (b : Bundles.t) src =
   (* The single-submission serving entry: a fresh budget per call — the
      same per-submission isolation the batch driver gives each item —
      and total even against bugs in the pipeline itself.  The KB bundle
@@ -232,12 +232,21 @@ let grade_submission ?fuel ?deadline_s ?with_tests ?(name = "<submission>")
     | None, None -> Budget.unlimited ()
     | _ -> Budget.create ?fuel ?deadline_s ()
   in
-  let outcome =
+  let assess_traced () =
     Trace.with_current trace (fun () ->
         match protect (fun () -> assess ~budget ?with_tests b src) with
         | Ok o -> o
         | Error e ->
             Outcome.Rejected { Outcome.stage = "internal"; message = e })
+  in
+  let outcome =
+    match rid with
+    | None -> assess_traced ()
+    | Some rid ->
+        (* Request-scoped: one root span carries the correlation id, so
+           every stage span of this assessment is a descendant of a
+           node naming the request it served. *)
+        Trace.span trace ~attrs:[ ("rid", rid) ] "request" assess_traced
   in
   if Trace.enabled trace then
     List.iter

@@ -61,6 +61,7 @@ type item = {
 val grade_submission :
   ?fuel:int ->
   ?deadline_s:float ->
+  ?rid:string ->
   ?with_tests:bool ->
   ?name:string ->
   ?trace:Jfeed_trace.Trace.t ->
@@ -81,7 +82,13 @@ val grade_submission :
     [interp], [analysis], [tests] — records into it; afterwards the
     per-stage fuel breakdown ({!Jfeed_budget.Budget.spent_by}) is added
     as [fuel.matcher] / [fuel.pairing] / [fuel.interp] counters.  The
-    tracer is returned in the item's [trace] field. *)
+    tracer is returned in the item's [trace] field.
+
+    [?rid] wraps the whole assessment in one extra root span named
+    ["request"] whose [rid] attribute carries the correlation id, so
+    every stage span of a request-scoped trace descends from a node
+    naming the request it served.  Absent (every non-serving caller),
+    the span tree is unchanged. *)
 
 type dedup_stats = {
   classes : int;

@@ -1,0 +1,4 @@
+(** Build identity, shared by [jfeed version] and the Prometheus
+    [jfeed_build_info] gauge so the two can never disagree. *)
+
+let version = "1.0.0"

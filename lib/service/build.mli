@@ -1,0 +1,4 @@
+(** Build identity, shared by [jfeed version] and the Prometheus
+    [jfeed_build_info] gauge. *)
+
+val version : string

@@ -32,6 +32,14 @@ type t = {
   mutable lat_sum : float;  (* total milliseconds ever recorded *)
   mutable slow : Proto.slow_entry list;
       (* the [slowlog_cap] slowest grades, slowest first *)
+  mutable slo_good : int;
+  mutable slo_bad : int;
+  (* ring of the last [reservoir_cap] SLO verdicts with their monotonic
+     timestamps, for trailing-window burn rates *)
+  slo_ts : int64 array;
+  slo_ok : bool array;
+  mutable slo_n : int;
+  mutable traces_retained : int;
 }
 
 let create () =
@@ -54,6 +62,12 @@ let create () =
     lat_hist = Array.make (Array.length latency_buckets + 1) 0;
     lat_sum = 0.0;
     slow = [];
+    slo_good = 0;
+    slo_bad = 0;
+    slo_ts = Array.make reservoir_cap 0L;
+    slo_ok = Array.make reservoir_cap false;
+    slo_n = 0;
+    traces_retained = 0;
   }
 
 let record_request t = t.requests <- t.requests + 1
@@ -66,6 +80,42 @@ let record_degraded_admission t =
 
 let shed t = t.shed
 let degraded_admission t = t.degraded_admission
+
+let record_slo t ~ok =
+  if ok then t.slo_good <- t.slo_good + 1 else t.slo_bad <- t.slo_bad + 1;
+  let i = t.slo_n mod reservoir_cap in
+  t.slo_ts.(i) <- Jfeed_trace.Trace.now_ns ();
+  t.slo_ok.(i) <- ok;
+  t.slo_n <- t.slo_n + 1
+
+let slo_good t = t.slo_good
+let slo_bad t = t.slo_bad
+
+(* Burn rate over a trailing window: the fraction of requests in the
+   window that blew the objective, divided by the error budget
+   [1 - target].  1.0 = spending the budget exactly at the sustainable
+   rate; no traffic in the window burns nothing. *)
+let burn_rate t ~target ~window_s =
+  let n = min t.slo_n reservoir_cap in
+  if n = 0 || target >= 1.0 then 0.0
+  else begin
+    let cutoff =
+      Int64.sub (Jfeed_trace.Trace.now_ns ())
+        (Int64.of_float (window_s *. 1e9))
+    in
+    let total = ref 0 and bad = ref 0 in
+    for i = 0 to n - 1 do
+      if t.slo_ts.(i) >= cutoff then begin
+        incr total;
+        if not t.slo_ok.(i) then incr bad
+      end
+    done;
+    if !total = 0 then 0.0
+    else float_of_int !bad /. float_of_int !total /. (1.0 -. target)
+  end
+
+let record_trace_retained t = t.traces_retained <- t.traces_retained + 1
+let traces_retained t = t.traces_retained
 
 let record_grade t ~outcome ~hit ~ms =
   t.grades <- t.grades + 1;
@@ -127,7 +177,8 @@ let percentile t p =
     a.(max 0 (min (n - 1) (rank - 1)))
   end
 
-let to_stats ?ext t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
+let to_stats ?ext ?slo_target t ~cache_size ~cache_cap ~queue_depth
+    ~queue_cap =
   {
     Proto.requests = t.requests;
     grades = t.grades;
@@ -164,6 +215,18 @@ let to_stats ?ext t ~cache_size ~cache_cap ~queue_depth ~queue_cap =
     p50_ms = percentile t 0.50;
     p95_ms = percentile t 0.95;
     ext;
+    slo =
+      (match slo_target with
+      | None -> None
+      | Some target ->
+          Some
+            {
+              Proto.slo_good = t.slo_good;
+              slo_bad = t.slo_bad;
+              burn_1m = burn_rate t ~target ~window_s:60.0;
+              burn_5m = burn_rate t ~target ~window_s:300.0;
+              burn_1h = burn_rate t ~target ~window_s:3600.0;
+            });
   }
 
 type extended = {
@@ -182,8 +245,8 @@ type extended = {
    golden pins the block from [# HELP jfeed_requests_total] to [# EOF],
    so anything added before that anchor extends the exposition without
    touching the pinned bytes. *)
-let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
-    ~queue_cap:_ =
+let to_prometheus ?extended ?slo ?events t ~cache_size ~cache_cap:_
+    ~queue_depth ~queue_cap:_ =
   let b = Buffer.create 2048 in
   let counter name help value =
     Buffer.add_string b
@@ -195,6 +258,56 @@ let to_prometheus ?extended t ~cache_size ~cache_cap:_ ~queue_depth
       (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %d\n" name help
          name name value)
   in
+  (* Build identity first: version and KB digest from the same sources
+     as [jfeed version], value always 1 (the Prometheus build_info
+     idiom — the interesting bits ride in the labels). *)
+  Buffer.add_string b
+    (Printf.sprintf
+       "# HELP jfeed_build_info Build and knowledge-base identity.\n\
+        # TYPE jfeed_build_info gauge\n\
+        jfeed_build_info{version=%S,kb_digest=%S} 1\n"
+       Build.version
+       (Jfeed_kb.Bundles.revision ()));
+  counter "jfeed_traces_retained_total"
+    "Requests whose full span tree was retained by tail-based sampling."
+    t.traces_retained;
+  (match slo with
+  | None -> ()
+  | Some (slo_ms, target) ->
+      let gauge_f name help value =
+        Buffer.add_string b
+          (Printf.sprintf "# HELP %s %s\n# TYPE %s gauge\n%s %.6g\n" name
+             help name name value)
+      in
+      gauge_f "jfeed_slo_latency_ms" "The grade-latency objective." slo_ms;
+      gauge_f "jfeed_slo_target"
+        "The availability objective (fraction of requests within the \
+         latency objective)."
+        target;
+      counter "jfeed_slo_good_total"
+        "Grade responses within the latency objective." t.slo_good;
+      counter "jfeed_slo_bad_total"
+        "Grade responses over the latency objective, sheds included."
+        t.slo_bad;
+      Buffer.add_string b
+        "# HELP jfeed_slo_burn_rate Error-budget burn rate over a \
+         trailing window (1.0 = sustainable).\n\
+         # TYPE jfeed_slo_burn_rate gauge\n";
+      List.iter
+        (fun (w, secs) ->
+          Buffer.add_string b
+            (Printf.sprintf "jfeed_slo_burn_rate{window=%S} %.6g\n" w
+               (burn_rate t ~target ~window_s:secs)))
+        [ ("1m", 60.0); ("5m", 300.0); ("1h", 3600.0) ]);
+  (match events with
+  | None -> ()
+  | Some (emitted, dropped, rotations) ->
+      counter "jfeed_events_emitted_total"
+        "Lifecycle events accepted into the event-log ring." emitted;
+      counter "jfeed_events_dropped_total"
+        "Lifecycle events discarded because the ring was full." dropped;
+      counter "jfeed_events_rotations_total" "Event-log file rotations."
+        rotations);
   (match extended with
   | None -> ()
   | Some x ->

@@ -59,6 +59,15 @@ val record_slow : t -> Proto.slow_entry -> unit
 val observe_queue_depth : t -> int -> unit
 (** Track the high-water mark of the grade queue. *)
 
+val record_slo : t -> ok:bool -> unit
+(** One SLO verdict: [ok] iff the request finished within the latency
+    objective (sheds are always bad).  Stamped with the monotonic clock
+    into a {!reservoir_cap} ring for trailing-window burn rates. *)
+
+val record_trace_retained : t -> unit
+(** One request whose full span tree was retained by tail-based
+    sampling (slow, degraded, rejected, or 1-in-N sampled). *)
+
 (** {2 Reading} *)
 
 val hits : t -> int
@@ -66,6 +75,15 @@ val misses : t -> int
 val queue_max : t -> int
 val shed : t -> int
 val degraded_admission : t -> int
+val slo_good : t -> int
+val slo_bad : t -> int
+val traces_retained : t -> int
+
+val burn_rate : t -> target:float -> window_s:float -> float
+(** Error-budget burn rate over the trailing window: the bad fraction
+    of the window's verdicts divided by the budget [1 - target].  1.0
+    means the budget is being spent exactly at the sustainable rate;
+    an empty window (or [target >= 1]) burns 0. *)
 
 val percentile : t -> float -> float
 (** [percentile t p] with [p] in [[0, 1]]: nearest-rank percentile of
@@ -77,6 +95,7 @@ val slowlog : t -> Proto.slow_entry list
 
 val to_stats :
   ?ext:Proto.stats_ext ->
+  ?slo_target:float ->
   t ->
   cache_size:int ->
   cache_cap:int ->
@@ -86,7 +105,8 @@ val to_stats :
 (** Snapshot for a [stats] response.  [ext] carries the concurrent
     daemon's serving-tier figures; omitted, the rendered stats line is
     byte-identical to the historical shape (the stdio path's pinned
-    golden). *)
+    golden).  [slo_target] turns on the trailing ["slo"] object with
+    good/bad counts and burn rates at 1m/5m/1h windows. *)
 
 (** Serving-tier figures for the extended exposition, supplied by the
     socket daemon (the [t] counters don't know about shards,
@@ -102,6 +122,8 @@ type extended = {
 
 val to_prometheus :
   ?extended:extended ->
+  ?slo:float * float ->
+  ?events:int * int * int ->
   t ->
   cache_size:int ->
   cache_cap:int ->
@@ -125,4 +147,13 @@ val to_prometheus :
     per-shard cache hit/miss counters, and — when a durable store is
     attached — its recovery/append/compaction figures) are
     {e prepended} before [jfeed_requests_total], so the historical
-    block from that anchor to [# EOF] keeps its exact line set. *)
+    block from that anchor to [# EOF] keeps its exact line set.
+
+    The telemetry families live in the same prepend zone:
+    [jfeed_build_info{version,kb_digest}] (value 1, the same data as
+    [jfeed version]) and [jfeed_traces_retained_total] always;
+    [jfeed_slo_latency_ms] / [jfeed_slo_target] /
+    [jfeed_slo_good_total] / [jfeed_slo_bad_total] /
+    [jfeed_slo_burn_rate{window="1m"|"5m"|"1h"}] when [slo] =
+    [(slo_ms, target)] is set; event-log emitted/dropped/rotation
+    counters when [events] = [(emitted, dropped, rotations)] is set. *)

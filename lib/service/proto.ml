@@ -245,6 +245,7 @@ let member k = function
 type request =
   | Grade of {
       id : string option;
+      rid : string option;
       assignment : string;
       source : string;
       fuel : int option;
@@ -296,7 +297,8 @@ let request_of_line line =
           match member "op" j with
           | Some (Str "grade") ->
               with_id
-                (let* assignment = string_field j "assignment" in
+                (let* rid = string_field j "rid" in
+                 let* assignment = string_field j "assignment" in
                  let* source = string_field j "source" in
                  let* fuel = int_field j "fuel" in
                  let* deadline_s = num_field j "deadline_s" in
@@ -307,7 +309,7 @@ let request_of_line line =
                  | Some assignment, Some source ->
                      Ok
                        (Grade
-                          { id; assignment; source; fuel; deadline_s;
+                          { id; rid; assignment; source; fuel; deadline_s;
                             with_tests }))
           | Some (Str "stats") -> Ok (Stats { id })
           | Some (Str "metrics") -> Ok (Metrics { id })
@@ -327,25 +329,32 @@ let id_prefix = function
   | Some id -> Printf.sprintf {|"id":"%s",|} (esc id)
   | None -> ""
 
-let grade_response ?id ~cached ~fuel result_json =
+(* The correlation id renders right after "id" — but only when one
+   exists (client-supplied or minted under telemetry), so responses on
+   an untelemetered daemon stay byte-identical to the frozen goldens. *)
+let rid_prefix = function
+  | Some rid -> Printf.sprintf {|"rid":"%s",|} (esc rid)
+  | None -> ""
+
+let grade_response ?id ?rid ~cached ~fuel result_json =
   let fuel_field =
     match fuel with
     | Some f -> Printf.sprintf {|,"fuel":%d|} f
     | None -> ""
   in
-  Printf.sprintf {|{%s"op":"grade","cached":%b%s,"result":%s}|}
-    (id_prefix id) cached fuel_field result_json
+  Printf.sprintf {|{%s%s"op":"grade","cached":%b%s,"result":%s}|}
+    (id_prefix id) (rid_prefix rid) cached fuel_field result_json
 
-let overloaded_response ?id ?(reason = "admission queue full; retry later")
-    () =
+let overloaded_response ?id ?rid
+    ?(reason = "admission queue full; retry later") () =
   (* Load shedding's explicit refusal: still an [op:"grade"] line (the
      client asked for a grade and gets exactly one answer), with the
      machine-checkable marker ["rejected":"overloaded"] and a rejected
      Outcome in the result slot so uniform clients parse it like any
      other grade. *)
   Printf.sprintf
-    {|{%s"op":"grade","rejected":"overloaded","result":{"outcome":"rejected","stage":"admission","error":"%s"}}|}
-    (id_prefix id) (esc reason)
+    {|{%s%s"op":"grade","rejected":"overloaded","result":{"outcome":"rejected","stage":"admission","error":"%s"}}|}
+    (id_prefix id) (rid_prefix rid) (esc reason)
 
 type stats_ext = {
   shed : int;
@@ -353,6 +362,14 @@ type stats_ext = {
   shards : int;
   conns : int;
   store : (int * int * int * int) option;
+}
+
+type slo_stats = {
+  slo_good : int;
+  slo_bad : int;
+  burn_1m : float;
+  burn_5m : float;
+  burn_1h : float;
 }
 
 type stats = {
@@ -375,6 +392,7 @@ type stats = {
   p50_ms : float;
   p95_ms : float;
   ext : stats_ext option;
+  slo : slo_stats option;
 }
 
 let stats_response ?id s =
@@ -411,16 +429,27 @@ let stats_response ?id s =
          (fun (pass, n) -> Printf.sprintf {|"%s":%d|} (esc pass) n)
          s.absint_counts)
   in
+  (* SLO attainment also rides in the masked zone, and only when the
+     daemon was started with an objective. *)
+  let slo_fields =
+    match s.slo with
+    | None -> ""
+    | Some o ->
+        Printf.sprintf
+          {|,"slo":{"good":%d,"bad":%d,"burn":{"1m":%.3g,"5m":%.3g,"1h":%.3g}}|}
+          o.slo_good o.slo_bad o.burn_1m o.burn_5m o.burn_1h
+  in
   (* %.3g: three significant digits whatever the magnitude — a 40 µs
      p50 renders as 0.0412, not the 0.000 that fixed-point %.3f gave. *)
   Printf.sprintf
-    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d}%s,"latency_ms":{"p50":%.3g,"p95":%.3g},"absint":{%s}}|}
+    {|{%s"op":"stats","requests":%d,"grades":%d,"stats":%d,"errors":%d,"cache":{"hits":%d,"misses":%d,"size":%d,"cap":%d},"outcomes":{"graded":%d,"degraded":%d,"rejected":%d},"diagnostics":{%s},"queue":{"depth":%d,"max":%d,"cap":%d}%s,"latency_ms":{"p50":%.3g,"p95":%.3g},"absint":{%s}%s}|}
     (id_prefix id) s.requests s.grades s.stats_reqs s.errors s.cache_hits
     s.cache_misses s.cache_size s.cache_cap s.graded s.degraded s.rejected
     diagnostics s.queue_depth s.queue_max s.queue_cap ext_fields s.p50_ms
-    s.p95_ms absint
+    s.p95_ms absint slo_fields
 
 type slow_entry = {
+  s_rid : string option;
   s_assignment : string;
   s_ms : float;
   s_outcome : string;
@@ -436,8 +465,10 @@ let slowlog_response ?id entries =
              Printf.sprintf {|"%s":%.3g|} (esc stage) ms)
            e.s_stages)
     in
-    Printf.sprintf {|{"assignment":"%s","ms":%.3g,"outcome":"%s","stages":{%s}}|}
-      (esc e.s_assignment) e.s_ms (esc e.s_outcome) stages
+    Printf.sprintf
+      {|{%s"assignment":"%s","ms":%.3g,"outcome":"%s","stages":{%s}}|}
+      (rid_prefix e.s_rid) (esc e.s_assignment) e.s_ms (esc e.s_outcome)
+      stages
   in
   Printf.sprintf {|{%s"op":"slowlog","n":%d,"slowest":[%s]}|} (id_prefix id)
     (List.length entries)
@@ -446,5 +477,6 @@ let slowlog_response ?id entries =
 let shutdown_response ?id () =
   Printf.sprintf {|{%s"op":"shutdown","ok":true}|} (id_prefix id)
 
-let error_response ?id msg =
-  Printf.sprintf {|{%s"op":"error","error":"%s"}|} (id_prefix id) (esc msg)
+let error_response ?id ?rid msg =
+  Printf.sprintf {|{%s%s"op":"error","error":"%s"}|} (id_prefix id)
+    (rid_prefix rid) (esc msg)

@@ -6,8 +6,8 @@
     {v
     request  := grade | stats | metrics | slowlog | shutdown
     grade    := { "op":"grade", "assignment":string, "source":string,
-                  "id"?:string, "fuel"?:int, "deadline_s"?:number,
-                  "with_tests"?:bool }
+                  "id"?:string, "rid"?:string, "fuel"?:int,
+                  "deadline_s"?:number, "with_tests"?:bool }
     stats    := { "op":"stats", "id"?:string }
     metrics  := { "op":"metrics", "id"?:string }
     slowlog  := { "op":"slowlog", "id"?:string }
@@ -49,6 +49,9 @@ val member : string -> json -> json option
 type request =
   | Grade of {
       id : string option;  (** echoed back verbatim in the response *)
+      rid : string option;
+          (** client-supplied correlation id; the server mints one at
+              admission when absent and telemetry is on *)
       assignment : string;  (** bundle id, see [jfeed assignments] *)
       source : string;  (** full Java submission text *)
       fuel : int option;  (** overrides the server's default budget *)
@@ -73,15 +76,20 @@ val request_of_line :
     per-op payload. *)
 
 val grade_response :
-  ?id:string -> cached:bool -> fuel:int option -> string -> string
+  ?id:string -> ?rid:string -> cached:bool -> fuel:int option -> string ->
+  string
 (** The final argument is the serialized {!Jfeed_robust.Outcome} object
     (spliced verbatim — cache hits replay the stored bytes, making the
     "equal key ⇒ byte-identical payload" contract trivial to audit).
     [fuel] reports fuel spent and appears only when the request ran
     under a finite fuel budget, mirroring the batch summary's
-    byte-stable shape. *)
+    byte-stable shape.  [rid] renders as ["rid":…] right after [id] —
+    only when the request carried or was minted a correlation id, so an
+    untelemetered daemon's responses stay byte-identical to the frozen
+    goldens. *)
 
-val overloaded_response : ?id:string -> ?reason:string -> unit -> string
+val overloaded_response :
+  ?id:string -> ?rid:string -> ?reason:string -> unit -> string
 (** Load shedding's refusal: one [op:"grade"] line carrying the marker
     field ["rejected":"overloaded"] and a rejected Outcome with
     [stage:"admission"] in the result slot, so clients that only parse
@@ -105,6 +113,19 @@ type stats_ext = {
   store : (int * int * int * int) option;
       (** (recovered, dropped_bytes, appended, compactions) of the
           durable store; [None] when serving memory-only *)
+}
+
+(** SLO attainment figures, present only when the daemon was started
+    with an objective ([--slo-ms]).  Burn rate is the bad-fraction over
+    a trailing window divided by the error budget [1 - target]: 1.0
+    means the budget is being spent exactly at the sustainable rate,
+    above 1 it will exhaust early. *)
+type slo_stats = {
+  slo_good : int;  (** grade responses within the latency objective *)
+  slo_bad : int;  (** over-objective grades plus sheds *)
+  burn_1m : float;
+  burn_5m : float;
+  burn_1h : float;
 }
 
 type stats = {
@@ -133,6 +154,9 @@ type stats = {
   p50_ms : float;  (** grade latency percentiles, 0 when no grades yet *)
   p95_ms : float;
   ext : stats_ext option;  (** concurrent-daemon figures, see above *)
+  slo : slo_stats option;
+      (** rendered as a trailing ["slo"] object after ["absint"] — also
+          inside the masked zone — and only when an objective is set *)
 }
 
 val stats_response : ?id:string -> stats -> string
@@ -148,6 +172,8 @@ val stats_response : ?id:string -> stats -> string
     [epdg], [match], [pairing], [interp], [tests], [analysis]…),
     milliseconds each. *)
 type slow_entry = {
+  s_rid : string option;
+      (** correlation id, leading the entry as ["rid":…] when present *)
   s_assignment : string;
   s_ms : float;  (** total service time *)
   s_outcome : string;  (** taxonomy class *)
@@ -160,4 +186,4 @@ val slowlog_response : ?id:string -> slow_entry list -> string
 
 val shutdown_response : ?id:string -> unit -> string
 
-val error_response : ?id:string -> string -> string
+val error_response : ?id:string -> ?rid:string -> string -> string

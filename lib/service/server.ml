@@ -4,6 +4,8 @@ module Bundles = Jfeed_kb.Bundles
 module Pipeline = Jfeed_robust.Pipeline
 module Outcome = Jfeed_robust.Outcome
 module Pool = Jfeed_parallel.Pool
+module Trace = Jfeed_trace.Trace
+module Events = Jfeed_trace.Events
 
 type config = {
   cache_cap : int;
@@ -17,6 +19,13 @@ type config = {
   backlog : int;
   watermark : int option;
   shed_fuel : int option;
+  event_log : string option;
+  event_ring : int option;
+  event_rotate : int option;
+  trace_sample : int option;
+  slow_ms : float option;
+  slo_ms : float option;
+  slo_target : float;
 }
 
 let default_config =
@@ -32,7 +41,30 @@ let default_config =
     backlog = 16;
     watermark = None;
     shed_fuel = None;
+    event_log = None;
+    event_ring = None;
+    event_rotate = None;
+    trace_sample = None;
+    slow_ms = None;
+    slo_ms = None;
+    slo_target = 0.999;
   }
+
+(* Request-scoped telemetry is on iff any of its knobs is: then rids
+   are minted for rid-less grade requests and echoed, lifecycle events
+   are emitted, traces retained, SLO verdicts recorded.  With all four
+   off (the default, and every frozen golden), no response byte
+   changes — a client-supplied "rid" is still echoed, since sending
+   one is itself an opt-in. *)
+let telemetry c =
+  c.event_log <> None || c.trace_sample <> None || c.slow_ms <> None
+  || c.slo_ms <> None
+
+(* The retention threshold for "slow": an explicit --slow-ms, else the
+   SLO latency objective (a request that blew the objective is exactly
+   the one whose trace the operator wants). *)
+let slow_threshold c =
+  match c.slow_ms with Some _ as s -> s | None -> c.slo_ms
 
 (* ------------------------------------------------------------------ *)
 (* Non-blocking-capable line reader.
@@ -206,6 +238,10 @@ type state = {
   cache : entry Shards.t;
   store : Store.t option;
   metrics : Metrics.t;
+  events : Events.t option;
+  rid_seed : int;  (* pid, so rids from successive daemons differ *)
+  mutable rid_ctr : int;  (* minted-rid counter *)
+  mutable seq_ctr : int;  (* grade-miss counter for 1-in-N sampling *)
 }
 
 let make_state config =
@@ -226,12 +262,29 @@ let make_state config =
         in
         Some t
   in
-  { config; cache; store; metrics = Metrics.create () }
+  let events =
+    Option.map
+      (fun dir ->
+        Events.create ?ring_cap:config.event_ring
+          ?rotate_bytes:config.event_rotate dir)
+      config.event_log
+  in
+  {
+    config;
+    cache;
+    store;
+    metrics = Metrics.create ();
+    events;
+    rid_seed = Unix.getpid ();
+    rid_ctr = 0;
+    seq_ctr = 0;
+  }
 
 (* Graceful close: compact first when the log carries dead weight
    (evicted or superseded records), so restarts replay only the live
    set.  [kill -9] skips this — recovery replays the raw append log. *)
 let close_state st =
+  Option.iter Events.close st.events;
   Option.iter
     (fun s ->
       let r = Store.recovery s in
@@ -246,11 +299,13 @@ let close_state st =
 
 type grade_req = {
   g_id : string option;
+  g_rid : string option;  (* correlation id: client-supplied or minted *)
   g_assignment : string;
   g_source : string;
   g_fuel : int option;
   g_deadline : float option;
   g_with_tests : bool;
+  g_enq_ms : float;  (* monotonic admission instant, for queue-wait *)
 }
 
 (* Per-entry resolution after the cache pass. *)
@@ -264,25 +319,37 @@ type miss = {
   m_bundle : Bundles.t;
   m_key : string;
   m_req : grade_req;
+  m_sample : bool;  (* 1-in-N trace retention, decided at resolution *)
 }
 
 (* Monotonic, nanosecond-backed: wall-clock steps (NTP, suspend) can
    no longer produce negative or wildly wrong latencies, and the
    sub-millisecond service times the percentiles now render with three
    significant digits are actually measured, not rounded away. *)
-let now_ms () = Int64.to_float (Jfeed_trace.Trace.now_ns ()) /. 1e6
+let now_ms () = Int64.to_float (Trace.now_ns ()) /. 1e6
 
-let grade_miss (m : miss) =
+(* Emit one lifecycle event iff the daemon has an event log and the
+   request a correlation id.  All call sites run single-threaded (the
+   resolution/response phases and the event loop), matching the ring's
+   one-writer contract. *)
+let emit st ~rid ev attrs =
+  match (st.events, rid) with
+  | Some e, Some rid -> Events.emit e ~rid ~ev attrs
+  | _ -> ()
+
+let grade_miss cfg (m : miss) =
   let r = m.m_req in
   let t0 = now_ms () in
   (* Every miss runs traced so the slowlog can show where a slow
-     request spent its time.  The tracer is created here, inside the
-     worker domain (Pool.map contract: one writer per buffer). *)
-  let trace = Jfeed_trace.Trace.create () in
+     request spent its time.  The tracer is this worker domain's
+     reusable scratch buffer (Pool.map contract: one writer per
+     buffer); anything worth keeping is serialized below, before the
+     domain's next miss recycles it. *)
+  let trace = Trace.scratch () in
   let item =
     Pipeline.grade_submission ?fuel:r.g_fuel ?deadline_s:r.g_deadline
-      ~with_tests:r.g_with_tests ~name:"<request>" ~trace m.m_bundle
-      r.g_source
+      ?rid:r.g_rid ~with_tests:r.g_with_tests ~name:"<request>" ~trace
+      m.m_bundle r.g_source
   in
   let ms = now_ms () -. t0 in
   let entry =
@@ -302,16 +369,31 @@ let grade_miss (m : miss) =
   in
   let slow =
     {
-      Proto.s_assignment = r.g_assignment;
+      Proto.s_rid = r.g_rid;
+      s_assignment = r.g_assignment;
       s_ms = ms;
       s_outcome = entry.outcome_class;
       s_stages =
         List.map
           (fun (stage, (_n, ns)) -> (stage, Int64.to_float ns /. 1e6))
-          (Jfeed_trace.Trace.rollup trace);
+          (Trace.rollup trace);
     }
   in
-  (entry, ms, slow)
+  (* Tail-based retention: keep the full span tree only when the
+     request turned out interesting — slow, not cleanly graded, or
+     1-in-N sampled.  Serialized here, in the worker, because the
+     scratch buffer is recycled by this domain's next miss. *)
+  let retained =
+    r.g_rid <> None
+    && (m.m_sample
+       || entry.outcome_class <> "graded"
+       ||
+       match slow_threshold cfg with
+       | Some th -> ms >= th
+       | None -> false)
+  in
+  let spans = if retained then Some (Trace.spans_json trace) else None in
+  (entry, ms, slow, spans)
 
 (* Grade one batch against the cache + pool; one response line per
    request, in request order.  Shared by the stdio loop (which prints
@@ -348,55 +430,111 @@ let grade_batch st (batch : grade_req list) : string list =
                     let i = !n_misses in
                     Hashtbl.add inflight key i;
                     incr n_misses;
-                    misses := { m_bundle = b; m_key = key; m_req = r } :: !misses;
+                    (* The 1-in-N sampling decision is made here, in
+                       the single-threaded resolution phase, so it is
+                       deterministic in arrival order whatever the
+                       pool width. *)
+                    let m_sample =
+                      match st.config.trace_sample with
+                      | Some n when r.g_rid <> None ->
+                          st.seq_ctr <- st.seq_ctr + 1;
+                          st.seq_ctr mod n = 0
+                      | _ -> false
+                    in
+                    misses :=
+                      { m_bundle = b; m_key = key; m_req = r; m_sample }
+                      :: !misses;
                     (r, Miss i))))
       batch
   in
   let miss_arr = Array.of_list (List.rev !misses) in
   (* The parallel part: only genuine cache misses reach the pool, each
      with its own fresh budget (jobs-invariant, like the batch CLI). *)
-  let results = Pool.map ~jobs:st.config.jobs ~f:grade_miss miss_arr in
-  List.map
-    (fun (r, res) ->
-      match res with
-      | Err msg ->
-          Metrics.record_error st.metrics;
-          Proto.error_response ?id:r.g_id msg
-      | Hit (e, ms) ->
-          Metrics.record_grade st.metrics ~outcome:e.outcome_class
-            ~hit:true ~ms;
-          Metrics.record_diags st.metrics e.diag_counts;
-          Proto.grade_response ?id:r.g_id ~cached:true ~fuel:e.fuel_spent
-            e.result_json
-      | Miss i ->
-          let entry, ms, slow = results.(i) in
-          Shards.add st.cache miss_arr.(i).m_key entry;
-          (* Fresh results — and only fresh results — reach the durable
-             log; replayed or duplicate hits are already on disk. *)
-          Option.iter
-            (fun s ->
-              Store.append s ~key:miss_arr.(i).m_key
-                ~value:(encode_entry entry))
-            st.store;
-          Metrics.record_grade st.metrics ~outcome:entry.outcome_class
-            ~hit:false ~ms;
-          Metrics.record_slow st.metrics slow;
-          Metrics.record_diags st.metrics entry.diag_counts;
-          Proto.grade_response ?id:r.g_id ~cached:false
-            ~fuel:entry.fuel_spent entry.result_json
-      | Dup i ->
-          (* Served from an in-flight computation of this very batch:
-             a hit in every observable way, it just wasn't stored yet
-             when the lookup ran.  The requester still waited for that
-             grading, so its service time — not zero — is what lands
-             in the latency reservoir. *)
-          let entry, ms, _ = results.(i) in
-          Metrics.record_grade st.metrics ~outcome:entry.outcome_class
-            ~hit:true ~ms;
-          Metrics.record_diags st.metrics entry.diag_counts;
-          Proto.grade_response ?id:r.g_id ~cached:true
-            ~fuel:entry.fuel_spent entry.result_json)
-    resolved
+  let results =
+    Pool.map ~jobs:st.config.jobs ~f:(grade_miss st.config) miss_arr
+  in
+  let slo_on = st.config.slo_ms <> None in
+  (* SLO verdict + respond event for one answered grade request; total
+     service time runs from admission, so queue wait counts against
+     the objective exactly as the client experienced it. *)
+  let finish r ~cached ~outcome ~grade_ms =
+    let total = now_ms () -. r.g_enq_ms in
+    if slo_on then
+      Metrics.record_slo st.metrics
+        ~ok:(match st.config.slo_ms with Some s -> total <= s | None -> true);
+    emit st ~rid:r.g_rid "respond"
+      [
+        ("outcome", Events.S outcome);
+        ("cached", Events.I (if cached then 1 else 0));
+        ("queue_ms", Events.F (total -. grade_ms));
+        ("total_ms", Events.F total);
+      ]
+  in
+  let lines =
+    List.map
+      (fun (r, res) ->
+        match res with
+        | Err msg ->
+            Metrics.record_error st.metrics;
+            emit st ~rid:r.g_rid "respond"
+              [ ("outcome", Events.S "error") ];
+            Proto.error_response ?id:r.g_id ?rid:r.g_rid msg
+        | Hit (e, ms) ->
+            Metrics.record_grade st.metrics ~outcome:e.outcome_class
+              ~hit:true ~ms;
+            Metrics.record_diags st.metrics e.diag_counts;
+            emit st ~rid:r.g_rid "cache_hit" [ ("ms", Events.F ms) ];
+            finish r ~cached:true ~outcome:e.outcome_class ~grade_ms:ms;
+            Proto.grade_response ?id:r.g_id ?rid:r.g_rid ~cached:true
+              ~fuel:e.fuel_spent e.result_json
+        | Miss i ->
+            let entry, ms, slow, spans = results.(i) in
+            Shards.add st.cache miss_arr.(i).m_key entry;
+            (* Fresh results — and only fresh results — reach the durable
+               log; replayed or duplicate hits are already on disk. *)
+            Option.iter
+              (fun s ->
+                Store.append s ~key:miss_arr.(i).m_key
+                  ~value:(encode_entry entry))
+              st.store;
+            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+              ~hit:false ~ms;
+            Metrics.record_slow st.metrics slow;
+            Metrics.record_diags st.metrics entry.diag_counts;
+            emit st ~rid:r.g_rid "cache_miss" [];
+            emit st ~rid:r.g_rid "grade_done"
+              [
+                ("ms", Events.F ms);
+                ("outcome", Events.S entry.outcome_class);
+              ];
+            Option.iter
+              (fun spans ->
+                Metrics.record_trace_retained st.metrics;
+                emit st ~rid:r.g_rid "trace" [ ("spans", Events.R spans) ])
+              spans;
+            finish r ~cached:false ~outcome:entry.outcome_class
+              ~grade_ms:ms;
+            Proto.grade_response ?id:r.g_id ?rid:r.g_rid ~cached:false
+              ~fuel:entry.fuel_spent entry.result_json
+        | Dup i ->
+            (* Served from an in-flight computation of this very batch:
+               a hit in every observable way, it just wasn't stored yet
+               when the lookup ran.  The requester still waited for that
+               grading, so its service time — not zero — is what lands
+               in the latency reservoir. *)
+            let entry, ms, _, _ = results.(i) in
+            Metrics.record_grade st.metrics ~outcome:entry.outcome_class
+              ~hit:true ~ms;
+            Metrics.record_diags st.metrics entry.diag_counts;
+            emit st ~rid:r.g_rid "cache_hit"
+              [ ("ms", Events.F ms); ("dup", Events.I 1) ];
+            finish r ~cached:true ~outcome:entry.outcome_class ~grade_ms:ms;
+            Proto.grade_response ?id:r.g_id ?rid:r.g_rid ~cached:true
+              ~fuel:entry.fuel_spent entry.result_json)
+      resolved
+  in
+  Option.iter Events.flush st.events;
+  lines
 
 let process_batch st oc (batch : grade_req list) =
   List.iter
@@ -426,10 +564,15 @@ let stats_ext st ~conns =
   }
 
 let stats_line st ?id ?ext ~queue_depth () =
+  let slo_target =
+    match st.config.slo_ms with
+    | Some _ -> Some st.config.slo_target
+    | None -> None
+  in
   Proto.stats_response ?id
-    (Metrics.to_stats ?ext st.metrics ~cache_size:(Shards.size st.cache)
-       ~cache_cap:st.config.cache_cap ~queue_depth
-       ~queue_cap:st.config.queue_cap)
+    (Metrics.to_stats ?ext ?slo_target st.metrics
+       ~cache_size:(Shards.size st.cache) ~cache_cap:st.config.cache_cap
+       ~queue_depth ~queue_cap:st.config.queue_cap)
 
 let prometheus_block ?conns st ~queue_depth =
   let extended =
@@ -450,22 +593,45 @@ let prometheus_block ?conns st ~queue_depth =
         })
       conns
   in
-  Metrics.to_prometheus ?extended st.metrics
+  let slo = Option.map (fun ms -> (ms, st.config.slo_target)) st.config.slo_ms in
+  let events =
+    Option.map
+      (fun e -> (Events.emitted e, Events.dropped e, Events.rotations e))
+      st.events
+  in
+  Metrics.to_prometheus ?extended ?slo ?events st.metrics
     ~cache_size:(Shards.size st.cache) ~cache_cap:st.config.cache_cap
     ~queue_depth ~queue_cap:st.config.queue_cap
 
 (* Request fields override the server defaults; an absent field means
-   "whatever the daemon was started with". *)
-let grade_req_of config ~id ~assignment ~source ~fuel ~deadline_s ~with_tests
-    =
+   "whatever the daemon was started with".  The correlation id is the
+   client's when supplied, else minted here — at admission — when
+   telemetry is on; either way it is echoed in the response and stamps
+   every event and retained trace of this request's lifecycle. *)
+let grade_req_of st ~id ~rid ~assignment ~source ~fuel ~deadline_s
+    ~with_tests =
+  let config = st.config in
+  let g_rid =
+    match rid with
+    | Some _ -> rid
+    | None ->
+        if telemetry config then begin
+          st.rid_ctr <- st.rid_ctr + 1;
+          Some (Printf.sprintf "r%d-%d" st.rid_seed st.rid_ctr)
+        end
+        else None
+  in
+  emit st ~rid:g_rid "admit" [ ("assignment", Events.S assignment) ];
   {
     g_id = id;
+    g_rid;
     g_assignment = assignment;
     g_source = source;
     g_fuel = (match fuel with Some _ -> fuel | None -> config.fuel);
     g_deadline =
       (match deadline_s with Some _ -> deadline_s | None -> config.deadline_s);
     g_with_tests = Option.value ~default:config.with_tests with_tests;
+    g_enq_ms = now_ms ();
   }
 
 let serve_connection st r oc =
@@ -490,9 +656,9 @@ let serve_connection st r oc =
           | Ok (Proto.Grade g) ->
               Metrics.record_request st.metrics;
               let req =
-                grade_req_of st.config ~id:g.id ~assignment:g.assignment
-                  ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
-                  ~with_tests:g.with_tests
+                grade_req_of st ~id:g.id ~rid:g.rid
+                  ~assignment:g.assignment ~source:g.source ~fuel:g.fuel
+                  ~deadline_s:g.deadline_s ~with_tests:g.with_tests
               in
               drain_into (req :: batch)
           | _ ->
@@ -546,7 +712,7 @@ let serve_connection st r oc =
             `Shutdown
         | Ok (Proto.Grade g) ->
             let req =
-              grade_req_of st.config ~id:g.id ~assignment:g.assignment
+              grade_req_of st ~id:g.id ~rid:g.rid ~assignment:g.assignment
                 ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
                 ~with_tests:g.with_tests
             in
@@ -616,12 +782,19 @@ type conn = {
 
 type ticket = { t_req : grade_req; t_enq_ms : float }
 
+(* A resolved ticket: the response line, plus the correlation id so
+   the write-out event can be stamped when the line finally leaves. *)
+type resolved_ticket = { r_line : string; r_rid : string option }
+
 let push_out c line =
   Queue.push (line ^ "\n") c.c_out;
   c.c_out_len <- c.c_out_len + String.length line + 1
 
-(* Move every leading resolved slot onto the output queue. *)
-let promote tickets c =
+(* Move every leading resolved slot onto the output queue.  The write
+   event marks the hand-off to the connection's output buffer — the
+   end of the server-side lifecycle (the remaining latency is the
+   socket and the client's reader). *)
+let promote st tickets c =
   let rec go () =
     match Queue.peek_opt c.c_slots with
     | Some (Done line) ->
@@ -630,10 +803,12 @@ let promote tickets c =
         go ()
     | Some (Wait id) -> (
         match Hashtbl.find_opt tickets id with
-        | Some line ->
+        | Some rt ->
             ignore (Queue.pop c.c_slots);
             Hashtbl.remove tickets id;
-            push_out c line;
+            emit st ~rid:rt.r_rid "write"
+              [ ("bytes", Events.I (String.length rt.r_line + 1)) ];
+            push_out c rt.r_line;
             go ()
         | None -> ())
     | None -> ()
@@ -688,7 +863,7 @@ let serve_socket config path =
      connections, which is the whole point of a persistent service. *)
   let st = make_state config in
   let pending : (int * ticket) Queue.t = Queue.create () in
-  let tickets : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let tickets : (int, resolved_ticket) Hashtbl.t = Hashtbl.create 64 in
   let next_ticket = ref 0 in
   let handle_line c line =
     if String.trim line <> "" then begin
@@ -723,14 +898,19 @@ let serve_socket config path =
           stop := true
       | Ok (Proto.Grade g) ->
           let req =
-            grade_req_of st.config ~id:g.id ~assignment:g.assignment
+            grade_req_of st ~id:g.id ~rid:g.rid ~assignment:g.assignment
               ~source:g.source ~fuel:g.fuel ~deadline_s:g.deadline_s
               ~with_tests:g.with_tests
           in
           if depth >= st.config.queue_cap then begin
             (* Hard shed: answer now, never queue, never grade. *)
             Metrics.record_shed st.metrics;
-            Queue.push (Done (Proto.overloaded_response ?id:g.id ()))
+            if st.config.slo_ms <> None then
+              Metrics.record_slo st.metrics ~ok:false;
+            emit st ~rid:req.g_rid "shed"
+              [ ("reason", Events.S "queue full"); ("depth", Events.I depth) ];
+            Queue.push
+              (Done (Proto.overloaded_response ?id:g.id ?rid:req.g_rid ()))
               c.c_slots
           end
           else begin
@@ -741,14 +921,15 @@ let serve_socket config path =
                      budget.  The clamped fuel is part of the cache
                      key, so this can't poison full-budget entries. *)
                   Metrics.record_degraded_admission st.metrics;
-                  {
-                    req with
-                    g_fuel =
-                      Some
-                        (match req.g_fuel with
-                        | Some f -> min f sf
-                        | None -> sf);
-                  }
+                  let clamped =
+                    match req.g_fuel with Some f -> min f sf | None -> sf
+                  in
+                  emit st ~rid:req.g_rid "degrade"
+                    [
+                      ("fuel", Events.I clamped);
+                      ("depth", Events.I depth);
+                    ];
+                  { req with g_fuel = Some clamped }
               | _ -> req
             in
             let id = !next_ticket in
@@ -794,13 +975,26 @@ let serve_socket config path =
       List.iter
         (fun (id, t) ->
           Metrics.record_shed st.metrics;
+          if st.config.slo_ms <> None then
+            Metrics.record_slo st.metrics ~ok:false;
+          emit st ~rid:t.t_req.g_rid "shed"
+            [
+              ("reason", Events.S "deadline exceeded while queued");
+              ("queue_ms", Events.F (now -. t.t_enq_ms));
+            ];
           Hashtbl.replace tickets id
-            (Proto.overloaded_response ?id:t.t_req.g_id
-               ~reason:"deadline exceeded while queued" ()))
+            {
+              r_line =
+                Proto.overloaded_response ?id:t.t_req.g_id
+                  ?rid:t.t_req.g_rid
+                  ~reason:"deadline exceeded while queued" ();
+              r_rid = t.t_req.g_rid;
+            })
         expired;
       let lines = grade_batch st (List.map (fun (_, t) -> t.t_req) live) in
       List.iter2
-        (fun (id, _) line -> Hashtbl.replace tickets id line)
+        (fun (id, t) line ->
+          Hashtbl.replace tickets id { r_line = line; r_rid = t.t_req.g_rid })
         live lines
     end
   in
@@ -853,10 +1047,14 @@ let serve_socket config path =
     run_pending ();
     List.iter
       (fun c ->
-        promote tickets c;
+        promote st tickets c;
         if c.c_out_len > 0 && (List.mem c.c_fd wready || !stop) then
           write_conn c)
       !conns;
+    (* The loop turn is the event log's single writer: admissions,
+       sheds and write-outs accumulated this turn reach disk before
+       the next select sleep. *)
+    Option.iter Events.flush st.events;
     (* Reap: write-errored connections, and cleanly finished ones (the
        client hung up and owes/awaits nothing). *)
     let dead, alive =

@@ -58,11 +58,34 @@ type config = {
   shed_fuel : int option;
       (** the degraded-admission fuel clamp (requests keep the smaller
           of their own budget and this) *)
+  event_log : string option;
+      (** directory for the durable lifecycle event log
+          ({!Jfeed_trace.Events}); [None] logs nothing *)
+  event_ring : int option;
+      (** event-log in-memory ring capacity (lines); [None] = default *)
+  event_rotate : int option;
+      (** event-log rotation size in bytes; [None] = default *)
+  trace_sample : int option;
+      (** retain the full span tree of every [N]th cache miss, on top
+          of the slow/degraded/rejected retention rules *)
+  slow_ms : float option;
+      (** trace-retention latency threshold; defaults to [slo_ms] *)
+  slo_ms : float option;
+      (** grade-latency objective; turns on SLO counters, burn-rate
+          gauges and the stats ["slo"] object *)
+  slo_target : float;
+      (** availability objective — the fraction of requests meant to
+          finish within [slo_ms]; burn rates divide by [1 - slo_target] *)
 }
+(** Telemetry ([event_log] / [trace_sample] / [slow_ms] / [slo_ms]) is
+    strictly additive: with all four unset, no response byte differs
+    from the pre-telemetry daemon — correlation ids are then echoed
+    only for requests that brought their own ["rid"]. *)
 
 val default_config : config
 (** cache 10000 over 8 shards, queue 64, jobs 1, no budget, tests on,
-    memory-only, backlog 16, no degraded-admission tier. *)
+    memory-only, backlog 16, no degraded-admission tier, telemetry off
+    (slo_target 0.999 once [slo_ms] is set). *)
 
 (** {2 Cache entry codec}
 

@@ -1,0 +1,161 @@
+(** Durable request-lifecycle event log.  See events.mli. *)
+
+type value = I of int | F of float | S of string | R of string
+
+type t = {
+  dir : string;
+  rotate_bytes : int;
+  ring_cap : int;
+  ring : string Queue.t;  (* rendered lines awaiting the single writer *)
+  mutable oc : out_channel option;
+  mutable written : int;  (* bytes in the current file *)
+  mutable emitted : int;
+  mutable dropped : int;
+  mutable rotations : int;
+}
+
+let file_name = "events.jsonl"
+let rotated_name = "events.jsonl.1"
+let current_path dir = Filename.concat dir file_name
+let rotated_path dir = Filename.concat dir rotated_name
+let default_ring_cap = 4096
+let default_rotate_bytes = 8 * 1024 * 1024
+
+let open_append path =
+  open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path
+
+let create ?(ring_cap = default_ring_cap)
+    ?(rotate_bytes = default_rotate_bytes) dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    failwith (Printf.sprintf "event-log directory %S is not a directory" dir);
+  let oc = open_append (current_path dir) in
+  {
+    dir;
+    rotate_bytes = max 4096 rotate_bytes;
+    ring_cap = max 1 ring_cap;
+    ring = Queue.create ();
+    oc = Some oc;
+    written = Int64.to_int (LargeFile.out_channel_length oc);
+    emitted = 0;
+    dropped = 0;
+    rotations = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Record format: one JSON object per line, self-checksummed — the last
+   field is ["ck":"<hex8>"] where hex8 is the first 8 hex characters of
+   the MD5 of everything before [,"ck":].  The Store discipline in JSONL
+   clothing: replay accepts the longest valid prefix and treats the
+   first torn or corrupted line as the end of the log. *)
+
+let ck_frame_len = String.length {|,"ck":""}|} + 8
+
+let render ~ts_ns ~rid ~ev attrs =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf {|{"ts_ns":%Ld,"rid":"%s","ev":"%s"|} ts_ns
+       (Trace.json_escape rid) (Trace.json_escape ev));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string b (Printf.sprintf {|,"%s":|} (Trace.json_escape k));
+      Buffer.add_string b
+        (match v with
+        | I n -> string_of_int n
+        | F x -> Printf.sprintf "%.4f" x
+        | S s -> Printf.sprintf {|"%s"|} (Trace.json_escape s)
+        | R raw -> raw))
+    attrs;
+  let body = Buffer.contents b in
+  let ck = String.sub (Digest.to_hex (Digest.string body)) 0 8 in
+  Printf.sprintf {|%s,"ck":"%s"}|} body ck
+
+let checksum_ok line =
+  let n = String.length line in
+  n > ck_frame_len
+  && String.sub line (n - ck_frame_len) 7 = {|,"ck":"|}
+  && String.sub line (n - 2) 2 = {|"}|}
+  &&
+  let body = String.sub line 0 (n - ck_frame_len) in
+  let ck = String.sub line (n - 10) 8 in
+  String.equal ck (String.sub (Digest.to_hex (Digest.string body)) 0 8)
+
+(* ------------------------------------------------------------------ *)
+(* Emission: bounded ring, one flusher                                  *)
+
+let emit t ~rid ~ev attrs =
+  if Queue.length t.ring >= t.ring_cap then t.dropped <- t.dropped + 1
+  else begin
+    Queue.push (render ~ts_ns:(Trace.now_ns ()) ~rid ~ev attrs) t.ring;
+    t.emitted <- t.emitted + 1
+  end
+
+let rotate t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      close_out_noerr oc;
+      (try Sys.remove (rotated_path t.dir) with Sys_error _ -> ());
+      (try Sys.rename (current_path t.dir) (rotated_path t.dir)
+       with Sys_error _ -> ());
+      t.oc <- Some (open_append (current_path t.dir));
+      t.written <- 0;
+      t.rotations <- t.rotations + 1
+
+let flush t =
+  match t.oc with
+  | None -> Queue.clear t.ring
+  | Some oc ->
+      if not (Queue.is_empty t.ring) then begin
+        Queue.iter
+          (fun line ->
+            output_string oc line;
+            output_char oc '\n';
+            t.written <- t.written + String.length line + 1)
+          t.ring;
+        Queue.clear t.ring;
+        Stdlib.flush oc;
+        if t.written >= t.rotate_bytes then rotate t
+      end
+
+let close t =
+  flush t;
+  (match t.oc with Some oc -> close_out_noerr oc | None -> ());
+  t.oc <- None
+
+let pending t = Queue.length t.ring
+let emitted t = t.emitted
+let dropped t = t.dropped
+let rotations t = t.rotations
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                               *)
+
+let replay_file path ~f =
+  if not (Sys.file_exists path) then (0, 0)
+  else begin
+    let ic = open_in_bin path in
+    let size = in_channel_length ic in
+    let rec go count off =
+      match input_line ic with
+      | exception End_of_file -> (count, size - off)
+      | line ->
+          let p = pos_in ic in
+          (* [input_line] returns a final unterminated line too; a line
+             only counts when its newline made it to disk and its
+             checksum verifies — anything else is the torn tail. *)
+          if p = off + String.length line + 1 && checksum_ok line then begin
+            f line;
+            go (count + 1) p
+          end
+          else (count, size - off)
+    in
+    let r = go 0 0 in
+    close_in_noerr ic;
+    r
+  end
+
+let replay_dir dir ~f =
+  let n1, d1 = replay_file (rotated_path dir) ~f in
+  let n2, d2 = replay_file (current_path dir) ~f in
+  (n1 + n2, d1 + d2)

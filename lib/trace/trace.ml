@@ -15,7 +15,7 @@ type rspan = {
 }
 
 type buf = {
-  t0 : int64;
+  mutable t0 : int64;
   mutable spans : rspan list;  (* reverse begin order *)
   mutable n : int;
   mutable stack : rspan list;  (* open spans, innermost first *)
@@ -39,6 +39,26 @@ let create () =
     }
 
 let enabled = function Disabled -> false | Enabled _ -> true
+
+let clear = function
+  | Disabled -> ()
+  | Enabled b ->
+      b.t0 <- now_ns ();
+      b.spans <- [];
+      b.n <- 0;
+      b.stack <- [];
+      Hashtbl.reset b.counters;
+      b.counter_order <- []
+
+(* One reusable tracer per domain, for tail-based sampling: every
+   request records into it cheaply, and only retained traces are
+   serialized before the next [clear] recycles the buffer. *)
+let scratch_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> create ())
+
+let scratch () =
+  let t = Domain.DLS.get scratch_key in
+  clear t;
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Recording                                                           *)
@@ -224,6 +244,31 @@ let to_chrome_json ?(pid = 1) ?(tid = 1) t =
                        Printf.sprintf {|"%s":%d|} (json_escape k) v)
                      cs))));
       Buffer.add_string buf "\n]";
+      Buffer.contents buf
+
+let spans_json t =
+  match t with
+  | Disabled -> "[]"
+  | Enabled b ->
+      let buf = Buffer.create 512 in
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf ',';
+          let dur = if s.dur_ns < 0L then 0L else s.dur_ns in
+          let args =
+            match s.attrs with
+            | [] -> ""
+            | attrs -> Printf.sprintf {|,"attrs":{%s}|} (attrs_json attrs)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf
+               {|{"sid":%d,"parent":%d,"name":"%s","start_us":%.1f,"dur_us":%.1f%s}|}
+               s.sid s.parent (json_escape s.name)
+               (us_of_ns (Int64.sub s.start_ns b.t0))
+               (us_of_ns dur) args))
+        (spans t);
+      Buffer.add_char buf ']';
       Buffer.contents buf
 
 let summary_json t =

@@ -40,6 +40,18 @@ val create : unit -> t
 
 val enabled : t -> bool
 
+val clear : t -> unit
+(** Reset an enabled collector to the empty state with a fresh zero
+    point, so one buffer can be reused across requests without
+    reallocating (tail-based sampling traces every request into a
+    recycled buffer).  No-op on {!disabled}. *)
+
+val scratch : unit -> t
+(** This domain's reusable tracer, {!clear}ed and ready to record.
+    One per domain in [Domain.DLS]; the caller must serialize anything
+    it wants to keep before the next [scratch] call on this domain
+    recycles the buffer. *)
+
 (** {2 Recording} *)
 
 val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -112,6 +124,13 @@ val to_chrome_json : ?pid:int -> ?tid:int -> t -> string
     one final ["ph":"C"] counter event carrying {!counters}.  [pid]
     defaults to 1; [tid] (default 1) distinguishes worker domains when
     a caller merges several traces into one file. *)
+
+val spans_json : t -> string
+(** The span tree as a single-line JSON array —
+    [[{"sid":…,"parent":…,"name":…,"start_us":…,"dur_us":…,"attrs":{…}},…]]
+    with microseconds relative to the trace zero point — suitable for
+    embedding in a JSONL event line (no newlines, unlike
+    {!to_chrome_json}).  [[]] for {!disabled}. *)
 
 val summary_json : t -> string
 (** The compact per-stage summary embedded under ["trace"] in

@@ -110,7 +110,7 @@ knowledge base (two builds with equal digests grade identically), and the
 feature set (the digest varies with the KB, so it is masked here):
 
   $ jfeed version | sed 's/"kb_revision":"[0-9a-f]*"/"kb_revision":"MASKED"/'
-  {"version":"1.0.0","kb_revision":"MASKED","features":["normalize","variants","inline-helpers","strategies","analysis","absint","parallel","serve-cache","trace","repair"]}
+  {"version":"1.0.0","kb_revision":"MASKED","features":["normalize","variants","inline-helpers","strategies","analysis","absint","parallel","serve-cache","trace","repair","events","slo"]}
 
 Unknown assignments are rejected with the available ids:
 

@@ -95,7 +95,7 @@ tail) and writes BENCH_load.json — completions, sheds, degraded
 admissions, p50/p95/p99 per rate.  Same pinning discipline:
 
   $ jfeed-bench load --rates 50,4000 --requests 10 --conns 2 --queue-cap 4 --watermark 2 > /dev/null
-  $ grep -c '"schema":"jfeed-bench-load/1"' BENCH_load.json
+  $ grep -c '"schema":"jfeed-bench-load/2"' BENCH_load.json
   1
   $ grep -o '"[a-z0-9_]*":' BENCH_load.json | sort -u
   "achieved_rps":
@@ -104,6 +104,7 @@ admissions, p50/p95/p99 per rate.  Same pinning discipline:
   "conns":
   "degraded":
   "duplicate_ratio":
+  "events_overhead_pct":
   "jobs":
   "p50_ms":
   "p95_ms":
@@ -125,6 +126,28 @@ request — graded or explicitly shed, never silently dropped:
 
   $ grep -o '"rate_rps":' BENCH_load.json | wc -l
   2
+
+The regression gate: `bench diff` compares a fresh record against a
+committed baseline and fails on any pinned metric that moved more than
+10% in its bad direction (latency up, throughput or rates down).  A
+record always passes against itself:
+
+  $ jfeed-bench diff BENCH_load.json BENCH_load.json | sed 's/([0-9]* checked/(N checked/'
+  ok: no pinned metric regressed more than 10% (N checked against BENCH_load.json)
+
+A doctored copy with a collapsed completion count fails it:
+
+  $ sed 's/"completed":[0-9]*/"completed":0/g' BENCH_load.json > regressed.json
+  $ jfeed-bench diff BENCH_load.json regressed.json | head -n 1 | sed 's/: [0-9.]* ->/: BASE ->/'
+  REGRESSION sweep.0.completed: BASE -> 0 (-100.0%)
+  $ jfeed-bench diff BENCH_load.json regressed.json > /dev/null
+  [1]
+
+And records of different shapes refuse to compare at all:
+
+  $ jfeed-bench diff BENCH_load.json BENCH_service.json
+  jfeed-bench diff: schema mismatch: jfeed-bench-load/2 vs jfeed-bench-service/1
+  [2]
 
 The repair trajectory: `bench repair` injects single-edit faults into
 each assignment's reference solution, runs the search on every mutant,

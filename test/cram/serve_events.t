@@ -1,0 +1,97 @@
+Request-scoped telemetry end to end.  With any telemetry flag set,
+every response carries a correlation id — the client's own if the
+request brought one, a minted one otherwise — and every lifecycle
+transition leaves one checksummed line in the event log:
+
+  $ cat > req.jsonl <<'EOF'
+  > {"op":"grade","id":"mine","rid":"trace-me","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] poly) { double[] deriv = new double[poly.length - 1]; for (int i = 1; i < poly.length; i = i + 1) { deriv[i - 1] = poly[i] * i; } return deriv; } }"}
+  > {"op":"grade","id":"anon","assignment":"mitx-derivatives","source":"public class D { public static double[] derivative(double[] poly) { double[] deriv = new double[poly.length - 1]; for (int i = 1; i < poly.length; i = i + 1) { deriv[i - 1] = poly[i] * i; } return deriv; } }"}
+  > {"op":"stats","id":"s"}
+  > {"op":"shutdown"}
+  > EOF
+  $ jfeed serve --event-log ev --trace-sample 1 --slo-ms 10000 < req.jsonl > resp.jsonl
+  $ grep -c '^{"id":"mine","rid":"trace-me","op":"grade","cached":false' resp.jsonl
+  1
+  $ grep -c '^{"id":"anon","rid":"r[0-9]*-[0-9]*","op":"grade","cached":true' resp.jsonl
+  1
+
+The stats line gains the SLO good/bad counters and burn rates:
+
+  $ grep -c '"slo":{"good":2,"bad":0' resp.jsonl
+  1
+
+`jfeed logs --rid` reconstructs one request's full lifecycle from the
+log — admission, cache resolution, grading, the retained span tree
+(--trace-sample 1 keeps every miss), and the response with its
+queue-wait and total timings:
+
+  $ jfeed logs --event-log ev --rid trace-me | grep -o '"ev":"[a-z_]*"'
+  "ev":"admit"
+  "ev":"cache_miss"
+  "ev":"grade_done"
+  "ev":"trace"
+  "ev":"respond"
+  $ jfeed logs --event-log ev --rid trace-me | grep -c '"queue_ms":[0-9.]*,"total_ms":'
+  1
+  $ jfeed logs --event-log ev --rid trace-me | grep -c '"name":"request"'
+  1
+
+The in-batch duplicate ran the shorter cached lifecycle under its own
+minted id:
+
+  $ RID=$(sed -n 's/^{"id":"anon","rid":"\([^"]*\)".*/\1/p' resp.jsonl)
+  $ jfeed logs --event-log ev --rid "$RID" | grep -o '"ev":"[a-z_]*"'
+  "ev":"admit"
+  "ev":"cache_hit"
+  "ev":"respond"
+
+The same telemetry runs in the socket daemon, where `jfeed top` renders
+a plain-text frame of the live counters over the stats/slowlog ops:
+
+  $ jfeed serve --socket t.sock --event-log ev2 --trace-sample 1 --slo-ms 10000 &
+  $ SERVE_PID=$!
+  $ for i in $(seq 100); do test -S t.sock && break; sleep 0.1; done
+  $ grep '"id":"mine"' req.jsonl | jfeed client --socket t.sock > c1.jsonl
+  $ grep -c '^{"id":"mine","rid":"trace-me","op":"grade","cached":false' c1.jsonl
+  1
+  $ jfeed top --socket t.sock --once > top.txt
+  $ grep -c 'jfeed top .* t.sock .* frame 1' top.txt
+  1
+  $ grep -c 'outcomes  graded 1  degraded 0  rejected 0' top.txt
+  1
+  $ grep -c 'cache     hits 0  misses 1  hit-rate 0.0%  size 1/10000' top.txt
+  1
+  $ grep -c 'slo       good 1  bad 0  burn 1m 0  5m 0  1h 0' top.txt
+  1
+
+kill -9: no drain, no graceful close.  Whatever reached the disk before
+the crash replays — including the socket path's write event — and a
+torn half-line the crash left behind is measured off, never shown:
+
+  $ kill -9 $SERVE_PID
+  $ wait $SERVE_PID 2> /dev/null
+  [137]
+  $ jfeed logs --event-log ev2 --rid trace-me | grep -o '"ev":"[a-z_]*"'
+  "ev":"admit"
+  "ev":"cache_miss"
+  "ev":"grade_done"
+  "ev":"trace"
+  "ev":"respond"
+  "ev":"write"
+  $ jfeed logs --event-log ev2 > before.txt
+  $ printf '{"ts_ns":99,"rid":"torn","ev":"adm' >> ev2/events.jsonl
+  $ jfeed logs --event-log ev2 > after.txt
+  $ cmp before.txt after.txt && echo torn-tail-ignored
+  torn-tail-ignored
+
+With no telemetry flag, nothing changes on the wire: no rid, no slo
+object — the pre-telemetry goldens hold byte for byte:
+
+  $ jfeed serve < req.jsonl | grep -c '"rid"\|"slo"'
+  1
+
+(the one match is the request's own rid echoed back verbatim — a client
+that labels its requests gets its labels back even with telemetry off:)
+
+  $ jfeed serve < req.jsonl | grep -c '^{"id":"mine","rid":"trace-me","op":"grade"'
+  1

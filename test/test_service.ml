@@ -741,6 +741,262 @@ let test_socket_admission_sheds () =
   Domain.join server;
   (try Unix.close fd with _ -> ())
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: the event log, SLO counters, correlation ids *)
+
+module Events = Jfeed_trace.Events
+
+let fresh_ev_dir tag =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jfeed-%s-%d" tag (Unix.getpid ()))
+  in
+  List.iter
+    (fun f ->
+      try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    [ "events.jsonl"; "events.jsonl.1" ];
+  dir
+
+let test_events_ring_rotation () =
+  let dir = fresh_ev_dir "evring" in
+  let e = Events.create ~ring_cap:4 ~rotate_bytes:4096 dir in
+  for i = 1 to 6 do
+    Events.emit e
+      ~rid:(Printf.sprintf "r%d" i)
+      ~ev:"admit"
+      [ ("i", Events.I i) ]
+  done;
+  check_int "ring holds exactly its cap" 4 (Events.pending e);
+  check_int "the overflow is counted, not blocked on" 2 (Events.dropped e);
+  check_int "emitted counts only enqueued lines" 4 (Events.emitted e);
+  Events.flush e;
+  check_int "flush drains the ring" 0 (Events.pending e);
+  (* pad lines until the size cap forces a rotation *)
+  for i = 1 to 200 do
+    Events.emit e ~rid:"pad" ~ev:"x"
+      [ ("pad", Events.S (String.make 80 'a')) ];
+    if i mod 4 = 0 then Events.flush e
+  done;
+  Events.close e;
+  check "the log rotated at the size cap" true (Events.rotations e >= 1);
+  check "one rotated generation is kept" true
+    (Sys.file_exists (Events.rotated_path dir));
+  let n, torn = Events.replay_dir dir ~f:(fun _ -> ()) in
+  check "a cleanly closed log has no torn tail" true (torn = 0);
+  check "replay walks rotated then current" true (n > 0)
+
+let test_events_torn_tail () =
+  let dir = fresh_ev_dir "evtorn" in
+  let e = Events.create dir in
+  Events.emit e ~rid:"t1" ~ev:"admit" [];
+  Events.emit e ~rid:"t2" ~ev:"respond" [ ("total_ms", Events.F 1.25) ];
+  Events.close e;
+  (* an unterminated half-line, as kill -9 mid-write leaves behind *)
+  let oc =
+    open_out_gen [ Open_append; Open_wronly ] 0o644 (Events.current_path dir)
+  in
+  output_string oc {|{"ts_ns":1,"rid":"t3","ev":"admit"|};
+  close_out oc;
+  let seen = ref [] in
+  let n, torn = Events.replay_dir dir ~f:(fun l -> seen := l :: !seen) in
+  check_int "the valid prefix survives" 2 n;
+  check "the torn tail is measured, never replayed" true (torn > 0);
+  check "replayed lines all checksum" true
+    (List.for_all Events.checksum_ok !seen);
+  (* a flipped byte inside an intact line stops replay there too *)
+  let dir2 = fresh_ev_dir "evcorrupt" in
+  let e2 = Events.create dir2 in
+  for i = 1 to 3 do
+    Events.emit e2 ~rid:(string_of_int i) ~ev:"x" []
+  done;
+  Events.close e2;
+  let p = Events.current_path dir2 in
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match String.split_on_char '\n' s with
+  | l1 :: l2 :: rest ->
+      let l2' = Bytes.of_string l2 in
+      Bytes.set l2' 12 'X';
+      let oc = open_out_bin p in
+      output_string oc (String.concat "\n" (l1 :: Bytes.to_string l2' :: rest));
+      close_out oc
+  | _ -> Alcotest.fail "expected three event lines");
+  let n2, _ = Events.replay_file p ~f:(fun _ -> ()) in
+  check_int "replay stops at the first corrupted line" 1 n2
+
+let test_metrics_slo () =
+  let m = Metrics.create () in
+  for _ = 1 to 9 do
+    Metrics.record_slo m ~ok:true
+  done;
+  Metrics.record_slo m ~ok:false;
+  check_int "good requests counted" 9 (Metrics.slo_good m);
+  check_int "bad requests counted" 1 (Metrics.slo_bad m);
+  (* 1 bad in 10 at target 0.9: spending the error budget exactly 1x *)
+  let burn = Metrics.burn_rate m ~target:0.9 ~window_s:60.0 in
+  check "burn rate = error rate over budget" true
+    (abs_float (burn -. 1.0) < 1e-9);
+  let tight = Metrics.burn_rate m ~target:0.99 ~window_s:60.0 in
+  check "a 10x tighter budget burns 10x faster" true
+    (abs_float (tight -. 10.0) < 1e-6);
+  check "an empty window burns nothing" true
+    (Metrics.burn_rate (Metrics.create ()) ~target:0.9 ~window_s:60.0 = 0.0);
+  let text =
+    Metrics.to_prometheus ~slo:(50.0, 0.999) ~events:(1, 2, 3) m
+      ~cache_size:0 ~cache_cap:0 ~queue_depth:0 ~queue_cap:0
+  in
+  check "slo counters exported" true
+    (contains ~sub:"jfeed_slo_bad_total 1" text);
+  check "burn gauge labelled by window" true
+    (contains ~sub:{|jfeed_slo_burn_rate{window="5m"}|} text);
+  check "build info always present" true
+    (contains ~sub:"jfeed_build_info{version=" text);
+  check "event counters exported" true
+    (contains ~sub:"jfeed_events_dropped_total 2" text);
+  (* the frozen exposition tail starts at jfeed_requests_total; every
+     new family must sit before it *)
+  (match
+     (index_of ~sub:"# HELP jfeed_requests_total" text,
+      index_of ~sub:"jfeed_slo_good_total" text)
+   with
+  | Some anchor, Some slo_pos ->
+      check "new families precede the frozen anchor" true (slo_pos < anchor)
+  | _ -> Alcotest.fail "expected both families in the exposition")
+
+let test_session_rid_telemetry () =
+  let config = { Server.default_config with slo_ms = Some 10000.0 } in
+  let outcome, responses =
+    run_session ~config
+      [
+        grade_line ~id:"g1" base_source;
+        {|{"op":"grade","id":"g2","rid":"mine","assignment":"assignment1","source":"not java"}|};
+        {|{"op":"stats","id":"s"}|};
+        {|{"op":"shutdown"}|};
+      ]
+  in
+  check "shutdown reached" true (outcome = `Shutdown);
+  let g1 = List.nth responses 0 in
+  let g2 = List.nth responses 1 in
+  let s = List.nth responses 2 in
+  check "a minted rid is echoed" true
+    (String.starts_with ~prefix:{|{"id":"g1","rid":"r|} g1);
+  check "a client-supplied rid wins over minting" true
+    (String.starts_with ~prefix:{|{"id":"g2","rid":"mine","op":"grade"|} g2);
+  check "stats carries the slo object" true
+    (contains ~sub:{|"slo":{"good":|} s);
+  check "both requests landed inside the objective" true
+    (contains ~sub:{|"slo":{"good":2,"bad":0|} s)
+
+let rid_of line =
+  match index_of ~sub:{|"rid":"|} line with
+  | Some i ->
+      let start = i + 7 in
+      let j = String.index_from line start '"' in
+      String.sub line start (j - start)
+  | None -> ""
+
+let test_socket_events_interleaved () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "jfeed-evsock-%d.sock" (Unix.getpid ()))
+  in
+  let dir = fresh_ev_dir "evlog" in
+  let config =
+    {
+      Server.default_config with
+      event_log = Some dir;
+      slo_ms = Some 10000.0;
+    }
+  in
+  let server = Domain.spawn (fun () -> Server.serve_socket config path) in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "daemon socket never appeared"
+    else if not (Sys.file_exists path) then begin
+      Unix.sleepf 0.02;
+      wait (n - 1)
+    end
+  in
+  wait 250;
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    (fd, Unix.in_channel_of_descr fd)
+  in
+  let send fd s = ignore (Unix.write_substring fd s 0 (String.length s)) in
+  let a_fd, a_ic = connect () in
+  let b_fd, b_ic = connect () in
+  let rid_line ~id ~rid ?fuel src =
+    Printf.sprintf
+      {|{"op":"grade","id":"%s","rid":"%s",%s"assignment":"assignment1","source":"%s"}|}
+      id rid
+      (match fuel with
+      | Some f -> Printf.sprintf {|"fuel":%d,|} f
+      | None -> "")
+      (Jfeed_core.Feedback.json_escape src)
+  in
+  (* two clients interleave: a clean grade each, then a degraded one
+     (starved budget) and a rejected one (unparseable) — the latter two
+     must come out of the log with retained traces *)
+  send a_fd (rid_line ~id:"a1" ~rid:"rid-a1" base_source ^ "\n");
+  send b_fd (rid_line ~id:"b1" ~rid:"rid-b1" base_source ^ "\n");
+  let a1 = input_line a_ic in
+  let b1 = input_line b_ic in
+  send a_fd (rid_line ~id:"a2" ~rid:"rid-a2" ~fuel:1 base_source ^ "\n");
+  send b_fd (rid_line ~id:"b2" ~rid:"rid-b2" "not java at all" ^ "\n");
+  let a2 = input_line a_ic in
+  let b2 = input_line b_ic in
+  send a_fd (grade_line ~id:"a3" (Mutate.alpha_rename ~seed:9 base_source) ^ "\n");
+  let a3 = input_line a_ic in
+  check "client rid echoed through the socket" true
+    (String.starts_with ~prefix:{|{"id":"a1","rid":"rid-a1","op":"grade"|} a1);
+  check "the other client's rid echoed too" true
+    (String.starts_with ~prefix:{|{"id":"b1","rid":"rid-b1","op":"grade"|} b1);
+  check "non-graded responses keep their rid" true
+    (contains ~sub:{|"rid":"rid-a2"|} a2 && contains ~sub:{|"rid":"rid-b2"|} b2);
+  check "a request without a rid gets a minted one" true
+    (String.starts_with ~prefix:{|{"id":"a3","rid":"r|} a3);
+  send b_fd "{\"op\":\"shutdown\"}\n";
+  ignore (input_line b_ic);
+  Domain.join server;
+  (try Unix.close a_fd with _ -> ());
+  (try Unix.close b_fd with _ -> ());
+  let acc = ref [] in
+  let n, torn = Events.replay_dir dir ~f:(fun l -> acc := l :: !acc) in
+  let lines = List.rev !acc in
+  check "clean shutdown leaves no torn tail" true (torn = 0);
+  check_int "replay returns every line it passed to f" n (List.length lines);
+  let with_rid rid =
+    List.filter
+      (contains ~sub:(Printf.sprintf {|"rid":"%s"|} rid))
+      lines
+  in
+  let evs rid ev =
+    List.filter
+      (contains ~sub:(Printf.sprintf {|"ev":"%s"|} ev))
+      (with_rid rid)
+  in
+  (* one well-formed line per lifecycle transition, per request *)
+  List.iter
+    (fun rid ->
+      check_int (rid ^ " admitted exactly once") 1
+        (List.length (evs rid "admit"));
+      check_int (rid ^ " responded exactly once") 1
+        (List.length (evs rid "respond"));
+      check_int (rid ^ " written out exactly once") 1
+        (List.length (evs rid "write")))
+    [ "rid-a1"; "rid-b1"; "rid-a2"; "rid-b2" ];
+  check "the degraded request retained its trace" true
+    (List.length (evs "rid-a2" "trace") = 1);
+  check "the rejected request retained its trace" true
+    (List.length (evs "rid-b2" "trace") = 1);
+  check "a fast graded request is not trace-sampled" true
+    (List.length (evs "rid-a1" "trace") = 0);
+  let admits = List.filter (contains ~sub:{|"ev":"admit"|}) lines in
+  check_int "one admission per grade request" 5 (List.length admits);
+  check_int "rids are unique across clients" 5
+    (List.length (List.sort_uniq compare (List.map rid_of admits)))
+
 let suite =
   [
     Alcotest.test_case "json values parse" `Quick test_json_values;
@@ -786,4 +1042,13 @@ let suite =
       test_socket_two_clients;
     Alcotest.test_case "admission sheds past the queue cap" `Slow
       test_socket_admission_sheds;
+    Alcotest.test_case "event ring bounds memory and rotates" `Quick
+      test_events_ring_rotation;
+    Alcotest.test_case "event replay truncates torn tails only" `Quick
+      test_events_torn_tail;
+    Alcotest.test_case "slo counters and burn rates" `Quick test_metrics_slo;
+    Alcotest.test_case "correlation ids thread through a session" `Quick
+      test_session_rid_telemetry;
+    Alcotest.test_case "two clients leave one event trail each" `Slow
+      test_socket_events_interleaved;
   ]

@@ -273,7 +273,8 @@ let test_slowlog_ring () =
   for i = 1 to 25 do
     Metrics.record_slow m
       {
-        Proto.s_assignment = Printf.sprintf "a%d" i;
+        Proto.s_rid = None;
+        s_assignment = Printf.sprintf "a%d" i;
         s_ms = float_of_int ((i * 7919) mod 100);
         s_outcome = "graded";
         s_stages = [ ("parse", 0.1) ];
